@@ -1,0 +1,101 @@
+// Figure 3 (the loan program). Regenerates the paper's scenario narrative
+// as a table, then measures end-to-end query latency as the number of
+// advisor components grows.
+
+#include <iostream>
+#include <optional>
+
+#include "benchmark/benchmark.h"
+#include "kb/knowledge_base.h"
+#include "workloads.h"
+
+namespace {
+
+using ordlog::KnowledgeBase;
+using ordlog::TruthValue;
+
+constexpr const char* kLoanProgram = R"(
+component c2 { take_loan :- inflation(X), X > 11. }
+component c4 { -take_loan :- loan_rate(X), X > 14. }
+component c3 { take_loan :- inflation(X), loan_rate(Y), X > Y + 2. }
+component c1 { }
+order c1 < c2. order c1 < c3. order c3 < c4.
+)";
+
+const char* Decide(std::optional<int> inflation, std::optional<int> rate) {
+  KnowledgeBase kb;
+  if (!kb.Load(kLoanProgram).ok()) return "error";
+  if (inflation &&
+      !kb.AddRuleText("c1", "inflation(" + std::to_string(*inflation) + ").")
+           .ok()) {
+    return "error";
+  }
+  if (rate &&
+      !kb.AddRuleText("c1", "loan_rate(" + std::to_string(*rate) + ").")
+           .ok()) {
+    return "error";
+  }
+  const auto truth = kb.Query("c1", "take_loan");
+  if (!truth.ok()) return "error";
+  switch (*truth) {
+    case TruthValue::kTrue:
+      return "take_loan";
+    case TruthValue::kFalse:
+      return "-take_loan";
+    case TruthValue::kUndefined:
+      return "undefined";
+  }
+  return "?";
+}
+
+void PrintReproductionTable() {
+  std::cout << "=== Figure 3 reproduction (loan program, view of c1) ===\n"
+            << "scenario                       paper expects   measured\n"
+            << "1: no facts                    undefined       "
+            << Decide(std::nullopt, std::nullopt) << "\n"
+            << "2: inflation(12)               take_loan       "
+            << Decide(12, std::nullopt) << "\n"
+            << "3: inflation(12), rate(16)     undefined       "
+            << Decide(12, 16) << "\n"
+            << "4: inflation(19), rate(16)     take_loan       "
+            << Decide(19, 16) << "\n\n";
+}
+
+void BM_Fig3_QueryLatency(benchmark::State& state) {
+  const int experts = static_cast<int>(state.range(0));
+  const std::string source = ordlog_bench::Fig3Loan(experts, 19, 16);
+  for (auto _ : state) {
+    KnowledgeBase kb;
+    if (!kb.Load(source).ok()) {
+      state.SkipWithError("load failed");
+      return;
+    }
+    const auto truth = kb.Query("c1", "take_loan");
+    if (!truth.ok() || *truth != TruthValue::kTrue) {
+      state.SkipWithError("scenario-4 shape violated at scale");
+      return;
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * experts);
+}
+BENCHMARK(BM_Fig3_QueryLatency)->Arg(2)->Arg(8)->Arg(32)->Arg(128);
+
+void BM_Fig3_CachedRequery(benchmark::State& state) {
+  const int experts = static_cast<int>(state.range(0));
+  KnowledgeBase kb;
+  if (!kb.Load(ordlog_bench::Fig3Loan(experts, 19, 16)).ok()) std::abort();
+  (void)kb.Query("c1", "take_loan");  // warm the caches
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(kb.Query("c1", "take_loan"));
+  }
+}
+BENCHMARK(BM_Fig3_CachedRequery)->Arg(8)->Arg(128);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  PrintReproductionTable();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,119 @@
+// Section 3 / Example 6 (the ancestor program). The ordered version OV(C)
+// makes the closed-world assumption an explicit component; its least model
+// must coincide with the classical well-founded model of C. Benchmarks
+// compare our ordered-semantics evaluation with the classical alternating
+// fixpoint baseline on the same ground rules.
+
+#include <iostream>
+
+#include "benchmark/benchmark.h"
+#include "core/v_operator.h"
+#include "ground/grounder.h"
+#include "parser/parser.h"
+#include "transform/classical.h"
+#include "transform/versions.h"
+#include "workloads.h"
+
+namespace {
+
+using ordlog::ClassicalSemantics;
+using ordlog::GroundProgram;
+using ordlog::Grounder;
+using ordlog::Interpretation;
+using ordlog::kQueryComponent;
+using ordlog::OrderedVersion;
+using ordlog::ParseProgram;
+using ordlog::VOperator;
+
+// Grounds OV(ancestor-chain-of-n).
+GroundProgram GroundOrderedAncestor(int n) {
+  auto parsed = ParseProgram(ordlog_bench::AncestorChain(n));
+  if (!parsed.ok()) std::abort();
+  auto version = OrderedVersion(parsed->component(0), parsed->shared_pool());
+  if (!version.ok()) std::abort();
+  auto ground = Grounder::Ground(*version);
+  if (!ground.ok()) std::abort();
+  return std::move(ground).value();
+}
+
+// Grounds the raw classical program.
+GroundProgram GroundClassicalAncestor(int n) {
+  auto parsed = ParseProgram(ordlog_bench::AncestorChain(n));
+  if (!parsed.ok()) std::abort();
+  auto ground = Grounder::Ground(*parsed);
+  if (!ground.ok()) std::abort();
+  return std::move(ground).value();
+}
+
+void PrintReproductionTable() {
+  const int n = 6;
+  GroundProgram ordered = GroundOrderedAncestor(n);
+  const Interpretation least =
+      VOperator(ordered, kQueryComponent).LeastFixpoint();
+  GroundProgram classical_ground = GroundClassicalAncestor(n);
+  ClassicalSemantics classical(classical_ground);
+  const Interpretation wf = classical.WellFoundedModel();
+  size_t positive_anc = 0;
+  for (const auto& literal : least.Literals()) {
+    if (literal.positive &&
+        ordered.LiteralToString(literal).rfind("anc(", 0) == 0) {
+      ++positive_anc;
+    }
+  }
+  std::cout << "=== Example 6 / Section 3 reproduction (ancestor) ===\n"
+            << "paper: OV(C) equips the classical ancestor program with an "
+               "explicit CWA\n"
+            << "chain of " << n << " nodes: derived anc facts = "
+            << positive_anc << " (expected " << n * (n - 1) / 2 << ")\n"
+            << "ordered least model literals = " << least.NumAssigned()
+            << ", classical well-founded literals = " << wf.NumAssigned()
+            << " (equal universes: "
+            << (least.NumAssigned() == wf.NumAssigned() ? "yes" : "NO")
+            << ")\n\n";
+}
+
+void BM_Ancestor_OrderedLeastModel(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  GroundProgram ground = GroundOrderedAncestor(n);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        VOperator(ground, kQueryComponent).LeastFixpoint().NumAssigned());
+  }
+  state.counters["ground_rules"] =
+      static_cast<double>(ground.NumRules());
+}
+BENCHMARK(BM_Ancestor_OrderedLeastModel)->Arg(4)->Arg(8)->Arg(16);
+
+void BM_Ancestor_ClassicalWellFounded(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  GroundProgram ground = GroundClassicalAncestor(n);
+  ClassicalSemantics classical(ground);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(classical.WellFoundedModel().NumAssigned());
+  }
+  state.counters["ground_rules"] =
+      static_cast<double>(ground.NumRules());
+}
+BENCHMARK(BM_Ancestor_ClassicalWellFounded)->Arg(4)->Arg(8)->Arg(16);
+
+void BM_Ancestor_Grounding(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const std::string source = ordlog_bench::AncestorChain(n);
+  for (auto _ : state) {
+    auto parsed = ParseProgram(source);
+    auto version =
+        OrderedVersion(parsed->component(0), parsed->shared_pool());
+    auto ground = Grounder::Ground(*version);
+    benchmark::DoNotOptimize(ground->NumRules());
+  }
+}
+BENCHMARK(BM_Ancestor_Grounding)->Arg(4)->Arg(8)->Arg(16);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  PrintReproductionTable();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,87 @@
+// Fault diagnosis with ordered logic: design defaults, sensor exceptions,
+// and conflicting observations handled by overruling and defeating, with
+// brave/cautious queries over the stable models.
+//
+// Module layout (lower overrules higher):
+//   design      — components work unless something is wrong (defaults)
+//   sensors     — measurements and fault rules (exceptions to design)
+//   incident    — the concrete incident being diagnosed
+
+#include <iostream>
+
+#include "kb/knowledge_base.h"
+
+namespace {
+
+const char* kPlant = R"(
+component design {
+  part(pump).  part(valve).  part(sensor_a).
+  ok(X) :- part(X).
+  -alarm(X) :- part(X).
+}
+component sensors {
+  -ok(X) :- hot(X).
+  alarm(X) :- hot(X).
+  -hot(X) :- part(X).    % parts run cool unless an incident says otherwise
+}
+component incident {
+  hot(pump).
+}
+order incident < sensors.
+order sensors < design.
+)";
+
+void Show(ordlog::KnowledgeBase& kb, const char* literal) {
+  const auto truth = kb.Query("incident", literal);
+  std::cout << "  " << literal << " = "
+            << (truth.ok() ? ordlog::TruthValueToString(*truth)
+                           : truth.status().ToString().c_str())
+            << "\n";
+}
+
+}  // namespace
+
+int main() {
+  ordlog::KnowledgeBase kb;
+  if (ordlog::Status status = kb.Load(kPlant); !status.ok()) {
+    std::cerr << "load failed: " << status << "\n";
+    return 1;
+  }
+
+  std::cout << "Incident view (skeptical / least model):\n";
+  Show(kb, "ok(pump)");      // false: the hot reading overrules the default
+  Show(kb, "alarm(pump)");   // true
+  Show(kb, "ok(valve)");     // true: design default survives
+  Show(kb, "alarm(valve)");  // false
+
+  std::cout << "\nWhy is the pump not ok?\n";
+  if (const auto why = kb.Explain("incident", "ok(pump)"); why.ok()) {
+    std::cout << *why;
+  }
+
+  // A second, conflicting reading: an independent monitoring module claims
+  // the pump is fine. Incomparable with `sensors`, so the two defeat each
+  // other and the diagnosis becomes undefined.
+  std::cout << "\nAdding a conflicting monitoring module...\n";
+  ordlog::Status status = kb.AddModule("monitoring");
+  if (status.ok()) status = kb.AddRuleText("monitoring", "ok(pump).");
+  if (status.ok()) status = kb.AddIsa("incident", "monitoring");
+  if (!status.ok()) {
+    std::cerr << "update failed: " << status << "\n";
+    return 1;
+  }
+  Show(kb, "ok(pump)");  // undefined: sensors vs monitoring defeat
+
+  const auto brave = kb.BravelyHolds("incident", "ok(pump)");
+  const auto cautious = kb.CautiouslyHolds("incident", "ok(pump)");
+  if (brave.ok() && cautious.ok()) {
+    std::cout << "  ok(pump): bravely " << (*brave ? "yes" : "no")
+              << ", cautiously " << (*cautious ? "yes" : "no") << "\n";
+  }
+  const auto models = kb.CountStableModels("incident");
+  if (models.ok()) {
+    std::cout << "  stable models of the incident view: " << *models
+              << "\n";
+  }
+  return 0;
+}

@@ -1,0 +1,291 @@
+// olp — command-line interpreter for ordered logic programs.
+//
+// Usage:
+//   olp FILE [--module=NAME] [--query=LITERAL] [--all=PATTERN]
+//            [--explain=LITERAL] [--facts] [--stable] [--dump] [--stats]
+//   olp FILE --repl          # interactive session (:help for commands)
+//
+// With no module given, the first declared component is used. With no
+// action flags, prints the derivable facts of the selected module.
+
+#include <fstream>
+#include <iostream>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "base/strings.h"
+#include "kb/knowledge_base.h"
+#include "ground/conflicts.h"
+#include "lang/analysis.h"
+#include "lang/printer.h"
+
+namespace {
+
+struct Options {
+  std::string file;
+  std::optional<std::string> module;
+  std::vector<std::string> queries;
+  std::vector<std::string> patterns;
+  std::vector<std::string> explains;
+  bool facts = false;
+  bool stable = false;
+  bool dump = false;
+  bool stats = false;
+  bool repl = false;
+};
+
+int Usage() {
+  std::cerr << "usage: olp FILE [--module=NAME] [--query=LITERAL]...\n"
+            << "           [--all=PATTERN]... [--explain=LITERAL]...\n"
+            << "           [--facts] [--stable] [--dump] [--stats]\n";
+  return 2;
+}
+
+std::optional<Options> ParseArgs(int argc, char** argv) {
+  Options options;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (!ordlog::StartsWith(arg, "--")) {
+      if (!options.file.empty()) return std::nullopt;
+      options.file = arg;
+    } else if (ordlog::StartsWith(arg, "--module=")) {
+      options.module = arg.substr(9);
+    } else if (ordlog::StartsWith(arg, "--query=")) {
+      options.queries.push_back(arg.substr(8));
+    } else if (ordlog::StartsWith(arg, "--all=")) {
+      options.patterns.push_back(arg.substr(6));
+    } else if (ordlog::StartsWith(arg, "--explain=")) {
+      options.explains.push_back(arg.substr(10));
+    } else if (arg == "--facts") {
+      options.facts = true;
+    } else if (arg == "--stable") {
+      options.stable = true;
+    } else if (arg == "--dump") {
+      options.dump = true;
+    } else if (arg == "--stats") {
+      options.stats = true;
+    } else if (arg == "--repl") {
+      options.repl = true;
+    } else {
+      return std::nullopt;
+    }
+  }
+  if (options.file.empty()) return std::nullopt;
+  return options;
+}
+
+// Interactive session. Lines starting with ':' are commands; anything
+// else is queried as a ground literal in the current module.
+int RunRepl(ordlog::KnowledgeBase& kb, std::string current_module) {
+  std::cout << "ordlog interactive session; :help for commands\n";
+  std::string line;
+  while (std::cout << current_module << "> " << std::flush,
+         std::getline(std::cin, line)) {
+    const std::string_view trimmed = ordlog::StripWhitespace(line);
+    if (trimmed.empty()) continue;
+    if (trimmed == ":quit" || trimmed == ":q") break;
+    if (trimmed == ":help") {
+      std::cout << "  LITERAL            query truth in the current module\n"
+                << "  :module NAME       switch module\n"
+                << "  :modules           list modules\n"
+                << "  :rules [NAME]      show a module's rules\n"
+                << "  :assert RULE       add a rule to the current module\n"
+                << "  :facts             derivable literals\n"
+                << "  :all PATTERN       matching derivable literals\n"
+                << "  :explain LITERAL   derivation / failure trace\n"
+                << "  :stable            number of stable models\n"
+                << "  :quit\n";
+      continue;
+    }
+    auto report = [](const ordlog::Status& status) {
+      if (!status.ok()) std::cout << "error: " << status << "\n";
+    };
+    if (ordlog::StartsWith(trimmed, ":module ")) {
+      const std::string name{ordlog::StripWhitespace(trimmed.substr(8))};
+      if (kb.HasModule(name)) {
+        current_module = name;
+      } else {
+        std::cout << "error: no module named '" << name << "'\n";
+      }
+    } else if (trimmed == ":modules") {
+      for (const std::string& name : kb.ListModules()) {
+        std::cout << "  " << name
+                  << (name == current_module ? "  (current)" : "") << "\n";
+      }
+    } else if (trimmed == ":rules" ||
+               ordlog::StartsWith(trimmed, ":rules ")) {
+      const std::string name =
+          trimmed == ":rules"
+              ? current_module
+              : std::string(ordlog::StripWhitespace(trimmed.substr(7)));
+      const auto rules = kb.ModuleRules(name);
+      if (!rules.ok()) {
+        report(rules.status());
+        continue;
+      }
+      for (const std::string& rule : *rules) std::cout << "  " << rule << "\n";
+    } else if (ordlog::StartsWith(trimmed, ":assert ")) {
+      report(kb.AddRuleText(current_module, trimmed.substr(8)));
+    } else if (trimmed == ":facts") {
+      const auto facts = kb.DerivableFacts(current_module);
+      if (!facts.ok()) {
+        report(facts.status());
+        continue;
+      }
+      for (const std::string& fact : *facts) std::cout << "  " << fact << "\n";
+    } else if (ordlog::StartsWith(trimmed, ":all ")) {
+      const auto matches = kb.QueryAll(current_module, trimmed.substr(5));
+      if (!matches.ok()) {
+        report(matches.status());
+        continue;
+      }
+      for (const std::string& match : *matches) {
+        std::cout << "  " << match << "\n";
+      }
+    } else if (ordlog::StartsWith(trimmed, ":explain ")) {
+      const auto explanation =
+          kb.Explain(current_module, trimmed.substr(9));
+      if (!explanation.ok()) {
+        report(explanation.status());
+        continue;
+      }
+      std::cout << *explanation;
+    } else if (trimmed == ":stable") {
+      const auto count = kb.CountStableModels(current_module);
+      if (!count.ok()) {
+        report(count.status());
+        continue;
+      }
+      std::cout << "  " << *count << " stable model(s)\n";
+    } else if (trimmed[0] == ':') {
+      std::cout << "error: unknown command (:help for help)\n";
+    } else {
+      const auto truth = kb.Query(current_module, trimmed);
+      if (!truth.ok()) {
+        report(truth.status());
+        continue;
+      }
+      std::cout << "  " << ordlog::TruthValueToString(*truth) << "\n";
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::optional<Options> options = ParseArgs(argc, argv);
+  if (!options.has_value()) return Usage();
+
+  std::ifstream in(options->file);
+  if (!in) {
+    std::cerr << "olp: cannot open " << options->file << "\n";
+    return 1;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+
+  ordlog::KnowledgeBase kb;
+  const ordlog::Status status = kb.Load(buffer.str());
+  if (!status.ok()) {
+    std::cerr << "olp: " << status << "\n";
+    return 1;
+  }
+  if (kb.program().NumComponents() == 0) {
+    std::cerr << "olp: the program declares no components\n";
+    return 1;
+  }
+  const std::string module =
+      options->module.value_or(kb.program().component(0).name);
+  if (!kb.HasModule(module)) {
+    std::cerr << "olp: no module named '" << module << "'\n";
+    return 1;
+  }
+  // Ground eagerly so order cycles and grounding budget problems surface
+  // as clean diagnostics regardless of the requested actions.
+  if (const auto ground = kb.ground(); !ground.ok()) {
+    std::cerr << "olp: " << ground.status() << "\n";
+    return 1;
+  }
+
+  if (options->repl) {
+    return RunRepl(kb, module);
+  }
+
+  if (options->dump) {
+    std::cout << ordlog::ToString(kb.program());
+  }
+  if (options->stats) {
+    std::cout << ordlog::AnalyzeProgram(kb.program()).ToString(kb.program());
+    if (const auto ground_program = kb.ground(); ground_program.ok()) {
+      const auto module_id = kb.program().FindComponent(module);
+      if (module_id.ok()) {
+        std::cout << ordlog::AnalyzeConflicts(**ground_program, *module_id)
+                         .ToString();
+      }
+    }
+    ordlog::DependencyGraph graph(kb.program());
+    if (const auto strata = graph.Stratification(); strata.has_value()) {
+      std::cout << "stratified: " << (strata->empty() ? "no" : "yes")
+                << "\n";
+    } else {
+      std::cout << "stratified: n/a (negated heads)\n";
+    }
+  }
+
+  bool acted = options->dump || options->stats;
+  for (const std::string& literal : options->queries) {
+    const auto truth = kb.Query(module, literal);
+    if (!truth.ok()) {
+      std::cerr << "olp: " << truth.status() << "\n";
+      return 1;
+    }
+    std::cout << literal << " = " << ordlog::TruthValueToString(*truth)
+              << "\n";
+    acted = true;
+  }
+  for (const std::string& pattern : options->patterns) {
+    const auto matches = kb.QueryAll(module, pattern);
+    if (!matches.ok()) {
+      std::cerr << "olp: " << matches.status() << "\n";
+      return 1;
+    }
+    std::cout << pattern << " matches " << matches->size() << ":\n";
+    for (const std::string& match : *matches) {
+      std::cout << "  " << match << "\n";
+    }
+    acted = true;
+  }
+  for (const std::string& literal : options->explains) {
+    const auto explanation = kb.Explain(module, literal);
+    if (!explanation.ok()) {
+      std::cerr << "olp: " << explanation.status() << "\n";
+      return 1;
+    }
+    std::cout << *explanation;
+    acted = true;
+  }
+  if (options->stable) {
+    const auto count = kb.CountStableModels(module);
+    if (!count.ok()) {
+      std::cerr << "olp: " << count.status() << "\n";
+      return 1;
+    }
+    std::cout << "stable models of " << module << ": " << *count << "\n";
+    acted = true;
+  }
+  if (options->facts || !acted) {
+    const auto facts = kb.DerivableFacts(module);
+    if (!facts.ok()) {
+      std::cerr << "olp: " << facts.status() << "\n";
+      return 1;
+    }
+    std::cout << "derivable in " << module << ":\n";
+    for (const std::string& fact : *facts) {
+      std::cout << "  " << fact << "\n";
+    }
+  }
+  return 0;
+}

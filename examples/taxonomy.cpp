@@ -1,0 +1,99 @@
+// A deeper isa hierarchy with defaults, exceptions and versioning — the
+// knowledge-base usage Section 5 of the paper motivates.
+//
+//                 life            (most general defaults)
+//                  |
+//                animals
+//               /      |
+//             birds   mammals     (incomparable siblings)
+//               |
+//            antarctic            (most specific, exceptions)
+//
+// Lower modules inherit from (and may overrule) everything above them.
+
+#include <iostream>
+
+#include "kb/knowledge_base.h"
+
+namespace {
+
+const char* kTaxonomy = R"(
+component life {
+  mortal(X) :- creature(X).
+}
+component animals {
+  creature(X) :- animal(X).
+  moves(X) :- animal(X).
+}
+component birds {
+  animal(X) :- bird(X).
+  fly(X) :- bird(X).
+  -penguin(X) :- bird(X).
+  -swims(X) :- bird(X).
+  bird(tweety).
+  bird(gull).
+}
+component mammals {
+  animal(X) :- mammal(X).
+  -fly(X) :- mammal(X).
+  mammal(rex).
+}
+component antarctic {
+  penguin(pingu).
+  bird(X) :- penguin(X).
+  -fly(X) :- penguin(X).
+  swims(X) :- penguin(X).
+}
+order antarctic < birds.
+order birds < animals.
+order mammals < animals.
+order animals < life.
+)";
+
+void Show(ordlog::KnowledgeBase& kb, const char* module,
+          const char* literal) {
+  const auto truth = kb.Query(module, literal);
+  std::cout << "  [" << module << "] " << literal << " = "
+            << (truth.ok() ? ordlog::TruthValueToString(*truth)
+                           : truth.status().ToString().c_str())
+            << "\n";
+}
+
+}  // namespace
+
+int main() {
+  ordlog::KnowledgeBase kb;
+  const ordlog::Status status = kb.Load(kTaxonomy);
+  if (!status.ok()) {
+    std::cerr << "load failed: " << status << "\n";
+    return 1;
+  }
+
+  std::cout << "Defaults and exceptions across the hierarchy:\n";
+  Show(kb, "antarctic", "fly(pingu)");    // exception wins: false
+  Show(kb, "antarctic", "swims(pingu)");  // overrules the bird default
+  Show(kb, "antarctic", "fly(tweety)");   // default survives: true
+  Show(kb, "antarctic", "mortal(pingu)"); // inherited from the top
+  Show(kb, "birds", "fly(pingu)");        // birds don't know pingu
+  Show(kb, "mammals", "fly(rex)");        // mammal default
+  Show(kb, "mammals", "fly(tweety)");     // siblings don't share facts
+
+  std::cout << "\nWhy does pingu swim (asked in module antarctic)?\n";
+  const auto explanation = kb.Explain("antarctic", "swims(pingu)");
+  if (explanation.ok()) std::cout << *explanation;
+
+  std::cout << "\nVersioning: antarctic_v2 revises the swimming rule.\n";
+  ordlog::Status v2 = kb.AddModule("antarctic_v2");
+  if (v2.ok()) v2 = kb.AddVersion("antarctic_v2", "antarctic");
+  if (v2.ok()) v2 = kb.AddRuleText("antarctic_v2", "tagged(pingu).");
+  if (v2.ok()) {
+    v2 = kb.AddRuleText("antarctic_v2", "-swims(X) :- tagged(X).");
+  }
+  if (!v2.ok()) {
+    std::cerr << "versioning failed: " << v2 << "\n";
+    return 1;
+  }
+  Show(kb, "antarctic_v2", "swims(pingu)");  // revised: false
+  Show(kb, "antarctic", "swims(pingu)");     // old version unchanged
+  return 0;
+}

@@ -1,0 +1,9 @@
+#!/bin/sh
+# Full verification: configure, build, test, run every benchmark once.
+set -e
+cd "$(dirname "$0")/.."
+cmake -B build -G Ninja
+cmake --build build
+ctest --test-dir build --output-on-failure
+for b in build/bench/*; do "$b" --benchmark_min_time=0.01s; done
+echo "ordlog: all checks passed"

@@ -1,0 +1,68 @@
+#include "base/bitset.h"
+
+#include "base/logging.h"
+
+namespace ordlog {
+
+size_t DynamicBitset::Count() const {
+  size_t count = 0;
+  for (uint64_t w : words_) count += static_cast<size_t>(__builtin_popcountll(w));
+  return count;
+}
+
+bool DynamicBitset::None() const {
+  for (uint64_t w : words_) {
+    if (w != 0) return false;
+  }
+  return true;
+}
+
+bool DynamicBitset::IsSubsetOf(const DynamicBitset& other) const {
+  ORDLOG_DCHECK(size_ == other.size_);
+  for (size_t i = 0; i < words_.size(); ++i) {
+    if ((words_[i] & ~other.words_[i]) != 0) return false;
+  }
+  return true;
+}
+
+bool DynamicBitset::Intersects(const DynamicBitset& other) const {
+  ORDLOG_DCHECK(size_ == other.size_);
+  for (size_t i = 0; i < words_.size(); ++i) {
+    if ((words_[i] & other.words_[i]) != 0) return true;
+  }
+  return false;
+}
+
+DynamicBitset& DynamicBitset::operator|=(const DynamicBitset& other) {
+  ORDLOG_DCHECK(size_ == other.size_);
+  for (size_t i = 0; i < words_.size(); ++i) words_[i] |= other.words_[i];
+  return *this;
+}
+
+DynamicBitset& DynamicBitset::operator&=(const DynamicBitset& other) {
+  ORDLOG_DCHECK(size_ == other.size_);
+  for (size_t i = 0; i < words_.size(); ++i) words_[i] &= other.words_[i];
+  return *this;
+}
+
+DynamicBitset& DynamicBitset::SubtractFrom(const DynamicBitset& other) {
+  ORDLOG_DCHECK(size_ == other.size_);
+  for (size_t i = 0; i < words_.size(); ++i) words_[i] &= ~other.words_[i];
+  return *this;
+}
+
+size_t DynamicBitset::FindNext(size_t from) const {
+  if (from >= size_) return size_;
+  size_t w = from >> 6;
+  uint64_t bits = words_[w] & (~uint64_t{0} << (from & 63));
+  while (true) {
+    if (bits != 0) {
+      const size_t i = w * 64 + static_cast<size_t>(__builtin_ctzll(bits));
+      return i < size_ ? i : size_;
+    }
+    if (++w >= words_.size()) return size_;
+    bits = words_[w];
+  }
+}
+
+}  // namespace ordlog

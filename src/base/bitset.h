@@ -1,0 +1,85 @@
+#ifndef ORDLOG_BASE_BITSET_H_
+#define ORDLOG_BASE_BITSET_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace ordlog {
+
+// A fixed-universe dynamic bitset. Interpretations, rule masks and
+// component-reachability rows are all bitsets over dense integer ids, so
+// this type is on the hot path of every fixpoint computation.
+class DynamicBitset {
+ public:
+  DynamicBitset() : size_(0) {}
+  explicit DynamicBitset(size_t size)
+      : size_(size), words_((size + 63) / 64, 0) {}
+
+  size_t size() const { return size_; }
+
+  bool Test(size_t i) const {
+    return (words_[i >> 6] >> (i & 63)) & 1u;
+  }
+  void Set(size_t i) { words_[i >> 6] |= uint64_t{1} << (i & 63); }
+  void Reset(size_t i) { words_[i >> 6] &= ~(uint64_t{1} << (i & 63)); }
+  void Assign(size_t i, bool value) {
+    if (value) {
+      Set(i);
+    } else {
+      Reset(i);
+    }
+  }
+
+  // Sets every bit to zero without changing the universe size.
+  void Clear() {
+    for (uint64_t& w : words_) w = 0;
+  }
+
+  // Number of set bits.
+  size_t Count() const;
+
+  bool None() const;
+  bool Any() const { return !None(); }
+
+  // True when every set bit of this is also set in `other`. Requires equal
+  // universe sizes.
+  bool IsSubsetOf(const DynamicBitset& other) const;
+
+  // True when this and `other` share at least one set bit.
+  bool Intersects(const DynamicBitset& other) const;
+
+  // In-place set algebra. All require equal universe sizes.
+  DynamicBitset& operator|=(const DynamicBitset& other);
+  DynamicBitset& operator&=(const DynamicBitset& other);
+  // Removes other's bits from this (set difference).
+  DynamicBitset& SubtractFrom(const DynamicBitset& other);
+
+  bool operator==(const DynamicBitset& other) const {
+    return size_ == other.size_ && words_ == other.words_;
+  }
+
+  // Index of the first set bit at or after `from`, or size() if none.
+  size_t FindNext(size_t from) const;
+
+  // Invokes `fn(i)` for every set bit i in increasing order.
+  template <typename Fn>
+  void ForEach(Fn&& fn) const {
+    for (size_t w = 0; w < words_.size(); ++w) {
+      uint64_t bits = words_[w];
+      while (bits != 0) {
+        const int bit = __builtin_ctzll(bits);
+        fn(w * 64 + static_cast<size_t>(bit));
+        bits &= bits - 1;
+      }
+    }
+  }
+
+ private:
+  size_t size_;
+  std::vector<uint64_t> words_;
+};
+
+}  // namespace ordlog
+
+#endif  // ORDLOG_BASE_BITSET_H_

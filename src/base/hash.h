@@ -1,0 +1,20 @@
+#ifndef ORDLOG_BASE_HASH_H_
+#define ORDLOG_BASE_HASH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+
+namespace ordlog {
+
+// Mixes `value`'s hash into `seed` (boost-style combiner). Used by the
+// hash-consing pools in lang/.
+template <typename T>
+void HashCombine(size_t& seed, const T& value) {
+  seed ^= std::hash<T>{}(value) + 0x9e3779b97f4a7c15ull + (seed << 6) +
+          (seed >> 2);
+}
+
+}  // namespace ordlog
+
+#endif  // ORDLOG_BASE_HASH_H_

@@ -1,0 +1,53 @@
+#ifndef ORDLOG_BASE_LOGGING_H_
+#define ORDLOG_BASE_LOGGING_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+
+namespace ordlog {
+namespace internal_logging {
+
+// Accumulates a fatal-check message and aborts the process on destruction.
+// Used only via the ORDLOG_CHECK* macros below.
+class CheckFailureStream {
+ public:
+  CheckFailureStream(const char* condition, const char* file, int line) {
+    stream_ << file << ":" << line << " CHECK failed: " << condition << " ";
+  }
+  [[noreturn]] ~CheckFailureStream() {
+    std::cerr << stream_.str() << std::endl;
+    std::abort();
+  }
+  std::ostream& stream() { return stream_; }
+
+ private:
+  std::ostringstream stream_;
+};
+
+}  // namespace internal_logging
+}  // namespace ordlog
+
+// Aborts with a diagnostic when `condition` is false. Additional context may
+// be streamed: ORDLOG_CHECK(x > 0) << "x=" << x;
+#define ORDLOG_CHECK(condition)                                        \
+  if (condition) {                                                     \
+  } else /* NOLINT */                                                  \
+    ::ordlog::internal_logging::CheckFailureStream(#condition,         \
+                                                   __FILE__, __LINE__) \
+        .stream()
+
+#define ORDLOG_CHECK_EQ(a, b) ORDLOG_CHECK((a) == (b))
+#define ORDLOG_CHECK_NE(a, b) ORDLOG_CHECK((a) != (b))
+#define ORDLOG_CHECK_LT(a, b) ORDLOG_CHECK((a) < (b))
+#define ORDLOG_CHECK_LE(a, b) ORDLOG_CHECK((a) <= (b))
+#define ORDLOG_CHECK_GT(a, b) ORDLOG_CHECK((a) > (b))
+#define ORDLOG_CHECK_GE(a, b) ORDLOG_CHECK((a) >= (b))
+
+#ifdef NDEBUG
+#define ORDLOG_DCHECK(condition) ORDLOG_CHECK(true || (condition))
+#else
+#define ORDLOG_DCHECK(condition) ORDLOG_CHECK(condition)
+#endif
+
+#endif  // ORDLOG_BASE_LOGGING_H_

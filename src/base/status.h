@@ -1,0 +1,147 @@
+#ifndef ORDLOG_BASE_STATUS_H_
+#define ORDLOG_BASE_STATUS_H_
+
+#include <cstdlib>
+#include <optional>
+#include <ostream>
+#include <string>
+#include <utility>
+
+namespace ordlog {
+
+// Canonical error space for the library. The library does not use C++
+// exceptions; every fallible operation returns Status or StatusOr<T>.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,   // malformed input (bad rule, unsafe variable, ...)
+  kNotFound,          // unknown symbol, component, atom, ...
+  kAlreadyExists,     // duplicate component name, duplicate order edge, ...
+  kFailedPrecondition,// operation not valid in the current object state
+  kResourceExhausted, // grounding/search budget exceeded
+  kOutOfRange,        // index out of bounds
+  kInternal,          // invariant violation (a bug in ordlog itself)
+  kUnimplemented,
+};
+
+// Returns the canonical lowercase name ("ok", "invalid_argument", ...).
+const char* StatusCodeToString(StatusCode code);
+
+// Value-type result of a fallible operation: a code plus a human-readable
+// message. Copyable and cheap for the OK case.
+class Status {
+ public:
+  // Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  // "ok" or "<code>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Status& status);
+
+// Convenience constructors mirroring absl.
+Status InvalidArgumentError(std::string message);
+Status NotFoundError(std::string message);
+Status AlreadyExistsError(std::string message);
+Status FailedPreconditionError(std::string message);
+Status ResourceExhaustedError(std::string message);
+Status OutOfRangeError(std::string message);
+Status InternalError(std::string message);
+Status UnimplementedError(std::string message);
+
+// Union of a Status and a value: holds a T exactly when the status is OK.
+// Accessing the value of a non-OK StatusOr aborts the process (this library
+// treats that as a programming error, consistent with its no-exceptions
+// policy).
+template <typename T>
+class StatusOr {
+ public:
+  // Intentionally implicit, so `return value;` and `return status;` both
+  // work inside functions returning StatusOr<T> (mirrors absl::StatusOr).
+  StatusOr(const T& value) : value_(value) {}            // NOLINT
+  StatusOr(T&& value) : value_(std::move(value)) {}      // NOLINT
+  StatusOr(Status status) : status_(std::move(status)) { // NOLINT
+    if (status_.ok()) {
+      status_ = InternalError("StatusOr constructed from OK status");
+    }
+  }
+
+  bool ok() const { return value_.has_value(); }
+
+  const Status& status() const& { return status_; }
+
+  const T& value() const& {
+    AbortIfNotOk();
+    return *value_;
+  }
+  T& value() & {
+    AbortIfNotOk();
+    return *value_;
+  }
+  T&& value() && {
+    AbortIfNotOk();
+    return *std::move(value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  void AbortIfNotOk() const {
+    if (!value_.has_value()) {
+      std::abort();
+    }
+  }
+
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace ordlog
+
+// Evaluates `expr` (a Status) and returns it from the enclosing function if
+// it is not OK.
+#define ORDLOG_RETURN_IF_ERROR(expr)                  \
+  do {                                                \
+    ::ordlog::Status ordlog_status_tmp_ = (expr);     \
+    if (!ordlog_status_tmp_.ok()) {                   \
+      return ordlog_status_tmp_;                      \
+    }                                                 \
+  } while (false)
+
+#define ORDLOG_STATUS_MACROS_CONCAT_INNER_(x, y) x##y
+#define ORDLOG_STATUS_MACROS_CONCAT_(x, y) \
+  ORDLOG_STATUS_MACROS_CONCAT_INNER_(x, y)
+
+// Evaluates `rexpr` (a StatusOr<T>); on error returns the status, otherwise
+// move-assigns the value into `lhs`.
+#define ORDLOG_ASSIGN_OR_RETURN(lhs, rexpr)                              \
+  ORDLOG_ASSIGN_OR_RETURN_IMPL_(                                         \
+      ORDLOG_STATUS_MACROS_CONCAT_(ordlog_statusor_, __LINE__), lhs, rexpr)
+
+#define ORDLOG_ASSIGN_OR_RETURN_IMPL_(statusor, lhs, rexpr) \
+  auto statusor = (rexpr);                                  \
+  if (!statusor.ok()) {                                     \
+    return statusor.status();                               \
+  }                                                         \
+  lhs = std::move(statusor).value()
+
+#endif  // ORDLOG_BASE_STATUS_H_

@@ -1,0 +1,71 @@
+#ifndef ORDLOG_BASE_STRINGS_H_
+#define ORDLOG_BASE_STRINGS_H_
+
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ordlog {
+
+namespace internal_strings {
+
+inline void AppendPieces(std::ostringstream&) {}
+
+template <typename T, typename... Rest>
+void AppendPieces(std::ostringstream& os, const T& first,
+                  const Rest&... rest) {
+  os << first;
+  AppendPieces(os, rest...);
+}
+
+}  // namespace internal_strings
+
+// Concatenates the streamable arguments into one string.
+template <typename... Args>
+std::string StrCat(const Args&... args) {
+  std::ostringstream os;
+  internal_strings::AppendPieces(os, args...);
+  return os.str();
+}
+
+// Joins `pieces` with `separator`, rendering each element with operator<<.
+template <typename Container>
+std::string StrJoin(const Container& pieces, std::string_view separator) {
+  std::ostringstream os;
+  bool first = true;
+  for (const auto& piece : pieces) {
+    if (!first) os << separator;
+    first = false;
+    os << piece;
+  }
+  return os.str();
+}
+
+// Joins `pieces` with `separator`, rendering each element via `formatter`,
+// a callable taking (std::ostringstream&, const Element&).
+template <typename Container, typename Formatter>
+std::string StrJoin(const Container& pieces, std::string_view separator,
+                    Formatter&& formatter) {
+  std::ostringstream os;
+  bool first = true;
+  for (const auto& piece : pieces) {
+    if (!first) os << separator;
+    first = false;
+    formatter(os, piece);
+  }
+  return os.str();
+}
+
+// Splits `text` at every occurrence of `delimiter`, keeping empty pieces.
+std::vector<std::string> StrSplit(std::string_view text, char delimiter);
+
+// Removes leading and trailing ASCII whitespace.
+std::string_view StripWhitespace(std::string_view text);
+
+// True when `text` begins with `prefix`.
+bool StartsWith(std::string_view text, std::string_view prefix);
+
+}  // namespace ordlog
+
+#endif  // ORDLOG_BASE_STRINGS_H_

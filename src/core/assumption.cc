@@ -1,0 +1,104 @@
+#include "core/assumption.h"
+
+#include "base/logging.h"
+
+namespace ordlog {
+
+namespace {
+
+// True when some literal of `body` is in `x`.
+bool BodyMeets(const std::vector<GroundLiteral>& body,
+               const Interpretation& x) {
+  for (const GroundLiteral& literal : body) {
+    if (x.Contains(literal)) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+bool AssumptionAnalyzer::IsAssumptionSet(const Interpretation& x,
+                                         const Interpretation& i) const {
+  if (x.Empty()) return false;
+  if (!x.IsSubsetOf(i)) return false;
+  const GroundProgram& program = evaluator_.program();
+  for (uint32_t index : program.ViewRules(evaluator_.view())) {
+    const GroundRule& rule = program.rule(index);
+    if (!x.Contains(rule.head)) continue;  // only rules with H(r) ∈ X matter
+    if (!evaluator_.IsApplicable(rule, i)) continue;   // (a)
+    if (evaluator_.IsOverruled(rule, i)) continue;     // (b)
+    if (evaluator_.IsDefeated(rule, i)) continue;      // (c)
+    if (BodyMeets(rule.body, x)) continue;             // (d)
+    return false;
+  }
+  return true;
+}
+
+Interpretation AssumptionAnalyzer::GreatestAssumptionSet(
+    const Interpretation& i) const {
+  const GroundProgram& program = evaluator_.program();
+  // Start from X = I and strip literals with an "active" supporting rule
+  // (applicable, not overruled, not defeated, body disjoint from X) until
+  // stable. The statuses (a)-(c) depend only on I, so precompute the active
+  // rules once.
+  std::vector<uint32_t> active;
+  for (uint32_t index : program.ViewRules(evaluator_.view())) {
+    const GroundRule& rule = program.rule(index);
+    if (!i.Contains(rule.head)) continue;
+    if (!evaluator_.IsApplicable(rule, i)) continue;
+    if (evaluator_.IsOverruled(rule, i)) continue;
+    if (evaluator_.IsDefeated(rule, i)) continue;
+    active.push_back(index);
+  }
+  Interpretation x = i;
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (uint32_t index : active) {
+      const GroundRule& rule = program.rule(index);
+      if (!x.Contains(rule.head)) continue;
+      if (BodyMeets(rule.body, x)) continue;
+      x.Remove(rule.head);
+      changed = true;
+    }
+  }
+  return x;
+}
+
+Interpretation AssumptionAnalyzer::EnabledFixpoint(
+    const Interpretation& m) const {
+  const GroundProgram& program = evaluator_.program();
+  // Enabled version C_M: the applied rules of ground(C*) w.r.t. M.
+  std::vector<uint32_t> enabled;
+  for (uint32_t index : program.ViewRules(evaluator_.view())) {
+    if (evaluator_.IsApplied(program.rule(index), m)) {
+      enabled.push_back(index);
+    }
+  }
+  // Least fixpoint of T_{C_M} from ∅. All heads lie in M, so the chain is
+  // consistent by construction (Lemma 2).
+  Interpretation current = Interpretation::ForProgram(program);
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (uint32_t index : enabled) {
+      const GroundRule& rule = program.rule(index);
+      if (current.Contains(rule.head)) continue;
+      bool body_holds = true;
+      for (const GroundLiteral& literal : rule.body) {
+        if (!current.Contains(literal)) {
+          body_holds = false;
+          break;
+        }
+      }
+      if (body_holds) {
+        const bool consistent = current.Add(rule.head);
+        ORDLOG_DCHECK(consistent);
+        changed = true;
+      }
+    }
+  }
+  return current;
+}
+
+}  // namespace ordlog

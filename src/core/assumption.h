@@ -1,0 +1,54 @@
+#ifndef ORDLOG_CORE_ASSUMPTION_H_
+#define ORDLOG_CORE_ASSUMPTION_H_
+
+#include <vector>
+
+#include "core/rule_status.h"
+
+namespace ordlog {
+
+// Assumption analysis (paper Definitions 6–8 and Theorem 1a).
+//
+// X ⊆ I is an assumption set w.r.t. I when, for each literal A ∈ X, every
+// rule r ∈ ground(C*) with H(r) = A is (a) non-applicable, (b) overruled,
+// (c) defeated, or (d) has B(r) ∩ X ≠ ∅. Assumption sets w.r.t. a fixed I
+// are closed under union, so a greatest one exists; a model is
+// assumption-free iff that greatest set is empty.
+//
+// Theorem 1a gives an equivalent characterization for models: M is
+// assumption-free iff the least fixpoint of the immediate-consequence
+// operator of the *enabled version* C_M (the applied rules of ground(C*))
+// equals M. Both implementations are provided and cross-checked in tests.
+class AssumptionAnalyzer {
+ public:
+  AssumptionAnalyzer(const GroundProgram& program, ComponentId view)
+      : evaluator_(program, view) {}
+
+  // Def. 6 membership test for an explicit candidate X (given as a
+  // sub-interpretation of `i`). Empty X is *not* an assumption set.
+  bool IsAssumptionSet(const Interpretation& x, const Interpretation& i) const;
+
+  // The union of all assumption sets w.r.t. `i` (empty when none exists).
+  Interpretation GreatestAssumptionSet(const Interpretation& i) const;
+
+  // Def. 7: no non-empty subset of `i` is an assumption set w.r.t. `i`.
+  bool IsAssumptionFree(const Interpretation& i) const {
+    return GreatestAssumptionSet(i).Empty();
+  }
+
+  // Theorem 1a characterization: the least fixpoint T^∞_{C_M}(∅) of the
+  // enabled version of ground(C*) w.r.t. `m`.
+  Interpretation EnabledFixpoint(const Interpretation& m) const;
+
+  // Theorem 1a test (valid when `m` is a model).
+  bool IsAssumptionFreeViaEnabled(const Interpretation& m) const {
+    return EnabledFixpoint(m) == m;
+  }
+
+ private:
+  RuleStatusEvaluator evaluator_;
+};
+
+}  // namespace ordlog
+
+#endif  // ORDLOG_CORE_ASSUMPTION_H_

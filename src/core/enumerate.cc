@@ -1,0 +1,85 @@
+#include "core/enumerate.h"
+
+#include "base/strings.h"
+
+namespace ordlog {
+
+BruteForceEnumerator::BruteForceEnumerator(const GroundProgram& program,
+                                           ComponentId view,
+                                           EnumerationOptions options)
+    : program_(program),
+      view_(view),
+      options_(options),
+      checker_(program, view),
+      assumptions_(program, view) {
+  program.ViewAtoms(view).ForEach([this](size_t atom) {
+    base_.push_back(static_cast<GroundAtomId>(atom));
+  });
+}
+
+template <typename Predicate>
+StatusOr<std::vector<Interpretation>> BruteForceEnumerator::Enumerate(
+    Predicate&& keep) const {
+  std::vector<Interpretation> results;
+  ORDLOG_RETURN_IF_ERROR(ForEachInterpretation(
+      program_, base_, options_.max_atoms,
+      [&](const Interpretation& candidate) {
+        if (keep(candidate)) {
+          results.push_back(candidate);
+        }
+        return results.size() < options_.max_results;
+      }));
+  return results;
+}
+
+StatusOr<std::vector<Interpretation>> BruteForceEnumerator::AllModels()
+    const {
+  return Enumerate(
+      [this](const Interpretation& m) { return checker_.IsModel(m); });
+}
+
+StatusOr<std::vector<Interpretation>>
+BruteForceEnumerator::AssumptionFreeModels() const {
+  return Enumerate([this](const Interpretation& m) {
+    return checker_.IsModel(m) && assumptions_.IsAssumptionFree(m);
+  });
+}
+
+StatusOr<std::vector<Interpretation>> BruteForceEnumerator::StableModels()
+    const {
+  ORDLOG_ASSIGN_OR_RETURN(std::vector<Interpretation> models,
+                          AssumptionFreeModels());
+  return FilterMaximal(std::move(models));
+}
+
+StatusOr<std::vector<Interpretation>>
+BruteForceEnumerator::ExhaustiveModels() const {
+  ORDLOG_ASSIGN_OR_RETURN(std::vector<Interpretation> models, AllModels());
+  return FilterMaximal(std::move(models));
+}
+
+StatusOr<std::vector<Interpretation>> BruteForceEnumerator::TotalModels()
+    const {
+  return Enumerate(
+      [this](const Interpretation& m) { return checker_.IsTotal(m); });
+}
+
+std::vector<Interpretation> FilterMaximal(
+    std::vector<Interpretation> candidates) {
+  std::vector<bool> dominated(candidates.size(), false);
+  for (size_t i = 0; i < candidates.size(); ++i) {
+    for (size_t j = 0; j < candidates.size(); ++j) {
+      if (i != j && candidates[i].IsProperSubsetOf(candidates[j])) {
+        dominated[i] = true;
+        break;
+      }
+    }
+  }
+  std::vector<Interpretation> maximal;
+  for (size_t i = 0; i < candidates.size(); ++i) {
+    if (!dominated[i]) maximal.push_back(std::move(candidates[i]));
+  }
+  return maximal;
+}
+
+}  // namespace ordlog

@@ -1,0 +1,75 @@
+#include "core/exhaustive.h"
+
+#include "base/strings.h"
+
+namespace ordlog {
+
+StatusOr<ExhaustiveCompleter::Extension>
+ExhaustiveCompleter::FindProperExtension(const Interpretation& model) const {
+  std::vector<GroundAtomId> free;
+  program_.ViewAtoms(view_).ForEach([&](size_t atom) {
+    if (model.Truth(static_cast<GroundAtomId>(atom)) ==
+        TruthValue::kUndefined) {
+      free.push_back(static_cast<GroundAtomId>(atom));
+    }
+  });
+  Extension result;
+  Interpretation candidate = model;
+  size_t nodes = 0;
+  ORDLOG_RETURN_IF_ERROR(
+      Search(free, 0, /*extended=*/false, candidate, result, nodes));
+  return result;
+}
+
+StatusOr<bool> ExhaustiveCompleter::IsExhaustive(
+    const Interpretation& model) const {
+  if (!checker_.IsModel(model)) return false;
+  ORDLOG_ASSIGN_OR_RETURN(const Extension extension,
+                          FindProperExtension(model));
+  return !extension.found;
+}
+
+StatusOr<Interpretation> ExhaustiveCompleter::Complete(
+    const Interpretation& model) const {
+  if (!checker_.IsModel(model)) {
+    return FailedPreconditionError(
+        "Complete() requires a model as the starting point");
+  }
+  Interpretation current = model;
+  while (true) {
+    ORDLOG_ASSIGN_OR_RETURN(const Extension extension,
+                            FindProperExtension(current));
+    if (!extension.found) return current;
+    current = extension.model;
+  }
+}
+
+Status ExhaustiveCompleter::Search(const std::vector<GroundAtomId>& free,
+                                   size_t level, bool extended,
+                                   Interpretation& candidate,
+                                   Extension& result, size_t& nodes) const {
+  if (result.found) return Status::Ok();
+  if (++nodes > options_.node_budget) {
+    return ResourceExhaustedError(StrCat(
+        "exhaustive-model search exceeded node_budget=",
+        options_.node_budget));
+  }
+  if (level == free.size()) {
+    if (extended && checker_.IsModel(candidate)) {
+      result.found = true;
+      result.model = candidate;
+    }
+    return Status::Ok();
+  }
+  const GroundAtomId atom = free[level];
+  candidate.Set(atom, TruthValue::kTrue);
+  ORDLOG_RETURN_IF_ERROR(
+      Search(free, level + 1, true, candidate, result, nodes));
+  candidate.Set(atom, TruthValue::kFalse);
+  ORDLOG_RETURN_IF_ERROR(
+      Search(free, level + 1, true, candidate, result, nodes));
+  candidate.Set(atom, TruthValue::kUndefined);
+  return Search(free, level + 1, extended, candidate, result, nodes);
+}
+
+}  // namespace ordlog

@@ -1,0 +1,55 @@
+#ifndef ORDLOG_CORE_EXHAUSTIVE_H_
+#define ORDLOG_CORE_EXHAUSTIVE_H_
+
+#include "base/status.h"
+#include "core/model_check.h"
+
+namespace ordlog {
+
+struct ExhaustiveOptions {
+  // Abort with kResourceExhausted after this many search nodes.
+  size_t node_budget = 10'000'000;
+};
+
+// Exhaustive models (paper Definition 5(b) and Proposition 2): a model is
+// exhaustive when no proper superset is a model; every model extends to an
+// exhaustive one.
+class ExhaustiveCompleter {
+ public:
+  ExhaustiveCompleter(const GroundProgram& program, ComponentId view,
+                      ExhaustiveOptions options = {})
+      : program_(program),
+        view_(view),
+        options_(options),
+        checker_(program, view) {}
+
+  // Searches for any model that is a proper superset of `model`. Returns
+  // an engaged optional-like result: ok() with found==false when none
+  // exists.
+  struct Extension {
+    bool found = false;
+    Interpretation model{0};
+  };
+  StatusOr<Extension> FindProperExtension(const Interpretation& model) const;
+
+  // True when `model` is a model with no proper extension.
+  StatusOr<bool> IsExhaustive(const Interpretation& model) const;
+
+  // Prop. 2 constructively: repeatedly replaces the model by a proper
+  // extension until exhaustive. `model` must be a model for the view.
+  StatusOr<Interpretation> Complete(const Interpretation& model) const;
+
+ private:
+  Status Search(const std::vector<GroundAtomId>& free, size_t level,
+                bool extended, Interpretation& candidate, Extension& result,
+                size_t& nodes) const;
+
+  const GroundProgram& program_;
+  const ComponentId view_;
+  const ExhaustiveOptions options_;
+  ModelChecker checker_;
+};
+
+}  // namespace ordlog
+
+#endif  // ORDLOG_CORE_EXHAUSTIVE_H_

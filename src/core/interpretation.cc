@@ -1,0 +1,102 @@
+#include "core/interpretation.h"
+
+#include <sstream>
+
+#include "base/strings.h"
+
+namespace ordlog {
+
+const char* TruthValueToString(TruthValue value) {
+  switch (value) {
+    case TruthValue::kFalse:
+      return "false";
+    case TruthValue::kUndefined:
+      return "undefined";
+    case TruthValue::kTrue:
+      return "true";
+  }
+  return "?";
+}
+
+TruthValue Interpretation::ValueOfConjunction(
+    const std::vector<GroundLiteral>& body) const {
+  TruthValue result = TruthValue::kTrue;
+  for (const GroundLiteral& literal : body) {
+    const TruthValue value = Value(literal);
+    if (static_cast<int>(value) < static_cast<int>(result)) result = value;
+    if (result == TruthValue::kFalse) break;
+  }
+  return result;
+}
+
+bool Interpretation::Add(GroundLiteral literal) {
+  if (ContainsComplement(literal)) return false;
+  (literal.positive ? positive_ : negative_).Set(literal.atom);
+  return true;
+}
+
+void Interpretation::Remove(GroundLiteral literal) {
+  (literal.positive ? positive_ : negative_).Reset(literal.atom);
+}
+
+void Interpretation::Set(GroundAtomId atom, TruthValue value) {
+  positive_.Reset(atom);
+  negative_.Reset(atom);
+  switch (value) {
+    case TruthValue::kTrue:
+      positive_.Set(atom);
+      break;
+    case TruthValue::kFalse:
+      negative_.Set(atom);
+      break;
+    case TruthValue::kUndefined:
+      break;
+  }
+}
+
+bool Interpretation::AssignsOnly(const DynamicBitset& atoms) const {
+  return positive_.IsSubsetOf(atoms) && negative_.IsSubsetOf(atoms);
+}
+
+bool Interpretation::UnionWith(const Interpretation& other) {
+  bool consistent = true;
+  other.positive_.ForEach([this, &consistent](size_t atom) {
+    consistent =
+        Add(GroundLiteral{static_cast<GroundAtomId>(atom), true}) &&
+        consistent;
+  });
+  other.negative_.ForEach([this, &consistent](size_t atom) {
+    consistent =
+        Add(GroundLiteral{static_cast<GroundAtomId>(atom), false}) &&
+        consistent;
+  });
+  return consistent;
+}
+
+std::vector<GroundLiteral> Interpretation::Literals() const {
+  std::vector<GroundLiteral> result;
+  for (size_t atom = 0; atom < num_atoms(); ++atom) {
+    if (positive_.Test(atom)) {
+      result.push_back(GroundLiteral{static_cast<GroundAtomId>(atom), true});
+    } else if (negative_.Test(atom)) {
+      result.push_back(
+          GroundLiteral{static_cast<GroundAtomId>(atom), false});
+    }
+  }
+  return result;
+}
+
+std::string Interpretation::ToString(const GroundProgram& program) const {
+  std::ostringstream os;
+  os << "{";
+  bool first = true;
+  for (const GroundLiteral& literal : Literals()) {
+    if (!first) os << ", ";
+    first = false;
+    os << program.LiteralToString(literal);
+  }
+  os << "}";
+  return os.str();
+}
+
+}  // namespace ordlog

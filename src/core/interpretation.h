@@ -1,0 +1,117 @@
+#ifndef ORDLOG_CORE_INTERPRETATION_H_
+#define ORDLOG_CORE_INTERPRETATION_H_
+
+#include <string>
+#include <vector>
+
+#include "base/bitset.h"
+#include "ground/ground_program.h"
+
+namespace ordlog {
+
+// Three-valued truth, ordered F < U < T as in the paper (Section 3, [P3]).
+enum class TruthValue : uint8_t { kFalse = 0, kUndefined = 1, kTrue = 2 };
+
+const char* TruthValueToString(TruthValue value);
+
+// An interpretation (paper Section 2): a consistent set of ground literals,
+// i.e. a partial two-valued / total three-valued assignment over the ground
+// atoms of a GroundProgram. Backed by two bitsets (atoms asserted true,
+// atoms asserted false); consistency (no atom in both) is an invariant that
+// Add() preserves by refusing contradictory insertions.
+class Interpretation {
+ public:
+  explicit Interpretation(size_t num_atoms)
+      : positive_(num_atoms), negative_(num_atoms) {}
+  static Interpretation ForProgram(const GroundProgram& program) {
+    return Interpretation(program.NumAtoms());
+  }
+
+  size_t num_atoms() const { return positive_.size(); }
+
+  // Number of literals in the set (assigned atoms).
+  size_t NumAssigned() const {
+    return positive_.Count() + negative_.Count();
+  }
+  bool Empty() const { return positive_.None() && negative_.None(); }
+
+  // Truth of the positive atom: kTrue if the atom is in the set, kFalse if
+  // its negation is, kUndefined otherwise.
+  TruthValue Truth(GroundAtomId atom) const {
+    if (positive_.Test(atom)) return TruthValue::kTrue;
+    if (negative_.Test(atom)) return TruthValue::kFalse;
+    return TruthValue::kUndefined;
+  }
+
+  // Literal membership: literal ∈ I.
+  bool Contains(GroundLiteral literal) const {
+    return literal.positive ? positive_.Test(literal.atom)
+                            : negative_.Test(literal.atom);
+  }
+  // Complement membership: ¬literal ∈ I.
+  bool ContainsComplement(GroundLiteral literal) const {
+    return Contains(literal.Complement());
+  }
+
+  // Three-valued value of a literal: T if in I, F if its complement is,
+  // U otherwise.
+  TruthValue Value(GroundLiteral literal) const {
+    if (Contains(literal)) return TruthValue::kTrue;
+    if (ContainsComplement(literal)) return TruthValue::kFalse;
+    return TruthValue::kUndefined;
+  }
+
+  // Three-valued value of a conjunction (min over the literals; T for the
+  // empty conjunction), as in the paper's value(J).
+  TruthValue ValueOfConjunction(const std::vector<GroundLiteral>& body) const;
+
+  // Adds `literal`. Returns false (leaving the set unchanged) if the
+  // complement is present; returns true if added or already present.
+  bool Add(GroundLiteral literal);
+  void Remove(GroundLiteral literal);
+  // Sets the atom's truth (kUndefined clears the assignment).
+  void Set(GroundAtomId atom, TruthValue value);
+  void Clear() {
+    positive_.Clear();
+    negative_.Clear();
+  }
+
+  const DynamicBitset& positives() const { return positive_; }
+  const DynamicBitset& negatives() const { return negative_; }
+
+  // Set inclusion of literal sets.
+  bool IsSubsetOf(const Interpretation& other) const {
+    return positive_.IsSubsetOf(other.positive_) &&
+           negative_.IsSubsetOf(other.negative_);
+  }
+  bool IsProperSubsetOf(const Interpretation& other) const {
+    return IsSubsetOf(other) && !(*this == other);
+  }
+
+  // True when every assigned atom lies inside `atoms` (used to check that
+  // an interpretation ranges over a view's Herbrand base).
+  bool AssignsOnly(const DynamicBitset& atoms) const;
+
+  // Adds every literal of `other`; returns false if any addition conflicts
+  // (the set is left partially merged in that case).
+  bool UnionWith(const Interpretation& other);
+
+  bool operator==(const Interpretation& other) const {
+    return positive_ == other.positive_ && negative_ == other.negative_;
+  }
+
+  // The literals of the set, ordered by atom id (positives before the
+  // negative of a later atom; each atom contributes at most one literal).
+  std::vector<GroundLiteral> Literals() const;
+
+  // "{bird(pigeon), -fly(penguin)}"
+  std::string ToString(const GroundProgram& program) const;
+
+ private:
+  DynamicBitset positive_;
+  DynamicBitset negative_;
+};
+
+}  // namespace ordlog
+
+#endif  // ORDLOG_CORE_INTERPRETATION_H_

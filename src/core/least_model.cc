@@ -1,0 +1,111 @@
+#include "core/least_model.h"
+
+#include <deque>
+
+#include "base/logging.h"
+
+namespace ordlog {
+
+LeastModelComputer::LeastModelComputer(const GroundProgram& program,
+                                       ComponentId view)
+    : LeastModelComputer(program, view,
+                         [&program] {
+                           DynamicBitset all(program.NumAtoms());
+                           for (size_t i = 0; i < program.NumAtoms(); ++i) {
+                             all.Set(i);
+                           }
+                           return all;
+                         }()) {}
+
+LeastModelComputer::LeastModelComputer(const GroundProgram& program,
+                                       ComponentId view,
+                                       const DynamicBitset& relevant_atoms)
+    : program_(program), view_(view) {
+  body_index_.assign(program.NumAtoms() * 2, {});
+  silences_.assign(program.NumRules(), {});
+  initial_state_.assign(program.NumRules(), RuleState{});
+
+  for (uint32_t index : program.ViewRules(view)) {
+    const GroundRule& rule = program.rule(index);
+    if (!relevant_atoms.Test(rule.head.atom)) continue;
+    RuleState& state = initial_state_[index];
+    state.in_view = true;
+    state.unsatisfied_body = static_cast<uint32_t>(rule.body.size());
+    for (const GroundLiteral& literal : rule.body) {
+      body_index_[Key(literal)].push_back(index);
+    }
+  }
+  // Complementary-pair wiring: rule r silences rule s when r's head is the
+  // complement of s's head and r's component is not strictly above s's.
+  for (uint32_t r : program.ViewRules(view)) {
+    if (!initial_state_[r].in_view) continue;
+    const GroundRule& rule = program.rule(r);
+    for (uint32_t s :
+         program.RulesWithHead(rule.head.atom, !rule.head.positive)) {
+      if (!initial_state_[s].in_view) continue;
+      const GroundRule& other = program.rule(s);
+      // r silences s unless r sits strictly above s.
+      if (program.Less(other.component, rule.component)) continue;
+      silences_[r].push_back(s);
+      ++initial_state_[s].live_silencers;
+    }
+  }
+}
+
+Interpretation LeastModelComputer::Compute() const {
+  Interpretation result = Interpretation::ForProgram(program_);
+  std::vector<RuleState> state = initial_state_;
+  std::deque<uint32_t> ready;  // rules that may fire
+
+  auto consider = [&](uint32_t index) {
+    const RuleState& rule_state = state[index];
+    if (rule_state.in_view && !rule_state.fired && !rule_state.blocked &&
+        rule_state.unsatisfied_body == 0 && rule_state.live_silencers == 0) {
+      ready.push_back(index);
+    }
+  };
+
+  // A literal entering I (a) satisfies bodies containing it and (b) blocks
+  // rules whose body contains its complement, which in turn releases the
+  // rules those silenced.
+  auto add_literal = [&](GroundLiteral literal) {
+    if (result.Contains(literal)) return;
+    const bool consistent = result.Add(literal);
+    ORDLOG_DCHECK(consistent) << "least-model chaos produced a conflict";
+    for (uint32_t index : body_index_[Key(literal)]) {
+      if (--state[index].unsatisfied_body == 0) consider(index);
+    }
+    for (uint32_t index : body_index_[Key(literal.Complement())]) {
+      RuleState& blocked_state = state[index];
+      if (blocked_state.blocked) continue;
+      blocked_state.blocked = true;
+      for (uint32_t silenced : silences_[index]) {
+        if (--state[silenced].live_silencers == 0) consider(silenced);
+      }
+    }
+  };
+
+  for (uint32_t index : program_.ViewRules(view_)) {
+    consider(index);
+  }
+  while (!ready.empty()) {
+    const uint32_t index = ready.front();
+    ready.pop_front();
+    RuleState& rule_state = state[index];
+    if (rule_state.fired || rule_state.blocked ||
+        rule_state.unsatisfied_body != 0 ||
+        rule_state.live_silencers != 0) {
+      continue;  // state changed since enqueue
+    }
+    rule_state.fired = true;
+    add_literal(program_.rule(index).head);
+  }
+  return result;
+}
+
+Interpretation ComputeLeastModel(const GroundProgram& program,
+                                 ComponentId view) {
+  return LeastModelComputer(program, view).Compute();
+}
+
+}  // namespace ordlog

@@ -1,0 +1,70 @@
+#include "core/model_check.h"
+
+#include "base/strings.h"
+
+namespace ordlog {
+
+bool ModelChecker::IsInterpretationForView(const Interpretation& m) const {
+  return m.AssignsOnly(
+      evaluator_.program().ViewAtoms(evaluator_.view()));
+}
+
+bool ModelChecker::IsModel(const Interpretation& m, std::string* why) const {
+  const GroundProgram& program = evaluator_.program();
+  const ComponentId view = evaluator_.view();
+  if (!IsInterpretationForView(m)) {
+    if (why != nullptr) {
+      *why = "assigns atoms outside the view's Herbrand base";
+    }
+    return false;
+  }
+
+  for (uint32_t index : program.ViewRules(view)) {
+    const GroundRule& rule = program.rule(index);
+    const TruthValue head_value = m.Value(rule.head);
+
+    if (head_value == TruthValue::kFalse) {
+      // The complement of H(r) is in M: condition (a) applies to r.
+      if (!evaluator_.IsBlocked(rule, m) &&
+          !evaluator_.IsOverruledByApplied(rule, m)) {
+        if (why != nullptr) {
+          *why = StrCat(
+              "condition (a): rule ", program.LiteralToString(rule.head),
+              " :- ... contradicts ",
+              program.LiteralToString(rule.head.Complement()),
+              " but is neither blocked nor overruled by an applied rule");
+        }
+        return false;
+      }
+    } else if (head_value == TruthValue::kUndefined) {
+      // The head atom is undefined: condition (b) applies to r.
+      if (evaluator_.IsApplicable(rule, m) &&
+          !evaluator_.IsOverruled(rule, m) &&
+          !evaluator_.IsDefeated(rule, m)) {
+        if (why != nullptr) {
+          *why = StrCat("condition (b): applicable rule for undefined atom ",
+                        program.AtomToString(rule.head.atom),
+                        " is neither overruled nor defeated");
+        }
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+bool ModelChecker::IsTotal(const Interpretation& m) const {
+  if (!IsModel(m)) return false;
+  const DynamicBitset& base =
+      evaluator_.program().ViewAtoms(evaluator_.view());
+  bool total = true;
+  base.ForEach([&m, &total](size_t atom) {
+    if (m.Truth(static_cast<GroundAtomId>(atom)) ==
+        TruthValue::kUndefined) {
+      total = false;
+    }
+  });
+  return total;
+}
+
+}  // namespace ordlog

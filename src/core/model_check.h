@@ -1,0 +1,46 @@
+#ifndef ORDLOG_CORE_MODEL_CHECK_H_
+#define ORDLOG_CORE_MODEL_CHECK_H_
+
+#include <string>
+
+#include "core/rule_status.h"
+
+namespace ordlog {
+
+// Checks paper Definition 3: an interpretation M is a model for P in C iff
+//
+//  (a) for each literal A ∈ M, every rule r ∈ ground(C*) with H(r) = ¬A is
+//      blocked or overruled by an applied rule; and
+//  (b) for each atom A undefined in M (within the Herbrand base of C*),
+//      every applicable rule r with H(r) = A or H(r) = ¬A is overruled or
+//      defeated.
+//
+// An interpretation that assigns atoms outside the view's Herbrand base is
+// not an interpretation for P in C at all, and IsModel returns false.
+class ModelChecker {
+ public:
+  ModelChecker(const GroundProgram& program, ComponentId view)
+      : evaluator_(program, view) {}
+
+  // True when `m` ranges over the view's Herbrand base.
+  bool IsInterpretationForView(const Interpretation& m) const;
+
+  bool IsModel(const Interpretation& m) const {
+    return IsModel(m, nullptr);
+  }
+  // As IsModel; on failure, when `why` is non-null it receives a one-line
+  // explanation naming the violated condition and rule.
+  bool IsModel(const Interpretation& m, std::string* why) const;
+
+  // Def. 5(a): a model with no undefined atom in the view's base.
+  bool IsTotal(const Interpretation& m) const;
+
+  const RuleStatusEvaluator& evaluator() const { return evaluator_; }
+
+ private:
+  RuleStatusEvaluator evaluator_;
+};
+
+}  // namespace ordlog
+
+#endif  // ORDLOG_CORE_MODEL_CHECK_H_

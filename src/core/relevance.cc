@@ -1,0 +1,39 @@
+#include "core/relevance.h"
+
+#include <vector>
+
+#include "core/least_model.h"
+
+namespace ordlog {
+
+DynamicBitset RelevanceAnalyzer::RelevantAtoms(GroundAtomId atom) const {
+  DynamicBitset relevant(program_.NumAtoms());
+  if (atom >= program_.NumAtoms()) return relevant;
+  std::vector<GroundAtomId> worklist = {atom};
+  relevant.Set(atom);
+  while (!worklist.empty()) {
+    const GroundAtomId current = worklist.back();
+    worklist.pop_back();
+    for (const bool positive : {true, false}) {
+      for (uint32_t index : program_.RulesWithHead(current, positive)) {
+        const GroundRule& rule = program_.rule(index);
+        if (!program_.Leq(view_, rule.component)) continue;
+        for (const GroundLiteral& literal : rule.body) {
+          if (!relevant.Test(literal.atom)) {
+            relevant.Set(literal.atom);
+            worklist.push_back(literal.atom);
+          }
+        }
+      }
+    }
+  }
+  return relevant;
+}
+
+TruthValue RelevanceAnalyzer::QueryLeastModel(GroundLiteral literal) const {
+  const DynamicBitset relevant = RelevantAtoms(literal.atom);
+  LeastModelComputer computer(program_, view_, relevant);
+  return computer.Compute().Value(literal);
+}
+
+}  // namespace ordlog

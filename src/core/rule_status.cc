@@ -1,0 +1,105 @@
+#include "core/rule_status.h"
+
+#include <sstream>
+
+namespace ordlog {
+
+bool RuleStatusEvaluator::IsApplicable(const GroundRule& rule,
+                                       const Interpretation& i) const {
+  for (const GroundLiteral& literal : rule.body) {
+    if (!i.Contains(literal)) return false;
+  }
+  return true;
+}
+
+bool RuleStatusEvaluator::IsApplied(const GroundRule& rule,
+                                    const Interpretation& i) const {
+  return i.Contains(rule.head) && IsApplicable(rule, i);
+}
+
+bool RuleStatusEvaluator::IsBlocked(const GroundRule& rule,
+                                    const Interpretation& i) const {
+  for (const GroundLiteral& literal : rule.body) {
+    if (i.ContainsComplement(literal)) return true;
+  }
+  return false;
+}
+
+RuleStatusEvaluator::Relation RuleStatusEvaluator::Relate(
+    ComponentId other, ComponentId mine) const {
+  if (program_.Less(other, mine)) return Relation::kOverrules;
+  if (other == mine || program_.Incomparable(other, mine)) {
+    return Relation::kDefeats;
+  }
+  return Relation::kNone;  // strictly above: neither overrules nor defeats
+}
+
+bool RuleStatusEvaluator::IsOverruled(const GroundRule& rule,
+                                      const Interpretation& i) const {
+  for (uint32_t index :
+       program_.RulesWithHead(rule.head.atom, !rule.head.positive)) {
+    const GroundRule& other = program_.rule(index);
+    if (!program_.Leq(view_, other.component)) continue;  // outside C*
+    if (Relate(other.component, rule.component) != Relation::kOverrules) {
+      continue;
+    }
+    if (!IsBlocked(other, i)) return true;
+  }
+  return false;
+}
+
+bool RuleStatusEvaluator::IsDefeated(const GroundRule& rule,
+                                     const Interpretation& i) const {
+  for (uint32_t index :
+       program_.RulesWithHead(rule.head.atom, !rule.head.positive)) {
+    const GroundRule& other = program_.rule(index);
+    if (!program_.Leq(view_, other.component)) continue;
+    if (Relate(other.component, rule.component) != Relation::kDefeats) {
+      continue;
+    }
+    if (!IsBlocked(other, i)) return true;
+  }
+  return false;
+}
+
+bool RuleStatusEvaluator::IsOverruledByApplied(const GroundRule& rule,
+                                               const Interpretation& i) const {
+  for (uint32_t index :
+       program_.RulesWithHead(rule.head.atom, !rule.head.positive)) {
+    const GroundRule& other = program_.rule(index);
+    if (!program_.Leq(view_, other.component)) continue;
+    if (Relate(other.component, rule.component) != Relation::kOverrules) {
+      continue;
+    }
+    if (IsApplied(other, i)) return true;
+  }
+  return false;
+}
+
+bool RuleStatusEvaluator::IsSilenced(const GroundRule& rule,
+                                     const Interpretation& i) const {
+  for (uint32_t index :
+       program_.RulesWithHead(rule.head.atom, !rule.head.positive)) {
+    const GroundRule& other = program_.rule(index);
+    if (!program_.Leq(view_, other.component)) continue;
+    if (Relate(other.component, rule.component) == Relation::kNone) continue;
+    if (!IsBlocked(other, i)) return true;
+  }
+  return false;
+}
+
+std::string RuleStatusEvaluator::StatusString(const GroundRule& rule,
+                                              const Interpretation& i) const {
+  std::ostringstream os;
+  os << (IsApplicable(rule, i) ? "applicable " : "")
+     << (IsApplied(rule, i) ? "applied " : "")
+     << (IsBlocked(rule, i) ? "blocked " : "")
+     << (IsOverruled(rule, i) ? "overruled " : "")
+     << (IsDefeated(rule, i) ? "defeated " : "");
+  std::string result = os.str();
+  if (result.empty()) return "(none)";
+  result.pop_back();
+  return result;
+}
+
+}  // namespace ordlog

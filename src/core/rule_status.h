@@ -1,0 +1,64 @@
+#ifndef ORDLOG_CORE_RULE_STATUS_H_
+#define ORDLOG_CORE_RULE_STATUS_H_
+
+#include <string>
+
+#include "core/interpretation.h"
+#include "ground/ground_program.h"
+
+namespace ordlog {
+
+// Evaluates the five rule statuses of paper Definition 2 for ground rules
+// of ground(C*), given an interpretation I for P in the view component:
+//
+//   applicable  B(r) ⊆ I
+//   applied     applicable and H(r) ∈ I
+//   blocked     ∃A ∈ B(r): ¬A ∈ I
+//   overruled   ∃ non-blocked r̂ ∈ ground(C*): C(r̂) < C(r), H(r̂) = ¬H(r)
+//   defeated    ∃ non-blocked r̂ ∈ ground(C*): C(r̂) <> C(r) or
+//               C(r̂) = C(r), and H(r̂) = ¬H(r)
+//
+// plus the strengthened form used by Definition 3(a):
+//
+//   overruled by an applied rule: as overruled, with r̂ applied.
+//
+// The evaluator is bound to one view component C; the r̂ quantifications
+// range over ground(C*) only.
+class RuleStatusEvaluator {
+ public:
+  RuleStatusEvaluator(const GroundProgram& program, ComponentId view)
+      : program_(program), view_(view) {}
+
+  const GroundProgram& program() const { return program_; }
+  ComponentId view() const { return view_; }
+
+  bool IsApplicable(const GroundRule& rule, const Interpretation& i) const;
+  bool IsApplied(const GroundRule& rule, const Interpretation& i) const;
+  bool IsBlocked(const GroundRule& rule, const Interpretation& i) const;
+  bool IsOverruled(const GroundRule& rule, const Interpretation& i) const;
+  bool IsDefeated(const GroundRule& rule, const Interpretation& i) const;
+  bool IsOverruledByApplied(const GroundRule& rule,
+                            const Interpretation& i) const;
+
+  // Composite used by the V operator (Def. 4): neither overruled nor
+  // defeated, in one pass over the complementary-head rules.
+  bool IsSilenced(const GroundRule& rule, const Interpretation& i) const;
+
+  // Multi-line diagnostic of all statuses of `rule` under `i`.
+  std::string StatusString(const GroundRule& rule,
+                           const Interpretation& i) const;
+
+ private:
+  enum class Relation { kOverrules, kDefeats, kNone };
+
+  // How a complementary rule in component `other` relates to a rule in
+  // component `mine`, from the paper's Def. 2 viewpoint.
+  Relation Relate(ComponentId other, ComponentId mine) const;
+
+  const GroundProgram& program_;
+  const ComponentId view_;
+};
+
+}  // namespace ordlog
+
+#endif  // ORDLOG_CORE_RULE_STATUS_H_

@@ -1,0 +1,25 @@
+#include "core/skeptical.h"
+
+namespace ordlog {
+
+StatusOr<Interpretation> CautiousModel(
+    const GroundProgram& program, ComponentId view,
+    const StableSolverOptions& options) {
+  StableModelSolver solver(program, view, options);
+  ORDLOG_ASSIGN_OR_RETURN(const std::vector<Interpretation> stable,
+                          solver.StableModels());
+  if (stable.empty()) {
+    // Cannot happen: the least model is assumption-free, so a maximal
+    // assumption-free model exists. Guard anyway.
+    return InternalError("no stable model found");
+  }
+  Interpretation intersection = stable[0];
+  for (size_t i = 1; i < stable.size(); ++i) {
+    for (const GroundLiteral& literal : intersection.Literals()) {
+      if (!stable[i].Contains(literal)) intersection.Remove(literal);
+    }
+  }
+  return intersection;
+}
+
+}  // namespace ordlog

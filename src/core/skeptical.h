@@ -1,0 +1,40 @@
+#ifndef ORDLOG_CORE_SKEPTICAL_H_
+#define ORDLOG_CORE_SKEPTICAL_H_
+
+#include "base/status.h"
+#include "core/stable_solver.h"
+
+namespace ordlog {
+
+// Cautious consequences of an ordered program in a view: the intersection
+// of its stable models (Def. 9). This is the natural "believe only what
+// every preferred world agrees on" semantics on top of the paper's stable
+// models, and one principled answer to the further work the paper lists
+// in Section 5 (extending well-founded-style skepticism to ordered
+// programs).
+//
+// How it relates to the classical landmarks (all verified in
+// tests/core/skeptical_test):
+//
+//   V∞(∅)  ⊆  classical WF (through OV)  ⊆  CautiousModel  ⊆  each stable
+//
+//  * V∞ is the intersection of *all* models (Thm. 1b) — equivalently of
+//    all assumption-free models, since V∞ is itself assumption-free — so
+//    it lower-bounds any skeptical notion.
+//  * Through OV(C) of a seminegative C, the classical well-founded model
+//    is contained in the cautious model but can be strictly smaller:
+//    [P3]'s "well-founded models are intersections of three-valued stable
+//    models" quantifies over *all* partial stable models (WF is the least
+//    one), whereas Def. 9 keeps only the maximal assumption-free models.
+//    A case-splitting program such as `a :- -b. a :- b.` separates them:
+//    WF leaves `a` undefined, every (maximal) stable model contains `a`.
+//
+// Cost: stable-model enumeration (worst-case exponential; bounded by the
+// solver's node budget).
+StatusOr<Interpretation> CautiousModel(
+    const GroundProgram& program, ComponentId view,
+    const StableSolverOptions& options = {});
+
+}  // namespace ordlog
+
+#endif  // ORDLOG_CORE_SKEPTICAL_H_

@@ -1,0 +1,168 @@
+#include "core/stable_solver.h"
+
+#include "base/strings.h"
+#include "core/enumerate.h"
+#include "core/least_model.h"
+
+namespace ordlog {
+
+StableModelSolver::StableModelSolver(const GroundProgram& program,
+                                     ComponentId view,
+                                     StableSolverOptions options)
+    : program_(program),
+      view_(view),
+      options_(options),
+      checker_(program, view),
+      assumptions_(program, view),
+      seed_(ComputeLeastModel(program, view)) {
+  branch_position_.assign(program.NumAtoms(), -1);
+  program.ViewAtoms(view).ForEach([this](size_t index) {
+    const GroundAtomId atom = static_cast<GroundAtomId>(index);
+    if (seed_.Truth(atom) != TruthValue::kUndefined) return;  // pinned
+    const bool can_be_true =
+        !program_.RulesWithHead(atom, true).empty();
+    const bool can_be_false =
+        !program_.RulesWithHead(atom, false).empty();
+    if (!can_be_true && !can_be_false) return;  // forced undefined
+    branch_position_[atom] = static_cast<int>(branch_.size());
+    branch_.push_back(atom);
+    allow_true_.push_back(can_be_true);
+    allow_false_.push_back(can_be_false);
+  });
+}
+
+bool StableModelSolver::ExtensionPossible(const Interpretation& candidate,
+                                          size_t level) const {
+  // Examine each rule whose Definition-3 obligation is already fixed by
+  // the decided atoms; if no completion can discharge it, prune.
+  for (uint32_t index : program_.ViewRules(view_)) {
+    const GroundRule& rule = program_.rule(index);
+    if (!Decided(rule.head.atom, level)) continue;
+    const TruthValue head = candidate.Value(rule.head);
+
+    if (head == TruthValue::kFalse) {
+      // Condition (a): r must end up blocked or overruled by an applied
+      // rule. Blocking is possible when some body literal's complement can
+      // still hold; an overruler r̂ can be applied when its head (= ¬H(r),
+      // already in the candidate) and every body literal can hold.
+      bool blocked_possible = false;
+      for (const GroundLiteral& literal : rule.body) {
+        if (Possible(literal.Complement(), candidate, level)) {
+          blocked_possible = true;
+          break;
+        }
+      }
+      if (blocked_possible) continue;
+      bool overrule_possible = false;
+      for (uint32_t other_index :
+           program_.RulesWithHead(rule.head.atom, !rule.head.positive)) {
+        const GroundRule& other = program_.rule(other_index);
+        if (!program_.Leq(view_, other.component)) continue;
+        if (!program_.Less(other.component, rule.component)) continue;
+        bool applicable_possible = true;
+        for (const GroundLiteral& literal : other.body) {
+          if (!Possible(literal, candidate, level)) {
+            applicable_possible = false;
+            break;
+          }
+        }
+        if (applicable_possible) {
+          overrule_possible = true;
+          break;
+        }
+      }
+      if (!overrule_possible) return false;
+    } else if (head == TruthValue::kUndefined) {
+      // Condition (b): if r is applicable in every completion (its body is
+      // already contained in the decided part), some overruler or defeater
+      // must be able to stay non-blocked. Free atoms can always avoid
+      // blocking a rule, so a silencer is impossible only when it is
+      // already blocked by decided literals.
+      bool applicable_certain = true;
+      for (const GroundLiteral& literal : rule.body) {
+        if (!candidate.Contains(literal) || !Decided(literal.atom, level)) {
+          applicable_certain = false;
+          break;
+        }
+      }
+      if (!applicable_certain) continue;
+      bool silencer_possible = false;
+      for (uint32_t other_index :
+           program_.RulesWithHead(rule.head.atom, !rule.head.positive)) {
+        const GroundRule& other = program_.rule(other_index);
+        if (!program_.Leq(view_, other.component)) continue;
+        if (program_.Less(rule.component, other.component)) continue;
+        bool blocked_certain = false;
+        for (const GroundLiteral& literal : other.body) {
+          if (candidate.ContainsComplement(literal)) {
+            blocked_certain = true;
+            break;
+          }
+        }
+        if (!blocked_certain) {
+          silencer_possible = true;
+          break;
+        }
+      }
+      if (!silencer_possible) return false;
+    }
+  }
+  return true;
+}
+
+StatusOr<std::vector<Interpretation>>
+StableModelSolver::AssumptionFreeModels() const {
+  last_nodes_ = 0;
+  std::vector<Interpretation> results;
+  Interpretation candidate = seed_;
+  ORDLOG_RETURN_IF_ERROR(Search(0, candidate, results));
+  return results;
+}
+
+StatusOr<std::vector<Interpretation>> StableModelSolver::StableModels()
+    const {
+  ORDLOG_ASSIGN_OR_RETURN(std::vector<Interpretation> models,
+                          AssumptionFreeModels());
+  return FilterMaximal(std::move(models));
+}
+
+Status StableModelSolver::Search(size_t level, Interpretation& candidate,
+                                 std::vector<Interpretation>& results) const {
+  if (++last_nodes_ > options_.node_budget) {
+    return ResourceExhaustedError(
+        StrCat("stable-model search exceeded node_budget=",
+               options_.node_budget));
+  }
+  if (results.size() >= options_.max_models) return Status::Ok();
+  if (level == branch_.size()) {
+    if (checker_.IsModel(candidate) &&
+        assumptions_.IsAssumptionFree(candidate)) {
+      results.push_back(candidate);
+    }
+    return Status::Ok();
+  }
+  const GroundAtomId atom = branch_[level];
+  // Assigned values first so that maximal models tend to be found early.
+  if (allow_true_[level]) {
+    candidate.Set(atom, TruthValue::kTrue);
+    if (!options_.enable_pruning ||
+        ExtensionPossible(candidate, level + 1)) {
+      ORDLOG_RETURN_IF_ERROR(Search(level + 1, candidate, results));
+    }
+  }
+  if (allow_false_[level]) {
+    candidate.Set(atom, TruthValue::kFalse);
+    if (!options_.enable_pruning ||
+        ExtensionPossible(candidate, level + 1)) {
+      ORDLOG_RETURN_IF_ERROR(Search(level + 1, candidate, results));
+    }
+  }
+  candidate.Set(atom, TruthValue::kUndefined);
+  if (!options_.enable_pruning || ExtensionPossible(candidate, level + 1)) {
+    ORDLOG_RETURN_IF_ERROR(Search(level + 1, candidate, results));
+  }
+  candidate.Set(atom, TruthValue::kUndefined);
+  return Status::Ok();
+}
+
+}  // namespace ordlog

@@ -1,0 +1,88 @@
+#ifndef ORDLOG_CORE_STABLE_SOLVER_H_
+#define ORDLOG_CORE_STABLE_SOLVER_H_
+
+#include <vector>
+
+#include "base/status.h"
+#include "core/assumption.h"
+#include "core/model_check.h"
+#include "core/v_operator.h"
+
+namespace ordlog {
+
+struct StableSolverOptions {
+  // Abort with kResourceExhausted after this many search nodes.
+  size_t node_budget = 50'000'000;
+  // Stop after this many assumption-free models have been found.
+  size_t max_models = 1'000'000;
+  // Prune subtrees whose partial assignment already certainly violates
+  // Definition 3 in every completion (sound; see Search). Disable only to
+  // measure the effect (bench_ablation_solver).
+  bool enable_pruning = true;
+};
+
+// Backtracking enumerator of assumption-free and stable models (Def. 9).
+//
+// Search space reduction (sound by the paper's results):
+//  * V∞(∅) is contained in every model (Thm. 1b), so its literals are
+//    pinned before branching.
+//  * A literal with no rule deriving it in ground(C*) forms a singleton
+//    assumption set, so it can never be in an assumption-free model; the
+//    corresponding truth value is never branched on.
+//
+// Remaining candidates are checked with ModelChecker (Def. 3) and
+// AssumptionAnalyzer (Def. 7) at the leaves. Complete for the reduced
+// space; intended for views with up to a few dozen branchable atoms.
+class StableModelSolver {
+ public:
+  StableModelSolver(const GroundProgram& program, ComponentId view,
+                    StableSolverOptions options = {});
+
+  // All assumption-free models of P in the view.
+  StatusOr<std::vector<Interpretation>> AssumptionFreeModels() const;
+
+  // Maximal assumption-free models.
+  StatusOr<std::vector<Interpretation>> StableModels() const;
+
+  // Number of search nodes visited by the last call (diagnostics).
+  size_t last_nodes() const { return last_nodes_; }
+
+ private:
+  Status Search(size_t level, Interpretation& candidate,
+                std::vector<Interpretation>& results) const;
+
+  // True when atom's value is fixed at this search depth (seeded, forced
+  // undefined, or already branched on).
+  bool Decided(GroundAtomId atom, size_t level) const {
+    const int position = branch_position_[atom];
+    return position < 0 || static_cast<size_t>(position) < level;
+  }
+  // True when some completion of (candidate, level) contains `literal`.
+  bool Possible(GroundLiteral literal, const Interpretation& candidate,
+                size_t level) const {
+    return candidate.Contains(literal) || !Decided(literal.atom, level);
+  }
+  // Sound prune: false when the partial assignment already violates
+  // Definition 3 in every completion.
+  bool ExtensionPossible(const Interpretation& candidate,
+                         size_t level) const;
+
+  const GroundProgram& program_;
+  const ComponentId view_;
+  const StableSolverOptions options_;
+  ModelChecker checker_;
+  AssumptionAnalyzer assumptions_;
+  Interpretation seed_;                  // V∞(∅)
+  std::vector<GroundAtomId> branch_;     // atoms to branch on
+  // Allowed truth values per branch atom (no supporting rule => value
+  // excluded).
+  std::vector<bool> allow_true_;
+  std::vector<bool> allow_false_;
+  // atom -> index in branch_, or -1 for atoms fixed before the search.
+  std::vector<int> branch_position_;
+  mutable size_t last_nodes_ = 0;
+};
+
+}  // namespace ordlog
+
+#endif  // ORDLOG_CORE_STABLE_SOLVER_H_

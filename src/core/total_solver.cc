@@ -1,0 +1,107 @@
+#include "core/total_solver.h"
+
+#include "base/strings.h"
+#include "core/least_model.h"
+
+namespace ordlog {
+
+TotalModelSolver::TotalModelSolver(const GroundProgram& program,
+                                   ComponentId view,
+                                   TotalSolverOptions options)
+    : program_(program),
+      view_(view),
+      options_(options),
+      checker_(program, view),
+      seed_(ComputeLeastModel(program, view)) {
+  branch_position_.assign(program.NumAtoms(), -1);
+  program.ViewAtoms(view).ForEach([this](size_t index) {
+    const GroundAtomId atom = static_cast<GroundAtomId>(index);
+    if (seed_.Truth(atom) != TruthValue::kUndefined) return;
+    branch_position_[atom] = static_cast<int>(branch_.size());
+    branch_.push_back(atom);
+  });
+}
+
+bool TotalModelSolver::ExtensionPossible(const Interpretation& candidate,
+                                         size_t level) const {
+  // Only condition (a) of Definition 3 can become unsatisfiable early:
+  // condition (b) is vacuous in a total model. A rule with a
+  // decided-false head must be blockable or overrulable-by-applied in
+  // some total completion.
+  for (uint32_t index : program_.ViewRules(view_)) {
+    const GroundRule& rule = program_.rule(index);
+    if (!Decided(rule.head.atom, level)) continue;
+    if (candidate.Value(rule.head) != TruthValue::kFalse) continue;
+    bool blocked_possible = false;
+    for (const GroundLiteral& literal : rule.body) {
+      if (Possible(literal.Complement(), candidate, level)) {
+        blocked_possible = true;
+        break;
+      }
+    }
+    if (blocked_possible) continue;
+    bool overrule_possible = false;
+    for (uint32_t other_index :
+         program_.RulesWithHead(rule.head.atom, !rule.head.positive)) {
+      const GroundRule& other = program_.rule(other_index);
+      if (!program_.Leq(view_, other.component)) continue;
+      if (!program_.Less(other.component, rule.component)) continue;
+      bool applicable_possible = true;
+      for (const GroundLiteral& literal : other.body) {
+        if (!Possible(literal, candidate, level)) {
+          applicable_possible = false;
+          break;
+        }
+      }
+      if (applicable_possible) {
+        overrule_possible = true;
+        break;
+      }
+    }
+    if (!overrule_possible) return false;
+  }
+  return true;
+}
+
+Status TotalModelSolver::Search(size_t level, Interpretation& candidate,
+                                std::vector<Interpretation>& results,
+                                size_t limit) const {
+  if (++last_nodes_ > options_.node_budget) {
+    return ResourceExhaustedError(StrCat(
+        "total-model search exceeded node_budget=", options_.node_budget));
+  }
+  if (results.size() >= limit) return Status::Ok();
+  if (level == branch_.size()) {
+    if (checker_.IsModel(candidate)) results.push_back(candidate);
+    return Status::Ok();
+  }
+  const GroundAtomId atom = branch_[level];
+  for (const TruthValue value : {TruthValue::kTrue, TruthValue::kFalse}) {
+    candidate.Set(atom, value);
+    if (ExtensionPossible(candidate, level + 1)) {
+      ORDLOG_RETURN_IF_ERROR(Search(level + 1, candidate, results, limit));
+    }
+  }
+  candidate.Set(atom, TruthValue::kUndefined);
+  return Status::Ok();
+}
+
+StatusOr<std::optional<Interpretation>> TotalModelSolver::FindOne() const {
+  last_nodes_ = 0;
+  std::vector<Interpretation> results;
+  Interpretation candidate = seed_;
+  ORDLOG_RETURN_IF_ERROR(Search(0, candidate, results, 1));
+  if (results.empty()) return std::optional<Interpretation>();
+  return std::optional<Interpretation>(std::move(results[0]));
+}
+
+StatusOr<std::vector<Interpretation>> TotalModelSolver::FindAll() const {
+  last_nodes_ = 0;
+  std::vector<Interpretation> results;
+  Interpretation candidate = seed_;
+  ORDLOG_RETURN_IF_ERROR(
+      Search(0, candidate, results, options_.max_models));
+  return results;
+}
+
+}  // namespace ordlog

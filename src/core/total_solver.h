@@ -1,0 +1,68 @@
+#ifndef ORDLOG_CORE_TOTAL_SOLVER_H_
+#define ORDLOG_CORE_TOTAL_SOLVER_H_
+
+#include <optional>
+#include <vector>
+
+#include "base/status.h"
+#include "core/model_check.h"
+#include "core/v_operator.h"
+
+namespace ordlog {
+
+struct TotalSolverOptions {
+  // Abort with kResourceExhausted after this many search nodes.
+  size_t node_budget = 50'000'000;
+  size_t max_models = 1'000'000;
+};
+
+// Searches for total models (Definition 5(a)): models that assign every
+// atom of the view's Herbrand base. The paper points out that, unlike in
+// classical logic programming, a total model need not exist (P2 of
+// Figure 2 has none in C1) and that finding one "is hard even for
+// seminegative programs"; this solver is a complete 2^n backtracking
+// search over the view's base, seeded at V∞ (which every model contains,
+// Thm. 1b) and pruned with the same certain-violation test as the stable
+// solver.
+class TotalModelSolver {
+ public:
+  TotalModelSolver(const GroundProgram& program, ComponentId view,
+                   TotalSolverOptions options = {});
+
+  // Any total model, or nullopt when none exists.
+  StatusOr<std::optional<Interpretation>> FindOne() const;
+
+  // All total models.
+  StatusOr<std::vector<Interpretation>> FindAll() const;
+
+  size_t last_nodes() const { return last_nodes_; }
+
+ private:
+  Status Search(size_t level, Interpretation& candidate,
+                std::vector<Interpretation>& results, size_t limit) const;
+  bool Decided(GroundAtomId atom, size_t level) const {
+    const int position = branch_position_[atom];
+    return position < 0 || static_cast<size_t>(position) < level;
+  }
+  bool Possible(GroundLiteral literal, const Interpretation& candidate,
+                size_t level) const {
+    return candidate.Contains(literal) || !Decided(literal.atom, level);
+  }
+  // Sound prune mirroring Definition 3 over total completions: false when
+  // no total completion of the partial assignment can be a model.
+  bool ExtensionPossible(const Interpretation& candidate,
+                         size_t level) const;
+
+  const GroundProgram& program_;
+  const ComponentId view_;
+  const TotalSolverOptions options_;
+  ModelChecker checker_;
+  Interpretation seed_;
+  std::vector<GroundAtomId> branch_;
+  std::vector<int> branch_position_;
+  mutable size_t last_nodes_ = 0;
+};
+
+}  // namespace ordlog
+
+#endif  // ORDLOG_CORE_TOTAL_SOLVER_H_

@@ -1,0 +1,33 @@
+#include "core/v_operator.h"
+
+#include "base/logging.h"
+
+namespace ordlog {
+
+Interpretation VOperator::Apply(const Interpretation& i) const {
+  const GroundProgram& program = evaluator_.program();
+  Interpretation result = Interpretation::ForProgram(program);
+  for (uint32_t index : program.ViewRules(evaluator_.view())) {
+    const GroundRule& rule = program.rule(index);
+    if (!evaluator_.IsApplicable(rule, i)) continue;
+    if (evaluator_.IsSilenced(rule, i)) continue;
+    const bool consistent = result.Add(rule.head);
+    ORDLOG_DCHECK(consistent)
+        << "V produced complementary literals; Def. 2 invariant broken";
+  }
+  return result;
+}
+
+Interpretation VOperator::LeastFixpoint() const {
+  Interpretation current =
+      Interpretation::ForProgram(evaluator_.program());
+  last_iterations_ = 0;
+  while (true) {
+    ++last_iterations_;
+    Interpretation next = Apply(current);
+    if (next == current) return current;
+    current = std::move(next);
+  }
+}
+
+}  // namespace ordlog

@@ -1,0 +1,41 @@
+#ifndef ORDLOG_CORE_V_OPERATOR_H_
+#define ORDLOG_CORE_V_OPERATOR_H_
+
+#include "core/rule_status.h"
+
+namespace ordlog {
+
+// The ordered immediate transformation V_{P,C} of paper Definition 4:
+//
+//   V(I) = { H(r) | r ∈ ground(C*), B(r) ⊆ I,
+//                   r neither overruled nor defeated w.r.t. I }
+//
+// V is monotone on interpretations (Lemma 1); iterating from ∅ produces an
+// increasing chain whose limit V∞(∅) is the least model of P in C, equal to
+// the intersection of all models, and assumption-free (Prop. 1, Thm. 1b).
+class VOperator {
+ public:
+  VOperator(const GroundProgram& program, ComponentId view)
+      : evaluator_(program, view) {}
+
+  // One application of V. The result is always consistent: two applicable
+  // complementary-headed rules silence each other through overruling or
+  // defeating, so at most one side fires.
+  Interpretation Apply(const Interpretation& i) const;
+
+  // V∞(∅): the least fixpoint. Also the least model of P in the view
+  // component.
+  Interpretation LeastFixpoint() const;
+
+  // Number of Apply passes the last LeastFixpoint call used (for
+  // benchmarks/diagnostics).
+  size_t last_iterations() const { return last_iterations_; }
+
+ private:
+  RuleStatusEvaluator evaluator_;
+  mutable size_t last_iterations_ = 0;
+};
+
+}  // namespace ordlog
+
+#endif  // ORDLOG_CORE_V_OPERATOR_H_

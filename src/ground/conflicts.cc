@@ -1,0 +1,38 @@
+#include "ground/conflicts.h"
+
+#include "base/strings.h"
+
+namespace ordlog {
+
+std::string ConflictStats::ToString() const {
+  return StrCat("silencing pairs: ", overruling_pairs, " overruling, ",
+                defeating_pairs, " defeating, across ", conflicted_atoms,
+                " atom(s)\n");
+}
+
+ConflictStats AnalyzeConflicts(const GroundProgram& program,
+                               ComponentId view) {
+  ConflictStats stats;
+  DynamicBitset conflicted(program.NumAtoms());
+  for (uint32_t index : program.ViewRules(view)) {
+    const GroundRule& rule = program.rule(index);
+    for (uint32_t other_index :
+         program.RulesWithHead(rule.head.atom, !rule.head.positive)) {
+      const GroundRule& other = program.rule(other_index);
+      if (!program.Leq(view, other.component)) continue;
+      // How does `other` (the potential silencer) relate to `rule`?
+      if (program.Less(other.component, rule.component)) {
+        ++stats.overruling_pairs;
+        conflicted.Set(rule.head.atom);
+      } else if (other.component == rule.component ||
+                 program.Incomparable(other.component, rule.component)) {
+        ++stats.defeating_pairs;
+        conflicted.Set(rule.head.atom);
+      }
+    }
+  }
+  stats.conflicted_atoms = conflicted.Count();
+  return stats;
+}
+
+}  // namespace ordlog

@@ -1,0 +1,30 @@
+#ifndef ORDLOG_GROUND_CONFLICTS_H_
+#define ORDLOG_GROUND_CONFLICTS_H_
+
+#include <string>
+
+#include "ground/ground_program.h"
+
+namespace ordlog {
+
+// Static conflict profile of one view: how many ordered rule pairs stand
+// in Definition 2's silencing relations. A *silencing pair* (r̂, r) has
+// H(r̂) = ¬H(r) with r̂ in an overruling (strictly lower) or defeating
+// (same/incomparable) position relative to r. High defeating counts
+// signal knowledge that can only be resolved by adding more specific
+// modules; high overruling counts signal default/exception structure.
+struct ConflictStats {
+  size_t overruling_pairs = 0;
+  size_t defeating_pairs = 0;
+  // Atoms involved in at least one silencing pair.
+  size_t conflicted_atoms = 0;
+
+  std::string ToString() const;
+};
+
+ConflictStats AnalyzeConflicts(const GroundProgram& program,
+                               ComponentId view);
+
+}  // namespace ordlog
+
+#endif  // ORDLOG_GROUND_CONFLICTS_H_

@@ -1,0 +1,172 @@
+#include "ground/ground_program.h"
+
+#include <sstream>
+
+#include "base/logging.h"
+#include "base/strings.h"
+#include "lang/printer.h"
+
+namespace ordlog {
+
+namespace {
+// Shared empty list for RulesWithHead misses.
+const std::vector<uint32_t> kNoRules;
+}  // namespace
+
+std::optional<GroundAtomId> GroundProgram::FindAtom(const Atom& atom) const {
+  auto it = atom_index_.find(atom);
+  if (it == atom_index_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::string GroundProgram::AtomToString(GroundAtomId id) const {
+  return ToString(*pool_, atoms_[id]);
+}
+
+std::string GroundProgram::LiteralToString(GroundLiteral literal) const {
+  return literal.positive ? AtomToString(literal.atom)
+                          : StrCat("-", AtomToString(literal.atom));
+}
+
+const std::vector<uint32_t>& GroundProgram::RulesWithHead(
+    GroundAtomId atom, bool positive) const {
+  const size_t key = static_cast<size_t>(atom) * 2 + (positive ? 1 : 0);
+  if (key >= head_index_.size()) return kNoRules;
+  return head_index_[key];
+}
+
+std::string GroundProgram::DebugString() const {
+  std::ostringstream os;
+  for (ComponentId c = 0; c < NumComponents(); ++c) {
+    os << "component " << component_names_[c] << " {\n";
+    for (const GroundRule& rule : rules_) {
+      if (rule.component != c) continue;
+      os << "  " << LiteralToString(rule.head);
+      if (!rule.body.empty()) {
+        os << " :- "
+           << StrJoin(rule.body, ", ",
+                      [this](std::ostringstream& s, GroundLiteral literal) {
+                        s << LiteralToString(literal);
+                      });
+      }
+      os << ".\n";
+    }
+    os << "}\n";
+  }
+  for (ComponentId a = 0; a < NumComponents(); ++a) {
+    for (ComponentId b = 0; b < NumComponents(); ++b) {
+      if (Less(a, b)) {
+        os << "order " << component_names_[a] << " < " << component_names_[b]
+           << ".\n";
+      }
+    }
+  }
+  return os.str();
+}
+
+GroundProgramBuilder::GroundProgramBuilder(std::shared_ptr<TermPool> pool,
+                                           size_t num_components) {
+  ORDLOG_CHECK(pool != nullptr);
+  // Zero components is legal: Definition 1 allows the empty ordered
+  // program (and an empty .olp source parses to one).
+  program_.pool_ = std::move(pool);
+  program_.component_names_.resize(num_components);
+  for (size_t i = 0; i < num_components; ++i) {
+    program_.component_names_[i] = StrCat("c", i);
+  }
+}
+
+void GroundProgramBuilder::SetComponentName(ComponentId id,
+                                            std::string name) {
+  ORDLOG_CHECK_LT(id, program_.component_names_.size());
+  program_.component_names_[id] = std::move(name);
+}
+
+void GroundProgramBuilder::AddOrder(ComponentId lower, ComponentId higher) {
+  ORDLOG_CHECK_LT(lower, program_.component_names_.size());
+  ORDLOG_CHECK_LT(higher, program_.component_names_.size());
+  ORDLOG_CHECK_NE(lower, higher);
+  edges_.emplace_back(lower, higher);
+}
+
+GroundAtomId GroundProgramBuilder::AddAtom(const Atom& atom) {
+  ORDLOG_CHECK(atom.IsGround(*program_.pool_))
+      << "non-ground atom in GroundProgramBuilder";
+  auto it = program_.atom_index_.find(atom);
+  if (it != program_.atom_index_.end()) return it->second;
+  const GroundAtomId id =
+      static_cast<GroundAtomId>(program_.atoms_.size());
+  program_.atoms_.push_back(atom);
+  program_.atom_index_.emplace(atom, id);
+  return id;
+}
+
+GroundAtomId GroundProgramBuilder::AddPropositional(std::string_view name) {
+  return AddAtom(Atom{program_.pool_->symbols().Intern(name), {}});
+}
+
+void GroundProgramBuilder::AddRule(ComponentId component, GroundLiteral head,
+                                   std::vector<GroundLiteral> body,
+                                   uint32_t source_rule_index) {
+  ORDLOG_CHECK_LT(component, program_.component_names_.size());
+  GroundRule rule;
+  rule.head = head;
+  rule.body = std::move(body);
+  rule.component = component;
+  rule.source_rule_index = source_rule_index;
+  program_.rules_.push_back(std::move(rule));
+}
+
+StatusOr<GroundProgram> GroundProgramBuilder::Build() {
+  ORDLOG_CHECK(!built_) << "GroundProgramBuilder reused";
+  built_ = true;
+  const size_t n = program_.component_names_.size();
+
+  // Close the order and check antisymmetry (same scheme as
+  // OrderedProgram::Finalize).
+  program_.leq_.assign(n, DynamicBitset(n));
+  for (size_t i = 0; i < n; ++i) program_.leq_[i].Set(i);
+  for (const auto& [lower, higher] : edges_) program_.leq_[lower].Set(higher);
+  for (size_t k = 0; k < n; ++k) {
+    for (size_t i = 0; i < n; ++i) {
+      if (program_.leq_[i].Test(k)) program_.leq_[i] |= program_.leq_[k];
+    }
+  }
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = i + 1; j < n; ++j) {
+      if (program_.leq_[i].Test(j) && program_.leq_[j].Test(i)) {
+        return InvalidArgumentError(
+            StrCat("component order contains a cycle through '",
+                   program_.component_names_[i], "' and '",
+                   program_.component_names_[j], "'"));
+      }
+    }
+  }
+
+  // Head index.
+  program_.head_index_.assign(program_.atoms_.size() * 2, {});
+  for (size_t r = 0; r < program_.rules_.size(); ++r) {
+    const GroundLiteral head = program_.rules_[r].head;
+    const size_t key =
+        static_cast<size_t>(head.atom) * 2 + (head.positive ? 1 : 0);
+    program_.head_index_[key].push_back(static_cast<uint32_t>(r));
+  }
+
+  // Views.
+  program_.view_rules_.assign(n, {});
+  program_.view_atoms_.assign(n, DynamicBitset(program_.atoms_.size()));
+  for (size_t r = 0; r < program_.rules_.size(); ++r) {
+    const GroundRule& rule = program_.rules_[r];
+    for (size_t c = 0; c < n; ++c) {
+      if (!program_.leq_[c].Test(rule.component)) continue;
+      program_.view_rules_[c].push_back(static_cast<uint32_t>(r));
+      program_.view_atoms_[c].Set(rule.head.atom);
+      for (const GroundLiteral& literal : rule.body) {
+        program_.view_atoms_[c].Set(literal.atom);
+      }
+    }
+  }
+  return std::move(program_);
+}
+
+}  // namespace ordlog

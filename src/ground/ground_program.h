@@ -1,0 +1,147 @@
+#ifndef ORDLOG_GROUND_GROUND_PROGRAM_H_
+#define ORDLOG_GROUND_GROUND_PROGRAM_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "base/bitset.h"
+#include "base/status.h"
+#include "lang/program.h"
+
+namespace ordlog {
+
+// Dense id of a ground atom within a GroundProgram.
+using GroundAtomId = uint32_t;
+
+// A possibly negated ground atom.
+struct GroundLiteral {
+  GroundAtomId atom = 0;
+  bool positive = true;
+
+  bool operator==(const GroundLiteral& other) const = default;
+  GroundLiteral Complement() const { return GroundLiteral{atom, !positive}; }
+};
+
+// A ground instance of a source rule, tagged with the component that
+// contains the source rule (the paper's C(r)).
+struct GroundRule {
+  GroundLiteral head;
+  std::vector<GroundLiteral> body;
+  ComponentId component = 0;
+  // Index of the source rule within its component (for explanations).
+  uint32_t source_rule_index = 0;
+};
+
+// The fully instantiated form of an ordered program: the ground rules of
+// every component, the interned ground-atom universe, the closed component
+// order, and the per-component views ground(C*) that the semantics in
+// core/ evaluates against.
+//
+// Construct with Grounder::Ground (from an OrderedProgram) or with
+// GroundProgramBuilder (directly, mainly in tests and transforms).
+class GroundProgram {
+ public:
+  const TermPool& pool() const { return *pool_; }
+  const std::shared_ptr<TermPool>& shared_pool() const { return pool_; }
+
+  // --- atoms --------------------------------------------------------------
+  size_t NumAtoms() const { return atoms_.size(); }
+  const Atom& atom(GroundAtomId id) const { return atoms_[id]; }
+  std::optional<GroundAtomId> FindAtom(const Atom& atom) const;
+  std::string AtomToString(GroundAtomId id) const;
+  std::string LiteralToString(GroundLiteral literal) const;
+
+  // --- rules --------------------------------------------------------------
+  size_t NumRules() const { return rules_.size(); }
+  const GroundRule& rule(size_t index) const { return rules_[index]; }
+
+  // All rule indexes whose head is the literal (atom, positive), across all
+  // components. Callers filter by component order for a specific view.
+  const std::vector<uint32_t>& RulesWithHead(GroundAtomId atom,
+                                             bool positive) const;
+
+  // --- component order ----------------------------------------------------
+  size_t NumComponents() const { return component_names_.size(); }
+  const std::string& component_name(ComponentId id) const {
+    return component_names_[id];
+  }
+  bool Leq(ComponentId a, ComponentId b) const { return leq_[a].Test(b); }
+  bool Less(ComponentId a, ComponentId b) const {
+    return a != b && Leq(a, b);
+  }
+  bool Incomparable(ComponentId a, ComponentId b) const {
+    return a != b && !Leq(a, b) && !Leq(b, a);
+  }
+
+  // --- views (ground(C*)) --------------------------------------------------
+  // Rule indexes of ground(C*) for the view of component c: all ground
+  // rules whose component b satisfies c <= b.
+  const std::vector<uint32_t>& ViewRules(ComponentId c) const {
+    return view_rules_[c];
+  }
+  // The atom universe of view c: atoms occurring in ground(C*). This is the
+  // Herbrand base the paper's interpretations for P in C range over.
+  const DynamicBitset& ViewAtoms(ComponentId c) const {
+    return view_atoms_[c];
+  }
+
+  // Human-readable dump (for debugging and the CLI).
+  std::string DebugString() const;
+
+ private:
+  friend class GroundProgramBuilder;
+  GroundProgram() = default;
+
+  std::shared_ptr<TermPool> pool_;
+  std::vector<Atom> atoms_;
+  std::unordered_map<Atom, GroundAtomId, AtomHash> atom_index_;
+  std::vector<GroundRule> rules_;
+  std::vector<std::string> component_names_;
+  std::vector<DynamicBitset> leq_;
+  // head_index_[atom * 2 + (positive ? 1 : 0)] -> rule indexes.
+  std::vector<std::vector<uint32_t>> head_index_;
+  std::vector<std::vector<uint32_t>> view_rules_;
+  std::vector<DynamicBitset> view_atoms_;
+};
+
+// Assembles a GroundProgram directly from ground atoms and rules. Used by
+// unit tests (to state the paper's example programs exactly) and by
+// transforms that synthesize ground components.
+class GroundProgramBuilder {
+ public:
+  // Creates a builder with `num_components` components named c0..c{n-1}
+  // (names can be overridden).
+  explicit GroundProgramBuilder(std::shared_ptr<TermPool> pool,
+                                size_t num_components = 1);
+
+  void SetComponentName(ComponentId id, std::string name);
+
+  // Declares lower < higher in the component order.
+  void AddOrder(ComponentId lower, ComponentId higher);
+
+  // Interns a ground atom; `atom` must be ground.
+  GroundAtomId AddAtom(const Atom& atom);
+  // Interns the 0-ary atom `name` (propositional convenience).
+  GroundAtomId AddPropositional(std::string_view name);
+
+  void AddRule(ComponentId component, GroundLiteral head,
+               std::vector<GroundLiteral> body,
+               uint32_t source_rule_index = 0);
+
+  // Validates the order (acyclicity), computes its closure, builds the
+  // head index and the per-component views, and returns the program.
+  // The builder must not be reused afterwards.
+  StatusOr<GroundProgram> Build();
+
+ private:
+  GroundProgram program_;
+  std::vector<std::pair<ComponentId, ComponentId>> edges_;
+  bool built_ = false;
+};
+
+}  // namespace ordlog
+
+#endif  // ORDLOG_GROUND_GROUND_PROGRAM_H_

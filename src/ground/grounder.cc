@@ -1,0 +1,146 @@
+#include "ground/grounder.h"
+
+#include "base/logging.h"
+#include "base/strings.h"
+#include "lang/printer.h"
+
+namespace ordlog {
+
+namespace {
+
+// Per-rule instantiation context: enumerates all bindings of the rule's
+// variables over the Herbrand universe, short-circuiting constraints as
+// soon as their variables are bound.
+class RuleInstantiator {
+ public:
+  RuleInstantiator(TermPool& pool, const HerbrandUniverse& universe,
+                   const Rule& rule, ComponentId component,
+                   uint32_t source_rule_index, GroundProgramBuilder& builder,
+                   size_t max_ground_rules, size_t* emitted)
+      : pool_(pool),
+        universe_(universe),
+        rule_(rule),
+        component_(component),
+        source_rule_index_(source_rule_index),
+        builder_(builder),
+        max_ground_rules_(max_ground_rules),
+        emitted_(emitted) {
+    variables_ = rule.Variables(pool);
+    // Schedule each constraint at the first level where all its variables
+    // are bound (level = 1-based index of the last variable it mentions).
+    constraint_level_.resize(rule.constraints.size(), 0);
+    for (size_t i = 0; i < rule.constraints.size(); ++i) {
+      std::vector<SymbolId> vars;
+      rule.constraints[i].CollectVariables(pool, &vars);
+      size_t level = 0;
+      for (SymbolId var : vars) {
+        for (size_t v = 0; v < variables_.size(); ++v) {
+          if (variables_[v] == var) level = std::max(level, v + 1);
+        }
+      }
+      constraint_level_[i] = level;
+    }
+  }
+
+  Status Run() { return Enumerate(0); }
+
+ private:
+  Status Enumerate(size_t level) {
+    // Evaluate the constraints that just became fully bound. A failing or
+    // unevaluable constraint prunes this whole subtree.
+    for (size_t i = 0; i < rule_.constraints.size(); ++i) {
+      if (constraint_level_[i] != level) continue;
+      StatusOr<bool> holds =
+          rule_.constraints[i].Evaluate(pool_, binding_);
+      if (!holds.ok() || !holds.value()) return Status::Ok();
+    }
+    if (level == variables_.size()) {
+      return Emit();
+    }
+    for (TermId term : universe_.terms()) {
+      binding_[variables_[level]] = term;
+      ORDLOG_RETURN_IF_ERROR(Enumerate(level + 1));
+    }
+    binding_.erase(variables_[level]);
+    return Status::Ok();
+  }
+
+  Status Emit() {
+    if (*emitted_ >= max_ground_rules_) {
+      return ResourceExhaustedError(
+          StrCat("grounding exceeds max_ground_rules=", max_ground_rules_,
+                 " (at rule '", ToString(pool_, rule_), "')"));
+    }
+    ++*emitted_;
+    GroundLiteral head{builder_.AddAtom(SubstituteAtom(rule_.head.atom)),
+                       rule_.head.positive};
+    std::vector<GroundLiteral> body;
+    body.reserve(rule_.body.size());
+    for (const Literal& literal : rule_.body) {
+      body.push_back(GroundLiteral{
+          builder_.AddAtom(SubstituteAtom(literal.atom)), literal.positive});
+    }
+    builder_.AddRule(component_, head, std::move(body), source_rule_index_);
+    return Status::Ok();
+  }
+
+  Atom SubstituteAtom(const Atom& atom) {
+    Atom ground;
+    ground.predicate = atom.predicate;
+    ground.args.reserve(atom.args.size());
+    for (TermId arg : atom.args) {
+      ground.args.push_back(pool_.Substitute(arg, binding_));
+    }
+    return ground;
+  }
+
+  TermPool& pool_;
+  const HerbrandUniverse& universe_;
+  const Rule& rule_;
+  const ComponentId component_;
+  const uint32_t source_rule_index_;
+  GroundProgramBuilder& builder_;
+  const size_t max_ground_rules_;
+  size_t* emitted_;
+
+  std::vector<SymbolId> variables_;
+  std::vector<size_t> constraint_level_;
+  Binding binding_;
+};
+
+}  // namespace
+
+StatusOr<GroundProgram> Grounder::Ground(OrderedProgram& program,
+                                         const GrounderOptions& options) {
+  if (!program.finalized()) {
+    return FailedPreconditionError(
+        "OrderedProgram must be finalized before grounding");
+  }
+  ORDLOG_ASSIGN_OR_RETURN(
+      const HerbrandUniverse universe,
+      HerbrandUniverse::Compute(program, options.herbrand));
+
+  GroundProgramBuilder builder(program.shared_pool(),
+                               program.NumComponents());
+  for (ComponentId c = 0; c < program.NumComponents(); ++c) {
+    builder.SetComponentName(c, program.component(c).name);
+  }
+  for (const auto& [lower, higher] : program.order_edges()) {
+    builder.AddOrder(lower, higher);
+  }
+
+  size_t emitted = 0;
+  for (ComponentId c = 0; c < program.NumComponents(); ++c) {
+    const Component& component = program.component(c);
+    for (size_t i = 0; i < component.rules.size(); ++i) {
+      RuleInstantiator instantiator(
+          program.pool(), universe, component.rules[i], c,
+          static_cast<uint32_t>(i), builder, options.max_ground_rules,
+          &emitted);
+      ORDLOG_RETURN_IF_ERROR(instantiator.Run());
+    }
+  }
+  return builder.Build();
+}
+
+}  // namespace ordlog

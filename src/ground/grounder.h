@@ -1,0 +1,35 @@
+#ifndef ORDLOG_GROUND_GROUNDER_H_
+#define ORDLOG_GROUND_GROUNDER_H_
+
+#include "base/status.h"
+#include "ground/ground_program.h"
+#include "ground/herbrand.h"
+#include "lang/program.h"
+
+namespace ordlog {
+
+struct GrounderOptions {
+  HerbrandOptions herbrand;
+  // Hard cap on the number of ground rules; exceeded => kResourceExhausted.
+  // The semantics quantifies rules over *all* instantiations of their
+  // variables (Def. 2 needs the statuses of never-firing instances too),
+  // so grounding is exponential in rule arity by construction.
+  size_t max_ground_rules = 5'000'000;
+};
+
+// Instantiates every rule of every component over the (depth-bounded)
+// Herbrand universe, evaluating arithmetic constraints eagerly: a ground
+// instance whose constraints fail is not part of ground(P); an instance
+// whose constraints cannot be evaluated (a constraint variable bound to a
+// non-integer term) is likewise dropped, mirroring the typed reading of
+// the paper's loan program.
+class Grounder {
+ public:
+  // `program` must be finalized.
+  static StatusOr<GroundProgram> Ground(OrderedProgram& program,
+                                        const GrounderOptions& options = {});
+};
+
+}  // namespace ordlog
+
+#endif  // ORDLOG_GROUND_GROUNDER_H_

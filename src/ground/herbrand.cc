@@ -1,0 +1,108 @@
+#include "ground/herbrand.h"
+
+#include <algorithm>
+#include <set>
+#include <unordered_set>
+
+#include "base/strings.h"
+
+namespace ordlog {
+
+namespace {
+
+// Collects the ground subterms of `term` into `out`, and records function
+// symbols with their arities.
+void CollectFromTerm(const TermPool& pool, TermId term,
+                     std::unordered_set<TermId>* out,
+                     std::set<std::pair<SymbolId, size_t>>* functors) {
+  switch (pool.kind(term)) {
+    case TermKind::kVariable:
+      return;
+    case TermKind::kConstant:
+    case TermKind::kInteger:
+      out->insert(term);
+      return;
+    case TermKind::kFunction:
+      functors->insert({pool.symbol(term), pool.args(term).size()});
+      if (pool.IsGround(term)) out->insert(term);
+      for (TermId arg : pool.args(term)) {
+        CollectFromTerm(pool, arg, out, functors);
+      }
+      return;
+  }
+}
+
+}  // namespace
+
+StatusOr<HerbrandUniverse> HerbrandUniverse::Compute(
+    OrderedProgram& program, const HerbrandOptions& options) {
+  TermPool& pool = program.pool();
+  std::unordered_set<TermId> universe;
+  std::set<std::pair<SymbolId, size_t>> functors;
+
+  for (ComponentId c = 0; c < program.NumComponents(); ++c) {
+    for (const Rule& rule : program.component(c).rules) {
+      for (TermId arg : rule.head.atom.args) {
+        CollectFromTerm(pool, arg, &universe, &functors);
+      }
+      for (const Literal& literal : rule.body) {
+        for (TermId arg : literal.atom.args) {
+          CollectFromTerm(pool, arg, &universe, &functors);
+        }
+      }
+    }
+  }
+
+  // Close under function application up to the depth bound. Each round
+  // builds the terms of the next depth from the full current universe.
+  for (int depth = 1; depth <= options.max_function_depth; ++depth) {
+    std::vector<TermId> current(universe.begin(), universe.end());
+    for (const auto& [functor, arity] : functors) {
+      // Enumerate arity-length tuples over `current`.
+      std::vector<size_t> index(arity, 0);
+      if (arity == 0) {
+        universe.insert(pool.MakeFunction(functor, {}));
+        continue;
+      }
+      if (current.empty()) continue;
+      while (true) {
+        std::vector<TermId> args(arity);
+        int max_arg_depth = 0;
+        for (size_t i = 0; i < arity; ++i) {
+          args[i] = current[index[i]];
+          max_arg_depth = std::max(max_arg_depth, pool.Depth(args[i]));
+        }
+        // Only create terms of exactly this round's depth to avoid
+        // re-inserting shallower duplicates.
+        if (max_arg_depth == depth - 1) {
+          universe.insert(pool.MakeFunction(functor, std::move(args)));
+          if (universe.size() > options.max_terms) {
+            return ResourceExhaustedError(
+                StrCat("Herbrand universe exceeds max_terms=",
+                       options.max_terms));
+          }
+        }
+        // Advance the tuple odometer.
+        size_t i = 0;
+        while (i < arity && ++index[i] == current.size()) {
+          index[i] = 0;
+          ++i;
+        }
+        if (i == arity) break;
+      }
+    }
+  }
+
+  if (universe.size() > options.max_terms) {
+    return ResourceExhaustedError(StrCat(
+        "Herbrand universe exceeds max_terms=", options.max_terms));
+  }
+
+  HerbrandUniverse result;
+  result.terms_.assign(universe.begin(), universe.end());
+  // Deterministic order: sort by id (ids reflect interning order).
+  std::sort(result.terms_.begin(), result.terms_.end());
+  return result;
+}
+
+}  // namespace ordlog

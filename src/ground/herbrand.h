@@ -1,0 +1,42 @@
+#ifndef ORDLOG_GROUND_HERBRAND_H_
+#define ORDLOG_GROUND_HERBRAND_H_
+
+#include <vector>
+
+#include "base/status.h"
+#include "lang/program.h"
+
+namespace ordlog {
+
+struct HerbrandOptions {
+  // Function-term nesting allowed when closing the universe under the
+  // program's function symbols. 0 keeps only the ground terms that occur
+  // textually in the program (the paper's programs are function-free, so 0
+  // reproduces them exactly); depth d adds f(t1..tn) for terms of depth
+  // < d. This bound is our documented substitution for the infinite
+  // Herbrand universe of programs with function symbols (DESIGN.md §2).
+  int max_function_depth = 0;
+  // Hard cap on universe size; exceeded => kResourceExhausted.
+  size_t max_terms = 1'000'000;
+};
+
+// The (depth-bounded) Herbrand universe of a program: every ground term
+// constructible from the constants and function symbols occurring in it.
+class HerbrandUniverse {
+ public:
+  // Computes the universe of `program`, interning new terms into
+  // `program.pool()`.
+  static StatusOr<HerbrandUniverse> Compute(OrderedProgram& program,
+                                            const HerbrandOptions& options = {});
+
+  const std::vector<TermId>& terms() const { return terms_; }
+  size_t size() const { return terms_.size(); }
+  bool empty() const { return terms_.empty(); }
+
+ private:
+  std::vector<TermId> terms_;
+};
+
+}  // namespace ordlog
+
+#endif  // ORDLOG_GROUND_HERBRAND_H_

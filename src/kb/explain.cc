@@ -1,0 +1,148 @@
+#include "kb/explain.h"
+
+#include "base/strings.h"
+#include "core/v_operator.h"
+
+namespace ordlog {
+
+namespace {
+std::string Indent(int indent) { return std::string(indent * 2, ' '); }
+}  // namespace
+
+Explainer::Explainer(const GroundProgram& program, ComponentId view,
+                     const Interpretation& least_model)
+    : program_(program),
+      view_(view),
+      model_(least_model),
+      evaluator_(program, view),
+      rank_(program.NumAtoms(), -1) {
+  // Recompute the V chain to rank literals by first-derivation round.
+  VOperator v(program, view);
+  Interpretation current = Interpretation::ForProgram(program);
+  int round = 0;
+  while (true) {
+    Interpretation next = v.Apply(current);
+    if (next == current) break;
+    ++round;
+    for (const GroundLiteral& literal : next.Literals()) {
+      if (rank_[literal.atom] < 0) rank_[literal.atom] = round;
+    }
+    current = std::move(next);
+  }
+}
+
+std::string Explainer::RuleName(const GroundRule& rule) const {
+  std::ostringstream os;
+  os << program_.LiteralToString(rule.head);
+  if (!rule.body.empty()) {
+    os << " :- "
+       << StrJoin(rule.body, ", ",
+                  [this](std::ostringstream& s, GroundLiteral literal) {
+                    s << program_.LiteralToString(literal);
+                  });
+  }
+  os << " [" << program_.component_name(rule.component) << "]";
+  return os.str();
+}
+
+std::string Explainer::SilenceReason(const GroundRule& rule) const {
+  for (uint32_t index :
+       program_.RulesWithHead(rule.head.atom, !rule.head.positive)) {
+    const GroundRule& other = program_.rule(index);
+    if (!program_.Leq(view_, other.component)) continue;
+    if (evaluator_.IsBlocked(other, model_)) continue;
+    if (program_.Less(other.component, rule.component)) {
+      return StrCat("overruled by more specific rule: ", RuleName(other));
+    }
+    if (other.component == rule.component ||
+        program_.Incomparable(other.component, rule.component)) {
+      return StrCat("defeated by conflicting rule: ", RuleName(other));
+    }
+  }
+  return "not silenced";
+}
+
+void Explainer::ExplainTrue(GroundLiteral literal, int indent,
+                            std::string* out) const {
+  // Pick an applied, non-silenced rule whose body was derived earlier.
+  const GroundRule* chosen = nullptr;
+  for (uint32_t index :
+       program_.RulesWithHead(literal.atom, literal.positive)) {
+    const GroundRule& rule = program_.rule(index);
+    if (!program_.Leq(view_, rule.component)) continue;
+    if (!evaluator_.IsApplied(rule, model_)) continue;
+    if (evaluator_.IsSilenced(rule, model_)) continue;
+    bool body_earlier = true;
+    for (const GroundLiteral& body_literal : rule.body) {
+      if (rank_[body_literal.atom] >= rank_[literal.atom]) {
+        body_earlier = false;
+        break;
+      }
+    }
+    if (body_earlier) {
+      chosen = &rule;
+      break;
+    }
+  }
+  if (chosen == nullptr) {
+    // Shouldn't happen for literals of the least model; degrade gracefully.
+    *out += StrCat(Indent(indent), program_.LiteralToString(literal),
+                   " holds (no applied rule found)\n");
+    return;
+  }
+  if (chosen->body.empty()) {
+    *out += StrCat(Indent(indent), program_.LiteralToString(literal),
+                   " holds: fact [",
+                   program_.component_name(chosen->component), "]\n");
+    return;
+  }
+  *out += StrCat(Indent(indent), program_.LiteralToString(literal),
+                 " holds by rule: ", RuleName(*chosen), "\n");
+  for (const GroundLiteral& body_literal : chosen->body) {
+    ExplainTrue(body_literal, indent + 1, out);
+  }
+}
+
+void Explainer::ExplainUndefined(GroundAtomId atom, int indent,
+                                 std::string* out) const {
+  *out += StrCat(Indent(indent), program_.AtomToString(atom),
+                 " is undefined\n");
+  bool any = false;
+  for (const bool positive : {true, false}) {
+    for (uint32_t index : program_.RulesWithHead(atom, positive)) {
+      const GroundRule& rule = program_.rule(index);
+      if (!program_.Leq(view_, rule.component)) continue;
+      any = true;
+      std::string status;
+      if (evaluator_.IsBlocked(rule, model_)) {
+        status = "blocked";
+      } else if (evaluator_.IsApplicable(rule, model_)) {
+        status = SilenceReason(rule);
+      } else {
+        status = "not applicable";
+      }
+      *out += StrCat(Indent(indent + 1), "rule ", RuleName(rule), ": ",
+                     status, "\n");
+    }
+  }
+  if (!any) {
+    *out += StrCat(Indent(indent + 1),
+                   "no rule in this module or its ancestors derives it\n");
+  }
+}
+
+std::string Explainer::Explain(GroundLiteral literal) const {
+  std::string out;
+  if (model_.Contains(literal)) {
+    ExplainTrue(literal, 0, &out);
+  } else if (model_.ContainsComplement(literal)) {
+    out += StrCat("the complement of ", program_.LiteralToString(literal),
+                  " holds:\n");
+    ExplainTrue(literal.Complement(), 1, &out);
+  } else {
+    ExplainUndefined(literal.atom, 0, &out);
+  }
+  return out;
+}
+
+}  // namespace ordlog

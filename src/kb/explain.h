@@ -1,0 +1,47 @@
+#ifndef ORDLOG_KB_EXPLAIN_H_
+#define ORDLOG_KB_EXPLAIN_H_
+
+#include <string>
+
+#include "core/interpretation.h"
+#include "core/rule_status.h"
+
+namespace ordlog {
+
+// Produces human-readable derivation traces for the least-model semantics
+// of one view: why a literal is true (the applied rules deriving it, down
+// to facts), or why an atom is undefined (which rules were overruled or
+// defeated, and by what).
+//
+// Truth here is with respect to V∞(∅), the least model (Thm. 1b), which is
+// also what KnowledgeBase::Query reports.
+class Explainer {
+ public:
+  // `least_model` must be the V∞ fixpoint for (program, view).
+  Explainer(const GroundProgram& program, ComponentId view,
+            const Interpretation& least_model);
+
+  // Multi-line explanation of the literal's status in the view.
+  std::string Explain(GroundLiteral literal) const;
+
+ private:
+  void ExplainTrue(GroundLiteral literal, int indent,
+                   std::string* out) const;
+  void ExplainUndefined(GroundAtomId atom, int indent,
+                        std::string* out) const;
+  // Describes why `rule` does not fire under the least model.
+  std::string SilenceReason(const GroundRule& rule) const;
+  std::string RuleName(const GroundRule& rule) const;
+
+  const GroundProgram& program_;
+  const ComponentId view_;
+  const Interpretation& model_;
+  RuleStatusEvaluator evaluator_;
+  // rank_[atom] = V-iteration at which the atom's literal first appeared
+  // (guards against cycles when walking derivations).
+  std::vector<int> rank_;
+};
+
+}  // namespace ordlog
+
+#endif  // ORDLOG_KB_EXPLAIN_H_

@@ -1,0 +1,295 @@
+#include "kb/knowledge_base.h"
+
+#include "base/strings.h"
+#include "core/least_model.h"
+#include "lang/match.h"
+#include "lang/printer.h"
+#include "core/stable_solver.h"
+#include "kb/explain.h"
+#include "parser/parser.h"
+
+namespace ordlog {
+
+KnowledgeBase::KnowledgeBase() : KnowledgeBase(GrounderOptions{}) {}
+
+KnowledgeBase::KnowledgeBase(GrounderOptions options)
+    : options_(options),
+      pool_(std::make_shared<TermPool>()),
+      program_(pool_) {}
+
+Status KnowledgeBase::AddModule(std::string_view name) {
+  ground_.reset();
+  least_models_.clear();
+  stable_models_.clear();
+  const StatusOr<ComponentId> result =
+      program_.AddComponent(std::string(name));
+  return result.ok() ? Status::Ok() : result.status();
+}
+
+bool KnowledgeBase::HasModule(std::string_view name) const {
+  return program_.FindComponent(name).ok();
+}
+
+StatusOr<ComponentId> KnowledgeBase::ModuleId(std::string_view name) const {
+  return program_.FindComponent(name);
+}
+
+Status KnowledgeBase::AddIsa(std::string_view child,
+                             std::string_view parent) {
+  ORDLOG_ASSIGN_OR_RETURN(const ComponentId child_id, ModuleId(child));
+  ORDLOG_ASSIGN_OR_RETURN(const ComponentId parent_id, ModuleId(parent));
+  ground_.reset();
+  least_models_.clear();
+  stable_models_.clear();
+  return program_.AddOrder(child_id, parent_id);
+}
+
+Status KnowledgeBase::AddRuleText(std::string_view module,
+                                  std::string_view rule_text) {
+  ORDLOG_ASSIGN_OR_RETURN(Rule rule, ParseRule(rule_text, *pool_));
+  return AddRule(module, std::move(rule));
+}
+
+Status KnowledgeBase::AddRule(std::string_view module, Rule rule) {
+  ORDLOG_ASSIGN_OR_RETURN(const ComponentId id, ModuleId(module));
+  ground_.reset();
+  least_models_.clear();
+  stable_models_.clear();
+  return program_.AddRule(id, std::move(rule));
+}
+
+Status KnowledgeBase::Load(std::string_view source) {
+  ORDLOG_ASSIGN_OR_RETURN(OrderedProgram parsed,
+                          ParseProgram(source, pool_));
+  for (ComponentId c = 0; c < parsed.NumComponents(); ++c) {
+    const Component& component = parsed.component(c);
+    if (!HasModule(component.name)) {
+      ORDLOG_RETURN_IF_ERROR(AddModule(component.name));
+    }
+    for (const Rule& rule : component.rules) {
+      ORDLOG_RETURN_IF_ERROR(AddRule(component.name, rule));
+    }
+  }
+  for (const auto& [lower, higher] : parsed.order_edges()) {
+    ORDLOG_RETURN_IF_ERROR(AddIsa(parsed.component(lower).name,
+                                  parsed.component(higher).name));
+  }
+  return Status::Ok();
+}
+
+Status KnowledgeBase::Instantiate(std::string_view template_module,
+                                  std::string_view instance) {
+  ORDLOG_ASSIGN_OR_RETURN(const ComponentId template_id,
+                          ModuleId(template_module));
+  ORDLOG_RETURN_IF_ERROR(AddModule(instance));
+  ORDLOG_ASSIGN_OR_RETURN(const ComponentId instance_id, ModuleId(instance));
+
+  const SymbolId self = pool_->symbols().Intern("self");
+  const TermId identity = pool_->MakeConstant(instance);
+  auto rebind_atom = [&](const Atom& atom) {
+    Atom rebound;
+    rebound.predicate = atom.predicate;
+    rebound.args.reserve(atom.args.size());
+    for (TermId arg : atom.args) {
+      rebound.args.push_back(pool_->ReplaceConstant(arg, self, identity));
+    }
+    return rebound;
+  };
+  // Copy first: AddRule on the instance may invalidate nothing here, but
+  // the component reference would dangle if the vector reallocated.
+  const std::vector<Rule> template_rules =
+      program_.component(template_id).rules;
+  for (const Rule& rule : template_rules) {
+    Rule rebound;
+    rebound.head = Literal{rebind_atom(rule.head.atom), rule.head.positive};
+    for (const Literal& literal : rule.body) {
+      rebound.body.push_back(
+          Literal{rebind_atom(literal.atom), literal.positive});
+    }
+    rebound.constraints = rule.constraints;
+    ORDLOG_RETURN_IF_ERROR(program_.AddRule(instance_id, std::move(rebound)));
+  }
+  // The instance inherits from the template's parents, not the template:
+  // the schema's `self` rules would otherwise flow in un-rebound.
+  const std::vector<std::pair<ComponentId, ComponentId>> edges =
+      program_.order_edges();
+  for (const auto& [lower, higher] : edges) {
+    if (lower == template_id) {
+      ORDLOG_RETURN_IF_ERROR(program_.AddOrder(instance_id, higher));
+    }
+  }
+  return Status::Ok();
+}
+
+std::vector<std::string> KnowledgeBase::ListModules() const {
+  std::vector<std::string> names;
+  names.reserve(program_.NumComponents());
+  for (ComponentId c = 0; c < program_.NumComponents(); ++c) {
+    names.push_back(program_.component(c).name);
+  }
+  return names;
+}
+
+StatusOr<std::vector<std::string>> KnowledgeBase::ModuleRules(
+    std::string_view module) const {
+  ORDLOG_ASSIGN_OR_RETURN(const ComponentId id, ModuleId(module));
+  std::vector<std::string> rendered;
+  for (const Rule& rule : program_.component(id).rules) {
+    rendered.push_back(ToString(*pool_, rule));
+  }
+  return rendered;
+}
+
+StatusOr<std::vector<std::string>> KnowledgeBase::Parents(
+    std::string_view module) const {
+  ORDLOG_ASSIGN_OR_RETURN(const ComponentId id, ModuleId(module));
+  std::vector<std::string> names;
+  for (const auto& [lower, higher] : program_.order_edges()) {
+    if (lower == id) names.push_back(program_.component(higher).name);
+  }
+  return names;
+}
+
+StatusOr<const GroundProgram*> KnowledgeBase::ground() {
+  if (!ground_.has_value()) {
+    ORDLOG_RETURN_IF_ERROR(program_.Finalize());
+    ORDLOG_ASSIGN_OR_RETURN(GroundProgram ground_program,
+                            Grounder::Ground(program_, options_));
+    ground_ = std::move(ground_program);
+  }
+  return &ground_.value();
+}
+
+StatusOr<std::optional<GroundLiteral>> KnowledgeBase::ResolveLiteral(
+    std::string_view literal_text) {
+  ORDLOG_ASSIGN_OR_RETURN(const Literal literal,
+                          ParseLiteral(literal_text, *pool_));
+  if (!literal.IsGround(*pool_)) {
+    return InvalidArgumentError(
+        StrCat("query literal '", literal_text, "' must be ground"));
+  }
+  ORDLOG_ASSIGN_OR_RETURN(const GroundProgram* ground_program, ground());
+  const std::optional<GroundAtomId> atom =
+      ground_program->FindAtom(literal.atom);
+  if (!atom.has_value()) return std::optional<GroundLiteral>();
+  return std::optional<GroundLiteral>(
+      GroundLiteral{*atom, literal.positive});
+}
+
+StatusOr<const Interpretation*> KnowledgeBase::LeastModel(
+    ComponentId module) {
+  auto it = least_models_.find(module);
+  if (it == least_models_.end()) {
+    ORDLOG_ASSIGN_OR_RETURN(const GroundProgram* ground_program, ground());
+    it = least_models_
+             .emplace(module, ComputeLeastModel(*ground_program, module))
+             .first;
+  }
+  return &it->second;
+}
+
+StatusOr<const std::vector<Interpretation>*> KnowledgeBase::StableModels(
+    ComponentId module) {
+  auto it = stable_models_.find(module);
+  if (it == stable_models_.end()) {
+    ORDLOG_ASSIGN_OR_RETURN(const GroundProgram* ground_program, ground());
+    StableModelSolver solver(*ground_program, module);
+    ORDLOG_ASSIGN_OR_RETURN(std::vector<Interpretation> models,
+                            solver.StableModels());
+    it = stable_models_.emplace(module, std::move(models)).first;
+  }
+  return &it->second;
+}
+
+StatusOr<TruthValue> KnowledgeBase::Query(std::string_view module,
+                                          std::string_view literal_text) {
+  ORDLOG_ASSIGN_OR_RETURN(const ComponentId id, ModuleId(module));
+  ORDLOG_ASSIGN_OR_RETURN(const std::optional<GroundLiteral> literal,
+                          ResolveLiteral(literal_text));
+  if (!literal.has_value()) return TruthValue::kUndefined;
+  ORDLOG_ASSIGN_OR_RETURN(const Interpretation* model, LeastModel(id));
+  return model->Value(*literal);
+}
+
+StatusOr<std::vector<std::string>> KnowledgeBase::DerivableFacts(
+    std::string_view module) {
+  ORDLOG_ASSIGN_OR_RETURN(const ComponentId id, ModuleId(module));
+  ORDLOG_ASSIGN_OR_RETURN(const GroundProgram* ground_program, ground());
+  ORDLOG_ASSIGN_OR_RETURN(const Interpretation* model, LeastModel(id));
+  std::vector<std::string> facts;
+  for (const GroundLiteral& literal : model->Literals()) {
+    facts.push_back(ground_program->LiteralToString(literal));
+  }
+  return facts;
+}
+
+StatusOr<std::vector<std::string>> KnowledgeBase::QueryAll(
+    std::string_view module, std::string_view pattern_text) {
+  ORDLOG_ASSIGN_OR_RETURN(const ComponentId id, ModuleId(module));
+  ORDLOG_ASSIGN_OR_RETURN(const Literal pattern,
+                          ParseLiteral(pattern_text, *pool_));
+  ORDLOG_ASSIGN_OR_RETURN(const GroundProgram* ground_program, ground());
+  ORDLOG_ASSIGN_OR_RETURN(const Interpretation* model, LeastModel(id));
+  std::vector<std::string> results;
+  for (const GroundLiteral& literal : model->Literals()) {
+    if (literal.positive != pattern.positive) continue;
+    if (MatchAtom(*pool_, pattern.atom,
+                  ground_program->atom(literal.atom))
+            .has_value()) {
+      results.push_back(ground_program->LiteralToString(literal));
+    }
+  }
+  return results;
+}
+
+StatusOr<bool> KnowledgeBase::BravelyHolds(std::string_view module,
+                                           std::string_view literal_text) {
+  ORDLOG_ASSIGN_OR_RETURN(const ComponentId id, ModuleId(module));
+  ORDLOG_ASSIGN_OR_RETURN(const std::optional<GroundLiteral> literal,
+                          ResolveLiteral(literal_text));
+  if (!literal.has_value()) return false;
+  ORDLOG_ASSIGN_OR_RETURN(const std::vector<Interpretation>* models,
+                          StableModels(id));
+  for (const Interpretation& model : *models) {
+    if (model.Contains(*literal)) return true;
+  }
+  return false;
+}
+
+StatusOr<bool> KnowledgeBase::CautiouslyHolds(std::string_view module,
+                                              std::string_view literal_text) {
+  ORDLOG_ASSIGN_OR_RETURN(const ComponentId id, ModuleId(module));
+  ORDLOG_ASSIGN_OR_RETURN(const std::optional<GroundLiteral> literal,
+                          ResolveLiteral(literal_text));
+  ORDLOG_ASSIGN_OR_RETURN(const std::vector<Interpretation>* models,
+                          StableModels(id));
+  if (!literal.has_value()) return models->empty();
+  for (const Interpretation& model : *models) {
+    if (!model.Contains(*literal)) return false;
+  }
+  return true;
+}
+
+StatusOr<size_t> KnowledgeBase::CountStableModels(std::string_view module) {
+  ORDLOG_ASSIGN_OR_RETURN(const ComponentId id, ModuleId(module));
+  ORDLOG_ASSIGN_OR_RETURN(const std::vector<Interpretation>* models,
+                          StableModels(id));
+  return models->size();
+}
+
+StatusOr<std::string> KnowledgeBase::Explain(std::string_view module,
+                                             std::string_view literal_text) {
+  ORDLOG_ASSIGN_OR_RETURN(const ComponentId id, ModuleId(module));
+  ORDLOG_ASSIGN_OR_RETURN(const std::optional<GroundLiteral> literal,
+                          ResolveLiteral(literal_text));
+  ORDLOG_ASSIGN_OR_RETURN(const GroundProgram* ground_program, ground());
+  if (!literal.has_value()) {
+    return StrCat("'", literal_text,
+                  "' does not occur in the knowledge base\n");
+  }
+  ORDLOG_ASSIGN_OR_RETURN(const Interpretation* model, LeastModel(id));
+  Explainer explainer(*ground_program, id, *model);
+  return explainer.Explain(*literal);
+}
+
+}  // namespace ordlog

@@ -1,0 +1,135 @@
+#ifndef ORDLOG_KB_KNOWLEDGE_BASE_H_
+#define ORDLOG_KB_KNOWLEDGE_BASE_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "base/status.h"
+#include "core/interpretation.h"
+#include "ground/grounder.h"
+#include "lang/program.h"
+
+namespace ordlog {
+
+// The object-oriented layer of the paper's Section 5: a knowledge base of
+// *modules* (objects) connected by an *isa* hierarchy, where more specific
+// modules inherit the rules of their ancestors and may overrule them —
+// defaults with exceptions. Queries are answered per module.
+//
+//   KnowledgeBase kb;
+//   kb.AddModule("animals");
+//   kb.AddRuleText("animals", "fly(X) :- bird(X).");
+//   kb.AddModule("antarctic");
+//   kb.AddIsa("antarctic", "animals");
+//   kb.AddRuleText("antarctic", "-fly(X) :- penguin(X).");
+//   ...
+//   TruthValue v = kb.Query("antarctic", "fly(pingu)").value();
+//
+// Skeptical truth is read off the least model V∞ (Thm. 1b: the
+// intersection of all models — exactly what is certain). Brave/cautious
+// queries range over the stable models (Def. 9).
+//
+// Mutations invalidate the cached ground program; the next query regrounds
+// lazily.
+class KnowledgeBase {
+ public:
+  KnowledgeBase();
+  explicit KnowledgeBase(GrounderOptions options);
+
+  // --- construction --------------------------------------------------------
+  Status AddModule(std::string_view name);
+  bool HasModule(std::string_view name) const;
+  // Declares `child` isa `parent` (child < parent: child inherits and may
+  // overrule parent rules). Both modules must exist.
+  Status AddIsa(std::string_view child, std::string_view parent);
+  // Parses and adds one rule, e.g. "fly(X) :- bird(X)." .
+  Status AddRuleText(std::string_view module, std::string_view rule_text);
+  Status AddRule(std::string_view module, Rule rule);
+  // Loads `.olp` source (components become modules, order edges isa links).
+  Status Load(std::string_view source);
+
+  // Declares `successor` as a new version of `predecessor`: an isa link,
+  // per the paper's observation that "a most specific module can be
+  // thought of as the new version of a more general module".
+  Status AddVersion(std::string_view successor,
+                    std::string_view predecessor) {
+    return AddIsa(successor, predecessor);
+  }
+
+  // Object identity (the paper's Section 5, citing [K]): creates module
+  // `instance` as an identity-bound copy of `template_module` — every
+  // occurrence of the reserved constant `self` in the template's rules is
+  // replaced by the constant `instance` — and gives the instance the same
+  // isa parents as the template. The template itself remains a pure
+  // schema. Instances are independent objects: facts asserted into one do
+  // not leak into another.
+  Status Instantiate(std::string_view template_module,
+                     std::string_view instance);
+
+  // --- queries --------------------------------------------------------------
+  // Truth of the literal in the module's least model: kTrue if derivable,
+  // kFalse if its complement is derivable, kUndefined otherwise.
+  StatusOr<TruthValue> Query(std::string_view module,
+                             std::string_view literal_text);
+
+  // Every literal of the module's least model, rendered.
+  StatusOr<std::vector<std::string>> DerivableFacts(std::string_view module);
+
+  // Pattern query: all literals of the module's least model matching
+  // `pattern_text`, which may contain variables, e.g. "fly(X)" or
+  // "-fly(X)". Results are rendered ground literals in atom-id order.
+  StatusOr<std::vector<std::string>> QueryAll(std::string_view module,
+                                              std::string_view pattern_text);
+
+  // Stable-model reasoning (may be exponential; bounded by the solver's
+  // node budget).
+  StatusOr<bool> BravelyHolds(std::string_view module,
+                              std::string_view literal_text);
+  StatusOr<bool> CautiouslyHolds(std::string_view module,
+                                 std::string_view literal_text);
+  StatusOr<size_t> CountStableModels(std::string_view module);
+
+  // Derivation trace / failure diagnosis for the literal (see Explainer).
+  StatusOr<std::string> Explain(std::string_view module,
+                                std::string_view literal_text);
+
+  // --- introspection --------------------------------------------------------
+  // Names of all modules, in creation order.
+  std::vector<std::string> ListModules() const;
+  // Rendered rules of one module.
+  StatusOr<std::vector<std::string>> ModuleRules(std::string_view module)
+      const;
+  // Names of the modules `module` directly inherits from (its declared
+  // isa parents, not the transitive closure).
+  StatusOr<std::vector<std::string>> Parents(std::string_view module) const;
+
+  // --- plumbing ------------------------------------------------------------
+  const OrderedProgram& program() const { return program_; }
+  // Grounds if needed and returns the ground program.
+  StatusOr<const GroundProgram*> ground();
+
+ private:
+  StatusOr<ComponentId> ModuleId(std::string_view name) const;
+  // Parses `literal_text` and resolves it to a ground atom id, if present.
+  StatusOr<std::optional<GroundLiteral>> ResolveLiteral(
+      std::string_view literal_text);
+  StatusOr<const Interpretation*> LeastModel(ComponentId module);
+  StatusOr<const std::vector<Interpretation>*> StableModels(
+      ComponentId module);
+
+  GrounderOptions options_;
+  std::shared_ptr<TermPool> pool_;
+  OrderedProgram program_;
+  std::optional<GroundProgram> ground_;
+  std::unordered_map<ComponentId, Interpretation> least_models_;
+  std::unordered_map<ComponentId, std::vector<Interpretation>>
+      stable_models_;
+};
+
+}  // namespace ordlog
+
+#endif  // ORDLOG_KB_KNOWLEDGE_BASE_H_

@@ -1,0 +1,193 @@
+#include "lang/analysis.h"
+
+#include <algorithm>
+
+#include "base/strings.h"
+
+namespace ordlog {
+
+std::string ProgramStats::ToString(const OrderedProgram& program) const {
+  std::ostringstream os;
+  os << "components: " << num_components << " (order edges "
+     << num_order_edges << ", total order: "
+     << (order_is_total ? "yes" : "no") << ")\n"
+     << "rules: " << num_rules << " (" << num_facts << " facts, "
+     << num_negative_heads << " negated heads, "
+     << num_negative_body_literals << " negative body literals, "
+     << num_constraints << " constraints)\n"
+     << "predicates: " << num_predicates << "\n"
+     << "class: "
+     << (is_positive ? "positive"
+                     : (is_seminegative ? "seminegative" : "negative"))
+     << "\n";
+  (void)program;
+  return os.str();
+}
+
+ProgramStats AnalyzeProgram(const OrderedProgram& program) {
+  ProgramStats stats;
+  stats.num_components = program.NumComponents();
+  stats.num_order_edges = program.order_edges().size();
+  stats.is_positive = true;
+  stats.is_seminegative = true;
+  std::map<PredicateKey, bool> predicates;
+  for (ComponentId c = 0; c < program.NumComponents(); ++c) {
+    for (const Rule& rule : program.component(c).rules) {
+      ++stats.num_rules;
+      if (rule.IsFact()) ++stats.num_facts;
+      if (!rule.head.positive) {
+        ++stats.num_negative_heads;
+        stats.is_positive = false;
+        stats.is_seminegative = false;
+      }
+      predicates[{rule.head.atom.predicate, rule.head.atom.arity()}] = true;
+      for (const Literal& literal : rule.body) {
+        if (!literal.positive) {
+          ++stats.num_negative_body_literals;
+          stats.is_positive = false;
+        }
+        predicates[{literal.atom.predicate, literal.atom.arity()}] = true;
+      }
+      stats.num_constraints += rule.constraints.size();
+    }
+  }
+  stats.num_predicates = predicates.size();
+  if (program.finalized()) {
+    stats.order_is_total = true;
+    for (ComponentId a = 0; a < program.NumComponents(); ++a) {
+      for (ComponentId b = a + 1; b < program.NumComponents(); ++b) {
+        if (program.Incomparable(a, b)) {
+          stats.order_is_total = false;
+        }
+      }
+    }
+  }
+  return stats;
+}
+
+DependencyGraph::DependencyGraph(const OrderedProgram& program) {
+  auto intern = [this](const Atom& atom) {
+    const PredicateKey key{atom.predicate, atom.arity()};
+    auto it = index_.find(key);
+    if (it != index_.end()) return it->second;
+    const size_t id = predicates_.size();
+    predicates_.push_back(key);
+    edges_.emplace_back();
+    index_.emplace(key, id);
+    return id;
+  };
+  for (ComponentId c = 0; c < program.NumComponents(); ++c) {
+    for (const Rule& rule : program.component(c).rules) {
+      if (!rule.head.positive) has_negative_heads_ = true;
+      const size_t head = intern(rule.head.atom);
+      for (const Literal& literal : rule.body) {
+        const size_t body = intern(literal.atom);
+        edges_[head].push_back(Edge{body, !literal.positive});
+      }
+    }
+  }
+}
+
+std::vector<std::vector<size_t>>
+DependencyGraph::StronglyConnectedComponents() const {
+  // Iterative Tarjan.
+  const size_t n = predicates_.size();
+  std::vector<int> index(n, -1), lowlink(n, 0);
+  std::vector<bool> on_stack(n, false);
+  std::vector<size_t> stack;
+  std::vector<std::vector<size_t>> components;
+  int next_index = 0;
+
+  struct Frame {
+    size_t node;
+    size_t edge = 0;
+  };
+  for (size_t root = 0; root < n; ++root) {
+    if (index[root] != -1) continue;
+    std::vector<Frame> frames = {{root}};
+    index[root] = lowlink[root] = next_index++;
+    stack.push_back(root);
+    on_stack[root] = true;
+    while (!frames.empty()) {
+      Frame& frame = frames.back();
+      const size_t node = frame.node;
+      if (frame.edge < edges_[node].size()) {
+        const size_t target = edges_[node][frame.edge++].target;
+        if (index[target] == -1) {
+          index[target] = lowlink[target] = next_index++;
+          stack.push_back(target);
+          on_stack[target] = true;
+          frames.push_back(Frame{target});
+        } else if (on_stack[target]) {
+          lowlink[node] = std::min(lowlink[node], index[target]);
+        }
+      } else {
+        frames.pop_back();
+        if (!frames.empty()) {
+          lowlink[frames.back().node] =
+              std::min(lowlink[frames.back().node], lowlink[node]);
+        }
+        if (lowlink[node] == index[node]) {
+          std::vector<size_t> component;
+          while (true) {
+            const size_t member = stack.back();
+            stack.pop_back();
+            on_stack[member] = false;
+            component.push_back(member);
+            if (member == node) break;
+          }
+          components.push_back(std::move(component));
+        }
+      }
+    }
+  }
+  return components;
+}
+
+bool DependencyGraph::HasNegativeCycle() const {
+  const auto components = StronglyConnectedComponents();
+  std::vector<size_t> component_of(predicates_.size(), 0);
+  for (size_t i = 0; i < components.size(); ++i) {
+    for (size_t node : components[i]) component_of[node] = i;
+  }
+  for (size_t node = 0; node < predicates_.size(); ++node) {
+    for (const Edge& edge : edges_[node]) {
+      if (edge.negative && component_of[node] == component_of[edge.target]) {
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
+std::optional<std::map<PredicateKey, int>> DependencyGraph::Stratification()
+    const {
+  if (has_negative_heads_) return std::nullopt;
+  if (HasNegativeCycle()) return std::map<PredicateKey, int>{};
+
+  // Components come out of Tarjan in reverse topological order of the
+  // dependency direction head -> body, i.e. dependencies first.
+  const auto components = StronglyConnectedComponents();
+  std::vector<size_t> component_of(predicates_.size(), 0);
+  for (size_t i = 0; i < components.size(); ++i) {
+    for (size_t node : components[i]) component_of[node] = i;
+  }
+  std::vector<int> stratum(components.size(), 0);
+  for (size_t i = 0; i < components.size(); ++i) {
+    for (size_t node : components[i]) {
+      for (const Edge& edge : edges_[node]) {
+        const size_t dep = component_of[edge.target];
+        if (dep == i) continue;
+        stratum[i] = std::max(stratum[i],
+                              stratum[dep] + (edge.negative ? 1 : 0));
+      }
+    }
+  }
+  std::map<PredicateKey, int> result;
+  for (size_t node = 0; node < predicates_.size(); ++node) {
+    result[predicates_[node]] = stratum[component_of[node]];
+  }
+  return result;
+}
+
+}  // namespace ordlog

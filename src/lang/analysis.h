@@ -1,0 +1,82 @@
+#ifndef ORDLOG_LANG_ANALYSIS_H_
+#define ORDLOG_LANG_ANALYSIS_H_
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "lang/program.h"
+
+namespace ordlog {
+
+// A predicate signature: name symbol plus arity.
+struct PredicateKey {
+  SymbolId symbol = 0;
+  size_t arity = 0;
+  auto operator<=>(const PredicateKey&) const = default;
+};
+
+// Static statistics of an ordered program, as reported by `olp --stats`.
+struct ProgramStats {
+  size_t num_components = 0;
+  size_t num_order_edges = 0;
+  size_t num_rules = 0;
+  size_t num_facts = 0;
+  size_t num_negative_heads = 0;
+  size_t num_negative_body_literals = 0;
+  size_t num_constraints = 0;
+  size_t num_predicates = 0;
+  // Paper classification (Section 2): positive ⊆ seminegative ⊆ negative.
+  bool is_positive = false;
+  bool is_seminegative = false;
+  // The component order is a chain (every pair comparable). Requires the
+  // program to be finalized; false otherwise.
+  bool order_is_total = false;
+
+  std::string ToString(const OrderedProgram& program) const;
+};
+
+ProgramStats AnalyzeProgram(const OrderedProgram& program);
+
+// Predicate dependency graph of the union of all components: an edge
+// p -> q (positive or negative) exists when some rule with head predicate
+// p has a body literal with predicate q. Negated heads contribute their
+// predicate as the node (sign tracked separately).
+class DependencyGraph {
+ public:
+  explicit DependencyGraph(const OrderedProgram& program);
+
+  const std::vector<PredicateKey>& predicates() const { return predicates_; }
+
+  // Classical stratification for seminegative programs: no cycle through
+  // a negative edge. Returns nullopt when the program has negated heads
+  // (the classical notion does not apply; ordered semantics handles those
+  // directly). Otherwise, a map predicate -> stratum (0-based), or an
+  // empty map when the program is not stratified.
+  std::optional<std::map<PredicateKey, int>> Stratification() const;
+
+  bool HasNegativeHeads() const { return has_negative_heads_; }
+
+  // True when some dependency cycle passes through a negative edge
+  // (meaningful for seminegative programs).
+  bool HasNegativeCycle() const;
+
+ private:
+  struct Edge {
+    size_t target = 0;
+    bool negative = false;
+  };
+
+  // Strongly connected components, in reverse topological order.
+  std::vector<std::vector<size_t>> StronglyConnectedComponents() const;
+
+  std::vector<PredicateKey> predicates_;
+  std::map<PredicateKey, size_t> index_;
+  std::vector<std::vector<Edge>> edges_;
+  bool has_negative_heads_ = false;
+};
+
+}  // namespace ordlog
+
+#endif  // ORDLOG_LANG_ANALYSIS_H_

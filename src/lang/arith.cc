@@ -1,0 +1,263 @@
+#include "lang/arith.h"
+
+#include <algorithm>
+
+#include "base/logging.h"
+#include "base/strings.h"
+
+namespace ordlog {
+
+ArithExpr ArithExpr::Constant(int64_t value) {
+  ArithExpr expr;
+  expr.op_ = ArithOp::kConstant;
+  expr.constant_ = value;
+  return expr;
+}
+
+ArithExpr ArithExpr::Variable(SymbolId name) {
+  ArithExpr expr;
+  expr.op_ = ArithOp::kVariable;
+  expr.variable_ = name;
+  return expr;
+}
+
+ArithExpr ArithExpr::Term(TermId term) {
+  ArithExpr expr;
+  expr.op_ = ArithOp::kTerm;
+  expr.term_ = term;
+  return expr;
+}
+
+ArithExpr ArithExpr::Add(ArithExpr lhs, ArithExpr rhs) {
+  ArithExpr expr;
+  expr.op_ = ArithOp::kAdd;
+  expr.children_.push_back(std::move(lhs));
+  expr.children_.push_back(std::move(rhs));
+  return expr;
+}
+ArithExpr ArithExpr::Subtract(ArithExpr lhs, ArithExpr rhs) {
+  ArithExpr expr;
+  expr.op_ = ArithOp::kSubtract;
+  expr.children_.push_back(std::move(lhs));
+  expr.children_.push_back(std::move(rhs));
+  return expr;
+}
+ArithExpr ArithExpr::Multiply(ArithExpr lhs, ArithExpr rhs) {
+  ArithExpr expr;
+  expr.op_ = ArithOp::kMultiply;
+  expr.children_.push_back(std::move(lhs));
+  expr.children_.push_back(std::move(rhs));
+  return expr;
+}
+
+ArithExpr ArithExpr::Negate(ArithExpr operand) {
+  ArithExpr expr;
+  expr.op_ = ArithOp::kNegate;
+  expr.children_.push_back(std::move(operand));
+  return expr;
+}
+
+bool ArithExpr::operator==(const ArithExpr& other) const {
+  return op_ == other.op_ && constant_ == other.constant_ &&
+         variable_ == other.variable_ && term_ == other.term_ &&
+         children_ == other.children_;
+}
+
+void ArithExpr::CollectVariables(const TermPool& pool,
+                                 std::vector<SymbolId>* out) const {
+  switch (op_) {
+    case ArithOp::kConstant:
+      return;
+    case ArithOp::kVariable:
+      if (std::find(out->begin(), out->end(), variable_) == out->end()) {
+        out->push_back(variable_);
+      }
+      return;
+    case ArithOp::kTerm:
+      pool.CollectVariables(term_, out);
+      return;
+    default:
+      for (const ArithExpr& child : children_) {
+        child.CollectVariables(pool, out);
+      }
+      return;
+  }
+}
+
+StatusOr<int64_t> ArithExpr::Evaluate(const TermPool& pool,
+                                      const Binding& binding) const {
+  switch (op_) {
+    case ArithOp::kConstant:
+      return constant_;
+    case ArithOp::kVariable: {
+      auto it = binding.find(variable_);
+      if (it == binding.end()) {
+        return InvalidArgumentError(
+            StrCat("unbound variable ", pool.symbols().Name(variable_),
+                   " in arithmetic expression"));
+      }
+      if (pool.kind(it->second) != TermKind::kInteger) {
+        return InvalidArgumentError(
+            StrCat("variable ", pool.symbols().Name(variable_),
+                   " bound to non-integer term ", pool.ToString(it->second),
+                   " in arithmetic expression"));
+      }
+      return pool.int_value(it->second);
+    }
+    case ArithOp::kTerm: {
+      // An embedded ground integer term evaluates to its value; a bound
+      // variable inside the term is not supported arithmetically, and a
+      // symbolic term is a type error in an arithmetic position.
+      if (pool.kind(term_) == TermKind::kInteger) {
+        return pool.int_value(term_);
+      }
+      return InvalidArgumentError(
+          StrCat("term ", pool.ToString(term_),
+                 " used in an arithmetic position"));
+    }
+    case ArithOp::kNegate: {
+      ORDLOG_ASSIGN_OR_RETURN(const int64_t value,
+                              children_[0].Evaluate(pool, binding));
+      return -value;
+    }
+    case ArithOp::kAdd:
+    case ArithOp::kSubtract:
+    case ArithOp::kMultiply: {
+      ORDLOG_ASSIGN_OR_RETURN(const int64_t lhs,
+                              children_[0].Evaluate(pool, binding));
+      ORDLOG_ASSIGN_OR_RETURN(const int64_t rhs,
+                              children_[1].Evaluate(pool, binding));
+      switch (op_) {
+        case ArithOp::kAdd:
+          return lhs + rhs;
+        case ArithOp::kSubtract:
+          return lhs - rhs;
+        default:
+          return lhs * rhs;
+      }
+    }
+  }
+  return InternalError("corrupt arithmetic expression");
+}
+
+StatusOr<TermId> ArithExpr::ResolveTerm(TermPool& pool,
+                                        const Binding& binding) const {
+  switch (op_) {
+    case ArithOp::kVariable: {
+      auto it = binding.find(variable_);
+      if (it == binding.end()) {
+        return InvalidArgumentError(
+            StrCat("unbound variable ", pool.symbols().Name(variable_),
+                   " in term comparison"));
+      }
+      return it->second;
+    }
+    case ArithOp::kTerm:
+      return pool.Substitute(term_, binding);
+    case ArithOp::kConstant:
+      return pool.MakeInteger(constant_);
+    default:
+      return FailedPreconditionError(
+          "arithmetic expression used in a term position");
+  }
+}
+
+std::string ArithExpr::ToString(const TermPool& pool) const {
+  switch (op_) {
+    case ArithOp::kConstant:
+      return std::to_string(constant_);
+    case ArithOp::kVariable:
+      return pool.symbols().Name(variable_);
+    case ArithOp::kTerm:
+      return pool.ToString(term_);
+    case ArithOp::kNegate:
+      return StrCat("-(", children_[0].ToString(pool), ")");
+    case ArithOp::kAdd:
+      return StrCat(children_[0].ToString(pool), " + ",
+                    children_[1].ToString(pool));
+    case ArithOp::kSubtract: {
+      std::string rhs = children_[1].ToString(pool);
+      if (children_[1].op_ == ArithOp::kAdd ||
+          children_[1].op_ == ArithOp::kSubtract) {
+        rhs = StrCat("(", rhs, ")");
+      }
+      return StrCat(children_[0].ToString(pool), " - ", rhs);
+    }
+    case ArithOp::kMultiply: {
+      std::string lhs = children_[0].ToString(pool);
+      std::string rhs = children_[1].ToString(pool);
+      if (children_[0].op_ == ArithOp::kAdd ||
+          children_[0].op_ == ArithOp::kSubtract) {
+        lhs = StrCat("(", lhs, ")");
+      }
+      if (children_[1].op_ == ArithOp::kAdd ||
+          children_[1].op_ == ArithOp::kSubtract) {
+        rhs = StrCat("(", rhs, ")");
+      }
+      return StrCat(lhs, " * ", rhs);
+    }
+  }
+  return "?";
+}
+
+const char* CompareOpToString(CompareOp op) {
+  switch (op) {
+    case CompareOp::kLt:
+      return "<";
+    case CompareOp::kLe:
+      return "<=";
+    case CompareOp::kGt:
+      return ">";
+    case CompareOp::kGe:
+      return ">=";
+    case CompareOp::kEq:
+      return "=";
+    case CompareOp::kNe:
+      return "!=";
+  }
+  return "?";
+}
+
+void Comparison::CollectVariables(const TermPool& pool,
+                                  std::vector<SymbolId>* out) const {
+  lhs.CollectVariables(pool, out);
+  rhs.CollectVariables(pool, out);
+}
+
+StatusOr<bool> Comparison::Evaluate(TermPool& pool,
+                                    const Binding& binding) const {
+  // Term identity for (in)equality over term-like operands; this is what
+  // lets `X != Y` range over symbolic constants. Hash-consing makes term
+  // identity coincide with structural equality, including integers.
+  if ((op == CompareOp::kEq || op == CompareOp::kNe) && lhs.IsTermLike() &&
+      rhs.IsTermLike()) {
+    ORDLOG_ASSIGN_OR_RETURN(const TermId left, lhs.ResolveTerm(pool, binding));
+    ORDLOG_ASSIGN_OR_RETURN(const TermId right,
+                            rhs.ResolveTerm(pool, binding));
+    return op == CompareOp::kEq ? left == right : left != right;
+  }
+  ORDLOG_ASSIGN_OR_RETURN(const int64_t left, lhs.Evaluate(pool, binding));
+  ORDLOG_ASSIGN_OR_RETURN(const int64_t right, rhs.Evaluate(pool, binding));
+  switch (op) {
+    case CompareOp::kLt:
+      return left < right;
+    case CompareOp::kLe:
+      return left <= right;
+    case CompareOp::kGt:
+      return left > right;
+    case CompareOp::kGe:
+      return left >= right;
+    case CompareOp::kEq:
+      return left == right;
+    case CompareOp::kNe:
+      return left != right;
+  }
+  return InternalError("corrupt comparison op");
+}
+
+std::string Comparison::ToString(const TermPool& pool) const {
+  return StrCat(lhs.ToString(pool), " ", CompareOpToString(op), " ",
+                rhs.ToString(pool));
+}
+
+}  // namespace ordlog

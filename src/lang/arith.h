@@ -1,0 +1,114 @@
+#ifndef ORDLOG_LANG_ARITH_H_
+#define ORDLOG_LANG_ARITH_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "base/status.h"
+#include "lang/term.h"
+
+namespace ordlog {
+
+// Node kinds of an integer arithmetic expression appearing in a rule's
+// comparison constraints, e.g. `X > Y + 2` in the paper's loan program.
+enum class ArithOp : uint8_t {
+  kConstant,
+  kVariable,
+  kTerm,  // an embedded (possibly symbolic) term, e.g. `red` in `X != red`
+  kAdd,
+  kSubtract,
+  kMultiply,
+  kNegate,
+};
+
+// An integer-valued arithmetic expression over rule variables. Value type;
+// copyable; evaluated against a grounding substitution.
+class ArithExpr {
+ public:
+  static ArithExpr Constant(int64_t value);
+  static ArithExpr Variable(SymbolId name);
+  static ArithExpr Term(TermId term);
+  static ArithExpr Add(ArithExpr lhs, ArithExpr rhs);
+  static ArithExpr Subtract(ArithExpr lhs, ArithExpr rhs);
+  static ArithExpr Multiply(ArithExpr lhs, ArithExpr rhs);
+  static ArithExpr Negate(ArithExpr operand);
+
+  ArithOp op() const { return op_; }
+  int64_t constant() const { return constant_; }
+  SymbolId variable() const { return variable_; }
+  TermId term() const { return term_; }
+  const ArithExpr& left() const { return children_[0]; }
+  const ArithExpr& right() const { return children_[1]; }
+  const ArithExpr& operand() const { return children_[0]; }
+
+  bool operator==(const ArithExpr& other) const;
+
+  // True for expressions that denote a term rather than a computation: a
+  // bare variable, an embedded term, or an integer literal. `=` and `!=`
+  // compare such operands by term identity, which works for symbolic
+  // constants (`X != red`) and degrades gracefully across types
+  // (`k0 != 3` is simply true). Composite arithmetic (`X = 1 + 2`) stays
+  // in the integer domain.
+  bool IsTermLike() const {
+    return op_ == ArithOp::kVariable || op_ == ArithOp::kTerm ||
+           op_ == ArithOp::kConstant;
+  }
+
+  // Appends the variables occurring in the expression to `out` in
+  // first-occurrence order, skipping duplicates already present.
+  void CollectVariables(const TermPool& pool,
+                        std::vector<SymbolId>* out) const;
+
+  // Evaluates under `binding` as an integer. Every variable must be bound
+  // to an integer term; an embedded term must be (or substitute to) an
+  // integer term; otherwise kInvalidArgument.
+  StatusOr<int64_t> Evaluate(const TermPool& pool,
+                             const Binding& binding) const;
+
+  // Resolves a term-like expression to the (ground) term it denotes under
+  // `binding`. kFailedPrecondition for computational expressions.
+  StatusOr<TermId> ResolveTerm(TermPool& pool, const Binding& binding) const;
+
+  // Renders in source syntax with minimal parenthesization.
+  std::string ToString(const TermPool& pool) const;
+
+ private:
+  ArithExpr() = default;
+
+  ArithOp op_ = ArithOp::kConstant;
+  int64_t constant_ = 0;
+  SymbolId variable_ = 0;
+  TermId term_ = 0;
+  std::vector<ArithExpr> children_;
+};
+
+enum class CompareOp : uint8_t { kLt, kLe, kGt, kGe, kEq, kNe };
+
+// Renders "<", "<=", ">", ">=", "=", "!=".
+const char* CompareOpToString(CompareOp op);
+
+// A comparison constraint `lhs op rhs` in a rule body. Constraints are not
+// literals: they do not appear in interpretations; the grounder evaluates
+// them and drops ground instances whose constraints fail (or cannot be
+// evaluated, e.g. an ordering comparison over symbolic constants).
+//
+// `=` and `!=` with two term-like operands compare by term identity
+// (covering symbolic constants, as in Example 9's `X != Y` over colors);
+// all other cases evaluate both sides as integers.
+struct Comparison {
+  CompareOp op = CompareOp::kEq;
+  ArithExpr lhs = ArithExpr::Constant(0);
+  ArithExpr rhs = ArithExpr::Constant(0);
+
+  bool operator==(const Comparison& other) const = default;
+
+  void CollectVariables(const TermPool& pool,
+                        std::vector<SymbolId>* out) const;
+  StatusOr<bool> Evaluate(TermPool& pool, const Binding& binding) const;
+  std::string ToString(const TermPool& pool) const;
+};
+
+}  // namespace ordlog
+
+#endif  // ORDLOG_LANG_ARITH_H_

@@ -1,0 +1,40 @@
+#include "lang/atom.h"
+
+#include "base/hash.h"
+
+namespace ordlog {
+
+bool Atom::IsGround(const TermPool& pool) const {
+  for (TermId arg : args) {
+    if (!pool.IsGround(arg)) return false;
+  }
+  return true;
+}
+
+void Atom::CollectVariables(const TermPool& pool,
+                            std::vector<SymbolId>* out) const {
+  for (TermId arg : args) pool.CollectVariables(arg, out);
+}
+
+size_t AtomHash::operator()(const Atom& atom) const {
+  size_t seed = 0;
+  HashCombine(seed, atom.predicate);
+  for (TermId arg : atom.args) HashCombine(seed, arg);
+  return seed;
+}
+
+size_t LiteralHash::operator()(const Literal& literal) const {
+  size_t seed = AtomHash{}(literal.atom);
+  HashCombine(seed, literal.positive);
+  return seed;
+}
+
+Atom MakeAtom(TermPool& pool, std::string_view predicate,
+              std::vector<TermId> args) {
+  return Atom{pool.symbols().Intern(predicate), std::move(args)};
+}
+
+Literal Pos(Atom atom) { return Literal{std::move(atom), true}; }
+Literal Neg(Atom atom) { return Literal{std::move(atom), false}; }
+
+}  // namespace ordlog

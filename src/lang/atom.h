@@ -1,0 +1,53 @@
+#ifndef ORDLOG_LANG_ATOM_H_
+#define ORDLOG_LANG_ATOM_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "lang/term.h"
+
+namespace ordlog {
+
+// A predicate applied to terms: p(t1, ..., tn). Value type; term ids refer
+// to a TermPool that the atom does not own.
+struct Atom {
+  SymbolId predicate = 0;
+  std::vector<TermId> args;
+
+  bool operator==(const Atom& other) const = default;
+
+  size_t arity() const { return args.size(); }
+  bool IsGround(const TermPool& pool) const;
+  void CollectVariables(const TermPool& pool,
+                        std::vector<SymbolId>* out) const;
+};
+
+struct AtomHash {
+  size_t operator()(const Atom& atom) const;
+};
+
+// A possibly negated atom. `-p(...)` is written with positive == false.
+// The paper's "complementary" literals are Complement() pairs.
+struct Literal {
+  Atom atom;
+  bool positive = true;
+
+  bool operator==(const Literal& other) const = default;
+
+  Literal Complement() const { return Literal{atom, !positive}; }
+  bool IsGround(const TermPool& pool) const { return atom.IsGround(pool); }
+};
+
+struct LiteralHash {
+  size_t operator()(const Literal& literal) const;
+};
+
+// Convenience constructors used heavily by tests and examples.
+Atom MakeAtom(TermPool& pool, std::string_view predicate,
+              std::vector<TermId> args = {});
+Literal Pos(Atom atom);
+Literal Neg(Atom atom);
+
+}  // namespace ordlog
+
+#endif  // ORDLOG_LANG_ATOM_H_

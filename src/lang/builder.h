@@ -1,0 +1,116 @@
+#ifndef ORDLOG_LANG_BUILDER_H_
+#define ORDLOG_LANG_BUILDER_H_
+
+#include <deque>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "base/status.h"
+#include "lang/program.h"
+
+namespace ordlog {
+
+class ComponentBuilder;
+
+// Fluent construction of ordered programs directly in C++, mirroring the
+// textual syntax's conventions: in argument strings, a leading uppercase
+// letter or '_' denotes a variable, an (optionally negative) integer
+// literal an integer term, anything else a constant.
+//
+//   ProgramBuilder builder;
+//   builder.Component("c2")
+//       .Fact("bird", {"penguin"})
+//       .Fact("bird", {"pigeon"})
+//       .Rule("fly", {"X"}).If("bird", {"X"})
+//       .NegRule("ground_animal", {"X"}).If("bird", {"X"});
+//   builder.Component("c1")
+//       .Fact("ground_animal", {"penguin"})
+//       .NegRule("fly", {"X"}).If("ground_animal", {"X"});
+//   builder.Order("c1", "c2");
+//   StatusOr<OrderedProgram> program = builder.Build();
+//
+// Errors (bad names, Where() without a rule, order cycles) are collected
+// and surfaced by Build(); the fluent calls never fail mid-chain.
+class ProgramBuilder {
+ public:
+  ProgramBuilder();
+  explicit ProgramBuilder(std::shared_ptr<TermPool> pool);
+  ProgramBuilder(const ProgramBuilder&) = delete;
+  ProgramBuilder& operator=(const ProgramBuilder&) = delete;
+
+  // Returns the (created-on-first-use) builder for the named component.
+  ComponentBuilder& Component(std::string_view name);
+
+  // Declares lower < higher (creating components as needed).
+  ProgramBuilder& Order(std::string_view lower, std::string_view higher);
+
+  // Assembles and finalizes the program. Returns the first error recorded
+  // during construction, if any.
+  StatusOr<OrderedProgram> Build();
+
+  TermPool& pool() { return *pool_; }
+  const std::shared_ptr<TermPool>& shared_pool() const { return pool_; }
+
+ private:
+  friend class ComponentBuilder;
+  void RecordError(Status status);
+  // Parses an argument token per the conventions above.
+  TermId ParseArg(std::string_view token);
+
+  std::shared_ptr<TermPool> pool_;
+  std::deque<ComponentBuilder> components_;  // stable addresses
+  std::vector<std::pair<std::string, std::string>> order_edges_;
+  Status first_error_;
+};
+
+// Accumulates one component's rules. Obtained from
+// ProgramBuilder::Component; the head-introducing calls (Fact/Rule/...)
+// start a new rule, and If/IfNot/Where extend the most recent one.
+class ComponentBuilder {
+ public:
+  // Head introducers.
+  ComponentBuilder& Fact(std::string_view predicate,
+                         std::vector<std::string> args = {});
+  ComponentBuilder& NegFact(std::string_view predicate,
+                            std::vector<std::string> args = {});
+  ComponentBuilder& Rule(std::string_view predicate,
+                         std::vector<std::string> args = {});
+  ComponentBuilder& NegRule(std::string_view predicate,
+                            std::vector<std::string> args = {});
+
+  // Body extenders (apply to the most recent head).
+  ComponentBuilder& If(std::string_view predicate,
+                       std::vector<std::string> args = {});
+  ComponentBuilder& IfNot(std::string_view predicate,
+                          std::vector<std::string> args = {});
+  // Comparison constraint; operands follow the same token conventions
+  // (variables, integers, constants — constants only meaningful under
+  // kEq/kNe).
+  ComponentBuilder& Where(std::string_view lhs, CompareOp op,
+                          std::string_view rhs);
+
+  const std::string& name() const { return name_; }
+
+ private:
+  friend class ProgramBuilder;
+  ComponentBuilder(ProgramBuilder* owner, std::string name)
+      : owner_(owner), name_(std::move(name)) {}
+
+  ComponentBuilder& StartRule(std::string_view predicate,
+                              std::vector<std::string> args, bool positive);
+  ComponentBuilder& AddBody(std::string_view predicate,
+                            std::vector<std::string> args, bool positive);
+  Atom MakeAtomFromTokens(std::string_view predicate,
+                          std::vector<std::string> args);
+
+  ProgramBuilder* owner_;
+  std::string name_;
+  std::vector<ordlog::Rule> rules_;
+  bool has_open_rule_ = false;
+};
+
+}  // namespace ordlog
+
+#endif  // ORDLOG_LANG_BUILDER_H_

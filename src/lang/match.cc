@@ -1,0 +1,52 @@
+#include "lang/match.h"
+
+#include "base/logging.h"
+
+namespace ordlog {
+
+bool MatchTerm(const TermPool& pool, TermId pattern, TermId ground,
+               Binding& binding) {
+  ORDLOG_DCHECK(pool.IsGround(ground));
+  switch (pool.kind(pattern)) {
+    case TermKind::kVariable: {
+      const SymbolId name = pool.symbol(pattern);
+      auto [it, inserted] = binding.emplace(name, ground);
+      return inserted || it->second == ground;
+    }
+    case TermKind::kConstant:
+    case TermKind::kInteger:
+      return pattern == ground;
+    case TermKind::kFunction: {
+      if (pool.kind(ground) != TermKind::kFunction) return false;
+      if (pool.symbol(pattern) != pool.symbol(ground)) return false;
+      const auto& pattern_args = pool.args(pattern);
+      const auto& ground_args = pool.args(ground);
+      if (pattern_args.size() != ground_args.size()) return false;
+      for (size_t i = 0; i < pattern_args.size(); ++i) {
+        if (!MatchTerm(pool, pattern_args[i], ground_args[i], binding)) {
+          return false;
+        }
+      }
+      return true;
+    }
+  }
+  return false;
+}
+
+std::optional<Binding> MatchAtom(const TermPool& pool, const Atom& pattern,
+                                 const Atom& ground,
+                                 const Binding& binding) {
+  if (pattern.predicate != ground.predicate ||
+      pattern.args.size() != ground.args.size()) {
+    return std::nullopt;
+  }
+  Binding extended = binding;
+  for (size_t i = 0; i < pattern.args.size(); ++i) {
+    if (!MatchTerm(pool, pattern.args[i], ground.args[i], extended)) {
+      return std::nullopt;
+    }
+  }
+  return extended;
+}
+
+}  // namespace ordlog

@@ -1,0 +1,25 @@
+#ifndef ORDLOG_LANG_MATCH_H_
+#define ORDLOG_LANG_MATCH_H_
+
+#include <optional>
+
+#include "lang/atom.h"
+
+namespace ordlog {
+
+// One-way pattern matching: extends `binding` so that pattern[binding] ==
+// ground. `ground` must be a ground term/atom; pattern variables already
+// bound must match consistently. Returns false (leaving `binding` in a
+// partially extended state) on mismatch — pass a copy when that matters.
+bool MatchTerm(const TermPool& pool, TermId pattern, TermId ground,
+               Binding& binding);
+
+// Matches an atom pattern (same predicate, same arity, arguments match).
+// On success returns the extended binding; nullopt otherwise.
+std::optional<Binding> MatchAtom(const TermPool& pool, const Atom& pattern,
+                                 const Atom& ground,
+                                 const Binding& binding = {});
+
+}  // namespace ordlog
+
+#endif  // ORDLOG_LANG_MATCH_H_

@@ -1,0 +1,69 @@
+#include "lang/printer.h"
+
+#include <sstream>
+
+#include "base/strings.h"
+
+namespace ordlog {
+
+std::string ToString(const TermPool& pool, const Atom& atom) {
+  if (atom.args.empty()) {
+    return pool.symbols().Name(atom.predicate);
+  }
+  return StrCat(pool.symbols().Name(atom.predicate), "(",
+                StrJoin(atom.args, ", ",
+                        [&pool](std::ostringstream& os, TermId arg) {
+                          os << pool.ToString(arg);
+                        }),
+                ")");
+}
+
+std::string ToString(const TermPool& pool, const Literal& literal) {
+  return literal.positive ? ToString(pool, literal.atom)
+                          : StrCat("-", ToString(pool, literal.atom));
+}
+
+std::string ToString(const TermPool& pool, const Rule& rule) {
+  std::ostringstream os;
+  os << ToString(pool, rule.head);
+  if (!rule.IsFact()) {
+    os << " :- ";
+    bool first = true;
+    for (const Literal& literal : rule.body) {
+      if (!first) os << ", ";
+      first = false;
+      os << ToString(pool, literal);
+    }
+    for (const Comparison& comparison : rule.constraints) {
+      if (!first) os << ", ";
+      first = false;
+      os << comparison.ToString(pool);
+    }
+  }
+  os << ".";
+  return os.str();
+}
+
+std::string ToString(const TermPool& pool, const Component& component) {
+  std::ostringstream os;
+  os << "component " << component.name << " {\n";
+  for (const Rule& rule : component.rules) {
+    os << "  " << ToString(pool, rule) << "\n";
+  }
+  os << "}\n";
+  return os.str();
+}
+
+std::string ToString(const OrderedProgram& program) {
+  std::ostringstream os;
+  for (ComponentId id = 0; id < program.NumComponents(); ++id) {
+    os << ToString(program.pool(), program.component(id));
+  }
+  for (const auto& [lower, higher] : program.order_edges()) {
+    os << "order " << program.component(lower).name << " < "
+       << program.component(higher).name << ".\n";
+  }
+  return os.str();
+}
+
+}  // namespace ordlog

@@ -1,0 +1,26 @@
+#ifndef ORDLOG_LANG_PRINTER_H_
+#define ORDLOG_LANG_PRINTER_H_
+
+#include <string>
+
+#include "lang/program.h"
+
+namespace ordlog {
+
+// Renders language objects in the textual syntax accepted by the parser,
+// so Parse(ToString(x)) round-trips (tested in parser/roundtrip_test).
+
+// "p(a, f(X))"
+std::string ToString(const TermPool& pool, const Atom& atom);
+// "p(a)" or "-p(a)"
+std::string ToString(const TermPool& pool, const Literal& literal);
+// "p(a)." / "p(X) :- q(X), X > 2."
+std::string ToString(const TermPool& pool, const Rule& rule);
+// "component c { ... }"
+std::string ToString(const TermPool& pool, const Component& component);
+// Whole program including order declarations.
+std::string ToString(const OrderedProgram& program);
+
+}  // namespace ordlog
+
+#endif  // ORDLOG_LANG_PRINTER_H_

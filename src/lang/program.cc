@@ -1,0 +1,120 @@
+#include "lang/program.h"
+
+#include "base/logging.h"
+#include "base/strings.h"
+
+namespace ordlog {
+
+OrderedProgram::OrderedProgram(std::shared_ptr<TermPool> pool)
+    : pool_(std::move(pool)) {
+  ORDLOG_CHECK(pool_ != nullptr);
+}
+
+StatusOr<ComponentId> OrderedProgram::AddComponent(std::string name) {
+  if (by_name_.contains(name)) {
+    return AlreadyExistsError(StrCat("duplicate component '", name, "'"));
+  }
+  const ComponentId id = static_cast<ComponentId>(components_.size());
+  by_name_.emplace(name, id);
+  components_.push_back(Component{std::move(name), {}});
+  finalized_ = false;
+  return id;
+}
+
+Status OrderedProgram::AddRule(ComponentId id, Rule rule) {
+  if (id >= components_.size()) {
+    return OutOfRangeError(StrCat("no component with id ", id));
+  }
+  components_[id].rules.push_back(std::move(rule));
+  finalized_ = false;
+  return Status::Ok();
+}
+
+Status OrderedProgram::AddOrder(ComponentId lower, ComponentId higher) {
+  if (lower >= components_.size() || higher >= components_.size()) {
+    return OutOfRangeError("order edge references unknown component");
+  }
+  if (lower == higher) {
+    return InvalidArgumentError(
+        StrCat("component '", components_[lower].name,
+               "' cannot be ordered below itself"));
+  }
+  edges_.emplace_back(lower, higher);
+  finalized_ = false;
+  return Status::Ok();
+}
+
+StatusOr<ComponentId> OrderedProgram::FindComponent(
+    std::string_view name) const {
+  auto it = by_name_.find(std::string(name));
+  if (it == by_name_.end()) {
+    return NotFoundError(StrCat("no component named '", name, "'"));
+  }
+  return it->second;
+}
+
+const Component& OrderedProgram::component(ComponentId id) const {
+  ORDLOG_CHECK_LT(id, components_.size());
+  return components_[id];
+}
+
+Status OrderedProgram::Finalize() {
+  const size_t n = components_.size();
+  leq_.assign(n, DynamicBitset(n));
+  for (size_t i = 0; i < n; ++i) leq_[i].Set(i);
+  for (const auto& [lower, higher] : edges_) {
+    leq_[lower].Set(higher);
+  }
+  // Floyd–Warshall-style closure over the bit rows; n is the number of
+  // modules, which is small in practice.
+  for (size_t k = 0; k < n; ++k) {
+    for (size_t i = 0; i < n; ++i) {
+      if (leq_[i].Test(k)) leq_[i] |= leq_[k];
+    }
+  }
+  // Acyclic <=> the closed relation is antisymmetric off the diagonal.
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = i + 1; j < n; ++j) {
+      if (leq_[i].Test(j) && leq_[j].Test(i)) {
+        return InvalidArgumentError(
+            StrCat("component order contains a cycle through '",
+                   components_[i].name, "' and '", components_[j].name, "'"));
+      }
+    }
+  }
+  finalized_ = true;
+  return Status::Ok();
+}
+
+bool OrderedProgram::Leq(ComponentId a, ComponentId b) const {
+  ORDLOG_CHECK(finalized_) << "call Finalize() before order queries";
+  return leq_[a].Test(b);
+}
+
+bool OrderedProgram::Less(ComponentId a, ComponentId b) const {
+  return a != b && Leq(a, b);
+}
+
+bool OrderedProgram::Incomparable(ComponentId a, ComponentId b) const {
+  return a != b && !Leq(a, b) && !Leq(b, a);
+}
+
+std::vector<ComponentId> OrderedProgram::ComponentsAbove(
+    ComponentId c) const {
+  ORDLOG_CHECK(finalized_) << "call Finalize() before order queries";
+  ORDLOG_CHECK_LT(c, components_.size());
+  std::vector<ComponentId> result;
+  leq_[c].ForEach(
+      [&result](size_t b) { result.push_back(static_cast<ComponentId>(b)); });
+  return result;
+}
+
+size_t OrderedProgram::NumRules() const {
+  size_t total = 0;
+  for (const Component& component : components_) {
+    total += component.rules.size();
+  }
+  return total;
+}
+
+}  // namespace ordlog

@@ -1,0 +1,104 @@
+#ifndef ORDLOG_LANG_PROGRAM_H_
+#define ORDLOG_LANG_PROGRAM_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "base/bitset.h"
+#include "base/status.h"
+#include "lang/rule.h"
+
+namespace ordlog {
+
+// Dense id of a component within an OrderedProgram.
+using ComponentId = uint32_t;
+
+// A named module/object: a set of rules. Components are the paper's
+// "negative programs" that an OrderedProgram partially orders.
+struct Component {
+  std::string name;
+  std::vector<Rule> rules;
+};
+
+// An ordered logic program (paper Definition 1): a finite partially-ordered
+// set of components. `AddOrder(lower, higher)` declares `lower < higher`,
+// i.e. `lower` is the more specific module that inherits (and may overrule)
+// the rules of `higher`.
+//
+// Usage:
+//   auto pool = std::make_shared<TermPool>();
+//   OrderedProgram program(pool);
+//   ComponentId c1 = program.AddComponent("c1").value();
+//   ComponentId c2 = program.AddComponent("c2").value();
+//   ... program.AddRule(c2, rule) ...
+//   program.AddOrder(c1, c2);
+//   Status s = program.Finalize();   // validates acyclicity, closes <=
+//
+// After Finalize the order queries Leq/Less/Incomparable are available.
+// Mutations after Finalize reset the program to the unfinalized state.
+class OrderedProgram {
+ public:
+  explicit OrderedProgram(std::shared_ptr<TermPool> pool);
+
+  // Copyable: components and edges are value data; the pool is shared.
+  OrderedProgram(const OrderedProgram&) = default;
+  OrderedProgram& operator=(const OrderedProgram&) = default;
+
+  TermPool& pool() { return *pool_; }
+  const TermPool& pool() const { return *pool_; }
+  const std::shared_ptr<TermPool>& shared_pool() const { return pool_; }
+
+  // Adds an empty component. Fails with kAlreadyExists on duplicate name.
+  StatusOr<ComponentId> AddComponent(std::string name);
+
+  // Appends `rule` to component `id`.
+  Status AddRule(ComponentId id, Rule rule);
+
+  // Declares `lower < higher`. Both must exist and differ. Cycles are
+  // detected at Finalize time.
+  Status AddOrder(ComponentId lower, ComponentId higher);
+
+  StatusOr<ComponentId> FindComponent(std::string_view name) const;
+
+  size_t NumComponents() const { return components_.size(); }
+  const Component& component(ComponentId id) const;
+  const std::vector<std::pair<ComponentId, ComponentId>>& order_edges()
+      const {
+    return edges_;
+  }
+
+  // Computes the reflexive-transitive closure of the declared edges and
+  // verifies that the strict order is acyclic. Idempotent.
+  Status Finalize();
+  bool finalized() const { return finalized_; }
+
+  // a <= b: component a sees b's rules (reflexive). Requires finalized().
+  bool Leq(ComponentId a, ComponentId b) const;
+  // a < b (strict).
+  bool Less(ComponentId a, ComponentId b) const;
+  // a <> b: distinct and order-incomparable.
+  bool Incomparable(ComponentId a, ComponentId b) const;
+
+  // The components whose rules are visible from `c` (the components of
+  // C*), i.e. all b with c <= b, in increasing id order. Includes c.
+  std::vector<ComponentId> ComponentsAbove(ComponentId c) const;
+
+  // Total number of (non-ground) rules across all components.
+  size_t NumRules() const;
+
+ private:
+  std::shared_ptr<TermPool> pool_;
+  std::vector<Component> components_;
+  std::unordered_map<std::string, ComponentId> by_name_;
+  std::vector<std::pair<ComponentId, ComponentId>> edges_;  // lower < higher
+  std::vector<DynamicBitset> leq_;  // leq_[a].Test(b) <=> a <= b
+  bool finalized_ = false;
+};
+
+}  // namespace ordlog
+
+#endif  // ORDLOG_LANG_PROGRAM_H_

@@ -1,0 +1,45 @@
+#include "lang/rule.h"
+
+namespace ordlog {
+
+bool Rule::IsPositive() const {
+  if (!head.positive) return false;
+  for (const Literal& literal : body) {
+    if (!literal.positive) return false;
+  }
+  return true;
+}
+
+bool Rule::IsGround(const TermPool& pool) const {
+  if (!head.IsGround(pool)) return false;
+  for (const Literal& literal : body) {
+    if (!literal.IsGround(pool)) return false;
+  }
+  // Constraints over variables make a rule non-ground.
+  std::vector<SymbolId> constraint_vars;
+  for (const Comparison& comparison : constraints) {
+    comparison.CollectVariables(pool, &constraint_vars);
+  }
+  return constraint_vars.empty();
+}
+
+std::vector<SymbolId> Rule::Variables(const TermPool& pool) const {
+  std::vector<SymbolId> vars;
+  head.atom.CollectVariables(pool, &vars);
+  for (const Literal& literal : body) {
+    literal.atom.CollectVariables(pool, &vars);
+  }
+  for (const Comparison& comparison : constraints) {
+    comparison.CollectVariables(pool, &vars);
+  }
+  return vars;
+}
+
+Rule MakeFact(Literal head) { return Rule{std::move(head), {}, {}}; }
+
+Rule MakeRule(Literal head, std::vector<Literal> body,
+              std::vector<Comparison> constraints) {
+  return Rule{std::move(head), std::move(body), std::move(constraints)};
+}
+
+}  // namespace ordlog

@@ -1,0 +1,44 @@
+#ifndef ORDLOG_LANG_RULE_H_
+#define ORDLOG_LANG_RULE_H_
+
+#include <vector>
+
+#include "lang/arith.h"
+#include "lang/atom.h"
+
+namespace ordlog {
+
+// A rule `head :- body, constraints.` The head may be a negative literal
+// (the paper's "negative rule"); a rule with positive head is
+// "seminegative"; one with all-positive literals is "positive" (Horn).
+// A rule with empty body and no constraints is a fact.
+struct Rule {
+  Literal head;
+  std::vector<Literal> body;
+  std::vector<Comparison> constraints;
+
+  bool operator==(const Rule& other) const = default;
+
+  bool IsFact() const { return body.empty() && constraints.empty(); }
+
+  // Paper terminology (Section 2): head is positive.
+  bool IsSeminegative() const { return head.positive; }
+
+  // Paper terminology: head and all body literals are positive (Horn).
+  bool IsPositive() const;
+
+  bool IsGround(const TermPool& pool) const;
+
+  // All distinct variables of head, body and constraints, in
+  // first-occurrence order.
+  std::vector<SymbolId> Variables(const TermPool& pool) const;
+};
+
+// Convenience constructors used by tests and examples.
+Rule MakeFact(Literal head);
+Rule MakeRule(Literal head, std::vector<Literal> body,
+              std::vector<Comparison> constraints = {});
+
+}  // namespace ordlog
+
+#endif  // ORDLOG_LANG_RULE_H_

@@ -1,0 +1,31 @@
+#include "lang/symbol_table.h"
+
+#include "base/logging.h"
+
+namespace ordlog {
+
+SymbolId SymbolTable::Intern(std::string_view name) {
+  auto it = index_.find(std::string(name));
+  if (it != index_.end()) {
+    return it->second;
+  }
+  const SymbolId id = static_cast<SymbolId>(names_.size());
+  names_.emplace_back(name);
+  index_.emplace(names_.back(), id);
+  return id;
+}
+
+std::optional<SymbolId> SymbolTable::Find(std::string_view name) const {
+  auto it = index_.find(std::string(name));
+  if (it == index_.end()) {
+    return std::nullopt;
+  }
+  return it->second;
+}
+
+const std::string& SymbolTable::Name(SymbolId id) const {
+  ORDLOG_CHECK_LT(id, names_.size());
+  return names_[id];
+}
+
+}  // namespace ordlog

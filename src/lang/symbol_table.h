@@ -1,0 +1,41 @@
+#ifndef ORDLOG_LANG_SYMBOL_TABLE_H_
+#define ORDLOG_LANG_SYMBOL_TABLE_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace ordlog {
+
+// Dense id of an interned name (predicate symbol, constant, functor or
+// variable name). Ids are stable for the lifetime of the SymbolTable.
+using SymbolId = uint32_t;
+
+// Interns strings into dense SymbolIds so that the rest of the system can
+// compare names by integer equality and index arrays by symbol.
+class SymbolTable {
+ public:
+  SymbolTable() = default;
+
+  // Returns the id for `name`, creating it on first use.
+  SymbolId Intern(std::string_view name);
+
+  // Returns the id for `name` if it was interned before.
+  std::optional<SymbolId> Find(std::string_view name) const;
+
+  // Returns the name for `id`. `id` must have been returned by Intern.
+  const std::string& Name(SymbolId id) const;
+
+  size_t size() const { return names_.size(); }
+
+ private:
+  std::vector<std::string> names_;
+  std::unordered_map<std::string, SymbolId> index_;
+};
+
+}  // namespace ordlog
+
+#endif  // ORDLOG_LANG_SYMBOL_TABLE_H_

@@ -1,0 +1,205 @@
+#include "lang/term.h"
+
+#include <algorithm>
+
+#include "base/hash.h"
+#include "base/logging.h"
+#include "base/strings.h"
+
+namespace ordlog {
+
+size_t TermPool::KeyHash::operator()(const Key& key) const {
+  size_t seed = 0;
+  HashCombine(seed, static_cast<uint8_t>(key.kind));
+  HashCombine(seed, key.symbol);
+  HashCombine(seed, key.int_value);
+  for (TermId arg : key.args) HashCombine(seed, arg);
+  return seed;
+}
+
+TermId TermPool::Intern(TermData data) {
+  Key key{data.kind, data.symbol, data.int_value, data.args};
+  auto it = index_.find(key);
+  if (it != index_.end()) {
+    return it->second;
+  }
+  const TermId id = static_cast<TermId>(terms_.size());
+  terms_.push_back(std::move(data));
+  index_.emplace(std::move(key), id);
+  return id;
+}
+
+TermId TermPool::MakeVariable(std::string_view name) {
+  return MakeVariable(symbols_.Intern(name));
+}
+
+TermId TermPool::MakeVariable(SymbolId name) {
+  TermData data;
+  data.kind = TermKind::kVariable;
+  data.symbol = name;
+  data.ground = false;
+  return Intern(std::move(data));
+}
+
+TermId TermPool::MakeConstant(std::string_view name) {
+  return MakeConstant(symbols_.Intern(name));
+}
+
+TermId TermPool::MakeConstant(SymbolId name) {
+  TermData data;
+  data.kind = TermKind::kConstant;
+  data.symbol = name;
+  return Intern(std::move(data));
+}
+
+TermId TermPool::MakeInteger(int64_t value) {
+  TermData data;
+  data.kind = TermKind::kInteger;
+  data.int_value = value;
+  return Intern(std::move(data));
+}
+
+TermId TermPool::MakeFunction(std::string_view functor,
+                              std::vector<TermId> args) {
+  return MakeFunction(symbols_.Intern(functor), std::move(args));
+}
+
+TermId TermPool::MakeFunction(SymbolId functor, std::vector<TermId> args) {
+  TermData data;
+  data.kind = TermKind::kFunction;
+  data.symbol = functor;
+  data.args = std::move(args);
+  for (TermId arg : data.args) {
+    ORDLOG_CHECK_LT(arg, terms_.size());
+    data.ground = data.ground && terms_[arg].ground;
+    data.depth = std::max(data.depth, terms_[arg].depth + 1);
+  }
+  if (data.args.empty()) data.depth = 1;
+  return Intern(std::move(data));
+}
+
+TermKind TermPool::kind(TermId id) const {
+  ORDLOG_CHECK_LT(id, terms_.size());
+  return terms_[id].kind;
+}
+
+SymbolId TermPool::symbol(TermId id) const {
+  ORDLOG_CHECK_LT(id, terms_.size());
+  ORDLOG_DCHECK(terms_[id].kind != TermKind::kInteger);
+  return terms_[id].symbol;
+}
+
+int64_t TermPool::int_value(TermId id) const {
+  ORDLOG_CHECK_LT(id, terms_.size());
+  ORDLOG_DCHECK(terms_[id].kind == TermKind::kInteger);
+  return terms_[id].int_value;
+}
+
+const std::vector<TermId>& TermPool::args(TermId id) const {
+  ORDLOG_CHECK_LT(id, terms_.size());
+  return terms_[id].args;
+}
+
+bool TermPool::IsGround(TermId id) const {
+  ORDLOG_CHECK_LT(id, terms_.size());
+  return terms_[id].ground;
+}
+
+int TermPool::Depth(TermId id) const {
+  ORDLOG_CHECK_LT(id, terms_.size());
+  return terms_[id].depth;
+}
+
+TermId TermPool::Substitute(TermId term, const Binding& binding) {
+  const TermData& data = terms_[term];
+  switch (data.kind) {
+    case TermKind::kVariable: {
+      auto it = binding.find(data.symbol);
+      return it == binding.end() ? term : it->second;
+    }
+    case TermKind::kConstant:
+    case TermKind::kInteger:
+      return term;
+    case TermKind::kFunction: {
+      if (data.ground) return term;
+      std::vector<TermId> new_args;
+      new_args.reserve(data.args.size());
+      // Note: `data` may be invalidated by recursive Intern calls, so copy
+      // what we need first.
+      const SymbolId functor = data.symbol;
+      const std::vector<TermId> old_args = data.args;
+      for (TermId arg : old_args) {
+        new_args.push_back(Substitute(arg, binding));
+      }
+      return MakeFunction(functor, std::move(new_args));
+    }
+  }
+  ORDLOG_CHECK(false) << "corrupt term kind";
+  return term;
+}
+
+TermId TermPool::ReplaceConstant(TermId term, SymbolId from, TermId to) {
+  const TermData& data = terms_[term];
+  switch (data.kind) {
+    case TermKind::kVariable:
+    case TermKind::kInteger:
+      return term;
+    case TermKind::kConstant:
+      return data.symbol == from ? to : term;
+    case TermKind::kFunction: {
+      const SymbolId functor = data.symbol;
+      const std::vector<TermId> old_args = data.args;  // survive realloc
+      std::vector<TermId> new_args;
+      new_args.reserve(old_args.size());
+      bool changed = false;
+      for (TermId arg : old_args) {
+        const TermId replaced = ReplaceConstant(arg, from, to);
+        changed = changed || replaced != arg;
+        new_args.push_back(replaced);
+      }
+      return changed ? MakeFunction(functor, std::move(new_args)) : term;
+    }
+  }
+  ORDLOG_CHECK(false) << "corrupt term kind";
+  return term;
+}
+
+void TermPool::CollectVariables(TermId term,
+                                std::vector<SymbolId>* out) const {
+  const TermData& data = terms_[term];
+  switch (data.kind) {
+    case TermKind::kVariable:
+      if (std::find(out->begin(), out->end(), data.symbol) == out->end()) {
+        out->push_back(data.symbol);
+      }
+      return;
+    case TermKind::kConstant:
+    case TermKind::kInteger:
+      return;
+    case TermKind::kFunction:
+      if (data.ground) return;
+      for (TermId arg : data.args) CollectVariables(arg, out);
+      return;
+  }
+}
+
+std::string TermPool::ToString(TermId id) const {
+  const TermData& data = terms_[id];
+  switch (data.kind) {
+    case TermKind::kVariable:
+    case TermKind::kConstant:
+      return symbols_.Name(data.symbol);
+    case TermKind::kInteger:
+      return std::to_string(data.int_value);
+    case TermKind::kFunction:
+      return StrCat(symbols_.Name(data.symbol), "(",
+                    StrJoin(data.args, ", ",
+                            [this](std::ostringstream& os, TermId arg) {
+                              os << ToString(arg);
+                            }),
+                    ")");
+  }
+  return "?";
+}
+
+}  // namespace ordlog

@@ -1,0 +1,117 @@
+#ifndef ORDLOG_LANG_TERM_H_
+#define ORDLOG_LANG_TERM_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "lang/symbol_table.h"
+
+namespace ordlog {
+
+// Dense id of a hash-consed term inside a TermPool. Two TermIds from the
+// same pool are equal iff the terms are structurally equal, so term
+// comparison anywhere in the engine is integer comparison.
+using TermId = uint32_t;
+
+enum class TermKind : uint8_t {
+  kVariable,  // X, Y, ...
+  kConstant,  // penguin, mimmo, ...
+  kInteger,   // 12, -5, ...
+  kFunction,  // f(t1, ..., tn)
+};
+
+// A binding of variables (by name symbol) to terms, as produced by the
+// grounder when instantiating a rule.
+using Binding = std::unordered_map<SymbolId, TermId>;
+
+// Owns all terms of a program and hash-conses them: structurally equal
+// terms receive the same TermId. Also owns the SymbolTable for every name
+// in the program (predicates, constants, functors, variables).
+//
+// TermPool is append-only; TermIds and SymbolIds stay valid for the pool's
+// lifetime. Not thread-safe for concurrent mutation.
+class TermPool {
+ public:
+  TermPool() = default;
+  TermPool(const TermPool&) = delete;
+  TermPool& operator=(const TermPool&) = delete;
+
+  SymbolTable& symbols() { return symbols_; }
+  const SymbolTable& symbols() const { return symbols_; }
+
+  // Term constructors (interning).
+  TermId MakeVariable(std::string_view name);
+  TermId MakeVariable(SymbolId name);
+  TermId MakeConstant(std::string_view name);
+  TermId MakeConstant(SymbolId name);
+  TermId MakeInteger(int64_t value);
+  TermId MakeFunction(std::string_view functor, std::vector<TermId> args);
+  TermId MakeFunction(SymbolId functor, std::vector<TermId> args);
+
+  // Introspection. `id` must have been produced by this pool.
+  TermKind kind(TermId id) const;
+  // Name symbol of a variable/constant/function term.
+  SymbolId symbol(TermId id) const;
+  // Value of an integer term.
+  int64_t int_value(TermId id) const;
+  // Argument list of a function term (empty for other kinds).
+  const std::vector<TermId>& args(TermId id) const;
+  // True when the term contains no variables. O(1) (cached).
+  bool IsGround(TermId id) const;
+  // Depth of nesting: variables/constants/integers have depth 0,
+  // f(t1..tn) has 1 + max depth of the ti.
+  int Depth(TermId id) const;
+
+  // Number of distinct terms in the pool.
+  size_t size() const { return terms_.size(); }
+
+  // Replaces every variable in `term` that is bound in `binding` by its
+  // binding. Unbound variables are left in place.
+  TermId Substitute(TermId term, const Binding& binding);
+
+  // Replaces every occurrence of the constant named `from` by the term
+  // `to`. Used by the knowledge base's object-identity instantiation (the
+  // reserved `self` constant).
+  TermId ReplaceConstant(TermId term, SymbolId from, TermId to);
+
+  // Appends the name symbols of the variables occurring in `term` to
+  // `out`, in first-occurrence order, skipping names already in `out`.
+  void CollectVariables(TermId term, std::vector<SymbolId>* out) const;
+
+  // Renders the term in source syntax, e.g. "f(penguin, X, 3)".
+  std::string ToString(TermId id) const;
+
+ private:
+  struct TermData {
+    TermKind kind;
+    SymbolId symbol = 0;   // variable/constant name or functor
+    int64_t int_value = 0; // integer payload
+    std::vector<TermId> args;
+    bool ground = true;
+    int depth = 0;
+  };
+
+  struct Key {
+    TermKind kind;
+    SymbolId symbol;
+    int64_t int_value;
+    std::vector<TermId> args;
+    bool operator==(const Key& other) const = default;
+  };
+  struct KeyHash {
+    size_t operator()(const Key& key) const;
+  };
+
+  TermId Intern(TermData data);
+
+  SymbolTable symbols_;
+  std::vector<TermData> terms_;
+  std::unordered_map<Key, TermId, KeyHash> index_;
+};
+
+}  // namespace ordlog
+
+#endif  // ORDLOG_LANG_TERM_H_

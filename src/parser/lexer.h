@@ -1,0 +1,53 @@
+#ifndef ORDLOG_PARSER_LEXER_H_
+#define ORDLOG_PARSER_LEXER_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "base/status.h"
+
+namespace ordlog {
+
+enum class TokenType : uint8_t {
+  kIdentifier,  // lowercase-initial: predicate, constant, functor, keyword
+  kVariable,    // uppercase- or underscore-initial
+  kInteger,
+  kLeftParen,    // (
+  kRightParen,   // )
+  kLeftBrace,    // {
+  kRightBrace,   // }
+  kComma,        // ,
+  kPeriod,       // .
+  kImplies,      // :-
+  kLess,         // <
+  kLessEq,       // <=
+  kGreater,      // >
+  kGreaterEq,    // >=
+  kEquals,       // =
+  kNotEquals,    // !=
+  kPlus,         // +
+  kMinus,        // -
+  kStar,         // *
+  kEndOfInput,
+};
+
+// Returns a human-readable token-type name for diagnostics.
+const char* TokenTypeToString(TokenType type);
+
+struct Token {
+  TokenType type = TokenType::kEndOfInput;
+  std::string text;        // identifier/variable spelling
+  int64_t int_value = 0;   // integer payload
+  int line = 1;            // 1-based
+  int column = 1;          // 1-based
+};
+
+// Tokenizes `.olp` source. `%` starts a line comment. Fails with
+// kInvalidArgument (including line:column) on unexpected characters.
+StatusOr<std::vector<Token>> Tokenize(std::string_view source);
+
+}  // namespace ordlog
+
+#endif  // ORDLOG_PARSER_LEXER_H_

@@ -1,0 +1,49 @@
+#ifndef ORDLOG_PARSER_PARSER_H_
+#define ORDLOG_PARSER_PARSER_H_
+
+#include <memory>
+#include <string_view>
+
+#include "base/status.h"
+#include "lang/program.h"
+
+namespace ordlog {
+
+// Parses `.olp` source into an OrderedProgram. Grammar:
+//
+//   program        := item*
+//   item           := component_decl | order_decl | rule
+//   component_decl := "component" IDENT "{" rule* "}"
+//   order_decl     := "order" IDENT ("<" IDENT)+ "."
+//   rule           := literal (":-" body_elem ("," body_elem)*)? "."
+//   body_elem      := literal | comparison
+//   literal        := "-"? atom
+//   atom           := IDENT ("(" term ("," term)* ")")?
+//   term           := VARIABLE | INT | "-" INT | IDENT ("(" term,* ")")?
+//   comparison     := arith ("<"|"<="|">"|">="|"="|"!=") arith
+//   arith          := mul (("+"|"-") mul)*
+//   mul            := unary ("*" unary)*
+//   unary          := "-" unary | INT | VARIABLE | "(" arith ")"
+//
+// Rules outside any `component` block go to an implicit component named
+// "main". Components referenced by `order` before their declaration are
+// created empty (the paper's Fig. 3 `myself` component starts empty).
+// `%` starts a line comment. All errors carry line:column positions.
+//
+// The returned program is already Finalize()d (so order cycles are
+// rejected here).
+StatusOr<OrderedProgram> ParseProgram(std::string_view source);
+
+// Same, but interning into a caller-provided pool.
+StatusOr<OrderedProgram> ParseProgram(std::string_view source,
+                                      std::shared_ptr<TermPool> pool);
+
+// Parses a single rule, e.g. "fly(X) :- bird(X)." (trailing '.' optional).
+StatusOr<Rule> ParseRule(std::string_view source, TermPool& pool);
+
+// Parses a single literal, e.g. "-fly(penguin)".
+StatusOr<Literal> ParseLiteral(std::string_view source, TermPool& pool);
+
+}  // namespace ordlog
+
+#endif  // ORDLOG_PARSER_PARSER_H_

@@ -1,0 +1,356 @@
+#include "transform/classical.h"
+
+#include "base/logging.h"
+#include "base/strings.h"
+
+namespace ordlog {
+
+ClassicalSemantics::ClassicalSemantics(const GroundProgram& program,
+                                       ComponentId view)
+    : program_(program), view_(view) {
+  program.ViewAtoms(view).ForEach([this](size_t atom) {
+    base_.push_back(static_cast<GroundAtomId>(atom));
+  });
+}
+
+Status ClassicalSemantics::Validate() const {
+  for (uint32_t index : program_.ViewRules(view_)) {
+    const GroundRule& rule = program_.rule(index);
+    if (!rule.head.positive) {
+      return InvalidArgumentError(
+          StrCat("classical semantics requires a seminegative program; "
+                 "rule with head ",
+                 program_.LiteralToString(rule.head), " found"));
+    }
+  }
+  return Status::Ok();
+}
+
+bool ClassicalSemantics::IsThreeValuedModel(const Interpretation& i) const {
+  for (uint32_t index : program_.ViewRules(view_)) {
+    const GroundRule& rule = program_.rule(index);
+    if (static_cast<int>(i.Value(rule.head)) <
+        static_cast<int>(i.ValueOfConjunction(rule.body))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+DynamicBitset ClassicalSemantics::FoundedFixpoint(
+    const Interpretation& m) const {
+  // Positive version C_M: applied rules, negative body literals deleted.
+  struct PositiveRule {
+    GroundAtomId head;
+    std::vector<GroundAtomId> body;  // positive body atoms
+  };
+  std::vector<PositiveRule> reduct;
+  for (uint32_t index : program_.ViewRules(view_)) {
+    const GroundRule& rule = program_.rule(index);
+    if (!m.Contains(rule.head)) continue;
+    bool applicable = true;
+    for (const GroundLiteral& literal : rule.body) {
+      if (!m.Contains(literal)) {
+        applicable = false;
+        break;
+      }
+    }
+    if (!applicable) continue;
+    PositiveRule positive;
+    positive.head = rule.head.atom;
+    for (const GroundLiteral& literal : rule.body) {
+      if (literal.positive) positive.body.push_back(literal.atom);
+    }
+    reduct.push_back(std::move(positive));
+  }
+
+  DynamicBitset current(program_.NumAtoms());
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (const PositiveRule& rule : reduct) {
+      if (current.Test(rule.head)) continue;
+      bool body_holds = true;
+      for (GroundAtomId atom : rule.body) {
+        if (!current.Test(atom)) {
+          body_holds = false;
+          break;
+        }
+      }
+      if (body_holds) {
+        current.Set(rule.head);
+        changed = true;
+      }
+    }
+  }
+  return current;
+}
+
+bool ClassicalSemantics::IsFounded(const Interpretation& m) const {
+  if (!IsThreeValuedModel(m)) return false;
+  if (FoundedFixpoint(m) != m.positives()) return false;
+  // Undefined atoms must be *justifiably* undefined: some rule for the
+  // atom has an undefined body (see the reconstruction note in the
+  // header). For a 3-valued model an undefined head admits no true body,
+  // so "undefined body" is the only non-false possibility.
+  for (GroundAtomId atom : base_) {
+    if (m.Truth(atom) != TruthValue::kUndefined) continue;
+    bool justified = false;
+    for (uint32_t index : program_.RulesWithHead(atom, true)) {
+      if (!program_.Leq(view_, program_.rule(index).component)) continue;
+      if (m.ValueOfConjunction(program_.rule(index).body) ==
+          TruthValue::kUndefined) {
+        justified = true;
+        break;
+      }
+    }
+    if (!justified) return false;
+  }
+  return true;
+}
+
+template <typename Predicate>
+StatusOr<std::vector<Interpretation>>
+ClassicalSemantics::EnumerateThreeValued(const EnumerationOptions& options,
+                                         Predicate&& keep) const {
+  std::vector<Interpretation> results;
+  ORDLOG_RETURN_IF_ERROR(ForEachInterpretation(
+      program_, base_, options.max_atoms,
+      [&](const Interpretation& candidate) {
+        if (keep(candidate)) {
+          results.push_back(candidate);
+        }
+        return results.size() < options.max_results;
+      }));
+  return results;
+}
+
+StatusOr<std::vector<Interpretation>> ClassicalSemantics::FoundedModels(
+    EnumerationOptions options) const {
+  return EnumerateThreeValued(
+      options, [this](const Interpretation& m) { return IsFounded(m); });
+}
+
+StatusOr<std::vector<Interpretation>> ClassicalSemantics::SZStableModels(
+    EnumerationOptions options) const {
+  ORDLOG_ASSIGN_OR_RETURN(std::vector<Interpretation> founded,
+                          FoundedModels(options));
+  return FilterMaximal(std::move(founded));
+}
+
+DynamicBitset ClassicalSemantics::Gamma(
+    const DynamicBitset& true_atoms) const {
+  // Positive reduct w.r.t. the total guess: drop rules with a negative
+  // literal ¬a where a is in the guess; drop surviving negative literals.
+  struct PositiveRule {
+    GroundAtomId head;
+    std::vector<GroundAtomId> body;
+  };
+  std::vector<PositiveRule> reduct;
+  for (uint32_t index : program_.ViewRules(view_)) {
+    const GroundRule& rule = program_.rule(index);
+    bool kept = true;
+    PositiveRule positive;
+    positive.head = rule.head.atom;
+    for (const GroundLiteral& literal : rule.body) {
+      if (literal.positive) {
+        positive.body.push_back(literal.atom);
+      } else if (true_atoms.Test(literal.atom)) {
+        kept = false;
+        break;
+      }
+    }
+    if (kept) reduct.push_back(std::move(positive));
+  }
+
+  DynamicBitset current(program_.NumAtoms());
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (const PositiveRule& rule : reduct) {
+      if (current.Test(rule.head)) continue;
+      bool body_holds = true;
+      for (GroundAtomId atom : rule.body) {
+        if (!current.Test(atom)) {
+          body_holds = false;
+          break;
+        }
+      }
+      if (body_holds) {
+        current.Set(rule.head);
+        changed = true;
+      }
+    }
+  }
+  return current;
+}
+
+bool ClassicalSemantics::IsGLStable(const DynamicBitset& true_atoms) const {
+  return Gamma(true_atoms) == true_atoms;
+}
+
+StatusOr<std::vector<DynamicBitset>> ClassicalSemantics::GLStableModels(
+    EnumerationOptions options) const {
+  if (base_.size() > options.max_atoms) {
+    return ResourceExhaustedError(
+        StrCat("GL enumeration over ", base_.size(),
+               " atoms exceeds max_atoms=", options.max_atoms));
+  }
+  std::vector<DynamicBitset> results;
+  const size_t n = base_.size();
+  for (uint64_t mask = 0; mask < (uint64_t{1} << n); ++mask) {
+    DynamicBitset guess(program_.NumAtoms());
+    for (size_t i = 0; i < n; ++i) {
+      if ((mask >> i) & 1) guess.Set(base_[i]);
+    }
+    if (IsGLStable(guess)) {
+      results.push_back(std::move(guess));
+      if (results.size() >= options.max_results) break;
+    }
+  }
+  return results;
+}
+
+Interpretation ClassicalSemantics::WellFoundedModel() const {
+  // Alternating fixpoint: W+ = lfp(Γ²); W- = base ∖ Γ(W+).
+  DynamicBitset current(program_.NumAtoms());
+  while (true) {
+    DynamicBitset next = Gamma(Gamma(current));
+    if (next == current) break;
+    current = std::move(next);
+  }
+  const DynamicBitset upper = Gamma(current);
+  Interpretation result = Interpretation::ForProgram(program_);
+  for (GroundAtomId atom : base_) {
+    if (current.Test(atom)) {
+      result.Set(atom, TruthValue::kTrue);
+    } else if (!upper.Test(atom)) {
+      result.Set(atom, TruthValue::kFalse);
+    }
+  }
+  return result;
+}
+
+Interpretation ClassicalSemantics::KripkeKleeneModel() const {
+  // Iterate Fitting's operator from the everywhere-undefined
+  // interpretation; it is monotone in the knowledge ordering, so the
+  // iteration reaches the least fixpoint in at most |base| rounds.
+  Interpretation current = Interpretation::ForProgram(program_);
+  while (true) {
+    Interpretation next = Interpretation::ForProgram(program_);
+    for (GroundAtomId atom : base_) {
+      TruthValue best = TruthValue::kFalse;  // no rule => false
+      for (uint32_t index : program_.RulesWithHead(atom, true)) {
+        if (!program_.Leq(view_, program_.rule(index).component)) continue;
+        const TruthValue body =
+            current.ValueOfConjunction(program_.rule(index).body);
+        if (static_cast<int>(body) > static_cast<int>(best)) best = body;
+        if (best == TruthValue::kTrue) break;
+      }
+      next.Set(atom, best);
+    }
+    if (next == current) return current;
+    current = std::move(next);
+  }
+}
+
+Interpretation ClassicalSemantics::ReductLeastThreeValuedModel(
+    const Interpretation& m) const {
+  // Reduct C/M: replace each negative body literal by its value in M.
+  // The least 3-valued model of the resulting non-negative program is
+  // computed as two monotone fixpoints over the positive body parts:
+  //   true set:     bodies must be true (negative parts = T in M);
+  //   non-false set: bodies must be at least undefined (negative parts
+  //                  >= U in M).
+  struct ReductRule {
+    GroundAtomId head;
+    std::vector<GroundAtomId> body;  // positive body atoms
+    TruthValue negative_part = TruthValue::kTrue;  // min over negatives
+  };
+  std::vector<ReductRule> reduct;
+  for (uint32_t index : program_.ViewRules(view_)) {
+    const GroundRule& rule = program_.rule(index);
+    ReductRule r;
+    r.head = rule.head.atom;
+    for (const GroundLiteral& literal : rule.body) {
+      if (literal.positive) {
+        r.body.push_back(literal.atom);
+      } else {
+        const TruthValue value = m.Value(literal);
+        if (static_cast<int>(value) <
+            static_cast<int>(r.negative_part)) {
+          r.negative_part = value;
+        }
+      }
+    }
+    if (r.negative_part != TruthValue::kFalse) reduct.push_back(std::move(r));
+  }
+
+  auto fixpoint = [&](TruthValue threshold) {
+    DynamicBitset derived(program_.NumAtoms());
+    bool changed = true;
+    while (changed) {
+      changed = false;
+      for (const ReductRule& rule : reduct) {
+        if (derived.Test(rule.head)) continue;
+        if (static_cast<int>(rule.negative_part) <
+            static_cast<int>(threshold)) {
+          continue;
+        }
+        bool body_holds = true;
+        for (GroundAtomId atom : rule.body) {
+          if (!derived.Test(atom)) {
+            body_holds = false;
+            break;
+          }
+        }
+        if (body_holds) {
+          derived.Set(rule.head);
+          changed = true;
+        }
+      }
+    }
+    return derived;
+  };
+  const DynamicBitset true_set = fixpoint(TruthValue::kTrue);
+  const DynamicBitset non_false = fixpoint(TruthValue::kUndefined);
+
+  Interpretation result = Interpretation::ForProgram(program_);
+  for (GroundAtomId atom : base_) {
+    if (true_set.Test(atom)) {
+      result.Set(atom, TruthValue::kTrue);
+    } else if (!non_false.Test(atom)) {
+      result.Set(atom, TruthValue::kFalse);
+    }
+  }
+  return result;
+}
+
+bool ClassicalSemantics::IsPartialStable(const Interpretation& m) const {
+  return ReductLeastThreeValuedModel(m) == m;
+}
+
+StatusOr<std::vector<Interpretation>> ClassicalSemantics::PartialStableModels(
+    EnumerationOptions options) const {
+  return EnumerateThreeValued(options, [this](const Interpretation& m) {
+    return IsPartialStable(m);
+  });
+}
+
+StatusOr<DynamicBitset> ClassicalSemantics::MinimalModelOfPositive() const {
+  for (uint32_t index : program_.ViewRules(view_)) {
+    const GroundRule& rule = program_.rule(index);
+    if (!rule.head.positive) {
+      return FailedPreconditionError("program has a negated head");
+    }
+    for (const GroundLiteral& literal : rule.body) {
+      if (!literal.positive) {
+        return FailedPreconditionError("program has a negative body literal");
+      }
+    }
+  }
+  // With no negative literals Γ ignores its argument.
+  return Gamma(DynamicBitset(program_.NumAtoms()));
+}
+
+}  // namespace ordlog

@@ -1,0 +1,143 @@
+#include "transform/negative_direct.h"
+
+#include "base/strings.h"
+
+namespace ordlog {
+
+DirectNegativeSemantics::DirectNegativeSemantics(
+    const GroundProgram& program, ComponentId view)
+    : program_(program), view_(view) {
+  program.ViewAtoms(view).ForEach([this](size_t atom) {
+    base_.push_back(static_cast<GroundAtomId>(atom));
+  });
+}
+
+bool DirectNegativeSemantics::IsModel(const Interpretation& i) const {
+  for (uint32_t index : program_.ViewRules(view_)) {
+    const GroundRule& rule = program_.rule(index);
+    const TruthValue head = i.Value(rule.head);
+    const TruthValue body = i.ValueOfConjunction(rule.body);
+    if (static_cast<int>(head) >= static_cast<int>(body)) {
+      continue;  // (i)
+    }
+    // (ii) exception. Negative rules admit no exceptions (their would-be
+    // exceptions would need positive heads). A seminegative rule r with
+    // value(H) < value(B) is excused by a negative rule r̂ with
+    // H(r̂) = ¬H(r) whose body is strong enough:
+    //   * value(H(r)) = F: r̂ must be applied — value(B(r̂)) = T (this is
+    //     the paper's stated case, "H(r) overridden by an exception");
+    //   * value(H(r)) = U: r̂ merely non-blocked — value(B(r̂)) >= U
+    //     (unstated in the paper's Definition 11 but required by its own
+    //     Theorem 2: it is what Definition 3(b) unfolds to over 3V(C)).
+    if (!rule.head.positive) return false;
+    const TruthValue required =
+        head == TruthValue::kFalse ? TruthValue::kTrue
+                                   : TruthValue::kUndefined;
+    bool excepted = false;
+    for (uint32_t other_index :
+         program_.RulesWithHead(rule.head.atom, false)) {
+      const GroundRule& other = program_.rule(other_index);
+      if (!program_.Leq(view_, other.component)) continue;
+      if (static_cast<int>(i.ValueOfConjunction(other.body)) >=
+          static_cast<int>(required)) {
+        excepted = true;
+        break;
+      }
+    }
+    if (!excepted) return false;
+  }
+  return true;
+}
+
+Interpretation DirectNegativeSemantics::GreatestAssumptionSet(
+    const Interpretation& i) const {
+  // Faithful unfolding of Definition 6 over 3V(C) (the paper's Def. 11(b)
+  // restricts X to positive literals, which its own Theorem 2 contradicts:
+  // a negative literal supported only by a self-referential negative rule
+  // — e.g. `-a :- -a.` next to the fact `a.` — is an assumption too).
+  //
+  // Shrink X from I until stable:
+  //  * a positive literal p leaves X when some seminegative rule with
+  //    head p has a true body disjoint from X (an active derivation);
+  //  * a negative literal ¬p leaves X when the closed-world source is
+  //    active (every seminegative rule for p has a false body, so the CWA
+  //    fact of 3V(C) is not overruled) or some negative rule with head ¬p
+  //    has a true body disjoint from X.
+  Interpretation x = i;
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    // Rule-driven removals (both signs share this shape).
+    for (uint32_t index : program_.ViewRules(view_)) {
+      const GroundRule& rule = program_.rule(index);
+      if (!x.Contains(rule.head)) continue;
+      if (i.ValueOfConjunction(rule.body) != TruthValue::kTrue) continue;
+      bool meets_x = false;
+      for (const GroundLiteral& literal : rule.body) {
+        if (x.Contains(literal)) {
+          meets_x = true;
+          break;
+        }
+      }
+      if (meets_x) continue;
+      x.Remove(rule.head);
+      changed = true;
+    }
+    // Closed-world removals for negative literals.
+    for (const GroundLiteral& literal : x.Literals()) {
+      if (literal.positive) continue;
+      bool cwa_active = true;
+      for (uint32_t index : program_.RulesWithHead(literal.atom, true)) {
+        const GroundRule& rule = program_.rule(index);
+        if (!program_.Leq(view_, rule.component)) continue;
+        if (i.ValueOfConjunction(rule.body) != TruthValue::kFalse) {
+          cwa_active = false;
+          break;
+        }
+      }
+      if (cwa_active) {
+        x.Remove(literal);
+        changed = true;
+      }
+    }
+  }
+  return x;
+}
+
+template <typename Predicate>
+StatusOr<std::vector<Interpretation>> DirectNegativeSemantics::Enumerate(
+    const EnumerationOptions& options, Predicate&& keep) const {
+  std::vector<Interpretation> results;
+  ORDLOG_RETURN_IF_ERROR(ForEachInterpretation(
+      program_, base_, options.max_atoms,
+      [&](const Interpretation& candidate) {
+        if (keep(candidate)) {
+          results.push_back(candidate);
+        }
+        return results.size() < options.max_results;
+      }));
+  return results;
+}
+
+StatusOr<std::vector<Interpretation>> DirectNegativeSemantics::Models(
+    EnumerationOptions options) const {
+  return Enumerate(options,
+                   [this](const Interpretation& i) { return IsModel(i); });
+}
+
+StatusOr<std::vector<Interpretation>>
+DirectNegativeSemantics::AssumptionFreeModels(
+    EnumerationOptions options) const {
+  return Enumerate(options, [this](const Interpretation& i) {
+    return IsModel(i) && IsAssumptionFree(i);
+  });
+}
+
+StatusOr<std::vector<Interpretation>> DirectNegativeSemantics::StableModels(
+    EnumerationOptions options) const {
+  ORDLOG_ASSIGN_OR_RETURN(std::vector<Interpretation> models,
+                          AssumptionFreeModels(options));
+  return FilterMaximal(std::move(models));
+}
+
+}  // namespace ordlog

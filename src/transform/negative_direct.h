@@ -1,0 +1,65 @@
+#ifndef ORDLOG_TRANSFORM_NEGATIVE_DIRECT_H_
+#define ORDLOG_TRANSFORM_NEGATIVE_DIRECT_H_
+
+#include <vector>
+
+#include "base/status.h"
+#include "core/enumerate.h"
+#include "core/interpretation.h"
+
+namespace ordlog {
+
+// The paper's *direct* semantics for negative programs (Definition 11),
+// which Theorem 2 proves equivalent to the 3-level-version semantics
+// (Definition 10). Negative rules play the role of exceptions to the
+// general (seminegative) rules.
+//
+//  (a) I is a model iff for each ground rule r either
+//        value(H(r)) >= value(B(r)), or
+//      there is an exception — a negative rule r̂ with H(r̂) = ¬H(r) and
+//        value(B(r̂)) = T  when value(H(r)) = F (the paper's stated case),
+//        value(B(r̂)) >= U when value(H(r)) = U (required by Theorem 2;
+//        see the comment in negative_direct.cc).
+//  (b) I is assumption-free iff no non-empty X ⊆ I is an assumption set.
+//      The paper states the [SZ] positive-only condition (X ⊆ I⁺ with
+//      value(B(r)) <= U or B(r) ∩ X ≠ ∅ per rule); Theorem 2 forces the
+//      extension to negative literals implemented here (see the comment in
+//      GreatestAssumptionSet).
+//  (c) stable = maximal assumption-free.
+//
+// Operates on one view of a GroundProgram; the component order plays no
+// role (a negative program is a single rule set).
+class DirectNegativeSemantics {
+ public:
+  explicit DirectNegativeSemantics(const GroundProgram& program,
+                                   ComponentId view = 0);
+
+  bool IsModel(const Interpretation& i) const;
+
+  // Greatest assumption set w.r.t. `i`.
+  Interpretation GreatestAssumptionSet(const Interpretation& i) const;
+  bool IsAssumptionFree(const Interpretation& i) const {
+    return GreatestAssumptionSet(i).Empty();
+  }
+
+  // Brute-force enumerations over the view's base.
+  StatusOr<std::vector<Interpretation>> Models(
+      EnumerationOptions options = {}) const;
+  StatusOr<std::vector<Interpretation>> AssumptionFreeModels(
+      EnumerationOptions options = {}) const;
+  StatusOr<std::vector<Interpretation>> StableModels(
+      EnumerationOptions options = {}) const;
+
+ private:
+  template <typename Predicate>
+  StatusOr<std::vector<Interpretation>> Enumerate(
+      const EnumerationOptions& options, Predicate&& keep) const;
+
+  const GroundProgram& program_;
+  const ComponentId view_;
+  std::vector<GroundAtomId> base_;
+};
+
+}  // namespace ordlog
+
+#endif  // ORDLOG_TRANSFORM_NEGATIVE_DIRECT_H_

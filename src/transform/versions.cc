@@ -1,0 +1,135 @@
+#include "transform/versions.h"
+
+#include <set>
+
+#include "base/strings.h"
+#include "lang/printer.h"
+
+namespace ordlog {
+
+namespace {
+
+// Predicate signatures (symbol, arity) occurring in a component.
+std::set<std::pair<SymbolId, size_t>> CollectPredicates(
+    const Component& component) {
+  std::set<std::pair<SymbolId, size_t>> predicates;
+  for (const Rule& rule : component.rules) {
+    predicates.insert({rule.head.atom.predicate, rule.head.atom.arity()});
+    for (const Literal& literal : rule.body) {
+      predicates.insert({literal.atom.predicate, literal.atom.arity()});
+    }
+  }
+  return predicates;
+}
+
+// Builds the atom p(X1, ..., Xn) with fresh canonically-named variables.
+Atom SchematicAtom(TermPool& pool, SymbolId predicate, size_t arity) {
+  Atom atom;
+  atom.predicate = predicate;
+  for (size_t i = 0; i < arity; ++i) {
+    atom.args.push_back(pool.MakeVariable(StrCat("X", i + 1)));
+  }
+  return atom;
+}
+
+Status CheckSeminegative(const TermPool& pool, const Component& component) {
+  for (const Rule& rule : component.rules) {
+    if (!rule.head.positive) {
+      return InvalidArgumentError(
+          StrCat("rule '", ToString(pool, rule),
+                 "' has a negated head; OV/EV require a seminegative "
+                 "program"));
+    }
+  }
+  return Status::Ok();
+}
+
+// Appends the reduced-form Herbrand-base component (one `-p(X..)` fact per
+// predicate) and returns its id.
+StatusOr<ComponentId> AddNegatedBase(
+    OrderedProgram& program, const std::set<std::pair<SymbolId, size_t>>&
+                                 predicates) {
+  ORDLOG_ASSIGN_OR_RETURN(const ComponentId base,
+                          program.AddComponent("neg_base"));
+  for (const auto& [predicate, arity] : predicates) {
+    ORDLOG_RETURN_IF_ERROR(program.AddRule(
+        base,
+        MakeFact(Neg(SchematicAtom(program.pool(), predicate, arity)))));
+  }
+  return base;
+}
+
+Status AddReflexiveRules(OrderedProgram& program, ComponentId target,
+                         const std::set<std::pair<SymbolId, size_t>>&
+                             predicates) {
+  for (const auto& [predicate, arity] : predicates) {
+    const Atom atom = SchematicAtom(program.pool(), predicate, arity);
+    ORDLOG_RETURN_IF_ERROR(
+        program.AddRule(target, MakeRule(Pos(atom), {Pos(atom)})));
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+StatusOr<OrderedProgram> OrderedVersion(const Component& component,
+                                        std::shared_ptr<TermPool> pool) {
+  ORDLOG_RETURN_IF_ERROR(CheckSeminegative(*pool, component));
+  OrderedProgram program(std::move(pool));
+  ORDLOG_ASSIGN_OR_RETURN(const ComponentId c,
+                          program.AddComponent(component.name.empty()
+                                                   ? "c"
+                                                   : component.name));
+  for (const Rule& rule : component.rules) {
+    ORDLOG_RETURN_IF_ERROR(program.AddRule(c, rule));
+  }
+  ORDLOG_ASSIGN_OR_RETURN(const ComponentId base,
+                          AddNegatedBase(program, CollectPredicates(component)));
+  ORDLOG_RETURN_IF_ERROR(program.AddOrder(c, base));
+  ORDLOG_RETURN_IF_ERROR(program.Finalize());
+  return program;
+}
+
+StatusOr<OrderedProgram> ExtendedVersion(const Component& component,
+                                         std::shared_ptr<TermPool> pool) {
+  ORDLOG_RETURN_IF_ERROR(CheckSeminegative(*pool, component));
+  OrderedProgram program(std::move(pool));
+  const auto predicates = CollectPredicates(component);
+  ORDLOG_ASSIGN_OR_RETURN(const ComponentId c,
+                          program.AddComponent(component.name.empty()
+                                                   ? "c"
+                                                   : component.name));
+  for (const Rule& rule : component.rules) {
+    ORDLOG_RETURN_IF_ERROR(program.AddRule(c, rule));
+  }
+  ORDLOG_RETURN_IF_ERROR(AddReflexiveRules(program, c, predicates));
+  ORDLOG_ASSIGN_OR_RETURN(const ComponentId base,
+                          AddNegatedBase(program, predicates));
+  ORDLOG_RETURN_IF_ERROR(program.AddOrder(c, base));
+  ORDLOG_RETURN_IF_ERROR(program.Finalize());
+  return program;
+}
+
+StatusOr<OrderedProgram> ThreeLevelVersion(const Component& component,
+                                           std::shared_ptr<TermPool> pool) {
+  OrderedProgram program(std::move(pool));
+  const auto predicates = CollectPredicates(component);
+  ORDLOG_ASSIGN_OR_RETURN(const ComponentId minus,
+                          program.AddComponent("c_minus"));
+  ORDLOG_ASSIGN_OR_RETURN(const ComponentId plus,
+                          program.AddComponent("c_plus"));
+  for (const Rule& rule : component.rules) {
+    ORDLOG_RETURN_IF_ERROR(
+        program.AddRule(rule.head.positive ? plus : minus, rule));
+  }
+  ORDLOG_RETURN_IF_ERROR(AddReflexiveRules(program, plus, predicates));
+  ORDLOG_ASSIGN_OR_RETURN(const ComponentId base,
+                          AddNegatedBase(program, predicates));
+  ORDLOG_RETURN_IF_ERROR(program.AddOrder(minus, plus));
+  ORDLOG_RETURN_IF_ERROR(program.AddOrder(plus, base));
+  ORDLOG_RETURN_IF_ERROR(program.AddOrder(minus, base));
+  ORDLOG_RETURN_IF_ERROR(program.Finalize());
+  return program;
+}
+
+}  // namespace ordlog

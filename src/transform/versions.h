@@ -1,0 +1,43 @@
+#ifndef ORDLOG_TRANSFORM_VERSIONS_H_
+#define ORDLOG_TRANSFORM_VERSIONS_H_
+
+#include <memory>
+
+#include "base/status.h"
+#include "lang/program.h"
+
+namespace ordlog {
+
+// The component id, in every program built by this header, from which the
+// source program's semantics is read (the paper's "models for OV(C) in C",
+// "... for 3V(C) in C-").
+inline constexpr ComponentId kQueryComponent = 0;
+
+// Section 3, ordered version: OV(C) = <{¬B_C, C}, {C < ¬B_C}>. The
+// Herbrand-base component is written in the paper's reduced form, one
+// non-ground fact `-p(X1, ..., Xn).` per predicate of C, making |OV(C)|
+// polynomial in |C|. `component` must be seminegative (positive heads).
+//
+// The returned program is finalized; component 0 is (a copy of) C, the
+// query component, and component 1 is ¬B_C.
+StatusOr<OrderedProgram> OrderedVersion(const Component& component,
+                                        std::shared_ptr<TermPool> pool);
+
+// Section 3, extended version: EV(C) = OV(C) with the reflexive rules
+// `p(X1..Xn) :- p(X1..Xn).` added to the C component (also in reduced,
+// non-ground form). Captures exactly the 3-valued models of C (Prop. 5a).
+StatusOr<OrderedProgram> ExtendedVersion(const Component& component,
+                                         std::shared_ptr<TermPool> pool);
+
+// Section 4, 3-level version of a negative program:
+//   3V(C) = <{¬B_C, C+, C-}, {C- < C+, C+ < ¬B_C, C- < ¬B_C}>
+// where C+ holds the seminegative rules of C plus the reflexive rules and
+// C- holds the rules with negated heads (the "exceptions").
+//
+// Component 0 is C- (the query component), 1 is C+, 2 is ¬B_C.
+StatusOr<OrderedProgram> ThreeLevelVersion(const Component& component,
+                                           std::shared_ptr<TermPool> pool);
+
+}  // namespace ordlog
+
+#endif  // ORDLOG_TRANSFORM_VERSIONS_H_

@@ -1,0 +1,115 @@
+#include "base/bitset.h"
+
+#include <random>
+#include <set>
+
+#include "gtest/gtest.h"
+
+namespace ordlog {
+namespace {
+
+TEST(BitsetTest, SetResetTest) {
+  DynamicBitset bits(130);  // spans three words
+  EXPECT_EQ(bits.size(), 130u);
+  EXPECT_TRUE(bits.None());
+  bits.Set(0);
+  bits.Set(64);
+  bits.Set(129);
+  EXPECT_TRUE(bits.Test(0));
+  EXPECT_TRUE(bits.Test(64));
+  EXPECT_TRUE(bits.Test(129));
+  EXPECT_FALSE(bits.Test(1));
+  EXPECT_EQ(bits.Count(), 3u);
+  bits.Reset(64);
+  EXPECT_FALSE(bits.Test(64));
+  EXPECT_EQ(bits.Count(), 2u);
+}
+
+TEST(BitsetTest, AssignAndClear) {
+  DynamicBitset bits(10);
+  bits.Assign(3, true);
+  EXPECT_TRUE(bits.Test(3));
+  bits.Assign(3, false);
+  EXPECT_FALSE(bits.Test(3));
+  bits.Set(5);
+  bits.Clear();
+  EXPECT_TRUE(bits.None());
+  EXPECT_EQ(bits.size(), 10u);
+}
+
+TEST(BitsetTest, SubsetAndIntersects) {
+  DynamicBitset a(70), b(70);
+  a.Set(1);
+  a.Set(65);
+  b.Set(1);
+  b.Set(65);
+  b.Set(2);
+  EXPECT_TRUE(a.IsSubsetOf(b));
+  EXPECT_FALSE(b.IsSubsetOf(a));
+  EXPECT_TRUE(a.Intersects(b));
+  DynamicBitset c(70);
+  c.Set(3);
+  EXPECT_FALSE(a.Intersects(c));
+  EXPECT_TRUE(c.IsSubsetOf(b) == false);
+  // Empty set is a subset of everything.
+  EXPECT_TRUE(DynamicBitset(70).IsSubsetOf(a));
+}
+
+TEST(BitsetTest, SetAlgebra) {
+  DynamicBitset a(8), b(8);
+  a.Set(1);
+  a.Set(2);
+  b.Set(2);
+  b.Set(3);
+  DynamicBitset u = a;
+  u |= b;
+  EXPECT_EQ(u.Count(), 3u);
+  DynamicBitset n = a;
+  n &= b;
+  EXPECT_EQ(n.Count(), 1u);
+  EXPECT_TRUE(n.Test(2));
+  DynamicBitset d = a;
+  d.SubtractFrom(b);
+  EXPECT_EQ(d.Count(), 1u);
+  EXPECT_TRUE(d.Test(1));
+}
+
+TEST(BitsetTest, FindNextAndForEach) {
+  DynamicBitset bits(200);
+  bits.Set(5);
+  bits.Set(70);
+  bits.Set(199);
+  EXPECT_EQ(bits.FindNext(0), 5u);
+  EXPECT_EQ(bits.FindNext(5), 5u);
+  EXPECT_EQ(bits.FindNext(6), 70u);
+  EXPECT_EQ(bits.FindNext(71), 199u);
+  EXPECT_EQ(bits.FindNext(200), 200u);
+  std::vector<size_t> seen;
+  bits.ForEach([&seen](size_t i) { seen.push_back(i); });
+  EXPECT_EQ(seen, (std::vector<size_t>{5, 70, 199}));
+}
+
+TEST(BitsetTest, RandomizedAgainstStdSet) {
+  std::mt19937 rng(7);
+  const size_t universe = 300;
+  DynamicBitset bits(universe);
+  std::set<size_t> reference;
+  std::uniform_int_distribution<size_t> pick(0, universe - 1);
+  for (int op = 0; op < 2000; ++op) {
+    const size_t i = pick(rng);
+    if (rng() % 2 == 0) {
+      bits.Set(i);
+      reference.insert(i);
+    } else {
+      bits.Reset(i);
+      reference.erase(i);
+    }
+  }
+  EXPECT_EQ(bits.Count(), reference.size());
+  std::vector<size_t> seen;
+  bits.ForEach([&seen](size_t i) { seen.push_back(i); });
+  EXPECT_EQ(seen, std::vector<size_t>(reference.begin(), reference.end()));
+}
+
+}  // namespace
+}  // namespace ordlog

@@ -1,0 +1,73 @@
+#include "base/status.h"
+
+#include "gtest/gtest.h"
+
+namespace ordlog {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status status;
+  EXPECT_TRUE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kOk);
+  EXPECT_EQ(status.ToString(), "ok");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  const Status status = InvalidArgumentError("bad rule");
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(status.message(), "bad rule");
+  EXPECT_EQ(status.ToString(), "invalid_argument: bad rule");
+}
+
+TEST(StatusTest, AllConstructorsMapToCodes) {
+  EXPECT_EQ(NotFoundError("x").code(), StatusCode::kNotFound);
+  EXPECT_EQ(AlreadyExistsError("x").code(), StatusCode::kAlreadyExists);
+  EXPECT_EQ(FailedPreconditionError("x").code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(ResourceExhaustedError("x").code(),
+            StatusCode::kResourceExhausted);
+  EXPECT_EQ(OutOfRangeError("x").code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(InternalError("x").code(), StatusCode::kInternal);
+  EXPECT_EQ(UnimplementedError("x").code(), StatusCode::kUnimplemented);
+}
+
+TEST(StatusOrTest, HoldsValue) {
+  StatusOr<int> result(42);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value(), 42);
+  EXPECT_EQ(*result, 42);
+}
+
+TEST(StatusOrTest, HoldsError) {
+  StatusOr<int> result(NotFoundError("missing"));
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kNotFound);
+}
+
+TEST(StatusOrTest, MoveOutValue) {
+  StatusOr<std::string> result(std::string("hello"));
+  const std::string value = std::move(result).value();
+  EXPECT_EQ(value, "hello");
+}
+
+StatusOr<int> Half(int x) {
+  if (x % 2 != 0) return InvalidArgumentError("odd");
+  return x / 2;
+}
+
+Status CheckEven(int x) {
+  ORDLOG_ASSIGN_OR_RETURN(const int half, Half(x));
+  (void)half;
+  return Status::Ok();
+}
+
+TEST(StatusOrTest, MacrosPropagateErrors) {
+  EXPECT_TRUE(CheckEven(4).ok());
+  const Status status = CheckEven(3);
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace ordlog

@@ -1,0 +1,110 @@
+// Paper Definitions 6-8 and Example 4: assumption sets and assumption-free
+// models.
+
+#include "core/assumption.h"
+
+#include "core/model_check.h"
+#include "core/v_operator.h"
+#include "gtest/gtest.h"
+#include "support/paper_programs.h"
+#include "support/test_util.h"
+
+namespace ordlog {
+namespace {
+
+using ::ordlog::testing::GroundText;
+using ::ordlog::testing::MakeInterpretation;
+
+TEST(AssumptionTest, I1IsAssumptionFreeForP1InC1) {
+  const GroundProgram program = GroundText(testing::kFig1Penguin);
+  const auto c1 = 1;
+  const Interpretation i1 = MakeInterpretation(
+      program, {"bird(pigeon)", "bird(penguin)", "ground_animal(penguin)",
+                "-ground_animal(pigeon)", "fly(pigeon)", "-fly(penguin)"});
+  AssumptionAnalyzer analyzer(program, c1);
+  EXPECT_TRUE(analyzer.IsAssumptionFree(i1));
+  EXPECT_TRUE(analyzer.IsAssumptionFreeViaEnabled(i1));
+}
+
+TEST(AssumptionTest, FlattenedModelIsAssumptionFree) {
+  const GroundProgram program = GroundText(testing::kFig1Flattened);
+  const Interpretation i_hat = MakeInterpretation(
+      program, {"bird(pigeon)", "bird(penguin)", "fly(pigeon)",
+                "-ground_animal(pigeon)"});
+  AssumptionAnalyzer analyzer(program, 0);
+  EXPECT_TRUE(analyzer.IsAssumptionFree(i_hat));
+}
+
+TEST(AssumptionTest, EmptySetIsOnlyAssumptionFreeModelOfP3) {
+  const GroundProgram program = GroundText(testing::kExample3P3);
+  AssumptionAnalyzer analyzer(program, 0);
+  ModelChecker checker(program, 0);
+  const Interpretation empty = Interpretation::ForProgram(program);
+  EXPECT_TRUE(checker.IsModel(empty));
+  EXPECT_TRUE(analyzer.IsAssumptionFree(empty));
+  // The other models of Example 3 all rest on assumptions.
+  for (const std::vector<std::string>& model :
+       {std::vector<std::string>{"b"}, {"-b"}, {"a", "-b"}, {"-a", "-b"}}) {
+    const Interpretation m = MakeInterpretation(program, model);
+    ASSERT_TRUE(checker.IsModel(m));
+    EXPECT_FALSE(analyzer.IsAssumptionFree(m))
+        << testing::Render(program, m);
+  }
+}
+
+TEST(AssumptionTest, Example4OnlyEmptyModelIsAssumptionFree) {
+  const GroundProgram program = GroundText(testing::kExample4P4);
+  AssumptionAnalyzer analyzer(program, 0);
+  ModelChecker checker(program, 0);
+  EXPECT_TRUE(analyzer.IsAssumptionFree(Interpretation::ForProgram(program)));
+  // {-a, -b} is a model but not assumption free without an explicit
+  // closed-world declaration.
+  const Interpretation cwa = MakeInterpretation(program, {"-a", "-b"});
+  ASSERT_TRUE(checker.IsModel(cwa));
+  EXPECT_FALSE(analyzer.IsAssumptionFree(cwa));
+  // The greatest assumption set is {-a, -b} itself.
+  EXPECT_EQ(analyzer.GreatestAssumptionSet(cwa), cwa);
+}
+
+TEST(AssumptionTest, Example4ClosedVersionMakesCwaAssumptionFree) {
+  const GroundProgram program = GroundText(testing::kExample4P4Closed);
+  const auto c1 = 0;
+  ASSERT_EQ(program.component_name(c1), "c1");
+  AssumptionAnalyzer analyzer(program, c1);
+  const Interpretation cwa = MakeInterpretation(program, {"-a", "-b"});
+  ASSERT_TRUE(ModelChecker(program, c1).IsModel(cwa));
+  EXPECT_TRUE(analyzer.IsAssumptionFree(cwa));
+  EXPECT_TRUE(analyzer.IsAssumptionFreeViaEnabled(cwa));
+}
+
+TEST(AssumptionTest, ExplicitAssumptionSetMembership) {
+  // P4 = { a :- b. } with M = {a, b}: {b} and {a, b} are assumption sets
+  // w.r.t. M, {a} alone is not (a :- b is applicable with body outside X).
+  const GroundProgram program = GroundText(testing::kExample4P4);
+  AssumptionAnalyzer analyzer(program, 0);
+  const Interpretation m = MakeInterpretation(program, {"a", "b"});
+  EXPECT_TRUE(analyzer.IsAssumptionSet(MakeInterpretation(program, {"b"}), m));
+  EXPECT_TRUE(
+      analyzer.IsAssumptionSet(MakeInterpretation(program, {"a", "b"}), m));
+  EXPECT_FALSE(
+      analyzer.IsAssumptionSet(MakeInterpretation(program, {"a"}), m));
+  // The empty set is never an assumption set.
+  EXPECT_FALSE(
+      analyzer.IsAssumptionSet(Interpretation::ForProgram(program), m));
+  // X must be a subset of I.
+  EXPECT_FALSE(analyzer.IsAssumptionSet(
+      MakeInterpretation(program, {"-a"}), m));
+}
+
+TEST(AssumptionTest, EnabledFixpointIsSubsetOfModel) {
+  // Lemma 2: T∞ of the enabled version is contained in M.
+  const GroundProgram program = GroundText(testing::kFig1Flattened);
+  AssumptionAnalyzer analyzer(program, 0);
+  const Interpretation m = MakeInterpretation(
+      program, {"bird(pigeon)", "bird(penguin)", "fly(pigeon)",
+                "-ground_animal(pigeon)", "ground_animal(penguin)"});
+  EXPECT_TRUE(analyzer.EnabledFixpoint(m).IsSubsetOf(m));
+}
+
+}  // namespace
+}  // namespace ordlog

@@ -1,0 +1,111 @@
+// Failure injection: every potentially exponential engine surface must
+// fail cleanly with kResourceExhausted when its budget is exceeded, and
+// leave no broken state behind.
+
+#include "core/enumerate.h"
+#include "core/exhaustive.h"
+#include "core/skeptical.h"
+#include "core/stable_solver.h"
+#include "gtest/gtest.h"
+#include "support/test_util.h"
+
+namespace ordlog {
+namespace {
+
+using ::ordlog::testing::GroundText;
+
+// 12 atoms worth of even negation loops => many stable models and a big
+// search space.
+GroundProgram BigChoice() {
+  // Explicit closed-world component (Example 4's pattern), so each even
+  // loop really contributes two stable models: 2^6 = 64 in total.
+  return GroundText(R"(
+    component c {
+      p0 :- -q0. q0 :- -p0.
+      p1 :- -q1. q1 :- -p1.
+      p2 :- -q2. q2 :- -p2.
+      p3 :- -q3. q3 :- -p3.
+      p4 :- -q4. q4 :- -p4.
+      p5 :- -q5. q5 :- -p5.
+    }
+    component base {
+      -p0. -q0. -p1. -q1. -p2. -q2.
+      -p3. -q3. -p4. -q4. -p5. -q5.
+    }
+    order c < base.
+  )");
+}
+
+TEST(BudgetTest, BruteForceEnumeratorRespectsMaxAtoms) {
+  const GroundProgram program = BigChoice();
+  EnumerationOptions options;
+  options.max_atoms = 4;
+  BruteForceEnumerator enumerator(program, 0, options);
+  EXPECT_EQ(enumerator.AllModels().status().code(),
+            StatusCode::kResourceExhausted);
+  EXPECT_EQ(enumerator.StableModels().status().code(),
+            StatusCode::kResourceExhausted);
+}
+
+TEST(BudgetTest, BruteForceEnumeratorRespectsMaxResults) {
+  const GroundProgram program = GroundText("component c { a :- b. }");
+  EnumerationOptions options;
+  options.max_results = 2;
+  BruteForceEnumerator enumerator(program, 0, options);
+  const auto models = enumerator.AllModels();
+  ASSERT_TRUE(models.ok());
+  EXPECT_EQ(models->size(), 2u);
+}
+
+TEST(BudgetTest, StableSolverRespectsNodeBudget) {
+  const GroundProgram program = BigChoice();
+  StableSolverOptions options;
+  options.node_budget = 10;
+  StableModelSolver solver(program, 0, options);
+  EXPECT_EQ(solver.AssumptionFreeModels().status().code(),
+            StatusCode::kResourceExhausted);
+}
+
+TEST(BudgetTest, StableSolverRespectsMaxModels) {
+  const GroundProgram program = BigChoice();
+  StableSolverOptions options;
+  options.max_models = 3;
+  StableModelSolver solver(program, 0, options);
+  const auto models = solver.AssumptionFreeModels();
+  ASSERT_TRUE(models.ok()) << models.status();
+  EXPECT_EQ(models->size(), 3u);
+}
+
+TEST(BudgetTest, CautiousModelPropagatesSolverError) {
+  const GroundProgram program = BigChoice();
+  StableSolverOptions options;
+  options.node_budget = 5;
+  EXPECT_EQ(CautiousModel(program, 0, options).status().code(),
+            StatusCode::kResourceExhausted);
+}
+
+TEST(BudgetTest, ExhaustiveCompleterRespectsNodeBudget) {
+  const GroundProgram program = BigChoice();
+  ExhaustiveOptions options;
+  options.node_budget = 4;
+  ExhaustiveCompleter completer(program, 0, options);
+  const Interpretation empty = Interpretation::ForProgram(program);
+  EXPECT_EQ(completer.FindProperExtension(empty).status().code(),
+            StatusCode::kResourceExhausted);
+}
+
+TEST(BudgetTest, SolverWorksAgainAfterBudgetError) {
+  const GroundProgram program = BigChoice();
+  StableSolverOptions small;
+  small.node_budget = 10;
+  StableModelSolver limited(program, 0, small);
+  ASSERT_FALSE(limited.AssumptionFreeModels().ok());
+  // A fresh solver with a sane budget succeeds on the same program.
+  StableModelSolver solver(program, 0);
+  const auto models = solver.StableModels();
+  ASSERT_TRUE(models.ok()) << models.status();
+  EXPECT_EQ(models->size(), 64u);  // 2^6 independent choices
+}
+
+}  // namespace
+}  // namespace ordlog

@@ -1,0 +1,134 @@
+// Structural invariants of Definition 2's statuses, as properties over
+// random programs and interpretations. These are the facts the engine's
+// correctness arguments (Lemma 1, consistency of V) lean on.
+
+#include <random>
+
+#include "core/rule_status.h"
+#include "core/v_operator.h"
+#include "gtest/gtest.h"
+#include "support/random_programs.h"
+#include "support/test_util.h"
+
+namespace ordlog {
+namespace {
+
+using ::ordlog::testing::RandomGroundProgram;
+using ::ordlog::testing::RandomInterpretation;
+using ::ordlog::testing::RandomProgramOptions;
+
+class Def2InvariantsTest : public ::testing::TestWithParam<uint32_t> {
+ protected:
+  GroundProgram MakeProgram(std::mt19937& rng) const {
+    RandomProgramOptions options;
+    options.num_atoms = 6;
+    options.num_components = 3;
+    options.num_rules = 14;
+    return RandomGroundProgram(rng, options);
+  }
+};
+
+TEST_P(Def2InvariantsTest, ApplicableExcludesBlockedOnConsistentI) {
+  std::mt19937 rng(GetParam());
+  const GroundProgram program = MakeProgram(rng);
+  for (ComponentId view = 0; view < program.NumComponents(); ++view) {
+    RuleStatusEvaluator evaluator(program, view);
+    for (int trial = 0; trial < 10; ++trial) {
+      const Interpretation i = RandomInterpretation(rng, program);
+      for (uint32_t index : program.ViewRules(view)) {
+        const GroundRule& rule = program.rule(index);
+        EXPECT_FALSE(evaluator.IsApplicable(rule, i) &&
+                     evaluator.IsBlocked(rule, i))
+            << "applicable and blocked simultaneously on a consistent "
+               "interpretation";
+        // Applied implies applicable by definition.
+        if (evaluator.IsApplied(rule, i)) {
+          EXPECT_TRUE(evaluator.IsApplicable(rule, i));
+        }
+        // Overruled-by-applied implies overruled.
+        if (evaluator.IsOverruledByApplied(rule, i)) {
+          EXPECT_TRUE(evaluator.IsOverruled(rule, i));
+        }
+        // Silenced is exactly overruled-or-defeated.
+        EXPECT_EQ(evaluator.IsSilenced(rule, i),
+                  evaluator.IsOverruled(rule, i) ||
+                      evaluator.IsDefeated(rule, i));
+      }
+    }
+  }
+}
+
+TEST_P(Def2InvariantsTest, BlockedIsMonotoneSilencedIsAntitone) {
+  std::mt19937 rng(GetParam() ^ 0x77777777u);
+  const GroundProgram program = MakeProgram(rng);
+  for (ComponentId view = 0; view < program.NumComponents(); ++view) {
+    RuleStatusEvaluator evaluator(program, view);
+    for (int trial = 0; trial < 10; ++trial) {
+      const Interpretation j = RandomInterpretation(rng, program);
+      Interpretation i = j;
+      std::bernoulli_distribution drop(0.5);
+      for (const GroundLiteral& literal : j.Literals()) {
+        if (drop(rng)) i.Remove(literal);
+      }
+      for (uint32_t index : program.ViewRules(view)) {
+        const GroundRule& rule = program.rule(index);
+        // Growing I can only add blockings...
+        if (evaluator.IsBlocked(rule, i)) {
+          EXPECT_TRUE(evaluator.IsBlocked(rule, j));
+        }
+        // ...and hence only remove silencers.
+        if (evaluator.IsSilenced(rule, j)) {
+          EXPECT_TRUE(evaluator.IsSilenced(rule, i));
+        }
+        // Applicability is monotone.
+        if (evaluator.IsApplicable(rule, i)) {
+          EXPECT_TRUE(evaluator.IsApplicable(rule, j));
+        }
+      }
+    }
+  }
+}
+
+TEST_P(Def2InvariantsTest, VResultIsAlwaysConsistent) {
+  std::mt19937 rng(GetParam() ^ 0x12344321u);
+  const GroundProgram program = MakeProgram(rng);
+  for (ComponentId view = 0; view < program.NumComponents(); ++view) {
+    VOperator v(program, view);
+    for (int trial = 0; trial < 10; ++trial) {
+      const Interpretation i = RandomInterpretation(rng, program);
+      const Interpretation result = v.Apply(i);
+      // Interpretation::Add refuses inconsistencies, so verify through
+      // counts: every literal stored must have a definite truth value and
+      // no atom may be both.
+      for (const GroundLiteral& literal : result.Literals()) {
+        EXPECT_NE(result.Value(literal), TruthValue::kUndefined);
+        EXPECT_FALSE(result.Contains(literal) &&
+                     result.ContainsComplement(literal));
+      }
+    }
+  }
+}
+
+TEST_P(Def2InvariantsTest, ComplementaryApplicableRulesNeverBothFire) {
+  std::mt19937 rng(GetParam() ^ 0xdeadbeefu);
+  const GroundProgram program = MakeProgram(rng);
+  for (ComponentId view = 0; view < program.NumComponents(); ++view) {
+    RuleStatusEvaluator evaluator(program, view);
+    VOperator v(program, view);
+    for (int trial = 0; trial < 5; ++trial) {
+      const Interpretation i = RandomInterpretation(rng, program);
+      const Interpretation fired = v.Apply(i);
+      // If a literal fired, no complementary-headed rule can have fired.
+      for (const GroundLiteral& literal : fired.Literals()) {
+        EXPECT_FALSE(fired.ContainsComplement(literal));
+      }
+      (void)evaluator;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomSeeds, Def2InvariantsTest,
+                         ::testing::Range(1u, 21u));
+
+}  // namespace
+}  // namespace ordlog

@@ -1,0 +1,151 @@
+// Multiple inheritance: diamonds, deep chains and sibling conflicts.
+// Definition 1 allows arbitrary finite partial orders; these tests pin
+// down how overruling and defeating compose across them.
+
+#include "core/enumerate.h"
+#include "core/v_operator.h"
+#include "gtest/gtest.h"
+#include "support/test_util.h"
+
+namespace ordlog {
+namespace {
+
+using ::ordlog::testing::GroundText;
+using ::ordlog::testing::MakeInterpretation;
+using ::ordlog::testing::Render;
+
+// bottom < left < top, bottom < right < top.
+constexpr std::string_view kDiamond = R"(
+  component top { p. }
+  component left { -p :- a. a. }
+  component right { p :- b. b. }
+  component bottom { }
+  order bottom < left.
+  order bottom < right.
+  order left < top.
+  order right < top.
+)";
+
+TEST(DiamondTest, SiblingBranchesDefeatEachOther) {
+  // left derives -p, right (re)derives p; from bottom both branches are
+  // inherited and incomparable, so p is defeated into undefinedness. The
+  // top module's fact p is overruled by left's non-blocked exception.
+  const GroundProgram program = GroundText(kDiamond);
+  const auto bottom = program.NumComponents() - 1;
+  ASSERT_EQ(program.component_name(bottom), "bottom");
+  const Interpretation least = VOperator(program, bottom).LeastFixpoint();
+  const auto atom = [&](std::string_view name) {
+    return program
+        .FindAtom(Atom{program.pool().symbols().Find(name).value(), {}})
+        .value();
+  };
+  EXPECT_EQ(least.Truth(atom("p")), TruthValue::kUndefined)
+      << least.ToString(program);
+  EXPECT_EQ(least.Truth(atom("a")), TruthValue::kTrue);
+  EXPECT_EQ(least.Truth(atom("b")), TruthValue::kTrue);
+}
+
+TEST(DiamondTest, BranchViewsDisagree) {
+  // Each branch on its own is consistent and decides p its own way.
+  const GroundProgram program = GroundText(kDiamond);
+  const auto left = 1, right = 2;
+  ASSERT_EQ(program.component_name(left), "left");
+  ASSERT_EQ(program.component_name(right), "right");
+  const auto atom_p = program
+                          .FindAtom(Atom{
+                              program.pool().symbols().Find("p").value(), {}})
+                          .value();
+  EXPECT_EQ(VOperator(program, left).LeastFixpoint().Truth(atom_p),
+            TruthValue::kFalse);
+  EXPECT_EQ(VOperator(program, right).LeastFixpoint().Truth(atom_p),
+            TruthValue::kTrue);
+}
+
+TEST(DiamondTest, BottomExceptionBeatsBothBranches) {
+  // A rule in the bottom module overrules both branches at once.
+  const GroundProgram program = GroundText(R"(
+    component top { }
+    component left { p :- a. a. }
+    component right { -p :- b. b. }
+    component bottom { -a. }
+    order bottom < left.
+    order bottom < right.
+    order left < top.
+    order right < top.
+  )");
+  const auto bottom = 3;
+  const Interpretation least = VOperator(program, bottom).LeastFixpoint();
+  const auto atom = [&](std::string_view name) {
+    return program
+        .FindAtom(Atom{program.pool().symbols().Find(name).value(), {}})
+        .value();
+  };
+  // -a (bottom) overrules the fact a (left); with a false, left's p rule
+  // is blocked, so right's -p fires unopposed.
+  EXPECT_EQ(least.Truth(atom("a")), TruthValue::kFalse);
+  EXPECT_EQ(least.Truth(atom("p")), TruthValue::kFalse);
+}
+
+TEST(DiamondTest, DeepVersionChainMostSpecificWins) {
+  // v3 < v2 < v1: each version flips the verdict; the newest one wins,
+  // and intermediate views see their own era's answer.
+  const GroundProgram program = GroundText(R"(
+    component v1 { ok. }
+    component v2 { -ok. }
+    component v3 { ok. }
+    order v3 < v2.
+    order v2 < v1.
+  )");
+  const auto atom_ok = program
+                           .FindAtom(Atom{
+                               program.pool().symbols().Find("ok").value(),
+                               {}})
+                           .value();
+  EXPECT_EQ(VOperator(program, 2).LeastFixpoint().Truth(atom_ok),
+            TruthValue::kTrue);  // v3 view
+  EXPECT_EQ(VOperator(program, 1).LeastFixpoint().Truth(atom_ok),
+            TruthValue::kFalse);  // v2 view
+  EXPECT_EQ(VOperator(program, 0).LeastFixpoint().Truth(atom_ok),
+            TruthValue::kTrue);  // v1 view
+}
+
+TEST(DiamondTest, OverrulingIsNotTransitiveThroughDefeat) {
+  // mid-1 and mid-2 are incomparable; each overrules top separately, but
+  // against each other they defeat. The bottom sees: top's fact p
+  // overruled (by either branch), -p defeated by... nothing: both
+  // branches agree on -p here, so -p fires.
+  const GroundProgram program = GroundText(R"(
+    component top { p. }
+    component mid1 { -p :- a. a. }
+    component mid2 { -p :- b. b. }
+    component bottom { }
+    order bottom < mid1.
+    order bottom < mid2.
+    order mid1 < top.
+    order mid2 < top.
+  )");
+  const auto bottom = 3;
+  const Interpretation least = VOperator(program, bottom).LeastFixpoint();
+  const auto atom_p = program
+                          .FindAtom(Atom{
+                              program.pool().symbols().Find("p").value(), {}})
+                          .value();
+  EXPECT_EQ(least.Truth(atom_p), TruthValue::kFalse)
+      << least.ToString(program);
+}
+
+TEST(DiamondTest, StableModelsOfTheDiamondConflict) {
+  // The diamond's p-conflict admits no preferred resolution: assumption-
+  // free models cannot contain p or -p.
+  const GroundProgram program = GroundText(kDiamond);
+  const auto bottom = 3;
+  BruteForceEnumerator enumerator(program, bottom);
+  const auto stable = enumerator.StableModels();
+  ASSERT_TRUE(stable.ok());
+  const std::vector<Interpretation> expected = {
+      MakeInterpretation(program, {"a", "b"})};
+  EXPECT_EQ(Render(program, *stable), Render(program, expected));
+}
+
+}  // namespace
+}  // namespace ordlog

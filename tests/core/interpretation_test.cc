@@ -1,0 +1,110 @@
+// Unit tests for the 3-valued Interpretation container.
+
+#include "core/interpretation.h"
+
+#include "gtest/gtest.h"
+#include "support/test_util.h"
+
+namespace ordlog {
+namespace {
+
+using ::ordlog::testing::GroundText;
+
+TEST(InterpretationTest, AddAndTruth) {
+  Interpretation i(4);
+  EXPECT_TRUE(i.Empty());
+  EXPECT_TRUE(i.Add(GroundLiteral{0, true}));
+  EXPECT_TRUE(i.Add(GroundLiteral{1, false}));
+  EXPECT_EQ(i.Truth(0), TruthValue::kTrue);
+  EXPECT_EQ(i.Truth(1), TruthValue::kFalse);
+  EXPECT_EQ(i.Truth(2), TruthValue::kUndefined);
+  EXPECT_EQ(i.NumAssigned(), 2u);
+}
+
+TEST(InterpretationTest, AddRefusesInconsistency) {
+  Interpretation i(2);
+  EXPECT_TRUE(i.Add(GroundLiteral{0, true}));
+  EXPECT_FALSE(i.Add(GroundLiteral{0, false}));
+  EXPECT_EQ(i.Truth(0), TruthValue::kTrue);  // unchanged
+  // Re-adding the same literal is fine.
+  EXPECT_TRUE(i.Add(GroundLiteral{0, true}));
+}
+
+TEST(InterpretationTest, SetOverridesAndClears) {
+  Interpretation i(2);
+  i.Set(0, TruthValue::kTrue);
+  i.Set(0, TruthValue::kFalse);
+  EXPECT_EQ(i.Truth(0), TruthValue::kFalse);
+  i.Set(0, TruthValue::kUndefined);
+  EXPECT_EQ(i.Truth(0), TruthValue::kUndefined);
+  EXPECT_TRUE(i.Empty());
+}
+
+TEST(InterpretationTest, ValueOfLiteralAndConjunction) {
+  Interpretation i(3);
+  i.Set(0, TruthValue::kTrue);
+  i.Set(1, TruthValue::kFalse);
+  const GroundLiteral pos0{0, true}, neg1{1, false}, pos2{2, true};
+  EXPECT_EQ(i.Value(pos0), TruthValue::kTrue);
+  EXPECT_EQ(i.Value(neg1), TruthValue::kTrue);
+  EXPECT_EQ(i.Value(pos0.Complement()), TruthValue::kFalse);
+  EXPECT_EQ(i.Value(pos2), TruthValue::kUndefined);
+  // min-semantics, empty conjunction is true.
+  EXPECT_EQ(i.ValueOfConjunction({}), TruthValue::kTrue);
+  EXPECT_EQ(i.ValueOfConjunction({pos0, neg1}), TruthValue::kTrue);
+  EXPECT_EQ(i.ValueOfConjunction({pos0, pos2}), TruthValue::kUndefined);
+  EXPECT_EQ(i.ValueOfConjunction({pos0, GroundLiteral{1, true}}),
+            TruthValue::kFalse);
+  EXPECT_EQ(i.ValueOfConjunction({pos2, GroundLiteral{1, true}}),
+            TruthValue::kFalse);
+}
+
+TEST(InterpretationTest, SubsetAndUnion) {
+  Interpretation a(3), b(3);
+  a.Set(0, TruthValue::kTrue);
+  b.Set(0, TruthValue::kTrue);
+  b.Set(1, TruthValue::kFalse);
+  EXPECT_TRUE(a.IsSubsetOf(b));
+  EXPECT_TRUE(a.IsProperSubsetOf(b));
+  EXPECT_FALSE(b.IsSubsetOf(a));
+  EXPECT_TRUE(a.UnionWith(b));
+  EXPECT_EQ(a, b);
+
+  Interpretation c(3);
+  c.Set(1, TruthValue::kTrue);  // conflicts with b's -a1
+  EXPECT_FALSE(b.UnionWith(c));
+}
+
+TEST(InterpretationTest, LiteralsRoundTrip) {
+  Interpretation i(5);
+  i.Set(4, TruthValue::kFalse);
+  i.Set(2, TruthValue::kTrue);
+  const std::vector<GroundLiteral> literals = i.Literals();
+  ASSERT_EQ(literals.size(), 2u);
+  EXPECT_EQ(literals[0], (GroundLiteral{2, true}));
+  EXPECT_EQ(literals[1], (GroundLiteral{4, false}));
+}
+
+TEST(InterpretationTest, ToStringRendersLiterals) {
+  const GroundProgram program = GroundText("p. -q :- p.");
+  Interpretation i = Interpretation::ForProgram(program);
+  const auto p = program.FindAtom(
+      Atom{program.pool().symbols().Find("p").value(), {}});
+  ASSERT_TRUE(p.has_value());
+  i.Set(*p, TruthValue::kTrue);
+  EXPECT_EQ(i.ToString(program), "{p}");
+}
+
+TEST(InterpretationTest, AssignsOnly) {
+  Interpretation i(4);
+  i.Set(1, TruthValue::kTrue);
+  DynamicBitset mask(4);
+  mask.Set(1);
+  mask.Set(2);
+  EXPECT_TRUE(i.AssignsOnly(mask));
+  i.Set(3, TruthValue::kFalse);
+  EXPECT_FALSE(i.AssignsOnly(mask));
+}
+
+}  // namespace
+}  // namespace ordlog

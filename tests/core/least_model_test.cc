@@ -1,0 +1,78 @@
+// The worklist least-model computation must agree exactly with the
+// round-based V operator (both compute V∞(∅), Definition 4) on the paper
+// programs and on random ordered programs.
+
+#include "core/least_model.h"
+
+#include <random>
+
+#include "core/v_operator.h"
+#include "gtest/gtest.h"
+#include "support/paper_programs.h"
+#include "support/random_programs.h"
+#include "support/test_util.h"
+
+namespace ordlog {
+namespace {
+
+using ::ordlog::testing::GroundText;
+using ::ordlog::testing::RandomGroundProgram;
+using ::ordlog::testing::RandomProgramOptions;
+
+TEST(LeastModelTest, MatchesVOperatorOnPaperPrograms) {
+  for (const std::string_view source :
+       {testing::kFig1Penguin, testing::kFig1Flattened, testing::kFig2Mimmo,
+        testing::kFig3LoanBase, testing::kExample3P3, testing::kExample4P4,
+        testing::kExample4P4Closed, testing::kExample5P5,
+        testing::kExample8Birds, testing::kExample9Colors}) {
+    const GroundProgram program = GroundText(source);
+    for (ComponentId view = 0; view < program.NumComponents(); ++view) {
+      const Interpretation reference =
+          VOperator(program, view).LeastFixpoint();
+      const Interpretation fast = ComputeLeastModel(program, view);
+      EXPECT_EQ(fast, reference)
+          << "view " << program.component_name(view) << "\nfast "
+          << fast.ToString(program) << "\nref  "
+          << reference.ToString(program);
+    }
+  }
+}
+
+class LeastModelPropertyTest : public ::testing::TestWithParam<uint32_t> {};
+
+TEST_P(LeastModelPropertyTest, MatchesVOperatorOnRandomPrograms) {
+  std::mt19937 rng(GetParam());
+  RandomProgramOptions options;
+  options.num_atoms = 7;
+  options.num_components = 4;
+  options.num_rules = 18;
+  const GroundProgram program = RandomGroundProgram(rng, options);
+  for (ComponentId view = 0; view < program.NumComponents(); ++view) {
+    const Interpretation reference =
+        VOperator(program, view).LeastFixpoint();
+    const Interpretation fast = ComputeLeastModel(program, view);
+    EXPECT_EQ(fast, reference)
+        << "seed " << GetParam() << " view " << view << "\n"
+        << program.DebugString();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomSeeds, LeastModelPropertyTest,
+                         ::testing::Range(1u, 61u));
+
+TEST(LeastModelTest, EmptyProgram) {
+  GroundProgramBuilder builder(std::make_shared<TermPool>(), 1);
+  auto program = builder.Build();
+  ASSERT_TRUE(program.ok());
+  EXPECT_TRUE(ComputeLeastModel(*program, 0).Empty());
+}
+
+TEST(LeastModelTest, ChainDerivesEverything) {
+  const GroundProgram program = GroundText(R"(
+    component c { p0. p1 :- p0. p2 :- p1. p3 :- p2. }
+  )");
+  EXPECT_EQ(ComputeLeastModel(program, 0).NumAssigned(), 4u);
+}
+
+}  // namespace
+}  // namespace ordlog

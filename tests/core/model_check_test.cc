@@ -1,0 +1,110 @@
+// Paper Definition 3 and Example 3: which interpretations are models.
+
+#include "core/model_check.h"
+
+#include "core/v_operator.h"
+#include "gtest/gtest.h"
+#include "support/paper_programs.h"
+#include "support/test_util.h"
+
+namespace ordlog {
+namespace {
+
+using ::ordlog::testing::GroundText;
+using ::ordlog::testing::MakeInterpretation;
+
+TEST(ModelCheckTest, ExampleI1IsModelForP1InC1) {
+  const GroundProgram program = GroundText(testing::kFig1Penguin);
+  const auto c1 = 1;
+  const Interpretation i1 = MakeInterpretation(
+      program, {"bird(pigeon)", "bird(penguin)", "ground_animal(penguin)",
+                "-ground_animal(pigeon)", "fly(pigeon)", "-fly(penguin)"});
+  EXPECT_TRUE(ModelChecker(program, c1).IsModel(i1));
+  EXPECT_TRUE(ModelChecker(program, c1).IsTotal(i1));
+}
+
+TEST(ModelCheckTest, ExampleI1IsNotModelForFlattenedP1) {
+  const GroundProgram program = GroundText(testing::kFig1Flattened);
+  const Interpretation i1 = MakeInterpretation(
+      program, {"bird(pigeon)", "bird(penguin)", "ground_animal(penguin)",
+                "-ground_animal(pigeon)", "fly(pigeon)", "-fly(penguin)"});
+  std::string why;
+  EXPECT_FALSE(ModelChecker(program, 0).IsModel(i1, &why));
+}
+
+TEST(ModelCheckTest, FlattenedP1HatModelOfExample3) {
+  const GroundProgram program = GroundText(testing::kFig1Flattened);
+  // Î1 of Example 3: penguin facts undefined.
+  const Interpretation i_hat = MakeInterpretation(
+      program, {"bird(pigeon)", "bird(penguin)", "fly(pigeon)",
+                "-ground_animal(pigeon)"});
+  EXPECT_TRUE(ModelChecker(program, 0).IsModel(i_hat));
+  EXPECT_FALSE(ModelChecker(program, 0).IsTotal(i_hat));
+}
+
+TEST(ModelCheckTest, I2IsNotAModelForP2InC1) {
+  const GroundProgram program = GroundText(testing::kFig2Mimmo);
+  const auto c1 = 2;
+  const Interpretation i2 =
+      MakeInterpretation(program, {"rich(mimmo)", "poor(mimmo)"});
+  EXPECT_FALSE(ModelChecker(program, c1).IsModel(i2));
+}
+
+TEST(ModelCheckTest, Example3ModelsOfP3) {
+  // P3 = { a :- b.  -a :- b. }: models are {b}, {-b}, {a,-b}, {-a,-b}, {};
+  // all other interpretations (including the Herbrand base {a, b}) are not.
+  const GroundProgram program = GroundText(testing::kExample3P3);
+  ModelChecker checker(program, 0);
+
+  for (const std::vector<std::string>& model :
+       {std::vector<std::string>{"b"},
+        {"-b"},
+        {"a", "-b"},
+        {"-a", "-b"},
+        {}}) {
+    EXPECT_TRUE(checker.IsModel(MakeInterpretation(program, model)))
+        << testing::Render(program, MakeInterpretation(program, model));
+  }
+  for (const std::vector<std::string>& non_model :
+       {std::vector<std::string>{"a", "b"},
+        {"a"},
+        {"-a"},
+        {"-a", "b"},
+        {"a", "b", "-b"}}) {
+    if (non_model.size() == 3) continue;  // placeholder, not constructible
+    EXPECT_FALSE(checker.IsModel(MakeInterpretation(program, non_model)))
+        << testing::Render(program, MakeInterpretation(program, non_model));
+  }
+}
+
+TEST(ModelCheckTest, InterpretationOutsideViewBaseRejected) {
+  // Atom q exists only in component "other", invisible from main's view.
+  const GroundProgram program = GroundText(R"(
+    component main { p. }
+    component other { q. }
+  )");
+  const auto main_id = 0;
+  ASSERT_EQ(program.component_name(main_id), "main");
+  const Interpretation m = MakeInterpretation(program, {"p", "q"});
+  std::string why;
+  EXPECT_FALSE(ModelChecker(program, main_id).IsModel(m, &why));
+  EXPECT_NE(why.find("outside"), std::string::npos);
+}
+
+TEST(ModelCheckTest, LeastFixpointIsModelOnPaperPrograms) {
+  for (const std::string_view source :
+       {testing::kFig1Penguin, testing::kFig1Flattened, testing::kFig2Mimmo,
+        testing::kExample3P3, testing::kExample4P4,
+        testing::kExample4P4Closed, testing::kExample5P5}) {
+    const GroundProgram program = GroundText(source);
+    for (ComponentId view = 0; view < program.NumComponents(); ++view) {
+      const Interpretation least = VOperator(program, view).LeastFixpoint();
+      EXPECT_TRUE(ModelChecker(program, view).IsModel(least))
+          << "view " << program.component_name(view) << " of:\n"
+          << program.DebugString();
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ordlog

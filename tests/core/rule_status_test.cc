@@ -1,0 +1,136 @@
+// Paper Definition 2 and Example 2: rule statuses on the Figure 1 and
+// Figure 2 programs.
+
+#include "core/rule_status.h"
+
+#include "gtest/gtest.h"
+#include "support/paper_programs.h"
+#include "support/test_util.h"
+
+namespace ordlog {
+namespace {
+
+using ::ordlog::testing::FindRule;
+using ::ordlog::testing::GroundText;
+using ::ordlog::testing::MakeInterpretation;
+
+// The total interpretation I1 of Example 2.
+Interpretation ExampleI1(const GroundProgram& program) {
+  return MakeInterpretation(
+      program, {"bird(pigeon)", "bird(penguin)", "ground_animal(penguin)",
+                "-ground_animal(pigeon)", "fly(pigeon)", "-fly(penguin)"});
+}
+
+TEST(RuleStatusTest, Fig1PenguinFlyRuleIsOverruledInC1) {
+  const GroundProgram program = GroundText(testing::kFig1Penguin);
+  const auto c1 = 1;  // components are created in declaration order: c2, c1
+  ASSERT_EQ(program.component_name(c1), "c1");
+  RuleStatusEvaluator evaluator(program, c1);
+  const Interpretation i1 = ExampleI1(program);
+
+  const GroundRule& fly_penguin =
+      FindRule(program, "c2", "fly(penguin)", {"bird(penguin)"});
+  EXPECT_TRUE(evaluator.IsApplicable(fly_penguin, i1));
+  EXPECT_TRUE(evaluator.IsOverruled(fly_penguin, i1));
+  EXPECT_FALSE(evaluator.IsDefeated(fly_penguin, i1));
+  EXPECT_FALSE(evaluator.IsBlocked(fly_penguin, i1));
+  // The overruler is the applied rule -fly(penguin) :- ground_animal(..).
+  EXPECT_TRUE(evaluator.IsOverruledByApplied(fly_penguin, i1));
+
+  const GroundRule& no_fly_penguin =
+      FindRule(program, "c1", "-fly(penguin)", {"ground_animal(penguin)"});
+  EXPECT_TRUE(evaluator.IsApplied(no_fly_penguin, i1));
+
+  // "-fly(pigeon) :- ground_animal(pigeon)" is both blocked and
+  // non-applicable.
+  const GroundRule& no_fly_pigeon =
+      FindRule(program, "c1", "-fly(pigeon)", {"ground_animal(pigeon)"});
+  EXPECT_TRUE(evaluator.IsBlocked(no_fly_pigeon, i1));
+  EXPECT_FALSE(evaluator.IsApplicable(no_fly_pigeon, i1));
+}
+
+TEST(RuleStatusTest, FlattenedP1TurnsOverrulingIntoDefeating) {
+  const GroundProgram program = GroundText(testing::kFig1Flattened);
+  RuleStatusEvaluator evaluator(program, 0);
+  const Interpretation i1 = ExampleI1(program);
+
+  // In the single-component version the applicable rule
+  // fly(penguin) :- bird(penguin) is defeated (not overruled).
+  const GroundRule& fly_penguin =
+      FindRule(program, "c", "fly(penguin)", {"bird(penguin)"});
+  EXPECT_TRUE(evaluator.IsApplicable(fly_penguin, i1));
+  EXPECT_FALSE(evaluator.IsOverruled(fly_penguin, i1));
+  EXPECT_TRUE(evaluator.IsDefeated(fly_penguin, i1));
+
+  // The applied fact ground_animal(penguin) is defeated by the applicable
+  // rule -ground_animal(penguin) :- bird(penguin).
+  const GroundRule& ga_fact = FindRule(program, "c", "ground_animal(penguin)");
+  EXPECT_TRUE(evaluator.IsApplied(ga_fact, i1));
+  EXPECT_TRUE(evaluator.IsDefeated(ga_fact, i1));
+}
+
+TEST(RuleStatusTest, Fig2RichAndPoorDefeatEachOther) {
+  const GroundProgram program = GroundText(testing::kFig2Mimmo);
+  const auto c1 = program.NumComponents() - 1;
+  ASSERT_EQ(program.component_name(c1), "c1");
+  RuleStatusEvaluator evaluator(program, c1);
+  const Interpretation i2 =
+      MakeInterpretation(program, {"rich(mimmo)", "poor(mimmo)"});
+
+  const GroundRule& rich_fact = FindRule(program, "c3", "rich(mimmo)");
+  const GroundRule& not_rich =
+      FindRule(program, "c2", "-rich(mimmo)", {"poor(mimmo)"});
+  EXPECT_TRUE(evaluator.IsDefeated(rich_fact, i2));
+  EXPECT_TRUE(evaluator.IsDefeated(not_rich, i2));
+  EXPECT_FALSE(evaluator.IsOverruled(rich_fact, i2));
+  EXPECT_FALSE(evaluator.IsOverruled(not_rich, i2));
+}
+
+TEST(RuleStatusTest, EmptyBodyRuleIsAlwaysApplicableNeverBlocked) {
+  const GroundProgram program = GroundText("a.");
+  RuleStatusEvaluator evaluator(program, 0);
+  const Interpretation empty = Interpretation::ForProgram(program);
+  const GroundRule& fact = FindRule(program, "main", "a");
+  EXPECT_TRUE(evaluator.IsApplicable(fact, empty));
+  EXPECT_FALSE(evaluator.IsBlocked(fact, empty));
+  EXPECT_FALSE(evaluator.IsApplied(fact, empty));  // head not yet in I
+}
+
+TEST(RuleStatusTest, OverrulerMustNotBeBlocked) {
+  // c_low: -p :- q.   c_high: p.   With q false, the exception is blocked
+  // and the fact p is not overruled.
+  const GroundProgram program = GroundText(R"(
+    component high { p. }
+    component low { -p :- q. }
+    order low < high.
+  )");
+  const auto low = 1;
+  ASSERT_EQ(program.component_name(low), "low");
+  RuleStatusEvaluator evaluator(program, low);
+  const GroundRule& p_fact = FindRule(program, "high", "p");
+
+  Interpretation i = Interpretation::ForProgram(program);
+  EXPECT_TRUE(evaluator.IsOverruled(p_fact, i));  // -p :- q not blocked yet
+  i = testing::MakeInterpretation(program, {"-q"});
+  EXPECT_FALSE(evaluator.IsOverruled(p_fact, i));  // now blocked
+}
+
+TEST(RuleStatusTest, HigherComponentRuleNeitherOverrulesNorDefeats) {
+  // The CWA fact -p sits *above*; it must not silence the lower rule p.
+  const GroundProgram program = GroundText(R"(
+    component low { p. }
+    component high { -p. }
+    order low < high.
+  )");
+  RuleStatusEvaluator evaluator(program, 0);
+  const GroundRule& p_fact = FindRule(program, "low", "p");
+  const Interpretation empty = Interpretation::ForProgram(program);
+  EXPECT_FALSE(evaluator.IsOverruled(p_fact, empty));
+  EXPECT_FALSE(evaluator.IsDefeated(p_fact, empty));
+  // Conversely the upper fact is overruled by the lower one.
+  const GroundRule& not_p = FindRule(program, "high", "-p");
+  EXPECT_TRUE(evaluator.IsOverruled(not_p, empty));
+}
+
+}  // namespace
+}  // namespace ordlog

@@ -1,0 +1,109 @@
+// Cautious consequences (intersection of stable models): the sandwich
+//   V∞ ⊆ classical WF (through OV) ⊆ cautious ⊆ each stable model,
+// plus the separating example showing cautious ⊋ WF.
+
+#include "core/skeptical.h"
+
+#include <random>
+
+#include "core/v_operator.h"
+#include "ground/grounder.h"
+#include "gtest/gtest.h"
+#include "support/paper_programs.h"
+#include "support/random_programs.h"
+#include "support/test_util.h"
+#include "transform/classical.h"
+#include "transform/versions.h"
+
+namespace ordlog {
+namespace {
+
+using ::ordlog::testing::GroundText;
+using ::ordlog::testing::MakeInterpretation;
+using ::ordlog::testing::MapInterpretation;
+using ::ordlog::testing::RandomSeminegativeProgram;
+using ::ordlog::testing::ToComponent;
+
+TEST(SkepticalTest, Example5IntersectionKeepsOnlyC) {
+  const GroundProgram program = GroundText(testing::kExample5P5);
+  const auto cautious = CautiousModel(program, 1);
+  ASSERT_TRUE(cautious.ok()) << cautious.status();
+  // Stable models {a,-b,c} and {-a,b,c} intersect in {c}.
+  EXPECT_EQ(*cautious, MakeInterpretation(program, {"c"}));
+}
+
+TEST(SkepticalTest, SandwichedBetweenLeastAndStable) {
+  for (const std::string_view source :
+       {testing::kFig1Penguin, testing::kFig2Mimmo, testing::kExample3P3,
+        testing::kExample5P5}) {
+    const GroundProgram program = GroundText(source);
+    for (ComponentId view = 0; view < program.NumComponents(); ++view) {
+      const auto cautious = CautiousModel(program, view);
+      ASSERT_TRUE(cautious.ok());
+      EXPECT_TRUE(
+          VOperator(program, view).LeastFixpoint().IsSubsetOf(*cautious));
+      StableModelSolver solver(program, view);
+      const auto stable = solver.StableModels();
+      ASSERT_TRUE(stable.ok());
+      for (const Interpretation& model : *stable) {
+        EXPECT_TRUE(cautious->IsSubsetOf(model));
+      }
+    }
+  }
+}
+
+TEST(SkepticalTest, CaseSplitSeparatesCautiousFromWellFounded) {
+  // a :- -b. a :- b. b :- -a.  — the a/b negation loop leaves everything
+  // undefined in WF, but the case-splitting pair forces a into every
+  // stable model, so the cautious model contains a.
+  GroundProgram source = GroundText("a :- -b. a :- b. b :- -a.");
+  EXPECT_TRUE(ClassicalSemantics(source).WellFoundedModel().Empty());
+
+  const Component component = ToComponent(source, source.shared_pool());
+  auto version = OrderedVersion(component, source.shared_pool());
+  ASSERT_TRUE(version.ok());
+  const auto ordered = Grounder::Ground(*version);
+  ASSERT_TRUE(ordered.ok());
+  const auto cautious = CautiousModel(*ordered, kQueryComponent);
+  ASSERT_TRUE(cautious.ok());
+  const auto a = ordered->FindAtom(
+      Atom{ordered->pool().symbols().Find("a").value(), {}});
+  ASSERT_TRUE(a.has_value());
+  EXPECT_EQ(cautious->Truth(*a), TruthValue::kTrue)
+      << cautious->ToString(*ordered);
+}
+
+class SkepticalPropertyTest : public ::testing::TestWithParam<uint32_t> {};
+
+TEST_P(SkepticalPropertyTest, ContainsClassicalWellFoundedThroughOV) {
+  std::mt19937 rng(GetParam());
+  GroundProgram source = RandomSeminegativeProgram(rng, 5, 9, 2);
+  const Component component = ToComponent(source, source.shared_pool());
+  const auto version = OrderedVersion(component, source.shared_pool());
+  ASSERT_TRUE(version.ok());
+  auto mutable_version = *version;
+  const auto ordered = Grounder::Ground(mutable_version);
+  ASSERT_TRUE(ordered.ok());
+
+  const auto cautious = CautiousModel(*ordered, kQueryComponent);
+  ASSERT_TRUE(cautious.ok()) << cautious.status();
+  const Interpretation classical_wf =
+      ClassicalSemantics(source).WellFoundedModel();
+  const Interpretation mapped_wf =
+      MapInterpretation(classical_wf, source, *ordered);
+  EXPECT_TRUE(mapped_wf.IsSubsetOf(*cautious))
+      << "seed " << GetParam() << "\ncautious "
+      << cautious->ToString(*ordered) << "\nWF       "
+      << classical_wf.ToString(source) << "\n"
+      << source.DebugString();
+  // And V∞ sits below the mapped classical WF as well.
+  EXPECT_TRUE(VOperator(*ordered, kQueryComponent)
+                  .LeastFixpoint()
+                  .IsSubsetOf(mapped_wf));
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomSeeds, SkepticalPropertyTest,
+                         ::testing::Range(1u, 41u));
+
+}  // namespace
+}  // namespace ordlog

@@ -1,0 +1,124 @@
+// Paper Definition 9 and Example 5: stable models as maximal
+// assumption-free models, plus brute-force vs backtracking-solver
+// agreement on random programs.
+
+#include "core/stable_solver.h"
+
+#include <random>
+
+#include "core/enumerate.h"
+#include "gtest/gtest.h"
+#include "support/paper_programs.h"
+#include "support/random_programs.h"
+#include "support/test_util.h"
+
+namespace ordlog {
+namespace {
+
+using ::ordlog::testing::GroundText;
+using ::ordlog::testing::MakeInterpretation;
+using ::ordlog::testing::RandomGroundProgram;
+using ::ordlog::testing::RandomProgramOptions;
+using ::ordlog::testing::Render;
+
+TEST(StableTest, Example5HasTwoStableModels) {
+  const GroundProgram program = GroundText(testing::kExample5P5);
+  const auto c1 = 1;
+  ASSERT_EQ(program.component_name(c1), "c1");
+
+  BruteForceEnumerator enumerator(program, c1);
+  const auto stable = enumerator.StableModels();
+  ASSERT_TRUE(stable.ok()) << stable.status();
+  EXPECT_EQ(Render(program, *stable),
+            Render(program, {MakeInterpretation(program, {"a", "-b", "c"}),
+                             MakeInterpretation(program, {"-a", "b", "c"})}));
+}
+
+TEST(StableTest, Example5CAloneIsAssumptionFreeButNotStable) {
+  const GroundProgram program = GroundText(testing::kExample5P5);
+  const auto c1 = 1;
+  BruteForceEnumerator enumerator(program, c1);
+  const auto assumption_free = enumerator.AssumptionFreeModels();
+  ASSERT_TRUE(assumption_free.ok());
+  const Interpretation just_c = MakeInterpretation(program, {"c"});
+  bool found = false;
+  for (const Interpretation& m : *assumption_free) {
+    if (m == just_c) found = true;
+  }
+  EXPECT_TRUE(found) << "{c} should be assumption-free";
+  const auto stable = enumerator.StableModels();
+  ASSERT_TRUE(stable.ok());
+  for (const Interpretation& m : *stable) {
+    EXPECT_NE(m, just_c) << "{c} must not be stable";
+  }
+}
+
+TEST(StableTest, SolverMatchesBruteForceOnExample5) {
+  const GroundProgram program = GroundText(testing::kExample5P5);
+  const auto c1 = 1;
+  StableModelSolver solver(program, c1);
+  const auto solver_stable = solver.StableModels();
+  ASSERT_TRUE(solver_stable.ok()) << solver_stable.status();
+  const auto brute = BruteForceEnumerator(program, c1).StableModels();
+  ASSERT_TRUE(brute.ok());
+  EXPECT_EQ(Render(program, *solver_stable), Render(program, *brute));
+}
+
+TEST(StableTest, P2HasOnlyTheEmptyStableModelInC1) {
+  // From C1's viewpoint C2 and C3 are equally trustworthy: the rich/poor
+  // facts defeat each other, no literal is derivable without assumptions,
+  // and the unique stable model is empty (Example 4: "The empty set is an
+  // assumption-free model for P2 in C1").
+  const GroundProgram program = GroundText(testing::kFig2Mimmo);
+  const auto c1 = 2;
+  const auto stable = BruteForceEnumerator(program, c1).StableModels();
+  ASSERT_TRUE(stable.ok());
+  ASSERT_EQ(stable->size(), 1u);
+  EXPECT_TRUE((*stable)[0].Empty());
+}
+
+TEST(StableTest, UniquenessNotGuaranteedButExistenceIs) {
+  // Every program has at least the least model as an assumption-free
+  // model, so stable models always exist.
+  for (const std::string_view source :
+       {testing::kFig1Penguin, testing::kFig2Mimmo, testing::kExample3P3,
+        testing::kExample4P4, testing::kExample5P5}) {
+    const GroundProgram program = GroundText(source);
+    for (ComponentId view = 0; view < program.NumComponents(); ++view) {
+      const auto stable = BruteForceEnumerator(program, view).StableModels();
+      ASSERT_TRUE(stable.ok());
+      EXPECT_GE(stable->size(), 1u);
+    }
+  }
+}
+
+// --- solver vs brute force on random ordered programs ---------------------
+
+class StableSolverPropertyTest : public ::testing::TestWithParam<uint32_t> {
+};
+
+TEST_P(StableSolverPropertyTest, SolverAgreesWithBruteForce) {
+  std::mt19937 rng(GetParam());
+  RandomProgramOptions options;
+  options.num_atoms = 5;
+  options.num_components = 2;
+  options.num_rules = 9;
+  const GroundProgram program = RandomGroundProgram(rng, options);
+  for (ComponentId view = 0; view < program.NumComponents(); ++view) {
+    const auto brute =
+        BruteForceEnumerator(program, view).AssumptionFreeModels();
+    ASSERT_TRUE(brute.ok()) << brute.status();
+    StableModelSolver solver(program, view);
+    const auto solved = solver.AssumptionFreeModels();
+    ASSERT_TRUE(solved.ok()) << solved.status();
+    EXPECT_EQ(Render(program, *solved), Render(program, *brute))
+        << "seed " << GetParam() << " view " << view << "\n"
+        << program.DebugString();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomSeeds, StableSolverPropertyTest,
+                         ::testing::Range(1u, 41u));
+
+}  // namespace
+}  // namespace ordlog

@@ -1,0 +1,128 @@
+// Paper Theorem 1 as executable properties over random ordered programs:
+//  (a) a model M is assumption-free iff T∞ of its enabled version equals M;
+//  (b) V∞(∅) is an assumption-free model and the intersection of all
+//      models.
+// Also Proposition 2: every model extends to an exhaustive model.
+
+#include <random>
+
+#include "core/assumption.h"
+#include "core/enumerate.h"
+#include "core/exhaustive.h"
+#include "core/model_check.h"
+#include "core/v_operator.h"
+#include "gtest/gtest.h"
+#include "support/random_programs.h"
+#include "support/test_util.h"
+
+namespace ordlog {
+namespace {
+
+using ::ordlog::testing::RandomGroundProgram;
+using ::ordlog::testing::RandomProgramOptions;
+
+class Theorem1Test : public ::testing::TestWithParam<uint32_t> {
+ protected:
+  GroundProgram MakeProgram() const {
+    std::mt19937 rng(GetParam());
+    RandomProgramOptions options;
+    options.num_atoms = 4;
+    options.num_components = 3;
+    options.num_rules = 9;
+    return RandomGroundProgram(rng, options);
+  }
+};
+
+TEST_P(Theorem1Test, PartA_AssumptionFreeIffEnabledFixpoint) {
+  const GroundProgram program = MakeProgram();
+  for (ComponentId view = 0; view < program.NumComponents(); ++view) {
+    AssumptionAnalyzer analyzer(program, view);
+    const auto models = BruteForceEnumerator(program, view).AllModels();
+    ASSERT_TRUE(models.ok()) << models.status();
+    for (const Interpretation& m : *models) {
+      EXPECT_EQ(analyzer.IsAssumptionFree(m),
+                analyzer.IsAssumptionFreeViaEnabled(m))
+          << "Thm 1a violated (seed " << GetParam() << ", view " << view
+          << ") for " << m.ToString(program) << "\n"
+          << program.DebugString();
+    }
+  }
+}
+
+TEST_P(Theorem1Test, PartB_LeastFixpointIsIntersectionOfAllModels) {
+  const GroundProgram program = MakeProgram();
+  for (ComponentId view = 0; view < program.NumComponents(); ++view) {
+    const Interpretation least = VOperator(program, view).LeastFixpoint();
+    // Assumption-free model.
+    EXPECT_TRUE(ModelChecker(program, view).IsModel(least));
+    EXPECT_TRUE(AssumptionAnalyzer(program, view).IsAssumptionFree(least));
+
+    const auto models = BruteForceEnumerator(program, view).AllModels();
+    ASSERT_TRUE(models.ok()) << models.status();
+    ASSERT_FALSE(models->empty());
+    // Intersection of all models.
+    Interpretation intersection = (*models)[0];
+    for (const Interpretation& m : *models) {
+      for (const GroundLiteral& literal : intersection.Literals()) {
+        if (!m.Contains(literal)) intersection.Remove(literal);
+      }
+    }
+    EXPECT_EQ(least, intersection)
+        << "Thm 1b violated (seed " << GetParam() << ", view " << view
+        << "): V∞=" << least.ToString(program)
+        << " intersection=" << intersection.ToString(program) << "\n"
+        << program.DebugString();
+  }
+}
+
+TEST_P(Theorem1Test, Proposition2_EveryModelExtendsToExhaustive) {
+  const GroundProgram program = MakeProgram();
+  for (ComponentId view = 0; view < program.NumComponents(); ++view) {
+    const auto models = BruteForceEnumerator(program, view).AllModels();
+    ASSERT_TRUE(models.ok());
+    const std::vector<Interpretation> exhaustive =
+        FilterMaximal(*models);
+    ExhaustiveCompleter completer(program, view);
+    for (const Interpretation& m : *models) {
+      // Some exhaustive model contains m.
+      bool contained = false;
+      for (const Interpretation& e : exhaustive) {
+        if (m.IsSubsetOf(e)) {
+          contained = true;
+          break;
+        }
+      }
+      EXPECT_TRUE(contained) << "Prop 2 violated for "
+                             << m.ToString(program);
+      // The constructive completion agrees with the brute-force notion.
+      const auto completed = completer.Complete(m);
+      ASSERT_TRUE(completed.ok()) << completed.status();
+      ASSERT_TRUE(m.IsSubsetOf(*completed));
+      const auto is_exhaustive = completer.IsExhaustive(*completed);
+      ASSERT_TRUE(is_exhaustive.ok());
+      EXPECT_TRUE(*is_exhaustive);
+    }
+  }
+}
+
+TEST_P(Theorem1Test, EveryModelIsFixpointOfV) {
+  // Used inside the paper's proof of Thm 1b: every model is a fixpoint of
+  // V... in fact every model N satisfies V(N) ⊆ N and the lfp is below N.
+  const GroundProgram program = MakeProgram();
+  for (ComponentId view = 0; view < program.NumComponents(); ++view) {
+    VOperator v(program, view);
+    const Interpretation least = v.LeastFixpoint();
+    const auto models = BruteForceEnumerator(program, view).AllModels();
+    ASSERT_TRUE(models.ok());
+    for (const Interpretation& m : *models) {
+      EXPECT_TRUE(least.IsSubsetOf(m))
+          << "least model not below " << m.ToString(program);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomSeeds, Theorem1Test,
+                         ::testing::Range(1u, 51u));
+
+}  // namespace
+}  // namespace ordlog

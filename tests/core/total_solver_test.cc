@@ -1,0 +1,130 @@
+// Definition 5 and the paper's observations about total models:
+//  * a total model need not exist (P2 has none in C1);
+//  * every total model is exhaustive, but not conversely;
+//  * a non-total exhaustive model may coexist with a total one.
+
+#include "core/total_solver.h"
+
+#include <random>
+
+#include "core/enumerate.h"
+#include "gtest/gtest.h"
+#include "support/paper_programs.h"
+#include "support/random_programs.h"
+#include "support/test_util.h"
+
+namespace ordlog {
+namespace {
+
+using ::ordlog::testing::GroundText;
+using ::ordlog::testing::MakeInterpretation;
+using ::ordlog::testing::RandomGroundProgram;
+using ::ordlog::testing::RandomProgramOptions;
+using ::ordlog::testing::Render;
+
+TEST(TotalSolverTest, P1HasTheTotalModelOfExample2) {
+  const GroundProgram program = GroundText(testing::kFig1Penguin);
+  const auto c1 = 1;
+  TotalModelSolver solver(program, c1);
+  const auto found = solver.FindOne();
+  ASSERT_TRUE(found.ok()) << found.status();
+  ASSERT_TRUE(found->has_value());
+  // I1 of Example 2 is a total model; in fact it is the only one here.
+  const auto all = solver.FindAll();
+  ASSERT_TRUE(all.ok());
+  const std::vector<Interpretation> expected = {MakeInterpretation(
+      program, {"bird(pigeon)", "bird(penguin)", "ground_animal(penguin)",
+                "-ground_animal(pigeon)", "fly(pigeon)", "-fly(penguin)"})};
+  EXPECT_EQ(Render(program, *all), Render(program, expected));
+}
+
+TEST(TotalSolverTest, P2HasNoTotalModelInC1) {
+  // "no total model exists for the program P2 ... in C1".
+  const GroundProgram program = GroundText(testing::kFig2Mimmo);
+  const auto c1 = 2;
+  TotalModelSolver solver(program, c1);
+  const auto found = solver.FindOne();
+  ASSERT_TRUE(found.ok()) << found.status();
+  EXPECT_FALSE(found->has_value());
+}
+
+TEST(TotalSolverTest, MatchesBruteForceOnPaperPrograms) {
+  for (const std::string_view source :
+       {testing::kFig1Penguin, testing::kFig2Mimmo, testing::kExample3P3,
+        testing::kExample5P5}) {
+    const GroundProgram program = GroundText(source);
+    for (ComponentId view = 0; view < program.NumComponents(); ++view) {
+      const auto brute = BruteForceEnumerator(program, view).TotalModels();
+      ASSERT_TRUE(brute.ok());
+      const auto solved = TotalModelSolver(program, view).FindAll();
+      ASSERT_TRUE(solved.ok()) << solved.status();
+      EXPECT_EQ(Render(program, *solved), Render(program, *brute))
+          << "view " << program.component_name(view);
+    }
+  }
+}
+
+TEST(TotalSolverTest, BudgetEnforced) {
+  // P5 leaves a and b undefined in V∞, so the search has real branching.
+  const GroundProgram program = GroundText(testing::kExample5P5);
+  TotalSolverOptions options;
+  options.node_budget = 2;
+  TotalModelSolver solver(program, 1, options);
+  EXPECT_EQ(solver.FindAll().status().code(),
+            StatusCode::kResourceExhausted);
+}
+
+class TotalSolverPropertyTest : public ::testing::TestWithParam<uint32_t> {
+};
+
+TEST_P(TotalSolverPropertyTest, AgreesWithBruteForceAndDef5Relations) {
+  std::mt19937 rng(GetParam());
+  RandomProgramOptions options;
+  options.num_atoms = 4;
+  options.num_components = 2;
+  options.num_rules = 8;
+  const GroundProgram program = RandomGroundProgram(rng, options);
+  for (ComponentId view = 0; view < program.NumComponents(); ++view) {
+    BruteForceEnumerator enumerator(program, view);
+    const auto totals = enumerator.TotalModels();
+    const auto exhaustive = enumerator.ExhaustiveModels();
+    ASSERT_TRUE(totals.ok() && exhaustive.ok());
+    // Solver agreement.
+    const auto solved = TotalModelSolver(program, view).FindAll();
+    ASSERT_TRUE(solved.ok()) << solved.status();
+    EXPECT_EQ(Render(program, *solved), Render(program, *totals))
+        << "seed " << GetParam() << " view " << view << "\n"
+        << program.DebugString();
+    // Def. 5: every total model is exhaustive.
+    const auto rendered_exhaustive = Render(program, *exhaustive);
+    for (const Interpretation& total : *totals) {
+      EXPECT_NE(std::find(rendered_exhaustive.begin(),
+                          rendered_exhaustive.end(), Render(program, total)),
+                rendered_exhaustive.end())
+          << "total model not exhaustive: " << total.ToString(program);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomSeeds, TotalSolverPropertyTest,
+                         ::testing::Range(1u, 51u));
+
+TEST(TotalSolverTest, ExhaustiveButNotTotalExists) {
+  // P̂1 (Example 3): the model leaving the penguin facts undefined is
+  // exhaustive (no model extends it) yet not total.
+  const GroundProgram program = GroundText(testing::kFig1Flattened);
+  const Interpretation i_hat = MakeInterpretation(
+      program, {"bird(pigeon)", "bird(penguin)", "fly(pigeon)",
+                "-ground_animal(pigeon)"});
+  const auto exhaustive = BruteForceEnumerator(program, 0).ExhaustiveModels();
+  ASSERT_TRUE(exhaustive.ok());
+  bool found = false;
+  for (const Interpretation& m : *exhaustive) {
+    if (m == i_hat) found = true;
+  }
+  EXPECT_TRUE(found);
+  EXPECT_FALSE(ModelChecker(program, 0).IsTotal(i_hat));
+}
+
+}  // namespace
+}  // namespace ordlog

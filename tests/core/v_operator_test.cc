@@ -1,0 +1,166 @@
+// Paper Definition 4, Lemma 1, Proposition 1: the ordered immediate
+// transformation and its least fixpoint, plus monotonicity properties on
+// random programs.
+
+#include "core/v_operator.h"
+
+#include <random>
+
+#include "core/model_check.h"
+#include "gtest/gtest.h"
+#include "support/paper_programs.h"
+#include "support/random_programs.h"
+#include "support/test_util.h"
+
+namespace ordlog {
+namespace {
+
+using ::ordlog::testing::GroundText;
+using ::ordlog::testing::MakeInterpretation;
+using ::ordlog::testing::RandomGroundProgram;
+using ::ordlog::testing::RandomInterpretation;
+using ::ordlog::testing::RandomProgramOptions;
+using ::ordlog::testing::Render;
+
+TEST(VOperatorTest, Fig1LeastModelInC1) {
+  const GroundProgram program = GroundText(testing::kFig1Penguin);
+  const auto c1 = 1;
+  ASSERT_EQ(program.component_name(c1), "c1");
+  const Interpretation least = VOperator(program, c1).LeastFixpoint();
+  // From C1's viewpoint the penguin is a grounded, non-flying bird, and
+  // the pigeon (via inheritance from C2) flies.
+  const Interpretation expected = MakeInterpretation(
+      program, {"bird(penguin)", "bird(pigeon)", "ground_animal(penguin)",
+                "-ground_animal(pigeon)", "fly(pigeon)", "-fly(penguin)"});
+  EXPECT_EQ(Render(program, least), Render(program, expected));
+}
+
+TEST(VOperatorTest, Fig1LeastModelInC2IgnoresC1) {
+  const GroundProgram program = GroundText(testing::kFig1Penguin);
+  const auto c2 = 0;
+  ASSERT_EQ(program.component_name(c2), "c2");
+  const Interpretation least = VOperator(program, c2).LeastFixpoint();
+  // C2 does not see C1: both birds fly and neither is a ground animal.
+  const Interpretation expected = MakeInterpretation(
+      program, {"bird(penguin)", "bird(pigeon)", "fly(penguin)",
+                "fly(pigeon)", "-ground_animal(penguin)",
+                "-ground_animal(pigeon)"});
+  EXPECT_EQ(Render(program, least), Render(program, expected));
+}
+
+TEST(VOperatorTest, FlattenedP1LeastModelMatchesExample3) {
+  // Example 3: a model for P̂1 in C is {bird(pigeon), bird(penguin),
+  // fly(pigeon), -ground_animal(pigeon)}; fly(penguin) and
+  // ground_animal(penguin) stay undefined.
+  const GroundProgram program = GroundText(testing::kFig1Flattened);
+  const Interpretation least = VOperator(program, 0).LeastFixpoint();
+  const Interpretation expected = MakeInterpretation(
+      program, {"bird(pigeon)", "bird(penguin)", "fly(pigeon)",
+                "-ground_animal(pigeon)"});
+  EXPECT_EQ(Render(program, least), Render(program, expected));
+}
+
+TEST(VOperatorTest, Fig2LeastModelIsPartial) {
+  const GroundProgram program = GroundText(testing::kFig2Mimmo);
+  const auto c1 = 2;
+  ASSERT_EQ(program.component_name(c1), "c1");
+  const Interpretation least = VOperator(program, c1).LeastFixpoint();
+  // rich/poor defeat each other; nothing survives, not even free_ticket.
+  EXPECT_TRUE(least.Empty()) << least.ToString(program);
+}
+
+TEST(VOperatorTest, Example4ClosedWorldComponentDrivesNegation) {
+  const GroundProgram program = GroundText(testing::kExample4P4Closed);
+  const Interpretation least = VOperator(program, 0).LeastFixpoint();
+  const Interpretation expected = MakeInterpretation(program, {"-a", "-b"});
+  EXPECT_EQ(Render(program, least), Render(program, expected));
+}
+
+TEST(VOperatorTest, Example4WithoutClosureDerivesNothing) {
+  const GroundProgram program = GroundText(testing::kExample4P4);
+  EXPECT_TRUE(VOperator(program, 0).LeastFixpoint().Empty());
+}
+
+TEST(VOperatorTest, ApplyIsMonotoneOnChain) {
+  // Two-step derivation: facts first, then the dependent rule.
+  const GroundProgram program = GroundText(R"(
+    component c { p. q :- p. r :- q. }
+  )");
+  VOperator v(program, 0);
+  const Interpretation i0 = Interpretation::ForProgram(program);
+  const Interpretation i1 = v.Apply(i0);
+  const Interpretation i2 = v.Apply(i1);
+  const Interpretation i3 = v.Apply(i2);
+  EXPECT_TRUE(i1.IsSubsetOf(i2));
+  EXPECT_TRUE(i2.IsSubsetOf(i3));
+  EXPECT_EQ(Render(program, i1),
+            Render(program, MakeInterpretation(program, {"p"})));
+  EXPECT_EQ(Render(program, i3),
+            Render(program, MakeInterpretation(program, {"p", "q", "r"})));
+}
+
+// --- Lemma 1 as a property over random ordered programs -------------------
+
+struct MonotonicityParam {
+  uint32_t seed;
+};
+
+class VOperatorPropertyTest
+    : public ::testing::TestWithParam<MonotonicityParam> {};
+
+TEST_P(VOperatorPropertyTest, ApplyIsMonotone) {
+  std::mt19937 rng(GetParam().seed);
+  RandomProgramOptions options;
+  options.num_atoms = 6;
+  options.num_components = 3;
+  options.num_rules = 12;
+  const GroundProgram program = RandomGroundProgram(rng, options);
+  for (ComponentId view = 0; view < program.NumComponents(); ++view) {
+    VOperator v(program, view);
+    for (int trial = 0; trial < 20; ++trial) {
+      // Build I ⊆ J by erasing random literals from J.
+      const Interpretation j = RandomInterpretation(rng, program);
+      Interpretation i = j;
+      std::bernoulli_distribution drop(0.5);
+      for (const GroundLiteral& literal : j.Literals()) {
+        if (drop(rng)) i.Remove(literal);
+      }
+      ASSERT_TRUE(i.IsSubsetOf(j));
+      EXPECT_TRUE(v.Apply(i).IsSubsetOf(v.Apply(j)))
+          << "V not monotone (seed " << GetParam().seed << ", view " << view
+          << ")";
+    }
+  }
+}
+
+TEST_P(VOperatorPropertyTest, LeastFixpointIsFixpointAndModel) {
+  std::mt19937 rng(GetParam().seed ^ 0x9e3779b9u);
+  RandomProgramOptions options;
+  options.num_atoms = 5;
+  options.num_components = 3;
+  options.num_rules = 10;
+  const GroundProgram program = RandomGroundProgram(rng, options);
+  for (ComponentId view = 0; view < program.NumComponents(); ++view) {
+    VOperator v(program, view);
+    const Interpretation least = v.LeastFixpoint();
+    EXPECT_EQ(v.Apply(least), least) << "not a fixpoint";
+    // Proposition 1: V∞(∅) is a model for P in C.
+    EXPECT_TRUE(ModelChecker(program, view).IsModel(least))
+        << "V∞ is not a model (seed " << GetParam().seed << ", view "
+        << view << "): " << least.ToString(program);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RandomSeeds, VOperatorPropertyTest,
+    ::testing::ValuesIn([] {
+      std::vector<MonotonicityParam> params;
+      for (uint32_t seed = 1; seed <= 40; ++seed) params.push_back({seed});
+      return params;
+    }()),
+    [](const ::testing::TestParamInfo<MonotonicityParam>& param_info) {
+      return "seed" + std::to_string(param_info.param.seed);
+    });
+
+}  // namespace
+}  // namespace ordlog

@@ -1,0 +1,64 @@
+#include "ground/conflicts.h"
+
+#include "gtest/gtest.h"
+#include "support/paper_programs.h"
+#include "support/test_util.h"
+
+namespace ordlog {
+namespace {
+
+using ::ordlog::testing::GroundText;
+
+TEST(ConflictsTest, Fig1IsPureOverruling) {
+  const GroundProgram program = GroundText(testing::kFig1Penguin);
+  const auto c1 = 1;
+  const ConflictStats stats = AnalyzeConflicts(program, c1);
+  // -fly(X) [c1] overrules fly(X) [c2] for both constants, and the
+  // ground_animal(penguin) fact [c1] overrules -ground_animal(penguin)
+  // [c2].
+  EXPECT_EQ(stats.overruling_pairs, 3u);
+  EXPECT_EQ(stats.defeating_pairs, 0u);
+  EXPECT_EQ(stats.conflicted_atoms, 3u);
+}
+
+TEST(ConflictsTest, FlattenedP1IsPureDefeating) {
+  const GroundProgram program = GroundText(testing::kFig1Flattened);
+  const ConflictStats stats = AnalyzeConflicts(program, 0);
+  // Same-component complementary pairs count in both directions: two fly
+  // atoms (2 pairs each) and ground_animal(penguin) (2 pairs).
+  EXPECT_EQ(stats.overruling_pairs, 0u);
+  EXPECT_EQ(stats.defeating_pairs, 6u);
+  EXPECT_EQ(stats.conflicted_atoms, 3u);
+}
+
+TEST(ConflictsTest, Fig2MixesSiblingDefeat) {
+  const GroundProgram program = GroundText(testing::kFig2Mimmo);
+  const auto c1 = 2;
+  const ConflictStats stats = AnalyzeConflicts(program, c1);
+  // rich(mimmo) and poor(mimmo) each have a fact and a complementary rule
+  // in the incomparable sibling component (both directions).
+  EXPECT_EQ(stats.overruling_pairs, 0u);
+  EXPECT_EQ(stats.defeating_pairs, 4u);
+  EXPECT_EQ(stats.conflicted_atoms, 2u);
+}
+
+TEST(ConflictsTest, ConflictFreeProgram) {
+  const GroundProgram program = GroundText("p. q :- p.");
+  const ConflictStats stats = AnalyzeConflicts(program, 0);
+  EXPECT_EQ(stats.overruling_pairs, 0u);
+  EXPECT_EQ(stats.defeating_pairs, 0u);
+  EXPECT_EQ(stats.conflicted_atoms, 0u);
+  EXPECT_NE(stats.ToString().find("0 overruling"), std::string::npos);
+}
+
+TEST(ConflictsTest, ViewScopesTheCount) {
+  // From the top module's view there is no conflict at all.
+  const GroundProgram program = GroundText(testing::kFig1Penguin);
+  const auto c2 = 0;
+  const ConflictStats stats = AnalyzeConflicts(program, c2);
+  EXPECT_EQ(stats.overruling_pairs, 0u);
+  EXPECT_EQ(stats.defeating_pairs, 0u);
+}
+
+}  // namespace
+}  // namespace ordlog

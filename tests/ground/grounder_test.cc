@@ -1,0 +1,188 @@
+#include "ground/grounder.h"
+
+#include "gtest/gtest.h"
+#include "ground/herbrand.h"
+#include "support/test_util.h"
+
+namespace ordlog {
+namespace {
+
+using ::ordlog::testing::ParseText;
+
+GroundProgram Ground(std::string_view source, GrounderOptions options = {}) {
+  OrderedProgram program = ParseText(source);
+  auto ground = Grounder::Ground(program, options);
+  EXPECT_TRUE(ground.ok()) << ground.status();
+  if (!ground.ok()) std::abort();
+  return std::move(ground).value();
+}
+
+TEST(HerbrandTest, CollectsConstantsAndIntegers) {
+  OrderedProgram program = ParseText("p(a, 3). q(b) :- p(X, Y).");
+  const auto universe = HerbrandUniverse::Compute(program);
+  ASSERT_TRUE(universe.ok());
+  EXPECT_EQ(universe->size(), 3u);  // a, 3, b
+}
+
+TEST(HerbrandTest, EmptyForPropositionalPrograms) {
+  OrderedProgram program = ParseText("p. q :- p.");
+  const auto universe = HerbrandUniverse::Compute(program);
+  ASSERT_TRUE(universe.ok());
+  EXPECT_TRUE(universe->empty());
+}
+
+TEST(HerbrandTest, GroundFunctionTermsIncluded) {
+  OrderedProgram program = ParseText("p(f(a)).");
+  const auto universe = HerbrandUniverse::Compute(program);
+  ASSERT_TRUE(universe.ok());
+  EXPECT_EQ(universe->size(), 2u);  // a, f(a)
+}
+
+TEST(HerbrandTest, DepthBoundedClosure) {
+  OrderedProgram program = ParseText("num(z). num(s(X)) :- num(X).");
+  HerbrandOptions options;
+  options.max_function_depth = 2;
+  const auto universe = HerbrandUniverse::Compute(program, options);
+  ASSERT_TRUE(universe.ok());
+  // z, s(z), s(s(z)).
+  EXPECT_EQ(universe->size(), 3u);
+}
+
+TEST(HerbrandTest, ClosureBudgetEnforced) {
+  OrderedProgram program = ParseText("p(a). p(b). q(f(X, Y)) :- p(X), p(Y).");
+  HerbrandOptions options;
+  options.max_function_depth = 3;
+  options.max_terms = 10;
+  EXPECT_EQ(HerbrandUniverse::Compute(program, options).status().code(),
+            StatusCode::kResourceExhausted);
+}
+
+TEST(GrounderTest, InstantiatesOverFullUniverse) {
+  // fly(X) :- bird(X) over universe {penguin, pigeon} yields 2 instances,
+  // even though only one bird fact exists: the semantics needs the
+  // statuses of never-firing instances too.
+  const GroundProgram ground = Ground(R"(
+    bird(penguin). fly(X) :- bird(X).
+    other(pigeon).
+  )");
+  size_t fly_rules = 0;
+  for (size_t r = 0; r < ground.NumRules(); ++r) {
+    if (!ground.rule(r).body.empty()) ++fly_rules;
+  }
+  EXPECT_EQ(fly_rules, 2u);
+  // bird×2 and fly×2 (from the rule instances) plus other(pigeon); the
+  // never-mentioned other(penguin) is not part of any ground rule.
+  EXPECT_EQ(ground.NumAtoms(), 5u);
+}
+
+TEST(GrounderTest, ConstraintsPruneInstances) {
+  const GroundProgram ground = Ground(R"(
+    value(1). value(5). value(9).
+    big(X) :- value(X), X > 4.
+  )");
+  size_t big_rules = 0;
+  for (size_t r = 0; r < ground.NumRules(); ++r) {
+    if (!ground.rule(r).body.empty()) ++big_rules;
+  }
+  EXPECT_EQ(big_rules, 2u);  // X=5 and X=9 only
+}
+
+TEST(GrounderTest, SymbolicConstraintInstances) {
+  const GroundProgram ground = Ground(R"(
+    color(red). color(green).
+    clash(X, Y) :- color(X), color(Y), X != Y.
+  )");
+  size_t clash_rules = 0;
+  for (size_t r = 0; r < ground.NumRules(); ++r) {
+    if (ground.rule(r).body.size() == 2) ++clash_rules;
+  }
+  EXPECT_EQ(clash_rules, 2u);  // (red,green) and (green,red)
+}
+
+TEST(GrounderTest, UnevaluableConstraintDropsInstance) {
+  // X > 2 over a symbolic universe: no instance survives.
+  const GroundProgram ground = Ground(R"(
+    thing(rock).
+    big(X) :- thing(X), X > 2.
+  )");
+  for (size_t r = 0; r < ground.NumRules(); ++r) {
+    EXPECT_TRUE(ground.rule(r).body.empty());
+  }
+}
+
+TEST(GrounderTest, MixedUniverseEvaluatesIntegersOnly) {
+  const GroundProgram ground = Ground(R"(
+    val(3). val(rock).
+    big(X) :- val(X), X > 2.
+  )");
+  size_t big_rules = 0;
+  for (size_t r = 0; r < ground.NumRules(); ++r) {
+    if (!ground.rule(r).body.empty()) ++big_rules;
+  }
+  EXPECT_EQ(big_rules, 1u);  // only X=3
+}
+
+TEST(GrounderTest, BudgetEnforced) {
+  OrderedProgram program = ParseText(R"(
+    d(a). d(b). d(c). d(d). d(e).
+    p(X, Y, Z) :- d(X), d(Y), d(Z).
+  )");
+  GrounderOptions options;
+  options.max_ground_rules = 50;  // 5 facts + 125 instances > 50
+  EXPECT_EQ(Grounder::Ground(program, options).status().code(),
+            StatusCode::kResourceExhausted);
+}
+
+TEST(GrounderTest, RequiresFinalizedProgram) {
+  auto pool = std::make_shared<TermPool>();
+  OrderedProgram program(pool);
+  ASSERT_TRUE(program.AddComponent("c").ok());
+  EXPECT_EQ(Grounder::Ground(program).status().code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(GrounderTest, ComponentTagsAndViewsComputed) {
+  const GroundProgram ground = Ground(R"(
+    component high { p. }
+    component low { q :- p. }
+    order low < high.
+  )");
+  ASSERT_EQ(ground.NumRules(), 2u);
+  const ComponentId high = 0, low = 1;
+  EXPECT_EQ(ground.component_name(high), "high");
+  EXPECT_TRUE(ground.Less(low, high));
+  // high's view sees only its own rule; low's view sees both.
+  EXPECT_EQ(ground.ViewRules(high).size(), 1u);
+  EXPECT_EQ(ground.ViewRules(low).size(), 2u);
+  EXPECT_EQ(ground.ViewAtoms(high).Count(), 1u);
+  EXPECT_EQ(ground.ViewAtoms(low).Count(), 2u);
+}
+
+TEST(GrounderTest, HeadIndexFindsComplementaryRules) {
+  const GroundProgram ground = Ground("p :- q. -p :- r.");
+  const auto p = ground.FindAtom(
+      Atom{ground.pool().symbols().Find("p").value(), {}});
+  ASSERT_TRUE(p.has_value());
+  EXPECT_EQ(ground.RulesWithHead(*p, true).size(), 1u);
+  EXPECT_EQ(ground.RulesWithHead(*p, false).size(), 1u);
+  const auto q = ground.FindAtom(
+      Atom{ground.pool().symbols().Find("q").value(), {}});
+  EXPECT_TRUE(ground.RulesWithHead(*q, false).empty());
+}
+
+TEST(GroundProgramBuilderTest, BuildsOrderAndDetectsCycle) {
+  GroundProgramBuilder builder(std::make_shared<TermPool>(), 2);
+  builder.AddOrder(0, 1);
+  builder.AddOrder(1, 0);
+  EXPECT_FALSE(builder.Build().ok());
+}
+
+TEST(GroundProgramBuilderTest, AtomInterning) {
+  GroundProgramBuilder builder(std::make_shared<TermPool>(), 1);
+  const GroundAtomId a = builder.AddPropositional("a");
+  EXPECT_EQ(builder.AddPropositional("a"), a);
+  EXPECT_NE(builder.AddPropositional("b"), a);
+}
+
+}  // namespace
+}  // namespace ordlog

@@ -1,0 +1,49 @@
+// End-to-end: load the shipped .olp files from disk through the public
+// API (the same path the olp CLI takes) and check the paper outcomes.
+
+#include <fstream>
+#include <sstream>
+
+#include "gtest/gtest.h"
+#include "kb/knowledge_base.h"
+
+#ifndef ORDLOG_TESTDATA_DIR
+#error "ORDLOG_TESTDATA_DIR must be defined by the build"
+#endif
+
+namespace ordlog {
+namespace {
+
+std::string ReadFile(const std::string& name) {
+  const std::string path = std::string(ORDLOG_TESTDATA_DIR) + "/" + name;
+  std::ifstream in(path);
+  EXPECT_TRUE(in.good()) << "cannot open " << path;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+TEST(FileProgramsTest, Penguin) {
+  KnowledgeBase kb;
+  ASSERT_TRUE(kb.Load(ReadFile("penguin.olp")).ok());
+  EXPECT_EQ(kb.Query("c1", "fly(penguin)").value(), TruthValue::kFalse);
+  EXPECT_EQ(kb.Query("c1", "fly(pigeon)").value(), TruthValue::kTrue);
+}
+
+TEST(FileProgramsTest, LoanScenario4) {
+  KnowledgeBase kb;
+  ASSERT_TRUE(kb.Load(ReadFile("loan.olp")).ok());
+  EXPECT_EQ(kb.Query("c1", "take_loan").value(), TruthValue::kTrue);
+}
+
+TEST(FileProgramsTest, ChoiceStableModels) {
+  KnowledgeBase kb;
+  ASSERT_TRUE(kb.Load(ReadFile("choice.olp")).ok());
+  EXPECT_EQ(kb.CountStableModels("c1").value(), 2u);
+  EXPECT_TRUE(kb.CautiouslyHolds("c1", "c").value());
+  EXPECT_TRUE(kb.BravelyHolds("c1", "a").value());
+  EXPECT_FALSE(kb.CautiouslyHolds("c1", "a").value());
+}
+
+}  // namespace
+}  // namespace ordlog

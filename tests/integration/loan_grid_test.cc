@@ -1,0 +1,60 @@
+// A closed-form decision table for the Figure 3 loan program, derived by
+// hand from Definition 2 and checked against the engine on a 13x13 grid.
+//
+// Derivation (view of c1; constants in the program are 11, 14, 2, I, R):
+//  * Expert3's rule (c3) is never silenced: c4 sits strictly above c3 and
+//    c2's rules have positive heads. It fires iff I > R + 2.
+//  * Expert2's rule (c2) is applicable iff I > 11, and is defeated by any
+//    non-blocked ground instance of Expert4's veto (c2 <> c4). Such an
+//    instance exists iff some program constant exceeds 14 — i.e. iff
+//    I > 14 or R > 14 (14 itself never qualifies).
+//  * Expert4's veto can never fire: 14 is itself a program constant and
+//    14 > 11, so the instance `take_loan :- inflation(14)` of Expert2's
+//    rule always exists and is never blocked; with c2 <> c4 it defeats
+//    the veto. -take_loan is therefore never derivable here.
+//
+//  take_loan is True  iff I > R + 2, or (11 < I <= 14 and R <= 14);
+//  it is never False; otherwise Undefined.
+
+#include <string>
+
+#include "gtest/gtest.h"
+#include "kb/knowledge_base.h"
+#include "support/paper_programs.h"
+
+namespace ordlog {
+namespace {
+
+TruthValue Expected(int inflation, int rate) {
+  if (inflation > rate + 2) return TruthValue::kTrue;
+  if (inflation > 11 && inflation <= 14 && rate <= 14) {
+    return TruthValue::kTrue;
+  }
+  return TruthValue::kUndefined;
+}
+
+class LoanGridTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(LoanGridTest, MatchesClosedForm) {
+  const int inflation = GetParam();
+  for (int rate = 8; rate <= 20; ++rate) {
+    KnowledgeBase kb;
+    ASSERT_TRUE(kb.Load(testing::kFig3LoanBase).ok());
+    ASSERT_TRUE(kb.AddRuleText(
+                      "c1", "inflation(" + std::to_string(inflation) + ").")
+                    .ok());
+    ASSERT_TRUE(
+        kb.AddRuleText("c1", "loan_rate(" + std::to_string(rate) + ").")
+            .ok());
+    const auto truth = kb.Query("c1", "take_loan");
+    ASSERT_TRUE(truth.ok()) << truth.status();
+    EXPECT_EQ(*truth, Expected(inflation, rate))
+        << "inflation=" << inflation << " rate=" << rate;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(InflationSweep, LoanGridTest,
+                         ::testing::Range(8, 21));
+
+}  // namespace
+}  // namespace ordlog

@@ -1,0 +1,84 @@
+// Figure 3 end to end: the loan program's four narrative scenarios,
+// reproduced through the public KnowledgeBase API.
+
+#include "gtest/gtest.h"
+#include "kb/knowledge_base.h"
+#include "support/paper_programs.h"
+
+namespace ordlog {
+namespace {
+
+class LoanTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(kb_.Load(testing::kFig3LoanBase).ok());
+  }
+
+  TruthValue TakeLoan() {
+    const auto result = kb_.Query("c1", "take_loan");
+    EXPECT_TRUE(result.ok()) << result.status();
+    return result.ok() ? *result : TruthValue::kUndefined;
+  }
+
+  KnowledgeBase kb_;
+};
+
+TEST_F(LoanTest, Scenario1NoFactsNothingInferable) {
+  // "as no rule can be actually fired, no inference is possible at myself
+  // level".
+  EXPECT_EQ(TakeLoan(), TruthValue::kUndefined);
+}
+
+TEST_F(LoanTest, Scenario2InflationTriggersExpert2) {
+  // inflation(12): "it is possible to infer from Expert2 that take_loan".
+  ASSERT_TRUE(kb_.AddRuleText("c1", "inflation(12).").ok());
+  EXPECT_EQ(TakeLoan(), TruthValue::kTrue);
+}
+
+TEST_F(LoanTest, Scenario3ConflictingExpertsDefeatEachOther) {
+  // inflation(12) and loan_rate(16): "both pieces of information are
+  // defeated and nothing can be said about taking loans".
+  ASSERT_TRUE(kb_.AddRuleText("c1", "inflation(12).").ok());
+  ASSERT_TRUE(kb_.AddRuleText("c1", "loan_rate(16).").ok());
+  EXPECT_EQ(TakeLoan(), TruthValue::kUndefined);
+}
+
+TEST_F(LoanTest, Scenario4Expert3OverrulesExpert4) {
+  // inflation(19) and loan_rate(16): "the rule of Expert4 is overruled by
+  // the rule of Expert3 ... take_loan is inferred".
+  ASSERT_TRUE(kb_.AddRuleText("c1", "inflation(19).").ok());
+  ASSERT_TRUE(kb_.AddRuleText("c1", "loan_rate(16).").ok());
+  EXPECT_EQ(TakeLoan(), TruthValue::kTrue);
+}
+
+TEST_F(LoanTest, Scenario4Explanation) {
+  ASSERT_TRUE(kb_.AddRuleText("c1", "inflation(19).").ok());
+  ASSERT_TRUE(kb_.AddRuleText("c1", "loan_rate(16).").ok());
+  const auto explanation = kb_.Explain("c1", "take_loan");
+  ASSERT_TRUE(explanation.ok());
+  // The derivation goes through Expert3's refined rule.
+  EXPECT_NE(explanation->find("[c3]"), std::string::npos) << *explanation;
+}
+
+TEST_F(LoanTest, LowRatesAreNotVetoed) {
+  // loan_rate(12): Expert4's veto needs X > 14; nothing fires.
+  ASSERT_TRUE(kb_.AddRuleText("c1", "loan_rate(12).").ok());
+  EXPECT_EQ(TakeLoan(), TruthValue::kUndefined);
+  // Adding mild inflation brings Expert2 in without any conflict.
+  ASSERT_TRUE(kb_.AddRuleText("c1", "inflation(12).").ok());
+  EXPECT_EQ(TakeLoan(), TruthValue::kTrue);
+}
+
+TEST_F(LoanTest, VetoAloneIsStillDefeated) {
+  // Only a high loan rate. Subtle but faithful to Definition 2: a
+  // defeater need only be *non-blocked*, not applicable. The ground
+  // instance `take_loan :- inflation(16), 16 > 11` of Expert2's rule is
+  // inapplicable (no inflation fact) yet never blocked (no negative
+  // inflation information exists), so it defeats Expert4's veto and
+  // take_loan stays undefined.
+  ASSERT_TRUE(kb_.AddRuleText("c1", "loan_rate(16).").ok());
+  EXPECT_EQ(TakeLoan(), TruthValue::kUndefined);
+}
+
+}  // namespace
+}  // namespace ordlog

@@ -1,0 +1,88 @@
+// Object identity (Section 5): module templates with a reserved `self`
+// constant, instantiated into independent objects.
+
+#include "gtest/gtest.h"
+#include "kb/knowledge_base.h"
+
+namespace ordlog {
+namespace {
+
+TEST(InstantiateTest, SelfIsReboundPerInstance) {
+  KnowledgeBase kb;
+  ASSERT_TRUE(kb.AddModule("account").ok());
+  ASSERT_TRUE(kb.AddRuleText("account", "account(self).").ok());
+  ASSERT_TRUE(
+      kb.AddRuleText("account", "active(self) :- funded(self).").ok());
+
+  ASSERT_TRUE(kb.Instantiate("account", "alice").ok());
+  ASSERT_TRUE(kb.Instantiate("account", "bob").ok());
+  ASSERT_TRUE(kb.AddRuleText("alice", "funded(alice).").ok());
+
+  EXPECT_EQ(kb.Query("alice", "account(alice)").value(), TruthValue::kTrue);
+  EXPECT_EQ(kb.Query("alice", "active(alice)").value(), TruthValue::kTrue);
+  // bob is an account too, but unfunded — and alice's facts don't leak.
+  EXPECT_EQ(kb.Query("bob", "account(bob)").value(), TruthValue::kTrue);
+  EXPECT_EQ(kb.Query("bob", "active(bob)").value(), TruthValue::kUndefined);
+  EXPECT_EQ(kb.Query("bob", "account(alice)").value(),
+            TruthValue::kUndefined);
+}
+
+TEST(InstantiateTest, InstanceInheritsTemplateParents) {
+  KnowledgeBase kb;
+  ASSERT_TRUE(kb.AddModule("defaults").ok());
+  ASSERT_TRUE(kb.AddRuleText("defaults", "limit(100).").ok());
+  ASSERT_TRUE(kb.AddModule("account").ok());
+  ASSERT_TRUE(kb.AddIsa("account", "defaults").ok());
+  ASSERT_TRUE(kb.AddRuleText("account", "account(self).").ok());
+
+  ASSERT_TRUE(kb.Instantiate("account", "carol").ok());
+  EXPECT_EQ(kb.Query("carol", "limit(100)").value(), TruthValue::kTrue);
+  const auto parents = kb.Parents("carol");
+  ASSERT_TRUE(parents.ok());
+  EXPECT_EQ(*parents, (std::vector<std::string>{"defaults"}));
+}
+
+TEST(InstantiateTest, InstanceExceptionsOverruleInheritedDefaults) {
+  KnowledgeBase kb;
+  ASSERT_TRUE(kb.AddModule("policy").ok());
+  ASSERT_TRUE(kb.AddRuleText("policy", "allowed(X) :- request(X).").ok());
+  ASSERT_TRUE(kb.AddModule("door").ok());
+  ASSERT_TRUE(kb.AddIsa("door", "policy").ok());
+  ASSERT_TRUE(kb.AddRuleText("door", "door(self).").ok());
+  ASSERT_TRUE(
+      kb.AddRuleText("door", "-allowed(self) :- locked(self).").ok());
+
+  ASSERT_TRUE(kb.Instantiate("door", "vault").ok());
+  ASSERT_TRUE(kb.AddRuleText("vault", "request(vault).").ok());
+  ASSERT_TRUE(kb.AddRuleText("vault", "locked(vault).").ok());
+  EXPECT_EQ(kb.Query("vault", "allowed(vault)").value(),
+            TruthValue::kFalse);
+
+  ASSERT_TRUE(kb.Instantiate("door", "lobby").ok());
+  ASSERT_TRUE(kb.AddRuleText("lobby", "request(lobby).").ok());
+  // The lobby exception is inapplicable but non-blocked, so the default is
+  // still silenced until `locked` is explicitly closed (Definition 2).
+  EXPECT_EQ(kb.Query("lobby", "allowed(lobby)").value(),
+            TruthValue::kUndefined);
+  ASSERT_TRUE(kb.AddRuleText("lobby", "-locked(lobby).").ok());
+  EXPECT_EQ(kb.Query("lobby", "allowed(lobby)").value(), TruthValue::kTrue);
+}
+
+TEST(InstantiateTest, Errors) {
+  KnowledgeBase kb;
+  ASSERT_TRUE(kb.AddModule("t").ok());
+  EXPECT_FALSE(kb.Instantiate("missing", "x").ok());
+  ASSERT_TRUE(kb.Instantiate("t", "x").ok());
+  EXPECT_FALSE(kb.Instantiate("t", "x").ok());  // duplicate instance
+}
+
+TEST(InstantiateTest, FunctionTermsCarryIdentity) {
+  KnowledgeBase kb;
+  ASSERT_TRUE(kb.AddModule("node").ok());
+  ASSERT_TRUE(kb.AddRuleText("node", "label(tag(self)).").ok());
+  ASSERT_TRUE(kb.Instantiate("node", "n1").ok());
+  EXPECT_EQ(kb.Query("n1", "label(tag(n1))").value(), TruthValue::kTrue);
+}
+
+}  // namespace
+}  // namespace ordlog

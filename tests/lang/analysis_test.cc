@@ -1,0 +1,104 @@
+#include "lang/analysis.h"
+
+#include "gtest/gtest.h"
+#include "support/paper_programs.h"
+#include "support/test_util.h"
+
+namespace ordlog {
+namespace {
+
+using ::ordlog::testing::ParseText;
+
+PredicateKey Key(const OrderedProgram& program, std::string_view name,
+                 size_t arity) {
+  return PredicateKey{program.pool().symbols().Find(name).value(), arity};
+}
+
+TEST(AnalysisTest, StatsOfFig1) {
+  OrderedProgram program = ParseText(testing::kFig1Penguin);
+  const ProgramStats stats = AnalyzeProgram(program);
+  EXPECT_EQ(stats.num_components, 2u);
+  EXPECT_EQ(stats.num_order_edges, 1u);
+  EXPECT_EQ(stats.num_rules, 6u);
+  EXPECT_EQ(stats.num_facts, 3u);
+  EXPECT_EQ(stats.num_negative_heads, 2u);
+  EXPECT_EQ(stats.num_predicates, 3u);
+  EXPECT_FALSE(stats.is_positive);
+  EXPECT_FALSE(stats.is_seminegative);
+  EXPECT_TRUE(stats.order_is_total);
+  EXPECT_NE(stats.ToString(program).find("negative"), std::string::npos);
+}
+
+TEST(AnalysisTest, ClassificationLadder) {
+  const ProgramStats positive = AnalyzeProgram(ParseText("p. q :- p."));
+  EXPECT_TRUE(positive.is_positive);
+  EXPECT_TRUE(positive.is_seminegative);
+
+  const ProgramStats seminegative =
+      AnalyzeProgram(ParseText("p :- -q."));
+  EXPECT_FALSE(seminegative.is_positive);
+  EXPECT_TRUE(seminegative.is_seminegative);
+
+  const ProgramStats negative = AnalyzeProgram(ParseText("-p :- q."));
+  EXPECT_FALSE(negative.is_seminegative);
+}
+
+TEST(AnalysisTest, IncomparableComponentsNotTotal) {
+  OrderedProgram program = ParseText(testing::kFig2Mimmo);
+  EXPECT_FALSE(AnalyzeProgram(program).order_is_total);
+}
+
+TEST(AnalysisTest, StratificationOfStratifiedProgram) {
+  OrderedProgram program = ParseText(R"(
+    base(a).
+    derived(X) :- base(X).
+    exception(X) :- derived(X), -blocked(X).
+    blocked(X) :- base(X), -derived(X).
+  )");
+  DependencyGraph graph(program);
+  EXPECT_FALSE(graph.HasNegativeHeads());
+  EXPECT_FALSE(graph.HasNegativeCycle());
+  const auto strata = graph.Stratification();
+  ASSERT_TRUE(strata.has_value());
+  ASSERT_FALSE(strata->empty());
+  EXPECT_EQ(strata->at(Key(program, "base", 1)), 0);
+  EXPECT_EQ(strata->at(Key(program, "derived", 1)), 0);
+  EXPECT_EQ(strata->at(Key(program, "blocked", 1)), 1);
+  EXPECT_EQ(strata->at(Key(program, "exception", 1)), 2);
+}
+
+TEST(AnalysisTest, NegativeLoopIsUnstratified) {
+  OrderedProgram program = ParseText("p :- -q. q :- -p.");
+  DependencyGraph graph(program);
+  EXPECT_TRUE(graph.HasNegativeCycle());
+  const auto strata = graph.Stratification();
+  ASSERT_TRUE(strata.has_value());
+  EXPECT_TRUE(strata->empty());  // unstratified
+}
+
+TEST(AnalysisTest, PositiveLoopIsStratified) {
+  OrderedProgram program = ParseText("p :- q. q :- p. r :- -p.");
+  DependencyGraph graph(program);
+  EXPECT_FALSE(graph.HasNegativeCycle());
+  const auto strata = graph.Stratification();
+  ASSERT_TRUE(strata.has_value());
+  EXPECT_EQ(strata->at(Key(program, "p", 0)),
+            strata->at(Key(program, "q", 0)));
+  EXPECT_EQ(strata->at(Key(program, "r", 0)), 1);
+}
+
+TEST(AnalysisTest, NegatedHeadsHaveNoClassicalStratification) {
+  OrderedProgram program = ParseText("-p :- q.");
+  DependencyGraph graph(program);
+  EXPECT_TRUE(graph.HasNegativeHeads());
+  EXPECT_EQ(graph.Stratification(), std::nullopt);
+}
+
+TEST(AnalysisTest, PredicatesWithDifferentAritiesAreDistinct) {
+  OrderedProgram program = ParseText("p(a). p(a, b). q :- p(X), p(X, Y).");
+  DependencyGraph graph(program);
+  EXPECT_EQ(graph.predicates().size(), 3u);  // p/1, p/2, q/0
+}
+
+}  // namespace
+}  // namespace ordlog

@@ -1,0 +1,151 @@
+#include "lang/arith.h"
+
+#include "gtest/gtest.h"
+
+namespace ordlog {
+namespace {
+
+class ArithTest : public ::testing::Test {
+ protected:
+  SymbolId Var(std::string_view name) { return pool_.symbols().Intern(name); }
+  Binding BindInts(std::initializer_list<std::pair<std::string_view, int64_t>>
+                       bindings) {
+    Binding binding;
+    for (const auto& [name, value] : bindings) {
+      binding[Var(name)] = pool_.MakeInteger(value);
+    }
+    return binding;
+  }
+
+  TermPool pool_;
+};
+
+TEST_F(ArithTest, EvaluateConstantsAndVariables) {
+  const ArithExpr expr = ArithExpr::Add(
+      ArithExpr::Variable(Var("X")),
+      ArithExpr::Multiply(ArithExpr::Constant(2), ArithExpr::Variable(Var("Y"))));
+  const Binding binding = BindInts({{"X", 3}, {"Y", 10}});
+  const auto result = expr.Evaluate(pool_, binding);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(*result, 23);
+}
+
+TEST_F(ArithTest, EvaluateSubtractNegate) {
+  const ArithExpr expr = ArithExpr::Subtract(
+      ArithExpr::Constant(5), ArithExpr::Negate(ArithExpr::Constant(3)));
+  const auto result = expr.Evaluate(pool_, {});
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(*result, 8);
+}
+
+TEST_F(ArithTest, UnboundVariableIsError) {
+  const ArithExpr expr = ArithExpr::Variable(Var("X"));
+  EXPECT_FALSE(expr.Evaluate(pool_, {}).ok());
+}
+
+TEST_F(ArithTest, NonIntegerBindingIsError) {
+  const ArithExpr expr = ArithExpr::Variable(Var("X"));
+  Binding binding;
+  binding[Var("X")] = pool_.MakeConstant("red");
+  EXPECT_FALSE(expr.Evaluate(pool_, binding).ok());
+}
+
+TEST_F(ArithTest, ComparisonOperators) {
+  const Binding binding = BindInts({{"X", 12}});
+  const auto check = [&](CompareOp op, int64_t rhs, bool expected) {
+    Comparison comparison{op, ArithExpr::Variable(Var("X")),
+                          ArithExpr::Constant(rhs)};
+    const auto result = comparison.Evaluate(pool_, binding);
+    ASSERT_TRUE(result.ok()) << result.status();
+    EXPECT_EQ(*result, expected)
+        << comparison.ToString(pool_) << " with X=12";
+  };
+  check(CompareOp::kLt, 13, true);
+  check(CompareOp::kLt, 12, false);
+  check(CompareOp::kLe, 12, true);
+  check(CompareOp::kGt, 11, true);
+  check(CompareOp::kGe, 13, false);
+  check(CompareOp::kEq, 12, true);
+  check(CompareOp::kNe, 12, false);
+}
+
+TEST_F(ArithTest, LoanProgramConstraint) {
+  // X > Y + 2 with X=19, Y=16 is true; with X=18 false.
+  Comparison comparison{
+      CompareOp::kGt, ArithExpr::Variable(Var("X")),
+      ArithExpr::Add(ArithExpr::Variable(Var("Y")), ArithExpr::Constant(2))};
+  auto result = comparison.Evaluate(pool_, BindInts({{"X", 19}, {"Y", 16}}));
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(*result);
+  result = comparison.Evaluate(pool_, BindInts({{"X", 18}, {"Y", 16}}));
+  ASSERT_TRUE(result.ok());
+  EXPECT_FALSE(*result);
+}
+
+TEST_F(ArithTest, TermEqualityOverSymbols) {
+  // X != Y compares by term identity when both sides are term-like.
+  Comparison comparison{CompareOp::kNe, ArithExpr::Variable(Var("X")),
+                        ArithExpr::Variable(Var("Y"))};
+  Binding binding;
+  binding[Var("X")] = pool_.MakeConstant("red");
+  binding[Var("Y")] = pool_.MakeConstant("green");
+  auto result = comparison.Evaluate(pool_, binding);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_TRUE(*result);
+  binding[Var("Y")] = pool_.MakeConstant("red");
+  result = comparison.Evaluate(pool_, binding);
+  ASSERT_TRUE(result.ok());
+  EXPECT_FALSE(*result);
+}
+
+TEST_F(ArithTest, TermEqualityAgainstEmbeddedTerm) {
+  Comparison comparison{CompareOp::kEq, ArithExpr::Variable(Var("X")),
+                        ArithExpr::Term(pool_.MakeConstant("mud"))};
+  Binding binding;
+  binding[Var("X")] = pool_.MakeConstant("mud");
+  auto result = comparison.Evaluate(pool_, binding);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(*result);
+}
+
+TEST_F(ArithTest, TermIdentityWorksForIntegersToo) {
+  Comparison comparison{CompareOp::kEq, ArithExpr::Variable(Var("X")),
+                        ArithExpr::Variable(Var("Y"))};
+  const Binding binding = BindInts({{"X", 4}, {"Y", 4}});
+  auto result = comparison.Evaluate(pool_, binding);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(*result);
+}
+
+TEST_F(ArithTest, OrderingOverSymbolsIsError) {
+  Comparison comparison{CompareOp::kLt, ArithExpr::Variable(Var("X")),
+                        ArithExpr::Constant(3)};
+  Binding binding;
+  binding[Var("X")] = pool_.MakeConstant("red");
+  EXPECT_FALSE(comparison.Evaluate(pool_, binding).ok());
+}
+
+TEST_F(ArithTest, CollectVariables) {
+  Comparison comparison{
+      CompareOp::kGt, ArithExpr::Variable(Var("X")),
+      ArithExpr::Add(ArithExpr::Variable(Var("Y")),
+                     ArithExpr::Variable(Var("X")))};
+  std::vector<SymbolId> vars;
+  comparison.CollectVariables(pool_, &vars);
+  ASSERT_EQ(vars.size(), 2u);
+  EXPECT_EQ(pool_.symbols().Name(vars[0]), "X");
+  EXPECT_EQ(pool_.symbols().Name(vars[1]), "Y");
+}
+
+TEST_F(ArithTest, ToStringParenthesizes) {
+  const ArithExpr expr = ArithExpr::Multiply(
+      ArithExpr::Add(ArithExpr::Constant(1), ArithExpr::Constant(2)),
+      ArithExpr::Constant(3));
+  EXPECT_EQ(expr.ToString(pool_), "(1 + 2) * 3");
+  const Comparison comparison{CompareOp::kGe, ArithExpr::Variable(Var("X")),
+                              ArithExpr::Constant(0)};
+  EXPECT_EQ(comparison.ToString(pool_), "X >= 0");
+}
+
+}  // namespace
+}  // namespace ordlog

@@ -1,0 +1,85 @@
+#include "lang/match.h"
+
+#include "gtest/gtest.h"
+
+namespace ordlog {
+namespace {
+
+class MatchTest : public ::testing::Test {
+ protected:
+  TermPool pool_;
+};
+
+TEST_F(MatchTest, VariableBindsAndStaysConsistent) {
+  const TermId x = pool_.MakeVariable("X");
+  const TermId a = pool_.MakeConstant("a");
+  const TermId b = pool_.MakeConstant("b");
+  Binding binding;
+  EXPECT_TRUE(MatchTerm(pool_, x, a, binding));
+  EXPECT_EQ(binding.at(pool_.symbols().Intern("X")), a);
+  // Same variable against a different term fails.
+  EXPECT_FALSE(MatchTerm(pool_, x, b, binding));
+}
+
+TEST_F(MatchTest, ConstantsAndIntegers) {
+  Binding binding;
+  EXPECT_TRUE(MatchTerm(pool_, pool_.MakeConstant("a"),
+                        pool_.MakeConstant("a"), binding));
+  EXPECT_FALSE(MatchTerm(pool_, pool_.MakeConstant("a"),
+                         pool_.MakeConstant("b"), binding));
+  EXPECT_TRUE(
+      MatchTerm(pool_, pool_.MakeInteger(3), pool_.MakeInteger(3), binding));
+  EXPECT_FALSE(MatchTerm(pool_, pool_.MakeInteger(3),
+                         pool_.MakeConstant("a"), binding));
+}
+
+TEST_F(MatchTest, FunctionTermsRecursive) {
+  const TermId x = pool_.MakeVariable("X");
+  const TermId pattern =
+      pool_.MakeFunction("f", {x, pool_.MakeConstant("c")});
+  const TermId good = pool_.MakeFunction(
+      "f", {pool_.MakeInteger(7), pool_.MakeConstant("c")});
+  const TermId bad_functor = pool_.MakeFunction(
+      "g", {pool_.MakeInteger(7), pool_.MakeConstant("c")});
+  Binding binding;
+  EXPECT_TRUE(MatchTerm(pool_, pattern, good, binding));
+  EXPECT_EQ(pool_.int_value(binding.at(pool_.symbols().Intern("X"))), 7);
+  Binding fresh;
+  EXPECT_FALSE(MatchTerm(pool_, pattern, bad_functor, fresh));
+}
+
+TEST_F(MatchTest, RepeatedVariableInPattern) {
+  const TermId x = pool_.MakeVariable("X");
+  const Atom pattern{pool_.symbols().Intern("edge"), {x, x}};
+  const Atom loop{pool_.symbols().Intern("edge"),
+                  {pool_.MakeConstant("a"), pool_.MakeConstant("a")}};
+  const Atom non_loop{pool_.symbols().Intern("edge"),
+                      {pool_.MakeConstant("a"), pool_.MakeConstant("b")}};
+  EXPECT_TRUE(MatchAtom(pool_, pattern, loop).has_value());
+  EXPECT_FALSE(MatchAtom(pool_, pattern, non_loop).has_value());
+}
+
+TEST_F(MatchTest, AtomPredicateAndArityMustAgree) {
+  const Atom p1{pool_.symbols().Intern("p"), {pool_.MakeConstant("a")}};
+  const Atom q1{pool_.symbols().Intern("q"), {pool_.MakeConstant("a")}};
+  const Atom p2{pool_.symbols().Intern("p"),
+                {pool_.MakeConstant("a"), pool_.MakeConstant("b")}};
+  EXPECT_TRUE(MatchAtom(pool_, p1, p1).has_value());
+  EXPECT_FALSE(MatchAtom(pool_, p1, q1).has_value());
+  EXPECT_FALSE(MatchAtom(pool_, p1, p2).has_value());
+}
+
+TEST_F(MatchTest, PreBoundBindingIsRespected) {
+  const TermId x = pool_.MakeVariable("X");
+  const Atom pattern{pool_.symbols().Intern("p"), {x}};
+  const Atom ground{pool_.symbols().Intern("p"),
+                    {pool_.MakeConstant("a")}};
+  Binding pre;
+  pre[pool_.symbols().Intern("X")] = pool_.MakeConstant("b");
+  EXPECT_FALSE(MatchAtom(pool_, pattern, ground, pre).has_value());
+  pre[pool_.symbols().Intern("X")] = pool_.MakeConstant("a");
+  EXPECT_TRUE(MatchAtom(pool_, pattern, ground, pre).has_value());
+}
+
+}  // namespace
+}  // namespace ordlog

@@ -1,0 +1,66 @@
+#include "lang/printer.h"
+
+#include "gtest/gtest.h"
+#include "parser/parser.h"
+
+namespace ordlog {
+namespace {
+
+class PrinterTest : public ::testing::Test {
+ protected:
+  TermPool pool_;
+};
+
+TEST_F(PrinterTest, Atoms) {
+  EXPECT_EQ(ToString(pool_, MakeAtom(pool_, "p")), "p");
+  EXPECT_EQ(ToString(pool_,
+                     Atom{pool_.symbols().Intern("p"),
+                          {pool_.MakeConstant("a"), pool_.MakeInteger(3)}}),
+            "p(a, 3)");
+}
+
+TEST_F(PrinterTest, Literals) {
+  EXPECT_EQ(ToString(pool_, Pos(MakeAtom(pool_, "p"))), "p");
+  EXPECT_EQ(ToString(pool_, Neg(MakeAtom(pool_, "p"))), "-p");
+}
+
+TEST_F(PrinterTest, Rules) {
+  EXPECT_EQ(ToString(pool_, MakeFact(Pos(MakeAtom(pool_, "p")))), "p.");
+  const Rule rule = MakeRule(Neg(MakeAtom(pool_, "fly")),
+                             {Pos(MakeAtom(pool_, "heavy")),
+                              Neg(MakeAtom(pool_, "winged"))});
+  EXPECT_EQ(ToString(pool_, rule), "-fly :- heavy, -winged.");
+}
+
+TEST_F(PrinterTest, RulesWithConstraints) {
+  const SymbolId x = pool_.symbols().Intern("X");
+  const Rule rule = MakeRule(
+      Pos(Atom{pool_.symbols().Intern("big"), {pool_.MakeVariable("X")}}),
+      {Pos(Atom{pool_.symbols().Intern("val"), {pool_.MakeVariable("X")}})},
+      {Comparison{CompareOp::kGt, ArithExpr::Variable(x),
+                  ArithExpr::Constant(4)}});
+  EXPECT_EQ(ToString(pool_, rule), "big(X) :- val(X), X > 4.");
+}
+
+TEST_F(PrinterTest, ConstraintOnlyBodyPrintsAfterImplication) {
+  TermPool pool;
+  const auto rule = ParseRule("p :- 1 < 2.", pool);
+  ASSERT_TRUE(rule.ok());
+  EXPECT_EQ(ToString(pool, *rule), "p :- 1 < 2.");
+}
+
+TEST_F(PrinterTest, ComponentAndProgram) {
+  auto pool = std::make_shared<TermPool>();
+  OrderedProgram program(pool);
+  const ComponentId c1 = program.AddComponent("c1").value();
+  const ComponentId c2 = program.AddComponent("c2").value();
+  ASSERT_TRUE(program.AddRule(c1, MakeFact(Pos(MakeAtom(*pool, "p")))).ok());
+  ASSERT_TRUE(program.AddOrder(c1, c2).ok());
+  const std::string text = ToString(program);
+  EXPECT_EQ(text,
+            "component c1 {\n  p.\n}\ncomponent c2 {\n}\n"
+            "order c1 < c2.\n");
+}
+
+}  // namespace
+}  // namespace ordlog

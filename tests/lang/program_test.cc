@@ -1,0 +1,137 @@
+#include "lang/program.h"
+
+#include "gtest/gtest.h"
+#include "lang/printer.h"
+
+namespace ordlog {
+namespace {
+
+class ProgramTest : public ::testing::Test {
+ protected:
+  ProgramTest() : pool_(std::make_shared<TermPool>()), program_(pool_) {}
+
+  Rule Fact(std::string_view predicate) {
+    return MakeFact(Pos(MakeAtom(*pool_, predicate)));
+  }
+
+  std::shared_ptr<TermPool> pool_;
+  OrderedProgram program_;
+};
+
+TEST_F(ProgramTest, AddComponentsAndRules) {
+  const auto c1 = program_.AddComponent("c1");
+  ASSERT_TRUE(c1.ok());
+  const auto c2 = program_.AddComponent("c2");
+  ASSERT_TRUE(c2.ok());
+  EXPECT_EQ(program_.NumComponents(), 2u);
+  EXPECT_TRUE(program_.AddRule(*c1, Fact("p")).ok());
+  EXPECT_TRUE(program_.AddRule(*c1, Fact("q")).ok());
+  EXPECT_EQ(program_.component(*c1).rules.size(), 2u);
+  EXPECT_EQ(program_.NumRules(), 2u);
+  EXPECT_EQ(program_.FindComponent("c2").value(), *c2);
+  EXPECT_FALSE(program_.FindComponent("missing").ok());
+}
+
+TEST_F(ProgramTest, DuplicateComponentNameRejected) {
+  ASSERT_TRUE(program_.AddComponent("c").ok());
+  const auto duplicate = program_.AddComponent("c");
+  EXPECT_FALSE(duplicate.ok());
+  EXPECT_EQ(duplicate.status().code(), StatusCode::kAlreadyExists);
+}
+
+TEST_F(ProgramTest, SelfOrderRejected) {
+  const auto c = program_.AddComponent("c").value();
+  EXPECT_FALSE(program_.AddOrder(c, c).ok());
+}
+
+TEST_F(ProgramTest, TransitiveClosureAndQueries) {
+  const auto a = program_.AddComponent("a").value();
+  const auto b = program_.AddComponent("b").value();
+  const auto c = program_.AddComponent("c").value();
+  const auto d = program_.AddComponent("d").value();
+  ASSERT_TRUE(program_.AddOrder(a, b).ok());
+  ASSERT_TRUE(program_.AddOrder(b, c).ok());
+  ASSERT_TRUE(program_.Finalize().ok());
+
+  EXPECT_TRUE(program_.Leq(a, a));
+  EXPECT_TRUE(program_.Less(a, b));
+  EXPECT_TRUE(program_.Less(a, c));  // transitivity
+  EXPECT_FALSE(program_.Less(c, a));
+  EXPECT_TRUE(program_.Incomparable(a, d));
+  EXPECT_TRUE(program_.Incomparable(d, c));
+  EXPECT_FALSE(program_.Incomparable(a, a));
+
+  EXPECT_EQ(program_.ComponentsAbove(a),
+            (std::vector<ComponentId>{a, b, c}));
+  EXPECT_EQ(program_.ComponentsAbove(d), (std::vector<ComponentId>{d}));
+}
+
+TEST_F(ProgramTest, CycleDetected) {
+  const auto a = program_.AddComponent("a").value();
+  const auto b = program_.AddComponent("b").value();
+  ASSERT_TRUE(program_.AddOrder(a, b).ok());
+  ASSERT_TRUE(program_.AddOrder(b, a).ok());
+  const Status status = program_.Finalize();
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(status.message().find("cycle"), std::string::npos);
+}
+
+TEST_F(ProgramTest, LongerCycleDetected) {
+  const auto a = program_.AddComponent("a").value();
+  const auto b = program_.AddComponent("b").value();
+  const auto c = program_.AddComponent("c").value();
+  ASSERT_TRUE(program_.AddOrder(a, b).ok());
+  ASSERT_TRUE(program_.AddOrder(b, c).ok());
+  ASSERT_TRUE(program_.AddOrder(c, a).ok());
+  EXPECT_FALSE(program_.Finalize().ok());
+}
+
+TEST_F(ProgramTest, MutationAfterFinalizeResetsState) {
+  const auto a = program_.AddComponent("a").value();
+  ASSERT_TRUE(program_.Finalize().ok());
+  EXPECT_TRUE(program_.finalized());
+  ASSERT_TRUE(program_.AddRule(a, Fact("p")).ok());
+  EXPECT_FALSE(program_.finalized());
+  ASSERT_TRUE(program_.Finalize().ok());
+  EXPECT_TRUE(program_.finalized());
+}
+
+TEST_F(ProgramTest, RuleClassification) {
+  TermPool& pool = *pool_;
+  const Atom p = MakeAtom(pool, "p");
+  const Atom q = MakeAtom(pool, "q");
+  const Rule fact = MakeFact(Pos(p));
+  EXPECT_TRUE(fact.IsFact());
+  EXPECT_TRUE(fact.IsPositive());
+  EXPECT_TRUE(fact.IsSeminegative());
+
+  const Rule seminegative = MakeRule(Pos(p), {Neg(q)});
+  EXPECT_FALSE(seminegative.IsPositive());
+  EXPECT_TRUE(seminegative.IsSeminegative());
+
+  const Rule negative = MakeRule(Neg(p), {Pos(q)});
+  EXPECT_FALSE(negative.IsSeminegative());
+  EXPECT_FALSE(negative.IsPositive());
+}
+
+TEST_F(ProgramTest, RuleVariablesAndGroundness) {
+  TermPool& pool = *pool_;
+  const TermId x = pool.MakeVariable("X");
+  const TermId y = pool.MakeVariable("Y");
+  const Rule rule = MakeRule(
+      Pos(Atom{pool.symbols().Intern("p"), {x}}),
+      {Pos(Atom{pool.symbols().Intern("q"), {x, y}})},
+      {Comparison{CompareOp::kGt, ArithExpr::Variable(pool.symbols().Intern("Z")),
+                  ArithExpr::Constant(0)}});
+  const std::vector<SymbolId> vars = rule.Variables(pool);
+  ASSERT_EQ(vars.size(), 3u);
+  EXPECT_EQ(pool.symbols().Name(vars[0]), "X");
+  EXPECT_EQ(pool.symbols().Name(vars[1]), "Y");
+  EXPECT_EQ(pool.symbols().Name(vars[2]), "Z");
+  EXPECT_FALSE(rule.IsGround(pool));
+  EXPECT_TRUE(MakeFact(Pos(MakeAtom(pool, "p"))).IsGround(pool));
+}
+
+}  // namespace
+}  // namespace ordlog

@@ -1,0 +1,102 @@
+#include "lang/term.h"
+
+#include "gtest/gtest.h"
+
+namespace ordlog {
+namespace {
+
+TEST(SymbolTableTest, InternIsIdempotent) {
+  SymbolTable symbols;
+  const SymbolId a = symbols.Intern("bird");
+  const SymbolId b = symbols.Intern("fly");
+  EXPECT_NE(a, b);
+  EXPECT_EQ(symbols.Intern("bird"), a);
+  EXPECT_EQ(symbols.Name(a), "bird");
+  EXPECT_EQ(symbols.size(), 2u);
+  EXPECT_EQ(symbols.Find("fly"), b);
+  EXPECT_EQ(symbols.Find("nope"), std::nullopt);
+}
+
+TEST(TermPoolTest, HashConsingGivesEqualIds) {
+  TermPool pool;
+  const TermId c1 = pool.MakeConstant("penguin");
+  const TermId c2 = pool.MakeConstant("penguin");
+  EXPECT_EQ(c1, c2);
+  EXPECT_NE(pool.MakeConstant("pigeon"), c1);
+  // Variable and constant with the same spelling are distinct terms.
+  const TermId v = pool.MakeVariable("penguin");
+  EXPECT_NE(v, c1);
+}
+
+TEST(TermPoolTest, IntegerTerms) {
+  TermPool pool;
+  const TermId i1 = pool.MakeInteger(12);
+  EXPECT_EQ(pool.kind(i1), TermKind::kInteger);
+  EXPECT_EQ(pool.int_value(i1), 12);
+  EXPECT_EQ(pool.MakeInteger(12), i1);
+  EXPECT_NE(pool.MakeInteger(-12), i1);
+  EXPECT_TRUE(pool.IsGround(i1));
+}
+
+TEST(TermPoolTest, FunctionTermsAndGroundness) {
+  TermPool pool;
+  const TermId x = pool.MakeVariable("X");
+  const TermId a = pool.MakeConstant("a");
+  const TermId fa = pool.MakeFunction("f", {a});
+  const TermId fx = pool.MakeFunction("f", {x});
+  EXPECT_TRUE(pool.IsGround(fa));
+  EXPECT_FALSE(pool.IsGround(fx));
+  EXPECT_FALSE(pool.IsGround(x));
+  EXPECT_EQ(pool.MakeFunction("f", {a}), fa);
+  EXPECT_NE(fa, fx);
+  EXPECT_EQ(pool.args(fa).size(), 1u);
+  EXPECT_EQ(pool.args(fa)[0], a);
+  EXPECT_EQ(pool.Depth(a), 0);
+  EXPECT_EQ(pool.Depth(fa), 1);
+  EXPECT_EQ(pool.Depth(pool.MakeFunction("g", {fa, a})), 2);
+}
+
+TEST(TermPoolTest, Substitute) {
+  TermPool pool;
+  const TermId x = pool.MakeVariable("X");
+  const TermId y = pool.MakeVariable("Y");
+  const TermId a = pool.MakeConstant("a");
+  const TermId gxy = pool.MakeFunction("g", {x, pool.MakeFunction("f", {y})});
+  Binding binding;
+  binding[pool.symbols().Intern("X")] = a;
+  const TermId partially = pool.Substitute(gxy, binding);
+  EXPECT_EQ(pool.ToString(partially), "g(a, f(Y))");
+  binding[pool.symbols().Intern("Y")] = pool.MakeInteger(3);
+  const TermId fully = pool.Substitute(gxy, binding);
+  EXPECT_EQ(pool.ToString(fully), "g(a, f(3))");
+  EXPECT_TRUE(pool.IsGround(fully));
+  // Substituting a ground term is the identity.
+  EXPECT_EQ(pool.Substitute(fully, binding), fully);
+}
+
+TEST(TermPoolTest, CollectVariablesDeduplicates) {
+  TermPool pool;
+  const TermId x = pool.MakeVariable("X");
+  const TermId y = pool.MakeVariable("Y");
+  const TermId term = pool.MakeFunction("f", {x, y, x});
+  std::vector<SymbolId> vars;
+  pool.CollectVariables(term, &vars);
+  ASSERT_EQ(vars.size(), 2u);
+  EXPECT_EQ(pool.symbols().Name(vars[0]), "X");
+  EXPECT_EQ(pool.symbols().Name(vars[1]), "Y");
+}
+
+TEST(TermPoolTest, ToString) {
+  TermPool pool;
+  EXPECT_EQ(pool.ToString(pool.MakeConstant("a")), "a");
+  EXPECT_EQ(pool.ToString(pool.MakeVariable("Xyz")), "Xyz");
+  EXPECT_EQ(pool.ToString(pool.MakeInteger(-7)), "-7");
+  const TermId nested = pool.MakeFunction(
+      "cons", {pool.MakeInteger(1),
+               pool.MakeFunction("cons", {pool.MakeInteger(2),
+                                          pool.MakeConstant("nil")})});
+  EXPECT_EQ(pool.ToString(nested), "cons(1, cons(2, nil))");
+}
+
+}  // namespace
+}  // namespace ordlog

@@ -1,0 +1,190 @@
+#include "parser/parser.h"
+
+#include "gtest/gtest.h"
+#include "lang/printer.h"
+#include "parser/lexer.h"
+
+namespace ordlog {
+namespace {
+
+TEST(LexerTest, TokenizesAllTokenKinds) {
+  const auto tokens = Tokenize(
+      "component c { fly(X) :- bird(X), X > 1 + 2 * 3, X <= 4, X >= 5, "
+      "X < 6, X = 7, X != -8. }");
+  ASSERT_TRUE(tokens.ok()) << tokens.status();
+  EXPECT_EQ(tokens->back().type, TokenType::kEndOfInput);
+  EXPECT_EQ((*tokens)[0].type, TokenType::kIdentifier);
+  EXPECT_EQ((*tokens)[0].text, "component");
+}
+
+TEST(LexerTest, TracksLineAndColumn) {
+  const auto tokens = Tokenize("p.\n  q.");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[0].line, 1);
+  EXPECT_EQ((*tokens)[0].column, 1);
+  EXPECT_EQ((*tokens)[2].line, 2);
+  EXPECT_EQ((*tokens)[2].column, 3);
+}
+
+TEST(LexerTest, CommentsSkipped) {
+  const auto tokens = Tokenize("p. % everything here is ignored :-\nq.");
+  ASSERT_TRUE(tokens.ok());
+  ASSERT_EQ(tokens->size(), 5u);  // p . q . EOF
+}
+
+TEST(LexerTest, RejectsBadCharacters) {
+  EXPECT_FALSE(Tokenize("p :- q & r.").ok());
+  EXPECT_FALSE(Tokenize("p :\nq.").ok());
+  EXPECT_FALSE(Tokenize("p ! q").ok());
+}
+
+TEST(ParserTest, ParsesFig1Structure) {
+  const auto program = ParseProgram(R"(
+    component c2 {
+      bird(penguin).
+      fly(X) :- bird(X).
+      -ground_animal(X) :- bird(X).
+    }
+    component c1 {
+      ground_animal(penguin).
+      -fly(X) :- ground_animal(X).
+    }
+    order c1 < c2.
+  )");
+  ASSERT_TRUE(program.ok()) << program.status();
+  EXPECT_EQ(program->NumComponents(), 2u);
+  EXPECT_TRUE(program->finalized());
+  const ComponentId c1 = program->FindComponent("c1").value();
+  const ComponentId c2 = program->FindComponent("c2").value();
+  EXPECT_TRUE(program->Less(c1, c2));
+  EXPECT_EQ(program->component(c2).rules.size(), 3u);
+  EXPECT_FALSE(program->component(c2).rules[2].head.positive);
+}
+
+TEST(ParserTest, TopLevelRulesGoToMain) {
+  const auto program = ParseProgram("p. q :- p.");
+  ASSERT_TRUE(program.ok()) << program.status();
+  EXPECT_EQ(program->NumComponents(), 1u);
+  EXPECT_EQ(program->component(0).name, "main");
+  EXPECT_EQ(program->component(0).rules.size(), 2u);
+}
+
+TEST(ParserTest, OrderChainCreatesEdges) {
+  const auto program = ParseProgram(R"(
+    component a {}
+    component b {}
+    component c {}
+    order a < b < c.
+  )");
+  ASSERT_TRUE(program.ok()) << program.status();
+  const ComponentId a = program->FindComponent("a").value();
+  const ComponentId b = program->FindComponent("b").value();
+  const ComponentId c = program->FindComponent("c").value();
+  EXPECT_TRUE(program->Less(a, b));
+  EXPECT_TRUE(program->Less(b, c));
+  EXPECT_TRUE(program->Less(a, c));
+}
+
+TEST(ParserTest, OrderMayReferenceUndeclaredComponents) {
+  // Fig. 3's `myself` component is empty; order declarations may create
+  // components implicitly.
+  const auto program = ParseProgram(R"(
+    component c2 { take_loan :- inflation(X), X > 11. }
+    order c1 < c2.
+  )");
+  ASSERT_TRUE(program.ok()) << program.status();
+  EXPECT_TRUE(program->FindComponent("c1").ok());
+  EXPECT_TRUE(program->component(program->FindComponent("c1").value())
+                  .rules.empty());
+}
+
+TEST(ParserTest, ParsesConstraintsAndTerms) {
+  TermPool pool;
+  const auto rule = ParseRule(
+      "take_loan :- inflation(X), loan_rate(Y), X > Y + 2.", pool);
+  ASSERT_TRUE(rule.ok()) << rule.status();
+  EXPECT_EQ(rule->body.size(), 2u);
+  ASSERT_EQ(rule->constraints.size(), 1u);
+  EXPECT_EQ(rule->constraints[0].ToString(pool), "X > Y + 2");
+}
+
+TEST(ParserTest, ParsesSymbolicInequality) {
+  TermPool pool;
+  const auto rule = ParseRule(
+      "colored(X) :- color(X), -colored(Y), X != Y.", pool);
+  ASSERT_TRUE(rule.ok()) << rule.status();
+  EXPECT_EQ(rule->body.size(), 2u);
+  EXPECT_FALSE(rule->body[1].positive);
+  ASSERT_EQ(rule->constraints.size(), 1u);
+  EXPECT_EQ(rule->constraints[0].op, CompareOp::kNe);
+}
+
+TEST(ParserTest, ParsesFunctionTermsAndNegativeIntegers) {
+  TermPool pool;
+  const auto rule = ParseRule("p(f(a, g(X)), -3) :- q(X).", pool);
+  ASSERT_TRUE(rule.ok()) << rule.status();
+  EXPECT_EQ(ToString(pool, *rule), "p(f(a, g(X)), -3) :- q(X).");
+}
+
+TEST(ParserTest, ParseLiteralHelper) {
+  TermPool pool;
+  const auto literal = ParseLiteral("-fly(penguin)", pool);
+  ASSERT_TRUE(literal.ok());
+  EXPECT_FALSE(literal->positive);
+  EXPECT_EQ(pool.symbols().Name(literal->atom.predicate), "fly");
+}
+
+TEST(ParserTest, ErrorsCarryPositions) {
+  const auto program = ParseProgram("p :- .");
+  ASSERT_FALSE(program.ok());
+  EXPECT_NE(program.status().message().find("1:6"), std::string::npos)
+      << program.status();
+
+  const auto missing_period = ParseProgram("component c { p }");
+  EXPECT_FALSE(missing_period.ok());
+
+  const auto unterminated = ParseProgram("component c { p.");
+  ASSERT_FALSE(unterminated.ok());
+  EXPECT_NE(unterminated.status().message().find("unterminated"),
+            std::string::npos);
+}
+
+TEST(ParserTest, OrderCycleRejectedAtParse) {
+  const auto program = ParseProgram(R"(
+    component a {}
+    component b {}
+    order a < b.
+    order b < a.
+  )");
+  ASSERT_FALSE(program.ok());
+  EXPECT_NE(program.status().message().find("cycle"), std::string::npos);
+}
+
+TEST(ParserTest, TrailingGarbageInRuleRejected) {
+  TermPool pool;
+  EXPECT_FALSE(ParseRule("p. q.", pool).ok());
+}
+
+class RoundTripTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(RoundTripTest, PrintThenParseIsIdentity) {
+  const auto program = ParseProgram(GetParam());
+  ASSERT_TRUE(program.ok()) << program.status();
+  const std::string printed = ToString(*program);
+  const auto reparsed = ParseProgram(printed);
+  ASSERT_TRUE(reparsed.ok()) << reparsed.status() << "\n" << printed;
+  EXPECT_EQ(ToString(*reparsed), printed);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Programs, RoundTripTest,
+    ::testing::Values(
+        "p. q :- p, -r.",
+        "component c2 { fly(X) :- bird(X). } component c1 { -fly(X) :- "
+        "ground_animal(X). } order c1 < c2.",
+        "take_loan :- inflation(X), loan_rate(Y), X > Y + 2, X != 16.",
+        "p(f(a, g(X, 3)), -4) :- q(X), X >= -2 * (3 + 1).",
+        "colored(X) :- color(X), -colored(Y), X != Y."));
+
+}  // namespace
+}  // namespace ordlog

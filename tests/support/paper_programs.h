@@ -1,0 +1,156 @@
+#ifndef ORDLOG_TESTS_SUPPORT_PAPER_PROGRAMS_H_
+#define ORDLOG_TESTS_SUPPORT_PAPER_PROGRAMS_H_
+
+#include <string_view>
+
+namespace ordlog {
+namespace testing {
+
+// The paper's example programs, verbatim in `.olp` syntax. Component and
+// predicate names follow the paper (Figures 1-3, Examples 3-5).
+
+// Figure 1 — ordered program P1 (overruling: the penguin does not fly).
+inline constexpr std::string_view kFig1Penguin = R"(
+component c2 {
+  bird(penguin).
+  bird(pigeon).
+  fly(X) :- bird(X).
+  -ground_animal(X) :- bird(X).
+}
+component c1 {
+  ground_animal(penguin).
+  -fly(X) :- ground_animal(X).
+}
+order c1 < c2.
+)";
+
+// Example 2's flattened variant P̂1: all of P1's rules in one component.
+inline constexpr std::string_view kFig1Flattened = R"(
+component c {
+  bird(penguin).
+  bird(pigeon).
+  fly(X) :- bird(X).
+  -ground_animal(X) :- bird(X).
+  ground_animal(penguin).
+  -fly(X) :- ground_animal(X).
+}
+)";
+
+// Figure 2 — ordered program P2 (defeating: is mimmo rich or poor?).
+inline constexpr std::string_view kFig2Mimmo = R"(
+component c3 {
+  rich(mimmo).
+  -poor(X) :- rich(X).
+}
+component c2 {
+  poor(mimmo).
+  -rich(X) :- poor(X).
+}
+component c1 {
+  free_ticket(X) :- poor(X).
+}
+order c1 < c2.
+order c1 < c3.
+)";
+
+// Figure 3 — the loan program. C1 ("myself") is empty; scenario facts are
+// appended by the tests/benches.
+inline constexpr std::string_view kFig3LoanBase = R"(
+component c2 {
+  take_loan :- inflation(X), X > 11.
+}
+component c4 {
+  -take_loan :- loan_rate(X), X > 14.
+}
+component c3 {
+  take_loan :- inflation(X), loan_rate(Y), X > Y + 2.
+}
+component c1 {
+}
+order c1 < c2.
+order c1 < c3.
+order c3 < c4.
+)";
+
+// Example 3 — program P3: a :- b.  -a :- b. (single component).
+inline constexpr std::string_view kExample3P3 = R"(
+component c {
+  a :- b.
+  -a :- b.
+}
+)";
+
+// Example 4 — program P4: a :- b. (single component).
+inline constexpr std::string_view kExample4P4 = R"(
+component c {
+  a :- b.
+}
+)";
+
+// Example 4 — P4 extended with the explicit closed-world component.
+inline constexpr std::string_view kExample4P4Closed = R"(
+component c1 {
+  a :- b.
+}
+component c2 {
+  -a.
+  -b.
+}
+order c1 < c2.
+)";
+
+// Example 5 — program P5 with two stable models.
+inline constexpr std::string_view kExample5P5 = R"(
+component c2 {
+  a.
+  b.
+  c.
+}
+component c1 {
+  -a :- b, c.
+  -b :- a.
+  -b :- -b.
+}
+order c1 < c2.
+)";
+
+// Example 6 — the ancestor program (a classical seminegative program; its
+// ordered version is built with OrderedVersion in the tests).
+inline constexpr std::string_view kExample6Ancestor = R"(
+component c {
+  parent(a, b).
+  parent(b, c).
+  anc(X, Y) :- parent(X, Y).
+  anc(X, Y) :- parent(X, Z), anc(Z, Y).
+}
+)";
+
+// Example 8 — the negative bird program (single component).
+inline constexpr std::string_view kExample8Birds = R"(
+component c {
+  bird(penguin).
+  bird(pigeon).
+  ground_animal(penguin).
+  fly(X) :- bird(X).
+  -fly(X) :- ground_animal(X).
+}
+)";
+
+// Example 9 — the color-selection negative program, with 3 colors of
+// which 1 is ugly.
+inline constexpr std::string_view kExample9Colors = R"(
+component c {
+  color(red).
+  color(green).
+  color(mud).
+  ugly_color(mud).
+  color(X) :- ugly_color(X).
+  colored(X) :- color(X), -colored(Y), X != Y.
+  -colored(X) :- ugly_color(X).
+}
+)";
+
+}  // namespace testing
+}  // namespace ordlog
+
+#endif  // ORDLOG_TESTS_SUPPORT_PAPER_PROGRAMS_H_

@@ -1,0 +1,240 @@
+#include "support/random_programs.h"
+
+#include "base/logging.h"
+#include "base/strings.h"
+
+namespace ordlog {
+namespace testing {
+
+namespace {
+
+// Atom names a0..a{n-1}.
+std::vector<GroundAtomId> MakeAtoms(GroundProgramBuilder& builder,
+                                    size_t num_atoms) {
+  std::vector<GroundAtomId> atoms;
+  for (size_t i = 0; i < num_atoms; ++i) {
+    atoms.push_back(builder.AddPropositional(StrCat("a", i)));
+  }
+  return atoms;
+}
+
+GroundLiteral RandomLiteral(std::mt19937& rng,
+                            const std::vector<GroundAtomId>& atoms,
+                            double negative_prob) {
+  std::uniform_int_distribution<size_t> pick(0, atoms.size() - 1);
+  std::bernoulli_distribution negative(negative_prob);
+  return GroundLiteral{atoms[pick(rng)], !negative(rng)};
+}
+
+void AddRandomRules(std::mt19937& rng, GroundProgramBuilder& builder,
+                    const std::vector<GroundAtomId>& atoms,
+                    ComponentId component, size_t num_rules, size_t max_body,
+                    double negative_head_prob, double negative_body_prob) {
+  std::uniform_int_distribution<size_t> body_size(0, max_body);
+  for (size_t r = 0; r < num_rules; ++r) {
+    const GroundLiteral head =
+        RandomLiteral(rng, atoms, negative_head_prob);
+    std::vector<GroundLiteral> body;
+    const size_t size = body_size(rng);
+    for (size_t b = 0; b < size; ++b) {
+      body.push_back(RandomLiteral(rng, atoms, negative_body_prob));
+    }
+    builder.AddRule(component, head, std::move(body),
+                    static_cast<uint32_t>(r));
+  }
+}
+
+}  // namespace
+
+GroundProgram RandomGroundProgram(std::mt19937& rng,
+                                  const RandomProgramOptions& options) {
+  GroundProgramBuilder builder(std::make_shared<TermPool>(),
+                               options.num_components);
+  const std::vector<GroundAtomId> atoms =
+      MakeAtoms(builder, options.num_atoms);
+  // Edges only from lower id to higher id, so the order is acyclic by
+  // construction.
+  std::bernoulli_distribution edge(options.order_edge_prob);
+  for (ComponentId i = 0; i < options.num_components; ++i) {
+    for (ComponentId j = i + 1; j < options.num_components; ++j) {
+      if (edge(rng)) builder.AddOrder(i, j);
+    }
+  }
+  std::uniform_int_distribution<ComponentId> pick_component(
+      0, static_cast<ComponentId>(options.num_components - 1));
+  std::uniform_int_distribution<size_t> body_size(0, options.max_body);
+  for (size_t r = 0; r < options.num_rules; ++r) {
+    const GroundLiteral head =
+        RandomLiteral(rng, atoms, options.negative_head_prob);
+    std::vector<GroundLiteral> body;
+    const size_t size = body_size(rng);
+    for (size_t b = 0; b < size; ++b) {
+      body.push_back(RandomLiteral(rng, atoms, options.negative_body_prob));
+    }
+    builder.AddRule(pick_component(rng), head, std::move(body),
+                    static_cast<uint32_t>(r));
+  }
+  StatusOr<GroundProgram> program = builder.Build();
+  ORDLOG_CHECK(program.ok()) << program.status();
+  return std::move(program).value();
+}
+
+GroundProgram RandomSeminegativeProgram(std::mt19937& rng, size_t num_atoms,
+                                        size_t num_rules, size_t max_body) {
+  GroundProgramBuilder builder(std::make_shared<TermPool>(), 1);
+  const std::vector<GroundAtomId> atoms = MakeAtoms(builder, num_atoms);
+  AddRandomRules(rng, builder, atoms, 0, num_rules, max_body,
+                 /*negative_head_prob=*/0.0, /*negative_body_prob=*/0.4);
+  StatusOr<GroundProgram> program = builder.Build();
+  ORDLOG_CHECK(program.ok()) << program.status();
+  return std::move(program).value();
+}
+
+GroundProgram RandomNegativeProgram(std::mt19937& rng, size_t num_atoms,
+                                    size_t num_rules, size_t max_body) {
+  GroundProgramBuilder builder(std::make_shared<TermPool>(), 1);
+  const std::vector<GroundAtomId> atoms = MakeAtoms(builder, num_atoms);
+  AddRandomRules(rng, builder, atoms, 0, num_rules, max_body,
+                 /*negative_head_prob=*/0.35, /*negative_body_prob=*/0.4);
+  StatusOr<GroundProgram> program = builder.Build();
+  ORDLOG_CHECK(program.ok()) << program.status();
+  return std::move(program).value();
+}
+
+Interpretation RandomInterpretation(std::mt19937& rng,
+                                    const GroundProgram& program) {
+  Interpretation result = Interpretation::ForProgram(program);
+  std::uniform_int_distribution<int> value(0, 2);
+  for (GroundAtomId atom = 0; atom < program.NumAtoms(); ++atom) {
+    switch (value(rng)) {
+      case 0:
+        break;
+      case 1:
+        result.Set(atom, TruthValue::kTrue);
+        break;
+      default:
+        result.Set(atom, TruthValue::kFalse);
+        break;
+    }
+  }
+  return result;
+}
+
+OrderedProgram RandomDatalogProgram(std::mt19937& rng,
+                                    const RandomDatalogOptions& options) {
+  auto pool = std::make_shared<TermPool>();
+  OrderedProgram program(pool);
+  for (size_t c = 0; c < options.num_components; ++c) {
+    const auto id = program.AddComponent(StrCat("m", c));
+    ORDLOG_CHECK(id.ok());
+  }
+  std::bernoulli_distribution edge(options.order_edge_prob);
+  for (ComponentId i = 0; i < options.num_components; ++i) {
+    for (ComponentId j = i + 1; j < options.num_components; ++j) {
+      if (edge(rng)) {
+        ORDLOG_CHECK(program.AddOrder(i, j).ok());
+      }
+    }
+  }
+
+  std::vector<SymbolId> predicates;
+  std::vector<size_t> arities;
+  std::uniform_int_distribution<size_t> arity_dist(0, 2);
+  for (size_t p = 0; p < options.num_predicates; ++p) {
+    predicates.push_back(pool->symbols().Intern(StrCat("p", p)));
+    arities.push_back(arity_dist(rng));
+  }
+  std::vector<TermId> constants;
+  for (size_t k = 0; k < options.num_constants; ++k) {
+    constants.push_back(k % 2 == 0
+                            ? pool->MakeConstant(StrCat("k", k))
+                            : pool->MakeInteger(static_cast<int64_t>(k)));
+  }
+  // A small shared variable alphabet; reuse creates joins.
+  const std::vector<TermId> variables = {
+      pool->MakeVariable("X"), pool->MakeVariable("Y"),
+      pool->MakeVariable("Z")};
+
+  std::uniform_int_distribution<size_t> pick_predicate(
+      0, predicates.size() - 1);
+  std::uniform_int_distribution<size_t> pick_constant(0,
+                                                      constants.size() - 1);
+  std::uniform_int_distribution<size_t> pick_variable(0,
+                                                      variables.size() - 1);
+  std::bernoulli_distribution use_variable(options.variable_prob);
+  std::bernoulli_distribution negative_head(options.negative_head_prob);
+  std::bernoulli_distribution negative_body(options.negative_body_prob);
+  std::uniform_int_distribution<size_t> body_size(0, options.max_body);
+  std::uniform_int_distribution<ComponentId> pick_component(
+      0, static_cast<ComponentId>(options.num_components - 1));
+
+  auto random_atom = [&] {
+    const size_t p = pick_predicate(rng);
+    Atom atom;
+    atom.predicate = predicates[p];
+    for (size_t i = 0; i < arities[p]; ++i) {
+      atom.args.push_back(use_variable(rng)
+                              ? variables[pick_variable(rng)]
+                              : constants[pick_constant(rng)]);
+    }
+    return atom;
+  };
+
+  std::bernoulli_distribution add_constraint(options.constraint_prob);
+  std::uniform_int_distribution<int> pick_op(0, 5);
+  std::uniform_int_distribution<int64_t> pick_int(0, 4);
+  for (size_t r = 0; r < options.num_rules; ++r) {
+    Rule rule;
+    rule.head = Literal{random_atom(), !negative_head(rng)};
+    const size_t size = body_size(rng);
+    for (size_t b = 0; b < size; ++b) {
+      rule.body.push_back(Literal{random_atom(), !negative_body(rng)});
+    }
+    if (add_constraint(rng)) {
+      // Constrain a variable that occurs in the rule (if any), so the
+      // constraint is evaluated against real instantiations.
+      const std::vector<SymbolId> vars = rule.Variables(*pool);
+      if (!vars.empty()) {
+        std::uniform_int_distribution<size_t> pick_var(0, vars.size() - 1);
+        Comparison comparison;
+        comparison.op = static_cast<CompareOp>(pick_op(rng));
+        comparison.lhs = ArithExpr::Variable(vars[pick_var(rng)]);
+        if (comparison.op == CompareOp::kEq ||
+            comparison.op == CompareOp::kNe) {
+          comparison.rhs =
+              ArithExpr::Term(constants[pick_constant(rng)]);
+        } else {
+          comparison.rhs = ArithExpr::Constant(pick_int(rng));
+        }
+        rule.constraints.push_back(std::move(comparison));
+      }
+    }
+    ORDLOG_CHECK(program.AddRule(pick_component(rng), std::move(rule)).ok());
+  }
+  ORDLOG_CHECK(program.Finalize().ok());
+  return program;
+}
+
+Component ToComponent(const GroundProgram& program,
+                      std::shared_ptr<TermPool> pool) {
+  ORDLOG_CHECK(pool == program.shared_pool())
+      << "ToComponent requires the program's own pool";
+  Component component;
+  component.name = "c";
+  for (size_t r = 0; r < program.NumRules(); ++r) {
+    const GroundRule& ground_rule = program.rule(r);
+    Rule rule;
+    rule.head =
+        Literal{program.atom(ground_rule.head.atom),
+                ground_rule.head.positive};
+    for (const GroundLiteral& literal : ground_rule.body) {
+      rule.body.push_back(
+          Literal{program.atom(literal.atom), literal.positive});
+    }
+    component.rules.push_back(std::move(rule));
+  }
+  return component;
+}
+
+}  // namespace testing
+}  // namespace ordlog

@@ -1,0 +1,82 @@
+#ifndef ORDLOG_TESTS_SUPPORT_RANDOM_PROGRAMS_H_
+#define ORDLOG_TESTS_SUPPORT_RANDOM_PROGRAMS_H_
+
+#include <memory>
+#include <random>
+
+#include "core/interpretation.h"
+#include "ground/ground_program.h"
+
+namespace ordlog {
+namespace testing {
+
+struct RandomProgramOptions {
+  size_t num_atoms = 5;
+  size_t num_components = 2;
+  size_t num_rules = 8;
+  size_t max_body = 2;
+  // Probability that a rule head is negative.
+  double negative_head_prob = 0.4;
+  // Probability that a body literal is negative.
+  double negative_body_prob = 0.4;
+  // Probability that each possible order edge (i < j for i < j as ids) is
+  // present. 0 yields an antichain of components.
+  double order_edge_prob = 0.5;
+};
+
+// Generates a random ground ordered program (propositional atoms a0..aN).
+// Deterministic in `rng`; used by the property tests for Lemma 1,
+// Theorem 1, Propositions 2-5 and Theorem 2.
+GroundProgram RandomGroundProgram(std::mt19937& rng,
+                                  const RandomProgramOptions& options);
+
+// Generates a random ground *seminegative* single-component program
+// (positive heads, possibly negative bodies).
+GroundProgram RandomSeminegativeProgram(std::mt19937& rng, size_t num_atoms,
+                                        size_t num_rules, size_t max_body);
+
+// Generates a random ground *negative* single-component program (any
+// heads).
+GroundProgram RandomNegativeProgram(std::mt19937& rng, size_t num_atoms,
+                                    size_t num_rules, size_t max_body);
+
+// Generates a random consistent interpretation over the program's atoms.
+Interpretation RandomInterpretation(std::mt19937& rng,
+                                    const GroundProgram& program);
+
+// Extracts component 0's rules (or all components' rules) of a ground
+// propositional program back into a non-ground Component so that the
+// OV/EV/3V source transformations can be applied to it.
+Component ToComponent(const GroundProgram& program,
+                      std::shared_ptr<TermPool> pool);
+
+struct RandomDatalogOptions {
+  size_t num_components = 2;
+  size_t num_predicates = 3;   // arities drawn from {0, 1, 2}
+  size_t num_constants = 3;
+  size_t num_rules = 10;
+  size_t max_body = 2;
+  double negative_head_prob = 0.3;
+  double negative_body_prob = 0.3;
+  double order_edge_prob = 0.5;
+  // Probability an argument position holds a fresh-or-reused variable
+  // rather than a constant.
+  double variable_prob = 0.5;
+  // Probability a rule carries a comparison constraint over one of its
+  // variables (an integer comparison or a symbolic inequality). Half of
+  // the generated constants are integers so the comparisons are
+  // frequently evaluable.
+  double constraint_prob = 0.3;
+};
+
+// Generates a random *non-ground* ordered program (variables, constants,
+// multi-arity predicates) for full-pipeline tests: parse-level structures
+// that must survive grounding and then satisfy the core semantics
+// properties.
+OrderedProgram RandomDatalogProgram(std::mt19937& rng,
+                                    const RandomDatalogOptions& options);
+
+}  // namespace testing
+}  // namespace ordlog
+
+#endif  // ORDLOG_TESTS_SUPPORT_RANDOM_PROGRAMS_H_

@@ -1,0 +1,102 @@
+#include "support/test_util.h"
+
+#include <algorithm>
+
+#include "core/interpretation.h"
+
+namespace ordlog {
+namespace testing {
+
+OrderedProgram ParseText(std::string_view source) {
+  StatusOr<OrderedProgram> program = ParseProgram(source);
+  EXPECT_TRUE(program.ok()) << program.status();
+  if (!program.ok()) std::abort();
+  return std::move(program).value();
+}
+
+GroundProgram GroundText(std::string_view source) {
+  OrderedProgram program = ParseText(source);
+  StatusOr<GroundProgram> ground = Grounder::Ground(program);
+  EXPECT_TRUE(ground.ok()) << ground.status();
+  if (!ground.ok()) std::abort();
+  return std::move(ground).value();
+}
+
+Interpretation MakeInterpretation(const GroundProgram& program,
+                                  const std::vector<std::string>& literals) {
+  Interpretation result = Interpretation::ForProgram(program);
+  // The pool is shared but logically const here; parsing a ground literal
+  // may intern new terms, which is harmless.
+  TermPool& pool = const_cast<TermPool&>(program.pool());
+  for (const std::string& text : literals) {
+    StatusOr<Literal> literal = ParseLiteral(text, pool);
+    EXPECT_TRUE(literal.ok()) << literal.status();
+    if (!literal.ok()) std::abort();
+    const auto atom = program.FindAtom(literal->atom);
+    EXPECT_TRUE(atom.has_value()) << "unknown atom in literal " << text;
+    if (!atom.has_value()) std::abort();
+    EXPECT_TRUE(result.Add(GroundLiteral{*atom, literal->positive}))
+        << "inconsistent literal " << text;
+  }
+  return result;
+}
+
+std::string Render(const GroundProgram& program, const Interpretation& m) {
+  return m.ToString(program);
+}
+
+const GroundRule& FindRule(const GroundProgram& program,
+                           std::string_view component, std::string_view head,
+                           const std::vector<std::string>& body) {
+  const GroundRule* found = nullptr;
+  for (size_t r = 0; r < program.NumRules(); ++r) {
+    const GroundRule& rule = program.rule(r);
+    if (program.component_name(rule.component) != component) continue;
+    if (program.LiteralToString(rule.head) != head) continue;
+    if (rule.body.size() != body.size()) continue;
+    bool body_matches = true;
+    for (size_t b = 0; b < body.size(); ++b) {
+      if (program.LiteralToString(rule.body[b]) != body[b]) {
+        body_matches = false;
+        break;
+      }
+    }
+    if (!body_matches) continue;
+    EXPECT_TRUE(found == nullptr)
+        << "ambiguous rule " << head << " in " << component;
+    found = &rule;
+  }
+  EXPECT_TRUE(found != nullptr)
+      << "no rule with head " << head << " in component " << component;
+  if (found == nullptr) std::abort();
+  return *found;
+}
+
+Interpretation MapInterpretation(const Interpretation& i,
+                                 const GroundProgram& from,
+                                 const GroundProgram& to) {
+  Interpretation result = Interpretation::ForProgram(to);
+  for (const GroundLiteral& literal : i.Literals()) {
+    const auto atom = to.FindAtom(from.atom(literal.atom));
+    EXPECT_TRUE(atom.has_value())
+        << "atom " << from.AtomToString(literal.atom)
+        << " missing in target program";
+    if (!atom.has_value()) std::abort();
+    EXPECT_TRUE(result.Add(GroundLiteral{*atom, literal.positive}));
+  }
+  return result;
+}
+
+std::vector<std::string> Render(const GroundProgram& program,
+                                const std::vector<Interpretation>& models) {
+  std::vector<std::string> rendered;
+  rendered.reserve(models.size());
+  for (const Interpretation& model : models) {
+    rendered.push_back(Render(program, model));
+  }
+  std::sort(rendered.begin(), rendered.end());
+  return rendered;
+}
+
+}  // namespace testing
+}  // namespace ordlog

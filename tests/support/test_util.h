@@ -1,0 +1,52 @@
+#ifndef ORDLOG_TESTS_SUPPORT_TEST_UTIL_H_
+#define ORDLOG_TESTS_SUPPORT_TEST_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "core/interpretation.h"
+#include "ground/grounder.h"
+#include "parser/parser.h"
+
+namespace ordlog {
+namespace testing {
+
+// Parses `.olp` source and grounds it, failing the test on any error.
+GroundProgram GroundText(std::string_view source);
+
+// Parses source only.
+OrderedProgram ParseText(std::string_view source);
+
+// The interpretation containing exactly the given literals (rendered in
+// source syntax, e.g. {"bird(pigeon)", "-fly(penguin)"}), resolved against
+// `program`'s atoms. Fails the test for unknown atoms or inconsistency.
+Interpretation MakeInterpretation(const GroundProgram& program,
+                                  const std::vector<std::string>& literals);
+
+// Renders interpretations as sorted literal-set strings, for readable
+// container assertions: {"{a, -b}", "{c}"}.
+std::vector<std::string> Render(const GroundProgram& program,
+                                const std::vector<Interpretation>& models);
+std::string Render(const GroundProgram& program, const Interpretation& m);
+
+// Finds the unique ground rule of `program` in the named component whose
+// head renders as `head` and whose body renders (in order) as `body`.
+// Fails the test when absent or ambiguous.
+const GroundRule& FindRule(const GroundProgram& program,
+                           std::string_view component, std::string_view head,
+                           const std::vector<std::string>& body = {});
+
+// Re-expresses `i` (over `from`'s atoms) in `to`'s atom ids. Every assigned
+// atom of `i` must exist in `to` (fails the test otherwise). Used to
+// compare models across a program and its OV/EV/3V version, whose ground
+// atom numbering may differ.
+Interpretation MapInterpretation(const Interpretation& i,
+                                 const GroundProgram& from,
+                                 const GroundProgram& to);
+
+}  // namespace testing
+}  // namespace ordlog
+
+#endif  // ORDLOG_TESTS_SUPPORT_TEST_UTIL_H_

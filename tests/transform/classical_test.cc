@@ -1,0 +1,228 @@
+// Classical-semantics baselines: 3-valued models, founded models, GL
+// stable models, the well-founded model, and minimal models of positive
+// programs — on standard textbook programs plus consistency properties.
+
+#include "transform/classical.h"
+
+#include <random>
+
+#include "gtest/gtest.h"
+#include "support/random_programs.h"
+#include "support/test_util.h"
+
+namespace ordlog {
+namespace {
+
+using ::ordlog::testing::GroundText;
+using ::ordlog::testing::MakeInterpretation;
+using ::ordlog::testing::RandomSeminegativeProgram;
+
+TEST(ClassicalTest, ValidateRejectsNegativeHeads) {
+  const GroundProgram program = GroundText("-p :- q.");
+  EXPECT_FALSE(ClassicalSemantics(program).Validate().ok());
+  const GroundProgram ok_program = GroundText("p :- -q.");
+  EXPECT_TRUE(ClassicalSemantics(ok_program).Validate().ok());
+}
+
+TEST(ClassicalTest, MinimalModelOfPositiveProgram) {
+  const GroundProgram program = GroundText(R"(
+    p. q :- p. r :- q, p. s :- t.
+  )");
+  ClassicalSemantics classical(program);
+  const auto minimal = classical.MinimalModelOfPositive();
+  ASSERT_TRUE(minimal.ok()) << minimal.status();
+  Interpretation m = Interpretation::ForProgram(program);
+  minimal->ForEach([&m](size_t atom) {
+    m.Set(static_cast<GroundAtomId>(atom), TruthValue::kTrue);
+  });
+  EXPECT_EQ(m.ToString(program), "{p, q, r}");
+}
+
+TEST(ClassicalTest, MinimalModelRejectsNegativeBodies) {
+  const GroundProgram program = GroundText("p :- -q.");
+  EXPECT_FALSE(ClassicalSemantics(program).MinimalModelOfPositive().ok());
+}
+
+TEST(ClassicalTest, GLStableModelsOfEvenLoop) {
+  // p :- -q.  q :- -p.  has stable models {p} and {q}.
+  const GroundProgram program = GroundText("p :- -q. q :- -p.");
+  ClassicalSemantics classical(program);
+  const auto stable = classical.GLStableModels();
+  ASSERT_TRUE(stable.ok()) << stable.status();
+  ASSERT_EQ(stable->size(), 2u);
+  EXPECT_EQ((*stable)[0].Count() + (*stable)[1].Count(), 2u);
+}
+
+TEST(ClassicalTest, GLStableModelsOfOddLoopIsEmpty) {
+  // p :- -p. has no (total) stable model.
+  const GroundProgram program = GroundText("p :- -p.");
+  const auto stable = ClassicalSemantics(program).GLStableModels();
+  ASSERT_TRUE(stable.ok());
+  EXPECT_TRUE(stable->empty());
+}
+
+TEST(ClassicalTest, WellFoundedModelOfStratifiedProgram) {
+  // q. p :- -r.  =>  q true, r false, p true.
+  const GroundProgram program = GroundText("q. p :- -r.");
+  const Interpretation wf = ClassicalSemantics(program).WellFoundedModel();
+  EXPECT_EQ(wf.ToString(program), "{q, p, -r}");
+}
+
+TEST(ClassicalTest, WellFoundedModelLeavesEvenLoopUndefined) {
+  const GroundProgram program = GroundText("p :- -q. q :- -p.");
+  const Interpretation wf = ClassicalSemantics(program).WellFoundedModel();
+  EXPECT_TRUE(wf.Empty());
+}
+
+TEST(ClassicalTest, WellFoundedModelOfOddLoopUndefined) {
+  const GroundProgram program = GroundText("p :- -p.");
+  const Interpretation wf = ClassicalSemantics(program).WellFoundedModel();
+  EXPECT_TRUE(wf.Empty());
+}
+
+TEST(ClassicalTest, ThreeValuedModelExamples) {
+  const GroundProgram program = GroundText("p :- -p.");
+  ClassicalSemantics classical(program);
+  // {p} is a 3-valued model (Example 7), {} is too (U >= U), {-p} is not.
+  EXPECT_TRUE(classical.IsThreeValuedModel(
+      MakeInterpretation(program, {"p"})));
+  EXPECT_TRUE(classical.IsThreeValuedModel(
+      Interpretation::ForProgram(program)));
+  EXPECT_FALSE(classical.IsThreeValuedModel(
+      MakeInterpretation(program, {"-p"})));
+}
+
+TEST(ClassicalTest, FoundedModelsOfEvenLoop) {
+  const GroundProgram program = GroundText("p :- -q. q :- -p.");
+  ClassicalSemantics classical(program);
+  const auto founded = classical.FoundedModels();
+  ASSERT_TRUE(founded.ok());
+  // {}, {p,-q}, {q,-p} are founded; totals coincide with GL.
+  EXPECT_EQ(testing::Render(program, *founded),
+            (std::vector<std::string>{"{-p, q}", "{p, -q}", "{}"}));
+}
+
+TEST(ClassicalTest, KripkeKleeneExamples) {
+  // Stratified: agrees with WF.
+  const GroundProgram stratified = GroundText("q. p :- -r.");
+  EXPECT_EQ(ClassicalSemantics(stratified).KripkeKleeneModel().ToString(
+                stratified),
+            "{q, p, -r}");
+  // Odd loop: undefined.
+  const GroundProgram odd = GroundText("p :- -p.");
+  EXPECT_TRUE(ClassicalSemantics(odd).KripkeKleeneModel().Empty());
+  // Positive loop: the famous KK/WF gap — KK leaves p, q undefined while
+  // WF makes them false.
+  const GroundProgram loop = GroundText("p :- q. q :- p.");
+  ClassicalSemantics classical(loop);
+  EXPECT_TRUE(classical.KripkeKleeneModel().Empty());
+  EXPECT_EQ(classical.WellFoundedModel().NumAssigned(), 2u);
+}
+
+TEST(ClassicalTest, PartialStableExamples) {
+  // Even loop: partial stable models are {}, {p,-q}, {-p,q}; the WF model
+  // ({}) is the least.
+  const GroundProgram program = GroundText("p :- -q. q :- -p.");
+  ClassicalSemantics classical(program);
+  const auto partial = classical.PartialStableModels();
+  ASSERT_TRUE(partial.ok());
+  EXPECT_EQ(testing::Render(program, *partial),
+            (std::vector<std::string>{"{-p, q}", "{p, -q}", "{}"}));
+  // Positive loop: only {-p,-q} (false) is partial stable, unlike founded
+  // models which also accept {}.
+  const GroundProgram loop = GroundText("p :- q. q :- p.");
+  ClassicalSemantics loop_classical(loop);
+  const auto loop_partial = loop_classical.PartialStableModels();
+  ASSERT_TRUE(loop_partial.ok());
+  EXPECT_EQ(testing::Render(loop, *loop_partial),
+            (std::vector<std::string>{"{-p, -q}"}));
+}
+
+class WellFoundedPropertyTest : public ::testing::TestWithParam<uint32_t> {
+};
+
+TEST_P(WellFoundedPropertyTest, WellFoundedIsFoundedAndSkeptical) {
+  std::mt19937 rng(GetParam());
+  const GroundProgram program =
+      RandomSeminegativeProgram(rng, 5, 8, 2);
+  ClassicalSemantics classical(program);
+  const Interpretation wf = classical.WellFoundedModel();
+  // The well-founded model is a founded 3-valued model ([SZ], [P3]).
+  EXPECT_TRUE(classical.IsThreeValuedModel(wf))
+      << wf.ToString(program) << "\n" << program.DebugString();
+  EXPECT_TRUE(classical.IsFounded(wf))
+      << wf.ToString(program) << "\n" << program.DebugString();
+  // And it is contained in every SZ-stable model ([P3]'s intersection
+  // characterization).
+  const auto stable = classical.SZStableModels();
+  ASSERT_TRUE(stable.ok());
+  for (const Interpretation& m : *stable) {
+    EXPECT_TRUE(wf.IsSubsetOf(m))
+        << "WF not below " << m.ToString(program) << "\n"
+        << program.DebugString();
+  }
+  // Total GL stable models are founded models too.
+  const auto gl = classical.GLStableModels();
+  ASSERT_TRUE(gl.ok());
+  for (const DynamicBitset& true_atoms : *gl) {
+    Interpretation total = Interpretation::ForProgram(program);
+    for (GroundAtomId atom : classical.base()) {
+      total.Set(atom, true_atoms.Test(atom) ? TruthValue::kTrue
+                                            : TruthValue::kFalse);
+    }
+    EXPECT_TRUE(classical.IsFounded(total))
+        << total.ToString(program) << "\n" << program.DebugString();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomSeeds, WellFoundedPropertyTest,
+                         ::testing::Range(1u, 31u));
+
+class SemanticsLadderTest : public ::testing::TestWithParam<uint32_t> {};
+
+TEST_P(SemanticsLadderTest, ClassicalSemanticsRelationships) {
+  std::mt19937 rng(GetParam() ^ 0x1badcafeu);
+  const GroundProgram program = RandomSeminegativeProgram(rng, 5, 8, 2);
+  ClassicalSemantics classical(program);
+
+  const Interpretation kk = classical.KripkeKleeneModel();
+  const Interpretation wf = classical.WellFoundedModel();
+  // Kripke-Kleene is knowledge-wise below the well-founded model.
+  EXPECT_TRUE(kk.IsSubsetOf(wf))
+      << "KK " << kk.ToString(program) << " WF " << wf.ToString(program)
+      << "\n"
+      << program.DebugString();
+
+  const auto partial = classical.PartialStableModels();
+  ASSERT_TRUE(partial.ok());
+  // The well-founded model is the least partial stable model.
+  bool wf_found = false;
+  for (const Interpretation& m : *partial) {
+    if (m == wf) wf_found = true;
+    EXPECT_TRUE(wf.IsSubsetOf(m))
+        << "WF not below partial stable " << m.ToString(program);
+    // Every partial stable model is founded (and hence, by Prop. 4, an
+    // assumption-free model of OV(C)).
+    EXPECT_TRUE(classical.IsFounded(m))
+        << "partial stable but not founded: " << m.ToString(program)
+        << "\n"
+        << program.DebugString();
+  }
+  EXPECT_TRUE(wf_found) << "WF is not partial stable?\n"
+                        << program.DebugString();
+
+  // Total partial stable models coincide with GL stable models.
+  const auto gl = classical.GLStableModels();
+  ASSERT_TRUE(gl.ok());
+  size_t total_partial = 0;
+  for (const Interpretation& m : *partial) {
+    if (m.NumAssigned() == classical.base().size()) ++total_partial;
+  }
+  EXPECT_EQ(total_partial, gl->size()) << program.DebugString();
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomSeeds, SemanticsLadderTest,
+                         ::testing::Range(1u, 41u));
+
+}  // namespace
+}  // namespace ordlog

@@ -1,0 +1,238 @@
+// Section 4: negative programs. Theorem 2 (Definition 10 via 3V(C) is
+// equivalent to the direct Definition 11) as a randomized property, plus
+// Examples 8 and 9.
+
+#include "transform/negative_direct.h"
+
+#include <random>
+
+#include "core/enumerate.h"
+#include "core/model_check.h"
+#include "core/v_operator.h"
+#include "ground/grounder.h"
+#include "gtest/gtest.h"
+#include "support/paper_programs.h"
+#include "support/random_programs.h"
+#include "support/test_util.h"
+#include "transform/versions.h"
+
+namespace ordlog {
+namespace {
+
+using ::ordlog::testing::GroundText;
+using ::ordlog::testing::MakeInterpretation;
+using ::ordlog::testing::MapInterpretation;
+using ::ordlog::testing::RandomNegativeProgram;
+using ::ordlog::testing::Render;
+using ::ordlog::testing::ToComponent;
+
+struct Programs {
+  GroundProgram source;       // the raw negative program
+  GroundProgram three_level;  // ground 3V(C)
+};
+
+Programs MakePrograms(const GroundProgram& source) {
+  const Component component = ToComponent(source, source.shared_pool());
+  StatusOr<OrderedProgram> version =
+      ThreeLevelVersion(component, source.shared_pool());
+  EXPECT_TRUE(version.ok()) << version.status();
+  StatusOr<GroundProgram> ground = Grounder::Ground(*version);
+  EXPECT_TRUE(ground.ok()) << ground.status();
+  GroundProgram source_copy = source;
+  return Programs{std::move(source_copy), std::move(ground).value()};
+}
+
+class Theorem2Test : public ::testing::TestWithParam<uint32_t> {};
+
+TEST_P(Theorem2Test, Def10ModelsEqualDef11Models) {
+  std::mt19937 rng(GetParam());
+  Programs programs = MakePrograms(RandomNegativeProgram(
+      rng, /*num_atoms=*/4, /*num_rules=*/7, /*max_body=*/2));
+  DirectNegativeSemantics direct(programs.source);
+  ModelChecker checker(programs.three_level, kQueryComponent);
+
+  const auto direct_models = direct.Models();
+  ASSERT_TRUE(direct_models.ok()) << direct_models.status();
+  std::vector<std::string> direct_rendered =
+      Render(programs.source, *direct_models);
+
+  const auto ordered_models =
+      BruteForceEnumerator(programs.three_level, kQueryComponent)
+          .AllModels();
+  ASSERT_TRUE(ordered_models.ok()) << ordered_models.status();
+  std::vector<Interpretation> mapped;
+  for (const Interpretation& m : *ordered_models) {
+    mapped.push_back(
+        MapInterpretation(m, programs.three_level, programs.source));
+  }
+  EXPECT_EQ(direct_rendered, Render(programs.source, mapped))
+      << "Thm 2 (models) violated (seed " << GetParam() << ")\n"
+      << programs.source.DebugString();
+}
+
+TEST_P(Theorem2Test, Def10AssumptionFreeEqualsDef11AssumptionFree) {
+  std::mt19937 rng(GetParam() ^ 0xabcdef01u);
+  Programs programs = MakePrograms(RandomNegativeProgram(
+      rng, /*num_atoms=*/4, /*num_rules=*/6, /*max_body=*/2));
+  DirectNegativeSemantics direct(programs.source);
+
+  const auto direct_af = direct.AssumptionFreeModels();
+  ASSERT_TRUE(direct_af.ok()) << direct_af.status();
+  const auto ordered_af =
+      BruteForceEnumerator(programs.three_level, kQueryComponent)
+          .AssumptionFreeModels();
+  ASSERT_TRUE(ordered_af.ok()) << ordered_af.status();
+  std::vector<Interpretation> mapped;
+  for (const Interpretation& m : *ordered_af) {
+    mapped.push_back(
+        MapInterpretation(m, programs.three_level, programs.source));
+  }
+  EXPECT_EQ(Render(programs.source, *direct_af),
+            Render(programs.source, mapped))
+      << "Thm 2 (assumption-free) violated (seed " << GetParam() << ")\n"
+      << programs.source.DebugString();
+}
+
+TEST_P(Theorem2Test, Def10StableEqualsDef11Stable) {
+  std::mt19937 rng(GetParam() ^ 0x5555aaaau);
+  Programs programs = MakePrograms(RandomNegativeProgram(
+      rng, /*num_atoms=*/4, /*num_rules=*/6, /*max_body=*/2));
+  DirectNegativeSemantics direct(programs.source);
+
+  const auto direct_stable = direct.StableModels();
+  ASSERT_TRUE(direct_stable.ok()) << direct_stable.status();
+  const auto ordered_stable =
+      BruteForceEnumerator(programs.three_level, kQueryComponent)
+          .StableModels();
+  ASSERT_TRUE(ordered_stable.ok()) << ordered_stable.status();
+  std::vector<Interpretation> mapped;
+  for (const Interpretation& m : *ordered_stable) {
+    mapped.push_back(
+        MapInterpretation(m, programs.three_level, programs.source));
+  }
+  EXPECT_EQ(Render(programs.source, *direct_stable),
+            Render(programs.source, mapped))
+      << "Thm 2 (stable) violated (seed " << GetParam() << ")\n"
+      << programs.source.DebugString();
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomSeeds, Theorem2Test,
+                         ::testing::Range(1u, 51u));
+
+TEST(Example8Test, TwoLevelSemanticsSaysNothingAboutFlying) {
+  // Under OV/EV-style two-level semantics the negative rule only defeats;
+  // the paper's point is that nothing about flying is derivable. We check
+  // it via the direct semantics' skeptical core: the intersection of all
+  // stable models leaves fly(pigeon) and fly(penguin) undefined... the
+  // claim in the paper is about the two-level reading, which corresponds
+  // to putting *all* rules in one component above the closure. Build that
+  // program directly.
+  const GroundProgram two_level = GroundText(R"(
+    component c {
+      bird(penguin).
+      bird(pigeon).
+      ground_animal(penguin).
+      fly(X) :- bird(X).
+      -fly(X) :- ground_animal(X).
+    }
+    component neg_base {
+      -bird(X).
+      -ground_animal(X).
+      -fly(X).
+    }
+    order c < neg_base.
+  )");
+  const Interpretation least =
+      VOperator(two_level, 0).LeastFixpoint();
+  // Nothing can be stated about the penguin's flying capabilities.
+  const auto fly_penguin = two_level.FindAtom(
+      ParseLiteral("fly(penguin)", const_cast<TermPool&>(two_level.pool()))
+          ->atom);
+  ASSERT_TRUE(fly_penguin.has_value());
+  EXPECT_EQ(least.Truth(*fly_penguin), TruthValue::kUndefined);
+}
+
+TEST(Example9Test, ColorChoiceNeverColorsTheUglyColor) {
+  // The paper glosses this program as "select exactly one of the available
+  // non-ugly colors". Under its own formal semantics (Defs. 10/11) that
+  // gloss does not hold once an ugly color exists: -colored(mud) is
+  // derivable outright (the exception rule fires), and it then serves as
+  // the witness -colored(Y) for *every* non-ugly color, so the stable
+  // models color every non-ugly color and never the ugly one. The
+  // exactly-one choice behaviour does appear when no color is ugly (see
+  // the companion test below). We assert the actual semantics here and
+  // record the discrepancy in EXPERIMENTS.md.
+  OrderedProgram parsed = testing::ParseText(testing::kExample9Colors);
+  StatusOr<OrderedProgram> version = ThreeLevelVersion(
+      parsed.component(0), parsed.shared_pool());
+  ASSERT_TRUE(version.ok()) << version.status();
+  StatusOr<GroundProgram> ground = Grounder::Ground(*version);
+  ASSERT_TRUE(ground.ok()) << ground.status();
+
+  BruteForceEnumerator enumerator(*ground, kQueryComponent,
+                                  EnumerationOptions{.max_atoms = 16});
+  const auto stable = enumerator.StableModels();
+  ASSERT_TRUE(stable.ok()) << stable.status();
+  ASSERT_FALSE(stable->empty());
+
+  const auto atom_of = [&](std::string_view text) {
+    return ground
+        ->FindAtom(
+            ParseLiteral(text, const_cast<TermPool&>(ground->pool()))->atom)
+        .value();
+  };
+  const GroundAtomId red = atom_of("colored(red)");
+  const GroundAtomId green = atom_of("colored(green)");
+  const GroundAtomId mud = atom_of("colored(mud)");
+  for (const Interpretation& model : *stable) {
+    EXPECT_EQ(model.Truth(mud), TruthValue::kFalse)
+        << model.ToString(*ground);
+    EXPECT_EQ(model.Truth(red), TruthValue::kTrue)
+        << model.ToString(*ground);
+    EXPECT_EQ(model.Truth(green), TruthValue::kTrue)
+        << model.ToString(*ground);
+  }
+}
+
+TEST(Example9Test, TwoNonUglyColorsChooseExactlyOne) {
+  // Without an ugly witness the program behaves as the paper describes:
+  // with colors {red, green} each stable model colors exactly one.
+  OrderedProgram parsed = testing::ParseText(R"(
+    component c {
+      color(red).
+      color(green).
+      colored(X) :- color(X), -colored(Y), X != Y.
+    }
+  )");
+  StatusOr<OrderedProgram> version =
+      ThreeLevelVersion(parsed.component(0), parsed.shared_pool());
+  ASSERT_TRUE(version.ok()) << version.status();
+  StatusOr<GroundProgram> ground = Grounder::Ground(*version);
+  ASSERT_TRUE(ground.ok()) << ground.status();
+  BruteForceEnumerator enumerator(*ground, kQueryComponent,
+                                  EnumerationOptions{.max_atoms = 16});
+  const auto stable = enumerator.StableModels();
+  ASSERT_TRUE(stable.ok()) << stable.status();
+  const auto atom_of = [&](std::string_view text) {
+    return ground
+        ->FindAtom(
+            ParseLiteral(text, const_cast<TermPool&>(ground->pool()))->atom)
+        .value();
+  };
+  const GroundAtomId red = atom_of("colored(red)");
+  const GroundAtomId green = atom_of("colored(green)");
+  size_t red_models = 0, green_models = 0;
+  for (const Interpretation& model : *stable) {
+    const bool red_on = model.Truth(red) == TruthValue::kTrue;
+    const bool green_on = model.Truth(green) == TruthValue::kTrue;
+    EXPECT_NE(red_on, green_on)
+        << "exactly one color expected: " << model.ToString(*ground);
+    red_models += red_on;
+    green_models += green_on;
+  }
+  EXPECT_GE(red_models, 1u);
+  EXPECT_GE(green_models, 1u);
+}
+
+}  // namespace
+}  // namespace ordlog

@@ -1,0 +1,226 @@
+// Section 3 correspondences between ordered semantics and classical
+// semantics for seminegative programs, as randomized properties:
+//
+//   Prop. 3: every model of OV(C) in C is a 3-valued model of C (converse
+//            fails: Example 7).
+//   Prop. 4: M is a 3-valued *founded* model of C iff M is an
+//            assumption-free model of OV(C) in C.
+//   Cor. 1:  M is SZ-stable for C iff M is stable for OV(C) in C.
+//   Prop. 5: (a) 3-valued models of C = models of EV(C) in C;
+//            (b) assumption-free of OV ⊆ assumption-free of EV;
+//            (c) every assumption-free model of EV is contained in an
+//                assumption-free model of OV;
+//            (d) stable of OV = stable of EV.
+
+#include <algorithm>
+#include <random>
+
+#include "core/assumption.h"
+#include "core/enumerate.h"
+#include "core/model_check.h"
+#include "ground/grounder.h"
+#include "gtest/gtest.h"
+#include "support/random_programs.h"
+#include "support/test_util.h"
+#include "transform/classical.h"
+#include "transform/versions.h"
+
+namespace ordlog {
+namespace {
+
+using ::ordlog::testing::MapInterpretation;
+using ::ordlog::testing::RandomSeminegativeProgram;
+using ::ordlog::testing::Render;
+using ::ordlog::testing::ToComponent;
+
+struct Programs {
+  GroundProgram source;  // classical single-component ground program
+  GroundProgram ov;      // ground OV(C)
+  GroundProgram ev;      // ground EV(C)
+};
+
+Programs MakePrograms(uint32_t seed) {
+  std::mt19937 rng(seed);
+  GroundProgram source = RandomSeminegativeProgram(
+      rng, /*num_atoms=*/4, /*num_rules=*/7, /*max_body=*/2);
+  const Component component =
+      ToComponent(source, source.shared_pool());
+  StatusOr<OrderedProgram> ov =
+      OrderedVersion(component, source.shared_pool());
+  EXPECT_TRUE(ov.ok()) << ov.status();
+  StatusOr<OrderedProgram> ev =
+      ExtendedVersion(component, source.shared_pool());
+  EXPECT_TRUE(ev.ok()) << ev.status();
+  StatusOr<GroundProgram> ov_ground = Grounder::Ground(*ov);
+  StatusOr<GroundProgram> ev_ground = Grounder::Ground(*ev);
+  EXPECT_TRUE(ov_ground.ok()) << ov_ground.status();
+  EXPECT_TRUE(ev_ground.ok()) << ev_ground.status();
+  return Programs{std::move(source), std::move(ov_ground).value(),
+                  std::move(ev_ground).value()};
+}
+
+class Section3Test : public ::testing::TestWithParam<uint32_t> {};
+
+TEST_P(Section3Test, Prop3_OVModelsAreThreeValuedModels) {
+  Programs programs = MakePrograms(GetParam());
+  ClassicalSemantics classical(programs.source);
+  const auto ov_models =
+      BruteForceEnumerator(programs.ov, kQueryComponent).AllModels();
+  ASSERT_TRUE(ov_models.ok()) << ov_models.status();
+  for (const Interpretation& m : *ov_models) {
+    const Interpretation mapped =
+        MapInterpretation(m, programs.ov, programs.source);
+    EXPECT_TRUE(classical.IsThreeValuedModel(mapped))
+        << "Prop 3 violated (seed " << GetParam() << ") for "
+        << m.ToString(programs.ov) << "\n"
+        << programs.source.DebugString();
+  }
+}
+
+TEST_P(Section3Test, Prop4_FoundedIffAssumptionFreeOfOV) {
+  Programs programs = MakePrograms(GetParam());
+  ClassicalSemantics classical(programs.source);
+  const auto founded = classical.FoundedModels();
+  ASSERT_TRUE(founded.ok()) << founded.status();
+  const auto ov_assumption_free =
+      BruteForceEnumerator(programs.ov, kQueryComponent)
+          .AssumptionFreeModels();
+  ASSERT_TRUE(ov_assumption_free.ok()) << ov_assumption_free.status();
+
+  std::vector<Interpretation> mapped;
+  mapped.reserve(ov_assumption_free->size());
+  for (const Interpretation& m : *ov_assumption_free) {
+    mapped.push_back(MapInterpretation(m, programs.ov, programs.source));
+  }
+  EXPECT_EQ(Render(programs.source, *founded),
+            Render(programs.source, mapped))
+      << "Prop 4 violated (seed " << GetParam() << ")\n"
+      << programs.source.DebugString();
+}
+
+TEST_P(Section3Test, Cor1_SZStableIffOVStable) {
+  Programs programs = MakePrograms(GetParam());
+  ClassicalSemantics classical(programs.source);
+  const auto sz_stable = classical.SZStableModels();
+  ASSERT_TRUE(sz_stable.ok()) << sz_stable.status();
+  const auto ov_stable =
+      BruteForceEnumerator(programs.ov, kQueryComponent).StableModels();
+  ASSERT_TRUE(ov_stable.ok()) << ov_stable.status();
+  std::vector<Interpretation> mapped;
+  for (const Interpretation& m : *ov_stable) {
+    mapped.push_back(MapInterpretation(m, programs.ov, programs.source));
+  }
+  EXPECT_EQ(Render(programs.source, *sz_stable),
+            Render(programs.source, mapped))
+      << "Cor 1 violated (seed " << GetParam() << ")\n"
+      << programs.source.DebugString();
+}
+
+TEST_P(Section3Test, Prop5a_ThreeValuedModelsAreEVModels) {
+  Programs programs = MakePrograms(GetParam());
+  ClassicalSemantics classical(programs.source);
+  ModelChecker ev_checker(programs.ev, kQueryComponent);
+  const auto ev_models =
+      BruteForceEnumerator(programs.ev, kQueryComponent).AllModels();
+  ASSERT_TRUE(ev_models.ok()) << ev_models.status();
+  // Direction 1: every EV model is a 3-valued model.
+  size_t ev_count = 0;
+  for (const Interpretation& m : *ev_models) {
+    const Interpretation mapped =
+        MapInterpretation(m, programs.ev, programs.source);
+    EXPECT_TRUE(classical.IsThreeValuedModel(mapped))
+        << "Prop 5a (=>) violated (seed " << GetParam() << ")";
+    ++ev_count;
+  }
+  // Direction 2: every 3-valued model of C is a model of EV(C) in C.
+  // Count 3-valued models by direct enumeration over the source base.
+  size_t three_valued_count = 0;
+  std::vector<GroundAtomId> base;
+  programs.source.ViewAtoms(0).ForEach(
+      [&base](size_t atom) { base.push_back(static_cast<GroundAtomId>(atom)); });
+  std::vector<uint8_t> digits(base.size(), 0);
+  Interpretation candidate = Interpretation::ForProgram(programs.source);
+  while (true) {
+    if (classical.IsThreeValuedModel(candidate)) {
+      ++three_valued_count;
+      const Interpretation mapped =
+          MapInterpretation(candidate, programs.source, programs.ev);
+      EXPECT_TRUE(ev_checker.IsModel(mapped))
+          << "Prop 5a (<=) violated (seed " << GetParam() << ") for "
+          << candidate.ToString(programs.source) << "\n"
+          << programs.source.DebugString();
+    }
+    size_t i = 0;
+    for (; i < base.size(); ++i) {
+      digits[i] = static_cast<uint8_t>((digits[i] + 1) % 3);
+      candidate.Set(base[i], digits[i] == 0   ? TruthValue::kUndefined
+                             : digits[i] == 1 ? TruthValue::kTrue
+                                              : TruthValue::kFalse);
+      if (digits[i] != 0) break;
+    }
+    if (i == base.size()) break;
+  }
+  EXPECT_EQ(ev_count, three_valued_count);
+}
+
+TEST_P(Section3Test, Prop5bcd_AssumptionFreeAndStableRelations) {
+  Programs programs = MakePrograms(GetParam());
+  const auto ov_af = BruteForceEnumerator(programs.ov, kQueryComponent)
+                         .AssumptionFreeModels();
+  const auto ev_af = BruteForceEnumerator(programs.ev, kQueryComponent)
+                         .AssumptionFreeModels();
+  ASSERT_TRUE(ov_af.ok() && ev_af.ok());
+
+  // (b): every assumption-free model of OV is assumption-free for EV.
+  std::vector<std::string> ev_rendered;
+  for (const Interpretation& m : *ev_af) {
+    ev_rendered.push_back(
+        Render(programs.source,
+               MapInterpretation(m, programs.ev, programs.source)));
+  }
+  for (const Interpretation& m : *ov_af) {
+    const std::string rendered = Render(
+        programs.source, MapInterpretation(m, programs.ov, programs.source));
+    EXPECT_NE(std::find(ev_rendered.begin(), ev_rendered.end(), rendered),
+              ev_rendered.end())
+        << "Prop 5b violated (seed " << GetParam() << ") for " << rendered;
+  }
+
+  // (c): every assumption-free model of EV is a subset of an
+  // assumption-free model of OV.
+  for (const Interpretation& m : *ev_af) {
+    const Interpretation mapped =
+        MapInterpretation(m, programs.ev, programs.source);
+    bool contained = false;
+    for (const Interpretation& n : *ov_af) {
+      if (mapped.IsSubsetOf(
+              MapInterpretation(n, programs.ov, programs.source))) {
+        contained = true;
+        break;
+      }
+    }
+    EXPECT_TRUE(contained) << "Prop 5c violated (seed " << GetParam()
+                           << ") for " << mapped.ToString(programs.source);
+  }
+
+  // (d): stable models coincide.
+  const auto ov_stable = FilterMaximal(*ov_af);
+  const auto ev_stable = FilterMaximal(*ev_af);
+  std::vector<Interpretation> ov_mapped, ev_mapped;
+  for (const Interpretation& m : ov_stable) {
+    ov_mapped.push_back(MapInterpretation(m, programs.ov, programs.source));
+  }
+  for (const Interpretation& m : ev_stable) {
+    ev_mapped.push_back(MapInterpretation(m, programs.ev, programs.source));
+  }
+  EXPECT_EQ(Render(programs.source, ov_mapped),
+            Render(programs.source, ev_mapped))
+      << "Prop 5d violated (seed " << GetParam() << ")\n"
+      << programs.source.DebugString();
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomSeeds, Section3Test,
+                         ::testing::Range(1u, 51u));
+
+}  // namespace
+}  // namespace ordlog

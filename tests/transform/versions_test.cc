@@ -1,0 +1,160 @@
+// Section 3 constructions OV(C)/EV(C) and Examples 6-7.
+
+#include "transform/versions.h"
+
+#include "core/enumerate.h"
+#include "core/model_check.h"
+#include "core/v_operator.h"
+#include "ground/grounder.h"
+#include "gtest/gtest.h"
+#include "lang/printer.h"
+#include "support/paper_programs.h"
+#include "support/test_util.h"
+
+namespace ordlog {
+namespace {
+
+using ::ordlog::testing::MakeInterpretation;
+using ::ordlog::testing::ParseText;
+using ::ordlog::testing::Render;
+
+// Grounds the ordered version of the (single-component) program in
+// `source`.
+GroundProgram GroundVersion(
+    std::string_view source,
+    StatusOr<OrderedProgram> (*version)(const Component&,
+                                        std::shared_ptr<TermPool>)) {
+  OrderedProgram parsed = ParseText(source);
+  EXPECT_EQ(parsed.NumComponents(), 1u);
+  StatusOr<OrderedProgram> transformed =
+      version(parsed.component(0), parsed.shared_pool());
+  EXPECT_TRUE(transformed.ok()) << transformed.status();
+  if (!transformed.ok()) std::abort();
+  StatusOr<GroundProgram> ground = Grounder::Ground(*transformed);
+  EXPECT_TRUE(ground.ok()) << ground.status();
+  if (!ground.ok()) std::abort();
+  return std::move(ground).value();
+}
+
+TEST(OrderedVersionTest, StructureOfExample6Ancestor) {
+  OrderedProgram parsed = ParseText(testing::kExample6Ancestor);
+  StatusOr<OrderedProgram> ov =
+      OrderedVersion(parsed.component(0), parsed.shared_pool());
+  ASSERT_TRUE(ov.ok()) << ov.status();
+  ASSERT_EQ(ov->NumComponents(), 2u);
+  EXPECT_EQ(ov->component(kQueryComponent).name, "c");
+  EXPECT_EQ(ov->component(1).name, "neg_base");
+  EXPECT_TRUE(ov->Less(kQueryComponent, 1));
+  // Reduced form: one negated schematic fact per predicate (parent, anc).
+  ASSERT_EQ(ov->component(1).rules.size(), 2u);
+  for (const Rule& rule : ov->component(1).rules) {
+    EXPECT_TRUE(rule.IsFact());
+    EXPECT_FALSE(rule.head.positive);
+    EXPECT_EQ(rule.head.atom.arity(), 2u);
+  }
+}
+
+TEST(OrderedVersionTest, AncestorLeastModelComputesClosureAndNegation) {
+  const GroundProgram ground =
+      GroundVersion(testing::kExample6Ancestor, OrderedVersion);
+  const Interpretation least =
+      VOperator(ground, kQueryComponent).LeastFixpoint();
+  const Interpretation expected = MakeInterpretation(
+      ground,
+      {"parent(a, b)", "parent(b, c)", "-parent(a, a)", "-parent(a, c)",
+       "-parent(b, a)", "-parent(b, b)", "-parent(c, a)", "-parent(c, b)",
+       "-parent(c, c)", "anc(a, b)", "anc(b, c)", "anc(a, c)", "-anc(a, a)",
+       "-anc(b, a)", "-anc(b, b)", "-anc(c, a)", "-anc(c, b)",
+       "-anc(c, c)"});
+  EXPECT_EQ(Render(ground, least), Render(ground, expected));
+}
+
+TEST(OrderedVersionTest, RejectsNegativeHeads) {
+  OrderedProgram parsed = ParseText("-p :- q.");
+  const auto result =
+      OrderedVersion(parsed.component(0), parsed.shared_pool());
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(OrderedVersionTest, Example7PIsNotAModelOfOV) {
+  // C = { p :- -p. }: {p} is a 3-valued model of C but not a model of
+  // OV(C) in C, because the implicit fact -p is not overruled by a
+  // non-blocked applied rule.
+  const GroundProgram ground = GroundVersion("p :- -p.", OrderedVersion);
+  const Interpretation just_p = MakeInterpretation(ground, {"p"});
+  EXPECT_FALSE(ModelChecker(ground, kQueryComponent).IsModel(just_p));
+}
+
+TEST(ExtendedVersionTest, Example7PIsAModelOfEV) {
+  // The reflexive rule p :- p restores {p} as a model (Prop. 5a).
+  const GroundProgram ground = GroundVersion("p :- -p.", ExtendedVersion);
+  const Interpretation just_p = MakeInterpretation(ground, {"p"});
+  EXPECT_TRUE(ModelChecker(ground, kQueryComponent).IsModel(just_p));
+}
+
+TEST(OrderedVersionTest, ConstraintsSurviveTheTransformation) {
+  // Comparison constraints are not literals: OV(C) adds no CWA for them
+  // and the grounder still prunes instances in the transformed program.
+  const GroundProgram ground = GroundVersion(R"(
+    value(3).
+    value(12).
+    big(X) :- value(X), X > 10.
+  )",
+                                             OrderedVersion);
+  const Interpretation least =
+      VOperator(ground, kQueryComponent).LeastFixpoint();
+  const Interpretation expected = MakeInterpretation(
+      ground, {"value(3)", "value(12)", "big(12)", "-big(3)"});
+  EXPECT_EQ(Render(ground, least), Render(ground, expected));
+}
+
+TEST(ThreeLevelVersionTest, StructureSplitsExceptions) {
+  OrderedProgram parsed = ParseText(testing::kExample8Birds);
+  StatusOr<OrderedProgram> version =
+      ThreeLevelVersion(parsed.component(0), parsed.shared_pool());
+  ASSERT_TRUE(version.ok()) << version.status();
+  ASSERT_EQ(version->NumComponents(), 3u);
+  EXPECT_EQ(version->component(0).name, "c_minus");
+  EXPECT_EQ(version->component(1).name, "c_plus");
+  EXPECT_EQ(version->component(2).name, "neg_base");
+  EXPECT_TRUE(version->Less(0, 1));
+  EXPECT_TRUE(version->Less(1, 2));
+  EXPECT_TRUE(version->Less(0, 2));
+  // The single negative rule is the only rule of c_minus.
+  ASSERT_EQ(version->component(0).rules.size(), 1u);
+  EXPECT_FALSE(version->component(0).rules[0].head.positive);
+  // c_plus holds the 4 seminegative rules plus 3 reflexive rules (bird,
+  // ground_animal, fly).
+  EXPECT_EQ(version->component(1).rules.size(), 7u);
+}
+
+TEST(ThreeLevelVersionTest, Example9EveryGroundedBirdDoesNotFly) {
+  // "According to the three-level semantics, every ground animal which is
+  // also a bird does not fly." Skeptically (least model) the exception
+  // already fires; the full picture (pigeon flies, penguin does not) holds
+  // in every stable model.
+  const GroundProgram ground =
+      GroundVersion(testing::kExample8Birds, ThreeLevelVersion);
+  const Interpretation least =
+      VOperator(ground, kQueryComponent).LeastFixpoint();
+  const Interpretation skeptical = MakeInterpretation(
+      ground, {"-fly(penguin)", "bird(penguin)", "bird(pigeon)",
+               "ground_animal(penguin)"});
+  EXPECT_TRUE(skeptical.IsSubsetOf(least)) << least.ToString(ground);
+
+  BruteForceEnumerator enumerator(ground, kQueryComponent);
+  const auto stable = enumerator.StableModels();
+  ASSERT_TRUE(stable.ok()) << stable.status();
+  ASSERT_GE(stable->size(), 1u);
+  const Interpretation cautious = MakeInterpretation(
+      ground, {"-fly(penguin)", "fly(pigeon)", "bird(penguin)",
+               "bird(pigeon)", "ground_animal(penguin)",
+               "-ground_animal(pigeon)"});
+  for (const Interpretation& model : *stable) {
+    EXPECT_TRUE(cautious.IsSubsetOf(model)) << model.ToString(ground);
+  }
+}
+
+}  // namespace
+}  // namespace ordlog
