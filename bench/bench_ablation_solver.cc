@@ -48,18 +48,17 @@ void RunSolver(benchmark::State& state, const GroundProgram& ground,
                ordlog::ComponentId view, bool pruning) {
   StableSolverOptions options;
   options.enable_pruning = pruning;
-  size_t nodes = 0;
+  ordlog::StableSolverStats stats;
   for (auto _ : state) {
     StableModelSolver solver(ground, view, options);
-    const auto stable = solver.StableModels();
+    const auto stable = solver.StableModels(&stats);
     if (!stable.ok()) {
       state.SkipWithError("solver failed");
       return;
     }
     benchmark::DoNotOptimize(stable->size());
-    nodes = solver.last_nodes();
   }
-  state.counters["search_nodes"] = static_cast<double>(nodes);
+  state.counters["search_nodes"] = static_cast<double>(stats.nodes);
 }
 
 void BM_Solver_Pruned_Gadgets(benchmark::State& state) {

@@ -136,6 +136,38 @@ inline std::string Chain(int n) {
   return c.str() + base.str() + "order c < base.\n";
 }
 
+// Access-control at scale: a site policy layered over department and
+// corporate defaults (site < dept < corp). Corp grants everyone access to
+// every resource; dept denies the sensitive stride; site re-grants a few
+// named exceptions. Mirrors examples/programs/access_control.olp.
+inline std::string AccessControl(int users, int resources,
+                                 int sensitive_stride = 3) {
+  std::ostringstream corp, dept, site;
+  corp << "component corp {\n"
+          "  access(U, R) :- user(U), resource(R).\n";
+  dept << "component dept {\n"
+          "  -access(U, R) :- user(U), sensitive(R).\n";
+  site << "component site {\n";
+  for (int u = 0; u < users; ++u) {
+    corp << "  user(u" << u << ").\n";
+  }
+  for (int r = 0; r < resources; ++r) {
+    corp << "  resource(r" << r << ").\n";
+    if (r % sensitive_stride == 0) {
+      dept << "  sensitive(r" << r << ").\n";
+    }
+  }
+  // One trusted user per sensitive resource gets a site-level override.
+  for (int r = 0; r < resources; r += sensitive_stride) {
+    site << "  access(u" << (r % users) << ", r" << r << ").\n";
+  }
+  corp << "}\n";
+  dept << "}\n";
+  site << "}\n";
+  return site.str() + dept.str() + corp.str() +
+         "order site < dept.\norder dept < corp.\n";
+}
+
 // Random seminegative program text over `atoms` propositional atoms.
 inline std::string RandomSeminegative(std::mt19937& rng, int atoms,
                                       int rules, int max_body) {

@@ -1,9 +1,29 @@
 #!/bin/sh
 # Full verification: configure, build, test, run every benchmark once.
+# Benchmark results are collected as JSON in build/BENCH_runtime.json so
+# the perf trajectory can be tracked across commits.
 set -e
 cd "$(dirname "$0")/.."
 cmake -B build -G Ninja
 cmake --build build
-ctest --test-dir build --output-on-failure
-for b in build/bench/*; do "$b" --benchmark_min_time=0.01s; done
+ctest --test-dir build --output-on-failure -j"$(nproc)"
+mkdir -p build/bench_json
+for b in build/bench/*; do
+  name=$(basename "$b")
+  # JSON goes to a file (not stdout: some benches print reproduction
+  # tables before the benchmark report).
+  "$b" --benchmark_min_time=0.01 \
+       --benchmark_out="build/bench_json/$name.json" \
+       --benchmark_out_format=json
+done
+if command -v python3 >/dev/null 2>&1; then
+  python3 - <<'EOF'
+import json, pathlib
+merged = {}
+for path in sorted(pathlib.Path("build/bench_json").glob("*.json")):
+    merged[path.stem] = json.loads(path.read_text())
+pathlib.Path("build/BENCH_runtime.json").write_text(json.dumps(merged, indent=1))
+print("wrote build/BENCH_runtime.json (%d suites)" % len(merged))
+EOF
+fi
 echo "ordlog: all checks passed"

@@ -1,0 +1,92 @@
+#ifndef ORDLOG_BASE_CANCEL_H_
+#define ORDLOG_BASE_CANCEL_H_
+
+#include <atomic>
+#include <chrono>
+#include <limits>
+#include <memory>
+
+#include "base/status.h"
+
+namespace ordlog {
+
+// Cooperative cancellation / deadline handle. Copies share one state: any
+// copy may Cancel(), and long-running engine loops (StableModelSolver,
+// VOperator, LeastModelComputer) poll Check() periodically and abort with
+// kCancelled or kDeadlineExceeded instead of running to completion.
+//
+// Thread-safe: Cancel/LimitDeadline/Check may race freely across threads.
+// A default-constructed token has shared state but no deadline, so it never
+// fires until Cancel() or LimitDeadline() is called.
+class CancelToken {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  CancelToken() : state_(std::make_shared<State>()) {}
+
+  static CancelToken WithDeadline(Clock::time_point deadline) {
+    CancelToken token;
+    token.LimitDeadline(deadline);
+    return token;
+  }
+  static CancelToken WithTimeout(Clock::duration timeout) {
+    return WithDeadline(Clock::now() + timeout);
+  }
+
+  // Requests cancellation; every loop polling this token (or a copy of it)
+  // aborts at its next check.
+  void Cancel() const {
+    state_->cancelled.store(true, std::memory_order_relaxed);
+  }
+  bool cancelled() const {
+    return state_->cancelled.load(std::memory_order_relaxed);
+  }
+
+  // Tightens the deadline to min(current, deadline). Never loosens, so a
+  // serving layer can impose a default on top of a caller-set deadline.
+  void LimitDeadline(Clock::time_point deadline) const {
+    const Rep ticks = deadline.time_since_epoch().count();
+    Rep current = state_->deadline_ticks.load(std::memory_order_relaxed);
+    while (current == kNoDeadline || ticks < current) {
+      if (state_->deadline_ticks.compare_exchange_weak(
+              current, ticks, std::memory_order_relaxed)) {
+        return;
+      }
+    }
+  }
+  void LimitTimeout(Clock::duration timeout) const {
+    LimitDeadline(Clock::now() + timeout);
+  }
+
+  bool has_deadline() const {
+    return state_->deadline_ticks.load(std::memory_order_relaxed) !=
+           kNoDeadline;
+  }
+  bool expired() const {
+    const Rep ticks = state_->deadline_ticks.load(std::memory_order_relaxed);
+    return ticks != kNoDeadline &&
+           Clock::now().time_since_epoch().count() >= ticks;
+  }
+
+  // kCancelled / kDeadlineExceeded / OK. Cancellation wins when both hold.
+  Status Check() const {
+    if (cancelled()) return CancelledError("operation cancelled");
+    if (expired()) return DeadlineExceededError("deadline exceeded");
+    return Status::Ok();
+  }
+
+ private:
+  using Rep = Clock::rep;
+  // Sentinel for "no deadline"; steady_clock epochs are far from max.
+  static constexpr Rep kNoDeadline = std::numeric_limits<Rep>::max();
+
+  struct State {
+    std::atomic<bool> cancelled{false};
+    std::atomic<Rep> deadline_ticks{kNoDeadline};
+  };
+  std::shared_ptr<State> state_;
+};
+
+}  // namespace ordlog
+
+#endif  // ORDLOG_BASE_CANCEL_H_

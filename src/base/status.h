@@ -21,6 +21,8 @@ enum class StatusCode {
   kOutOfRange,        // index out of bounds
   kInternal,          // invariant violation (a bug in ordlog itself)
   kUnimplemented,
+  kCancelled,         // caller cancelled the operation (see base/cancel.h)
+  kDeadlineExceeded,  // operation ran past its deadline
 };
 
 // Returns the canonical lowercase name ("ok", "invalid_argument", ...).
@@ -64,6 +66,8 @@ Status ResourceExhaustedError(std::string message);
 Status OutOfRangeError(std::string message);
 Status InternalError(std::string message);
 Status UnimplementedError(std::string message);
+Status CancelledError(std::string message);
+Status DeadlineExceededError(std::string message);
 
 // Union of a Status and a value: holds a T exactly when the status is OK.
 // Accessing the value of a non-OK StatusOr aborts the process (this library

@@ -53,6 +53,17 @@ LeastModelComputer::LeastModelComputer(const GroundProgram& program,
 }
 
 Interpretation LeastModelComputer::Compute() const {
+  // No token: ComputeImpl cannot fail.
+  return std::move(ComputeImpl(nullptr)).value();
+}
+
+StatusOr<Interpretation> LeastModelComputer::Compute(
+    const CancelToken& cancel) const {
+  return ComputeImpl(&cancel);
+}
+
+StatusOr<Interpretation> LeastModelComputer::ComputeImpl(
+    const CancelToken* cancel) const {
   Interpretation result = Interpretation::ForProgram(program_);
   std::vector<RuleState> state = initial_state_;
   std::deque<uint32_t> ready;  // rules that may fire
@@ -88,7 +99,15 @@ Interpretation LeastModelComputer::Compute() const {
   for (uint32_t index : program_.ViewRules(view_)) {
     consider(index);
   }
+  // Cancellation poll interval: the per-pop work is a handful of index
+  // lookups, so a few thousand pops between clock reads keeps the
+  // overhead invisible while bounding cancellation latency.
+  constexpr size_t kCheckInterval = 4096;
+  size_t pops = 0;
   while (!ready.empty()) {
+    if (cancel != nullptr && ++pops % kCheckInterval == 0) {
+      ORDLOG_RETURN_IF_ERROR(cancel->Check());
+    }
     const uint32_t index = ready.front();
     ready.pop_front();
     RuleState& rule_state = state[index];

@@ -1,6 +1,8 @@
 #ifndef ORDLOG_CORE_LEAST_MODEL_H_
 #define ORDLOG_CORE_LEAST_MODEL_H_
 
+#include "base/cancel.h"
+#include "base/status.h"
 #include "core/interpretation.h"
 #include "ground/ground_program.h"
 
@@ -35,7 +37,13 @@ class LeastModelComputer {
   // Computes V∞(∅) for the view.
   Interpretation Compute() const;
 
+  // As above, but polls `cancel` periodically (every few thousand rule
+  // firings) and aborts with kCancelled / kDeadlineExceeded.
+  StatusOr<Interpretation> Compute(const CancelToken& cancel) const;
+
  private:
+  StatusOr<Interpretation> ComputeImpl(const CancelToken* cancel) const;
+
   struct RuleState {
     uint32_t unsatisfied_body = 0;
     uint32_t live_silencers = 0;

@@ -111,27 +111,34 @@ bool StableModelSolver::ExtensionPossible(const Interpretation& candidate,
 }
 
 StatusOr<std::vector<Interpretation>>
-StableModelSolver::AssumptionFreeModels() const {
-  last_nodes_ = 0;
+StableModelSolver::AssumptionFreeModels(StableSolverStats* stats) const {
+  size_t nodes = 0;
   std::vector<Interpretation> results;
   Interpretation candidate = seed_;
-  ORDLOG_RETURN_IF_ERROR(Search(0, candidate, results));
+  const Status status = Search(0, candidate, results, nodes);
+  if (stats != nullptr) stats->nodes = nodes;
+  ORDLOG_RETURN_IF_ERROR(status);
   return results;
 }
 
-StatusOr<std::vector<Interpretation>> StableModelSolver::StableModels()
-    const {
+StatusOr<std::vector<Interpretation>> StableModelSolver::StableModels(
+    StableSolverStats* stats) const {
   ORDLOG_ASSIGN_OR_RETURN(std::vector<Interpretation> models,
-                          AssumptionFreeModels());
+                          AssumptionFreeModels(stats));
   return FilterMaximal(std::move(models));
 }
 
 Status StableModelSolver::Search(size_t level, Interpretation& candidate,
-                                 std::vector<Interpretation>& results) const {
-  if (++last_nodes_ > options_.node_budget) {
+                                 std::vector<Interpretation>& results,
+                                 size_t& nodes) const {
+  if (++nodes > options_.node_budget) {
     return ResourceExhaustedError(
         StrCat("stable-model search exceeded node_budget=",
                options_.node_budget));
+  }
+  if (options_.cancel != nullptr &&
+      nodes % options_.cancel_check_interval == 0) {
+    ORDLOG_RETURN_IF_ERROR(options_.cancel->Check());
   }
   if (results.size() >= options_.max_models) return Status::Ok();
   if (level == branch_.size()) {
@@ -147,19 +154,19 @@ Status StableModelSolver::Search(size_t level, Interpretation& candidate,
     candidate.Set(atom, TruthValue::kTrue);
     if (!options_.enable_pruning ||
         ExtensionPossible(candidate, level + 1)) {
-      ORDLOG_RETURN_IF_ERROR(Search(level + 1, candidate, results));
+      ORDLOG_RETURN_IF_ERROR(Search(level + 1, candidate, results, nodes));
     }
   }
   if (allow_false_[level]) {
     candidate.Set(atom, TruthValue::kFalse);
     if (!options_.enable_pruning ||
         ExtensionPossible(candidate, level + 1)) {
-      ORDLOG_RETURN_IF_ERROR(Search(level + 1, candidate, results));
+      ORDLOG_RETURN_IF_ERROR(Search(level + 1, candidate, results, nodes));
     }
   }
   candidate.Set(atom, TruthValue::kUndefined);
   if (!options_.enable_pruning || ExtensionPossible(candidate, level + 1)) {
-    ORDLOG_RETURN_IF_ERROR(Search(level + 1, candidate, results));
+    ORDLOG_RETURN_IF_ERROR(Search(level + 1, candidate, results, nodes));
   }
   candidate.Set(atom, TruthValue::kUndefined);
   return Status::Ok();

@@ -3,6 +3,7 @@
 
 #include <vector>
 
+#include "base/cancel.h"
 #include "base/status.h"
 #include "core/assumption.h"
 #include "core/model_check.h"
@@ -19,6 +20,18 @@ struct StableSolverOptions {
   // Definition 3 in every completion (sound; see Search). Disable only to
   // measure the effect (bench_ablation_solver).
   bool enable_pruning = true;
+  // Cooperative cancellation / deadline, polled every
+  // cancel_check_interval search nodes; the search aborts with kCancelled
+  // or kDeadlineExceeded. Not owned; may be null (never checked).
+  const CancelToken* cancel = nullptr;
+  size_t cancel_check_interval = 1024;
+};
+
+// Per-call diagnostics, returned through the optional out-parameter of
+// AssumptionFreeModels/StableModels so that one solver instance can be
+// used from several threads without shared mutable state.
+struct StableSolverStats {
+  size_t nodes = 0;  // search nodes visited
 };
 
 // Backtracking enumerator of assumption-free and stable models (Def. 9).
@@ -33,23 +46,25 @@ struct StableSolverOptions {
 // Remaining candidates are checked with ModelChecker (Def. 3) and
 // AssumptionAnalyzer (Def. 7) at the leaves. Complete for the reduced
 // space; intended for views with up to a few dozen branchable atoms.
+//
+// Const methods are safe to call concurrently: all search state lives on
+// the caller's stack.
 class StableModelSolver {
  public:
   StableModelSolver(const GroundProgram& program, ComponentId view,
                     StableSolverOptions options = {});
 
   // All assumption-free models of P in the view.
-  StatusOr<std::vector<Interpretation>> AssumptionFreeModels() const;
+  StatusOr<std::vector<Interpretation>> AssumptionFreeModels(
+      StableSolverStats* stats = nullptr) const;
 
   // Maximal assumption-free models.
-  StatusOr<std::vector<Interpretation>> StableModels() const;
-
-  // Number of search nodes visited by the last call (diagnostics).
-  size_t last_nodes() const { return last_nodes_; }
+  StatusOr<std::vector<Interpretation>> StableModels(
+      StableSolverStats* stats = nullptr) const;
 
  private:
   Status Search(size_t level, Interpretation& candidate,
-                std::vector<Interpretation>& results) const;
+                std::vector<Interpretation>& results, size_t& nodes) const;
 
   // True when atom's value is fixed at this search depth (seeded, forced
   // undefined, or already branched on).
@@ -80,7 +95,6 @@ class StableModelSolver {
   std::vector<bool> allow_false_;
   // atom -> index in branch_, or -1 for atoms fixed before the search.
   std::vector<int> branch_position_;
-  mutable size_t last_nodes_ = 0;
 };
 
 }  // namespace ordlog

@@ -65,10 +65,14 @@ bool TotalModelSolver::ExtensionPossible(const Interpretation& candidate,
 
 Status TotalModelSolver::Search(size_t level, Interpretation& candidate,
                                 std::vector<Interpretation>& results,
-                                size_t limit) const {
-  if (++last_nodes_ > options_.node_budget) {
+                                size_t limit, size_t& nodes) const {
+  if (++nodes > options_.node_budget) {
     return ResourceExhaustedError(StrCat(
         "total-model search exceeded node_budget=", options_.node_budget));
+  }
+  if (options_.cancel != nullptr &&
+      nodes % options_.cancel_check_interval == 0) {
+    ORDLOG_RETURN_IF_ERROR(options_.cancel->Check());
   }
   if (results.size() >= limit) return Status::Ok();
   if (level == branch_.size()) {
@@ -79,28 +83,35 @@ Status TotalModelSolver::Search(size_t level, Interpretation& candidate,
   for (const TruthValue value : {TruthValue::kTrue, TruthValue::kFalse}) {
     candidate.Set(atom, value);
     if (ExtensionPossible(candidate, level + 1)) {
-      ORDLOG_RETURN_IF_ERROR(Search(level + 1, candidate, results, limit));
+      ORDLOG_RETURN_IF_ERROR(
+          Search(level + 1, candidate, results, limit, nodes));
     }
   }
   candidate.Set(atom, TruthValue::kUndefined);
   return Status::Ok();
 }
 
-StatusOr<std::optional<Interpretation>> TotalModelSolver::FindOne() const {
-  last_nodes_ = 0;
+StatusOr<std::optional<Interpretation>> TotalModelSolver::FindOne(
+    TotalSolverStats* stats) const {
+  size_t nodes = 0;
   std::vector<Interpretation> results;
   Interpretation candidate = seed_;
-  ORDLOG_RETURN_IF_ERROR(Search(0, candidate, results, 1));
+  const Status status = Search(0, candidate, results, 1, nodes);
+  if (stats != nullptr) stats->nodes = nodes;
+  ORDLOG_RETURN_IF_ERROR(status);
   if (results.empty()) return std::optional<Interpretation>();
   return std::optional<Interpretation>(std::move(results[0]));
 }
 
-StatusOr<std::vector<Interpretation>> TotalModelSolver::FindAll() const {
-  last_nodes_ = 0;
+StatusOr<std::vector<Interpretation>> TotalModelSolver::FindAll(
+    TotalSolverStats* stats) const {
+  size_t nodes = 0;
   std::vector<Interpretation> results;
   Interpretation candidate = seed_;
-  ORDLOG_RETURN_IF_ERROR(
-      Search(0, candidate, results, options_.max_models));
+  const Status status =
+      Search(0, candidate, results, options_.max_models, nodes);
+  if (stats != nullptr) stats->nodes = nodes;
+  ORDLOG_RETURN_IF_ERROR(status);
   return results;
 }
 

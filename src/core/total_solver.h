@@ -4,6 +4,7 @@
 #include <optional>
 #include <vector>
 
+#include "base/cancel.h"
 #include "base/status.h"
 #include "core/model_check.h"
 #include "core/v_operator.h"
@@ -14,6 +15,15 @@ struct TotalSolverOptions {
   // Abort with kResourceExhausted after this many search nodes.
   size_t node_budget = 50'000'000;
   size_t max_models = 1'000'000;
+  // Cooperative cancellation / deadline, polled every
+  // cancel_check_interval search nodes (see StableSolverOptions).
+  const CancelToken* cancel = nullptr;
+  size_t cancel_check_interval = 1024;
+};
+
+// Per-call diagnostics (mirrors StableSolverStats).
+struct TotalSolverStats {
+  size_t nodes = 0;
 };
 
 // Searches for total models (Definition 5(a)): models that assign every
@@ -30,16 +40,17 @@ class TotalModelSolver {
                    TotalSolverOptions options = {});
 
   // Any total model, or nullopt when none exists.
-  StatusOr<std::optional<Interpretation>> FindOne() const;
+  StatusOr<std::optional<Interpretation>> FindOne(
+      TotalSolverStats* stats = nullptr) const;
 
   // All total models.
-  StatusOr<std::vector<Interpretation>> FindAll() const;
-
-  size_t last_nodes() const { return last_nodes_; }
+  StatusOr<std::vector<Interpretation>> FindAll(
+      TotalSolverStats* stats = nullptr) const;
 
  private:
   Status Search(size_t level, Interpretation& candidate,
-                std::vector<Interpretation>& results, size_t limit) const;
+                std::vector<Interpretation>& results, size_t limit,
+                size_t& nodes) const;
   bool Decided(GroundAtomId atom, size_t level) const {
     const int position = branch_position_[atom];
     return position < 0 || static_cast<size_t>(position) < level;
@@ -60,7 +71,6 @@ class TotalModelSolver {
   Interpretation seed_;
   std::vector<GroundAtomId> branch_;
   std::vector<int> branch_position_;
-  mutable size_t last_nodes_ = 0;
 };
 
 }  // namespace ordlog

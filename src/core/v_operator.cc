@@ -30,4 +30,18 @@ Interpretation VOperator::LeastFixpoint() const {
   }
 }
 
+StatusOr<Interpretation> VOperator::LeastFixpoint(
+    const CancelToken& cancel) const {
+  Interpretation current =
+      Interpretation::ForProgram(evaluator_.program());
+  last_iterations_ = 0;
+  while (true) {
+    ORDLOG_RETURN_IF_ERROR(cancel.Check());
+    ++last_iterations_;
+    Interpretation next = Apply(current);
+    if (next == current) return current;
+    current = std::move(next);
+  }
+}
+
 }  // namespace ordlog

@@ -1,6 +1,8 @@
 #ifndef ORDLOG_CORE_V_OPERATOR_H_
 #define ORDLOG_CORE_V_OPERATOR_H_
 
+#include "base/cancel.h"
+#include "base/status.h"
 #include "core/rule_status.h"
 
 namespace ordlog {
@@ -26,6 +28,11 @@ class VOperator {
   // V∞(∅): the least fixpoint. Also the least model of P in the view
   // component.
   Interpretation LeastFixpoint() const;
+
+  // As above, but polls `cancel` once per Apply round and aborts with
+  // kCancelled / kDeadlineExceeded; each round is one bounded pass over
+  // the view's rules, so cancellation latency is one round.
+  StatusOr<Interpretation> LeastFixpoint(const CancelToken& cancel) const;
 
   // Number of Apply passes the last LeastFixpoint call used (for
   // benchmarks/diagnostics).

@@ -17,10 +17,15 @@ KnowledgeBase::KnowledgeBase(GrounderOptions options)
       pool_(std::make_shared<TermPool>()),
       program_(pool_) {}
 
-Status KnowledgeBase::AddModule(std::string_view name) {
+void KnowledgeBase::Invalidate() {
+  ++revision_;
   ground_.reset();
   least_models_.clear();
   stable_models_.clear();
+}
+
+Status KnowledgeBase::AddModule(std::string_view name) {
+  Invalidate();
   const StatusOr<ComponentId> result =
       program_.AddComponent(std::string(name));
   return result.ok() ? Status::Ok() : result.status();
@@ -38,9 +43,7 @@ Status KnowledgeBase::AddIsa(std::string_view child,
                              std::string_view parent) {
   ORDLOG_ASSIGN_OR_RETURN(const ComponentId child_id, ModuleId(child));
   ORDLOG_ASSIGN_OR_RETURN(const ComponentId parent_id, ModuleId(parent));
-  ground_.reset();
-  least_models_.clear();
-  stable_models_.clear();
+  Invalidate();
   return program_.AddOrder(child_id, parent_id);
 }
 
@@ -52,9 +55,7 @@ Status KnowledgeBase::AddRuleText(std::string_view module,
 
 Status KnowledgeBase::AddRule(std::string_view module, Rule rule) {
   ORDLOG_ASSIGN_OR_RETURN(const ComponentId id, ModuleId(module));
-  ground_.reset();
-  least_models_.clear();
-  stable_models_.clear();
+  Invalidate();
   return program_.AddRule(id, std::move(rule));
 }
 
@@ -81,6 +82,8 @@ Status KnowledgeBase::Instantiate(std::string_view template_module,
                                   std::string_view instance) {
   ORDLOG_ASSIGN_OR_RETURN(const ComponentId template_id,
                           ModuleId(template_module));
+  // AddModule invalidates; the direct program_ mutations below are covered
+  // by that same revision bump (nothing is cached in between).
   ORDLOG_RETURN_IF_ERROR(AddModule(instance));
   ORDLOG_ASSIGN_OR_RETURN(const ComponentId instance_id, ModuleId(instance));
 

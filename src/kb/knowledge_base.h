@@ -112,7 +112,21 @@ class KnowledgeBase {
   // Grounds if needed and returns the ground program.
   StatusOr<const GroundProgram*> ground();
 
+  // Monotone revision counter, bumped by every mutation (AddModule,
+  // AddIsa, AddRule, Load, Instantiate). Serving layers (runtime/) key
+  // cached ground programs and models by it: a cached entry is valid
+  // exactly while the revision it was computed at is still current.
+  uint64_t revision() const { return revision_; }
+
+  // The term pool all of this KB's rules and query literals are interned
+  // in. Exposed for the runtime layer, which parses query literals against
+  // the same pool; parsing mutates the pool, so concurrent users must
+  // serialize access (QueryEngine does).
+  const std::shared_ptr<TermPool>& shared_pool() const { return pool_; }
+
  private:
+  // Bumps the revision and drops the lazily cached ground program/models.
+  void Invalidate();
   StatusOr<ComponentId> ModuleId(std::string_view name) const;
   // Parses `literal_text` and resolves it to a ground atom id, if present.
   StatusOr<std::optional<GroundLiteral>> ResolveLiteral(
@@ -123,6 +137,7 @@ class KnowledgeBase {
 
   GrounderOptions options_;
   std::shared_ptr<TermPool> pool_;
+  uint64_t revision_ = 0;
   OrderedProgram program_;
   std::optional<GroundProgram> ground_;
   std::unordered_map<ComponentId, Interpretation> least_models_;

@@ -7,6 +7,7 @@
 // query facade); include this header when working with the engine layers
 // directly.
 
+#include "base/cancel.h"           // CancelToken (deadlines, cancellation)
 #include "base/status.h"           // Status, StatusOr
 #include "core/assumption.h"       // assumption sets (Defs. 6-8)
 #include "core/enumerate.h"        // brute-force model enumeration
@@ -29,6 +30,10 @@
 #include "lang/printer.h"          // rendering
 #include "lang/program.h"          // components and ordered programs
 #include "parser/parser.h"         // .olp parsing
+#include "runtime/metrics.h"       // serving counters / latency snapshot
+#include "runtime/model_cache.h"   // generation-keyed model cache
+#include "runtime/query_engine.h"  // concurrent serving front-end
+#include "runtime/thread_pool.h"   // worker pool
 #include "transform/classical.h"   // classical baselines
 #include "transform/negative_direct.h"  // Def. 11
 #include "transform/versions.h"    // OV / EV / 3V

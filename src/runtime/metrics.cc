@@ -1,0 +1,60 @@
+#include "runtime/metrics.h"
+
+#include "base/strings.h"
+
+namespace ordlog {
+
+uint64_t LatencyHistogram::PercentileUpperBoundUs(double percentile) const {
+  std::array<uint64_t, kBuckets> counts;
+  uint64_t total = 0;
+  for (size_t i = 0; i < kBuckets; ++i) {
+    counts[i] = counts_[i].load(std::memory_order_relaxed);
+    total += counts[i];
+  }
+  if (total == 0) return 0;
+  const uint64_t rank = static_cast<uint64_t>(
+      percentile / 100.0 * static_cast<double>(total - 1));
+  uint64_t seen = 0;
+  for (size_t i = 0; i < kBuckets; ++i) {
+    seen += counts[i];
+    if (seen > rank) return uint64_t{1} << (i + 1);
+  }
+  return uint64_t{1} << kBuckets;
+}
+
+MetricsSnapshot RuntimeMetrics::Snapshot() const {
+  MetricsSnapshot snapshot;
+  snapshot.queries_served = queries_served_.load(std::memory_order_relaxed);
+  snapshot.queries_failed = queries_failed_.load(std::memory_order_relaxed);
+  snapshot.cancellations = cancellations_.load(std::memory_order_relaxed);
+  snapshot.deadline_exceeded =
+      deadline_exceeded_.load(std::memory_order_relaxed);
+  snapshot.cache_hits = cache_hits_.load(std::memory_order_relaxed);
+  snapshot.cache_misses = cache_misses_.load(std::memory_order_relaxed);
+  snapshot.cache_coalesced =
+      cache_coalesced_.load(std::memory_order_relaxed);
+  snapshot.mutations = mutations_.load(std::memory_order_relaxed);
+  snapshot.snapshots_built =
+      snapshots_built_.load(std::memory_order_relaxed);
+  snapshot.solver_nodes = solver_nodes_.load(std::memory_order_relaxed);
+  snapshot.latency_count = latency_.TotalCount();
+  snapshot.latency_p50_us = latency_.PercentileUpperBoundUs(50.0);
+  snapshot.latency_p99_us = latency_.PercentileUpperBoundUs(99.0);
+  return snapshot;
+}
+
+std::string MetricsSnapshot::ToString() const {
+  return StrCat("queries_served=", queries_served,
+                " queries_failed=", queries_failed,
+                " cancellations=", cancellations,
+                " deadline_exceeded=", deadline_exceeded,
+                " cache_hits=", cache_hits, " cache_misses=", cache_misses,
+                " cache_coalesced=", cache_coalesced,
+                " mutations=", mutations,
+                " snapshots_built=", snapshots_built,
+                " solver_nodes=", solver_nodes,
+                " latency{count=", latency_count, " p50_us<=", latency_p50_us,
+                " p99_us<=", latency_p99_us, "}");
+}
+
+}  // namespace ordlog

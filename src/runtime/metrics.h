@@ -1,0 +1,112 @@
+#ifndef ORDLOG_RUNTIME_METRICS_H_
+#define ORDLOG_RUNTIME_METRICS_H_
+
+#include <array>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <string>
+
+namespace ordlog {
+
+// Point-in-time copy of the runtime counters, safe to read at leisure.
+// Latency percentiles are approximate (log2-bucketed; the reported value
+// is the upper bound of the bucket containing the percentile).
+struct MetricsSnapshot {
+  uint64_t queries_served = 0;    // finished OK
+  uint64_t queries_failed = 0;    // finished with any non-OK status
+  uint64_t cancellations = 0;     // of those, kCancelled
+  uint64_t deadline_exceeded = 0; // of those, kDeadlineExceeded
+  uint64_t cache_hits = 0;
+  uint64_t cache_misses = 0;
+  uint64_t cache_coalesced = 0;
+  uint64_t mutations = 0;
+  uint64_t snapshots_built = 0;   // KB reground+copy events
+  uint64_t solver_nodes = 0;      // cumulative stable-search nodes
+  uint64_t latency_count = 0;
+  uint64_t latency_p50_us = 0;
+  uint64_t latency_p99_us = 0;
+
+  std::string ToString() const;
+};
+
+// Lock-free log2-bucketed histogram of microsecond latencies. Bucket i
+// holds samples in [2^i, 2^{i+1}) µs (bucket 0 also takes 0), covering
+// sub-µs to ~35 minutes in 31 buckets.
+class LatencyHistogram {
+ public:
+  void Record(std::chrono::microseconds latency) {
+    uint64_t us = static_cast<uint64_t>(latency.count());
+    size_t bucket = 0;
+    while (us > 1 && bucket + 1 < kBuckets) {
+      us >>= 1;
+      ++bucket;
+    }
+    counts_[bucket].fetch_add(1, std::memory_order_relaxed);
+  }
+
+  uint64_t TotalCount() const {
+    uint64_t total = 0;
+    for (const auto& count : counts_) {
+      total += count.load(std::memory_order_relaxed);
+    }
+    return total;
+  }
+
+  // Upper bound (µs) of the bucket containing the `percentile`-th sample
+  // (percentile in [0, 100]); 0 when empty.
+  uint64_t PercentileUpperBoundUs(double percentile) const;
+
+ private:
+  static constexpr size_t kBuckets = 31;
+  std::array<std::atomic<uint64_t>, kBuckets> counts_{};
+};
+
+// The QueryEngine's counters. All mutators are lock-free and safe from any
+// thread; Snapshot() gives a consistent-enough copy for dashboards (the
+// counters are independently relaxed-atomic, not a single transaction).
+class RuntimeMetrics {
+ public:
+  void RecordServed(std::chrono::microseconds latency) {
+    queries_served_.fetch_add(1, std::memory_order_relaxed);
+    latency_.Record(latency);
+  }
+  void RecordFailure(bool cancelled, bool deadline) {
+    queries_failed_.fetch_add(1, std::memory_order_relaxed);
+    if (cancelled) cancellations_.fetch_add(1, std::memory_order_relaxed);
+    if (deadline) deadline_exceeded_.fetch_add(1, std::memory_order_relaxed);
+  }
+  void RecordCacheHit() { cache_hits_.fetch_add(1, std::memory_order_relaxed); }
+  void RecordCacheMiss() {
+    cache_misses_.fetch_add(1, std::memory_order_relaxed);
+  }
+  void RecordCacheCoalesced() {
+    cache_coalesced_.fetch_add(1, std::memory_order_relaxed);
+  }
+  void RecordMutation() { mutations_.fetch_add(1, std::memory_order_relaxed); }
+  void RecordSnapshotBuilt() {
+    snapshots_built_.fetch_add(1, std::memory_order_relaxed);
+  }
+  void RecordSolverNodes(uint64_t nodes) {
+    solver_nodes_.fetch_add(nodes, std::memory_order_relaxed);
+  }
+
+  MetricsSnapshot Snapshot() const;
+
+ private:
+  std::atomic<uint64_t> queries_served_{0};
+  std::atomic<uint64_t> queries_failed_{0};
+  std::atomic<uint64_t> cancellations_{0};
+  std::atomic<uint64_t> deadline_exceeded_{0};
+  std::atomic<uint64_t> cache_hits_{0};
+  std::atomic<uint64_t> cache_misses_{0};
+  std::atomic<uint64_t> cache_coalesced_{0};
+  std::atomic<uint64_t> mutations_{0};
+  std::atomic<uint64_t> snapshots_built_{0};
+  std::atomic<uint64_t> solver_nodes_{0};
+  LatencyHistogram latency_;
+};
+
+}  // namespace ordlog
+
+#endif  // ORDLOG_RUNTIME_METRICS_H_

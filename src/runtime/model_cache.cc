@@ -1,0 +1,116 @@
+#include "runtime/model_cache.h"
+
+#include <chrono>
+#include <utility>
+
+namespace ordlog {
+
+StatusOr<ModelCache::Lookup> ModelCache::GetOrCompute(
+    const ModelCacheKey& key, const ComputeFn& compute,
+    const CancelToken& cancel) {
+  for (;;) {
+    ORDLOG_RETURN_IF_ERROR(cancel.Check());
+
+    std::shared_ptr<Slot> slot;
+    bool owner = false;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      auto it = entries_.find(key);
+      if (it == entries_.end()) {
+        if (entries_.size() >= options_.max_entries) {
+          EvictStaleLocked(key.revision);
+        }
+        slot = std::make_shared<Slot>();
+        entries_.emplace(key, slot);
+        owner = true;
+      } else {
+        slot = it->second;
+      }
+    }
+
+    if (owner) {
+      misses_.fetch_add(1, std::memory_order_relaxed);
+      StatusOr<ModelEntry> computed = compute();
+      if (computed.ok()) {
+        auto value =
+            std::make_shared<const ModelEntry>(std::move(computed).value());
+        {
+          std::lock_guard<std::mutex> lock(slot->mutex);
+          slot->value = value;
+          slot->ready = true;
+        }
+        slot->done.notify_all();
+        return Lookup{std::move(value), /*hit=*/false};
+      }
+      // Failed (deadline, cancellation, budget, ...): unpublish so the
+      // failure is never served from cache, then wake waiters to retry.
+      {
+        std::lock_guard<std::mutex> lock(mutex_);
+        auto it = entries_.find(key);
+        if (it != entries_.end() && it->second == slot) entries_.erase(it);
+      }
+      {
+        std::lock_guard<std::mutex> lock(slot->mutex);
+        slot->failed = true;
+      }
+      slot->done.notify_all();
+      return computed.status();
+    }
+
+    // Coalesce: wait for the owner, polling the caller's own token so a
+    // waiter with a tight deadline gives up without killing the shared
+    // computation.
+    bool counted = false;
+    std::unique_lock<std::mutex> lock(slot->mutex);
+    while (!slot->ready && !slot->failed) {
+      if (!counted) {
+        coalesced_.fetch_add(1, std::memory_order_relaxed);
+        counted = true;
+      }
+      slot->done.wait_for(lock, std::chrono::milliseconds(5));
+      if (!slot->ready && !slot->failed) {
+        ORDLOG_RETURN_IF_ERROR(cancel.Check());
+      }
+    }
+    if (slot->ready) {
+      if (!counted) hits_.fetch_add(1, std::memory_order_relaxed);
+      return Lookup{slot->value, /*hit=*/true};
+    }
+    // Owner failed; loop around and (possibly) become the new owner.
+  }
+}
+
+void ModelCache::EvictStale(uint64_t current_revision) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  EvictStaleLocked(current_revision);
+}
+
+void ModelCache::EvictStaleLocked(uint64_t current_revision) {
+  for (auto it = entries_.begin(); it != entries_.end();) {
+    if (it->first.revision < current_revision) {
+      // Safe even while a straggler computes into the slot: the owner
+      // publishes into the shared Slot (its waiters still get the value);
+      // the table simply forgets the stale key.
+      it = entries_.erase(it);
+      evictions_.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      ++it;
+    }
+  }
+}
+
+size_t ModelCache::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return entries_.size();
+}
+
+ModelCache::Stats ModelCache::stats() const {
+  Stats stats;
+  stats.hits = hits_.load(std::memory_order_relaxed);
+  stats.misses = misses_.load(std::memory_order_relaxed);
+  stats.coalesced = coalesced_.load(std::memory_order_relaxed);
+  stats.evictions = evictions_.load(std::memory_order_relaxed);
+  return stats;
+}
+
+}  // namespace ordlog

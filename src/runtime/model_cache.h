@@ -1,0 +1,136 @@
+#ifndef ORDLOG_RUNTIME_MODEL_CACHE_H_
+#define ORDLOG_RUNTIME_MODEL_CACHE_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "base/cancel.h"
+#include "base/hash.h"
+#include "base/status.h"
+#include "core/interpretation.h"
+
+namespace ordlog {
+
+// What a cache entry holds: the expensive artifacts of answering a query
+// against one view at one KB revision.
+enum class CacheKind : uint8_t {
+  kLeastModel = 0,   // V∞(∅) of the view
+  kStableModels = 1, // all stable models (Def. 9) of the view
+};
+
+struct ModelCacheKey {
+  uint64_t revision = 0;  // KnowledgeBase::revision() the entry was built at
+  ComponentId view = 0;
+  CacheKind kind = CacheKind::kLeastModel;
+
+  bool operator==(const ModelCacheKey&) const = default;
+};
+
+struct ModelCacheKeyHash {
+  size_t operator()(const ModelCacheKey& key) const {
+    size_t seed = std::hash<uint64_t>()(key.revision);
+    HashCombine(seed, key.view);
+    HashCombine(seed, static_cast<uint8_t>(key.kind));
+    return seed;
+  }
+};
+
+// One computed result. Which field is meaningful depends on the key's
+// CacheKind; solver_nodes carries search cost for the metrics layer.
+struct ModelEntry {
+  Interpretation least_model{0};
+  std::vector<Interpretation> stable_models;
+  size_t solver_nodes = 0;
+};
+
+struct ModelCacheOptions {
+  // Soft bound on resident entries; exceeded only while every entry is
+  // still computing.
+  size_t max_entries = 256;
+};
+
+// Generation-keyed, single-flight cache for least models and stable-model
+// sets.
+//
+//  * Generation keying: the revision is part of the key, so KB mutations
+//    invalidate lazily — stale entries are simply never looked up again
+//    and are swept out on insert (EvictStale).
+//  * Single-flight: concurrent GetOrCompute calls for the same key
+//    coalesce onto one in-flight computation; waiters block (with
+//    cancellation-aware polling) until the owner publishes the entry.
+//  * No partial pollution: a computation that fails — including one whose
+//    owner hit its deadline or was cancelled — is removed from the table,
+//    never cached; a waiting query retries and becomes the new owner, so
+//    one caller's tight deadline cannot poison the cache for others.
+//
+// All methods are thread-safe.
+class ModelCache {
+ public:
+  using Options = ModelCacheOptions;
+
+  struct Stats {
+    uint64_t hits = 0;       // served from a completed entry
+    uint64_t misses = 0;     // caller became the computing owner
+    uint64_t coalesced = 0;  // waited on another caller's computation
+    uint64_t evictions = 0;
+  };
+
+  // The outcome of a successful GetOrCompute.
+  struct Lookup {
+    std::shared_ptr<const ModelEntry> entry;
+    // True when the value pre-existed or was computed by another thread
+    // (i.e. this caller did not pay for the computation).
+    bool hit = false;
+  };
+
+  using ComputeFn = std::function<StatusOr<ModelEntry>()>;
+
+  explicit ModelCache(ModelCacheOptions options = {}) : options_(options) {}
+
+  // Returns the cached entry for `key`, or runs `compute` (exactly once
+  // across concurrent callers) and caches its result. `cancel` bounds the
+  // caller's wait, not the shared computation: a waiter whose token fires
+  // gives up with kCancelled/kDeadlineExceeded while the owner continues
+  // for the benefit of the other waiters.
+  StatusOr<Lookup> GetOrCompute(const ModelCacheKey& key,
+                                const ComputeFn& compute,
+                                const CancelToken& cancel);
+
+  // Drops completed entries whose revision is older than
+  // `current_revision`. Called by the engine after a snapshot refresh;
+  // also invoked internally when the table outgrows max_entries.
+  void EvictStale(uint64_t current_revision);
+
+  size_t size() const;
+  Stats stats() const;
+
+ private:
+  struct Slot {
+    std::mutex mutex;
+    std::condition_variable done;
+    bool ready = false;   // value published
+    bool failed = false;  // owner aborted; waiters should retry
+    std::shared_ptr<const ModelEntry> value;
+  };
+
+  void EvictStaleLocked(uint64_t current_revision);
+
+  const ModelCacheOptions options_;
+  mutable std::mutex mutex_;
+  std::unordered_map<ModelCacheKey, std::shared_ptr<Slot>, ModelCacheKeyHash>
+      entries_;
+  std::atomic<uint64_t> hits_{0};
+  std::atomic<uint64_t> misses_{0};
+  std::atomic<uint64_t> coalesced_{0};
+  std::atomic<uint64_t> evictions_{0};
+};
+
+}  // namespace ordlog
+
+#endif  // ORDLOG_RUNTIME_MODEL_CACHE_H_

@@ -1,0 +1,298 @@
+#include "runtime/query_engine.h"
+
+#include <thread>
+#include <utility>
+
+#include "base/strings.h"
+#include "core/least_model.h"
+#include "parser/parser.h"
+
+namespace ordlog {
+
+QueryEngine::QueryEngine(KnowledgeBase& kb, QueryEngineOptions options)
+    : kb_(kb), options_(options), cache_(options.cache) {
+  size_t threads = options_.num_threads;
+  if (threads == 0) {
+    threads = std::thread::hardware_concurrency();
+    if (threads == 0) threads = 1;
+  }
+  pool_ = std::make_unique<ThreadPool>(threads);
+}
+
+QueryEngine::~QueryEngine() = default;
+
+std::future<StatusOr<QueryAnswer>> QueryEngine::Submit(QueryRequest request) {
+  auto promise = std::make_shared<std::promise<StatusOr<QueryAnswer>>>();
+  std::future<StatusOr<QueryAnswer>> future = promise->get_future();
+  const bool accepted =
+      pool_->Submit([this, promise, request = std::move(request)]() mutable {
+        promise->set_value(Run(request));
+      });
+  if (!accepted) {
+    promise->set_value(
+        FailedPreconditionError("query engine is shutting down"));
+  }
+  return future;
+}
+
+StatusOr<QueryAnswer> QueryEngine::Execute(QueryRequest request) {
+  return Run(request);
+}
+
+StatusOr<TruthValue> QueryEngine::QuerySkeptical(std::string_view module,
+                                                 std::string_view literal) {
+  QueryRequest request;
+  request.module = std::string(module);
+  request.literal = std::string(literal);
+  request.mode = QueryMode::kSkeptical;
+  ORDLOG_ASSIGN_OR_RETURN(const QueryAnswer answer, Run(request));
+  return answer.truth;
+}
+
+StatusOr<bool> QueryEngine::QueryBrave(std::string_view module,
+                                       std::string_view literal) {
+  QueryRequest request;
+  request.module = std::string(module);
+  request.literal = std::string(literal);
+  request.mode = QueryMode::kBrave;
+  ORDLOG_ASSIGN_OR_RETURN(const QueryAnswer answer, Run(request));
+  return answer.holds;
+}
+
+StatusOr<bool> QueryEngine::QueryCautious(std::string_view module,
+                                          std::string_view literal) {
+  QueryRequest request;
+  request.module = std::string(module);
+  request.literal = std::string(literal);
+  request.mode = QueryMode::kCautious;
+  ORDLOG_ASSIGN_OR_RETURN(const QueryAnswer answer, Run(request));
+  return answer.holds;
+}
+
+Status QueryEngine::Mutate(
+    const std::function<Status(KnowledgeBase&)>& mutation) {
+  std::unique_lock<std::shared_mutex> kb_lock(kb_mutex_);
+  const Status status = mutation(kb_);
+  metrics_.RecordMutation();
+  return status;
+}
+
+Status QueryEngine::AddRuleText(std::string_view module,
+                                std::string_view rule_text) {
+  return Mutate([module, rule_text](KnowledgeBase& kb) {
+    return kb.AddRuleText(module, rule_text);
+  });
+}
+
+Status QueryEngine::AddModule(std::string_view name) {
+  return Mutate([name](KnowledgeBase& kb) { return kb.AddModule(name); });
+}
+
+Status QueryEngine::AddIsa(std::string_view child, std::string_view parent) {
+  return Mutate(
+      [child, parent](KnowledgeBase& kb) { return kb.AddIsa(child, parent); });
+}
+
+uint64_t QueryEngine::revision() const {
+  std::shared_lock<std::shared_mutex> kb_lock(kb_mutex_);
+  return kb_.revision();
+}
+
+MetricsSnapshot QueryEngine::Metrics() const {
+  MetricsSnapshot snapshot = metrics_.Snapshot();
+  // The cache keeps its own authoritative counters.
+  const ModelCache::Stats cache_stats = cache_.stats();
+  snapshot.cache_hits = cache_stats.hits;
+  snapshot.cache_misses = cache_stats.misses;
+  snapshot.cache_coalesced = cache_stats.coalesced;
+  return snapshot;
+}
+
+StatusOr<std::shared_ptr<const QueryEngine::Snapshot>>
+QueryEngine::AcquireSnapshot(const CancelToken& cancel) {
+  {
+    std::shared_lock<std::shared_mutex> kb_lock(kb_mutex_);
+    std::lock_guard<std::mutex> lock(snapshot_mutex_);
+    if (snapshot_ != nullptr && snapshot_->revision == kb_.revision()) {
+      return snapshot_;
+    }
+  }
+  // Refresh: reground under the writer lock (grounding mutates the KB's
+  // lazy state) and publish an immutable copy.
+  ORDLOG_RETURN_IF_ERROR(cancel.Check());
+  std::unique_lock<std::shared_mutex> kb_lock(kb_mutex_);
+  std::lock_guard<std::mutex> lock(snapshot_mutex_);
+  if (snapshot_ != nullptr && snapshot_->revision == kb_.revision()) {
+    return snapshot_;
+  }
+  ORDLOG_ASSIGN_OR_RETURN(const GroundProgram* ground, kb_.ground());
+  auto snapshot = std::make_shared<const Snapshot>(kb_.revision(), *ground);
+  snapshot_ = snapshot;
+  metrics_.RecordSnapshotBuilt();
+  cache_.EvictStale(snapshot->revision);
+  return snapshot;
+}
+
+StatusOr<ComponentId> QueryEngine::ResolveModule(const Snapshot& snapshot,
+                                                 std::string_view module) {
+  // Resolved against the snapshot itself (not the live KB), so a module
+  // added by a concurrent mutation is invisible until the next refresh —
+  // consistent with the answer's revision stamp.
+  for (ComponentId c = 0;
+       c < static_cast<ComponentId>(snapshot.ground.NumComponents()); ++c) {
+    if (snapshot.ground.component_name(c) == module) return c;
+  }
+  return NotFoundError(StrCat("unknown module '", module, "'"));
+}
+
+StatusOr<std::optional<GroundLiteral>> QueryEngine::ResolveLiteral(
+    const Snapshot& snapshot, std::string_view literal_text) {
+  // Parsing interns into the KB's shared TermPool: exclude mutations via
+  // the reader lock and serialize sibling queries via parse_mutex_.
+  std::shared_lock<std::shared_mutex> kb_lock(kb_mutex_);
+  std::lock_guard<std::mutex> parse_lock(parse_mutex_);
+  TermPool& pool = *kb_.shared_pool();
+  ORDLOG_ASSIGN_OR_RETURN(const Literal literal,
+                          ParseLiteral(literal_text, pool));
+  if (!literal.IsGround(pool)) {
+    return InvalidArgumentError(
+        StrCat("query literal '", literal_text, "' must be ground"));
+  }
+  const std::optional<GroundAtomId> atom =
+      snapshot.ground.FindAtom(literal.atom);
+  if (!atom.has_value()) return std::optional<GroundLiteral>();
+  return std::optional<GroundLiteral>(
+      GroundLiteral{*atom, literal.positive});
+}
+
+StatusOr<ModelCache::Lookup> QueryEngine::LeastModelFor(
+    const std::shared_ptr<const Snapshot>& snapshot, ComponentId view,
+    const CancelToken& cancel) {
+  const ModelCacheKey key{snapshot->revision, view, CacheKind::kLeastModel};
+  return cache_.GetOrCompute(
+      key,
+      [&]() -> StatusOr<ModelEntry> {
+        LeastModelComputer computer(snapshot->ground, view);
+        ORDLOG_ASSIGN_OR_RETURN(Interpretation model,
+                                computer.Compute(cancel));
+        ModelEntry entry;
+        entry.least_model = std::move(model);
+        return entry;
+      },
+      cancel);
+}
+
+StatusOr<ModelCache::Lookup> QueryEngine::StableModelsFor(
+    const std::shared_ptr<const Snapshot>& snapshot, ComponentId view,
+    const CancelToken& cancel) {
+  const ModelCacheKey key{snapshot->revision, view,
+                          CacheKind::kStableModels};
+  return cache_.GetOrCompute(
+      key,
+      [&]() -> StatusOr<ModelEntry> {
+        StableSolverOptions solver_options = options_.solver;
+        solver_options.cancel = &cancel;
+        StableModelSolver solver(snapshot->ground, view, solver_options);
+        StableSolverStats stats;
+        StatusOr<std::vector<Interpretation>> models =
+            solver.StableModels(&stats);
+        metrics_.RecordSolverNodes(stats.nodes);
+        if (!models.ok()) return models.status();
+        ModelEntry entry;
+        entry.stable_models = std::move(models).value();
+        entry.solver_nodes = stats.nodes;
+        return entry;
+      },
+      cancel);
+}
+
+StatusOr<QueryAnswer> QueryEngine::Run(const QueryRequest& request) {
+  const CancelToken::Clock::time_point start = CancelToken::Clock::now();
+  CancelToken cancel = request.cancel;
+  if (request.deadline.has_value()) {
+    cancel.LimitDeadline(start + *request.deadline);
+  } else if (options_.default_deadline.count() > 0) {
+    cancel.LimitDeadline(start + options_.default_deadline);
+  }
+
+  StatusOr<QueryAnswer> result = [&]() -> StatusOr<QueryAnswer> {
+    // Fail fast if the deadline lapsed while the task sat in the queue.
+    ORDLOG_RETURN_IF_ERROR(cancel.Check());
+    ORDLOG_ASSIGN_OR_RETURN(std::shared_ptr<const Snapshot> snapshot,
+                            AcquireSnapshot(cancel));
+    ORDLOG_ASSIGN_OR_RETURN(const ComponentId view,
+                            ResolveModule(*snapshot, request.module));
+    std::optional<GroundLiteral> literal;
+    if (request.mode != QueryMode::kCountModels) {
+      ORDLOG_ASSIGN_OR_RETURN(literal,
+                              ResolveLiteral(*snapshot, request.literal));
+    }
+
+    QueryAnswer answer;
+    answer.mode = request.mode;
+    answer.revision = snapshot->revision;
+    switch (request.mode) {
+      case QueryMode::kSkeptical: {
+        ORDLOG_ASSIGN_OR_RETURN(const ModelCache::Lookup lookup,
+                                LeastModelFor(snapshot, view, cancel));
+        answer.cache_hit = lookup.hit;
+        answer.truth = literal.has_value()
+                           ? lookup.entry->least_model.Value(*literal)
+                           : TruthValue::kUndefined;
+        break;
+      }
+      case QueryMode::kBrave:
+      case QueryMode::kCautious:
+      case QueryMode::kCountModels: {
+        ORDLOG_ASSIGN_OR_RETURN(const ModelCache::Lookup lookup,
+                                StableModelsFor(snapshot, view, cancel));
+        answer.cache_hit = lookup.hit;
+        const std::vector<Interpretation>& models =
+            lookup.entry->stable_models;
+        answer.model_count = models.size();
+        if (request.mode == QueryMode::kBrave) {
+          answer.holds = false;
+          if (literal.has_value()) {
+            for (const Interpretation& model : models) {
+              if (model.Contains(*literal)) {
+                answer.holds = true;
+                break;
+              }
+            }
+          }
+        } else if (request.mode == QueryMode::kCautious) {
+          // Mirrors KnowledgeBase::CautiouslyHolds: a literal absent from
+          // the ground universe holds cautiously iff there are no models.
+          if (!literal.has_value()) {
+            answer.holds = models.empty();
+          } else {
+            answer.holds = true;
+            for (const Interpretation& model : models) {
+              if (!model.Contains(*literal)) {
+                answer.holds = false;
+                break;
+              }
+            }
+          }
+        }
+        break;
+      }
+    }
+    return answer;
+  }();
+
+  const std::chrono::microseconds latency =
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          CancelToken::Clock::now() - start);
+  if (result.ok()) {
+    result->latency = latency;
+    metrics_.RecordServed(latency);
+  } else {
+    const StatusCode code = result.status().code();
+    metrics_.RecordFailure(code == StatusCode::kCancelled,
+                           code == StatusCode::kDeadlineExceeded);
+  }
+  return result;
+}
+
+}  // namespace ordlog

@@ -1,0 +1,173 @@
+#ifndef ORDLOG_RUNTIME_QUERY_ENGINE_H_
+#define ORDLOG_RUNTIME_QUERY_ENGINE_H_
+
+#include <chrono>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <shared_mutex>
+#include <string>
+#include <string_view>
+
+#include "base/cancel.h"
+#include "base/status.h"
+#include "core/stable_solver.h"
+#include "kb/knowledge_base.h"
+#include "runtime/metrics.h"
+#include "runtime/model_cache.h"
+#include "runtime/thread_pool.h"
+
+namespace ordlog {
+
+// How a query consults the paper's semantics. Skeptical truth is read off
+// the least model V∞ (Thm. 1b) — the cheap deterministic fast path; the
+// other modes range over the stable models (Def. 9) — the expensive
+// enumerative slow path. Both paths share the generation-keyed cache.
+enum class QueryMode : uint8_t {
+  kSkeptical,    // TruthValue in the least model
+  kBrave,        // holds in >= 1 stable model
+  kCautious,     // holds in every stable model
+  kCountModels,  // number of stable models (literal ignored)
+};
+
+struct QueryEngineOptions {
+  // Worker threads; 0 means hardware_concurrency (at least 1).
+  size_t num_threads = 0;
+  // Applied to every query that does not set its own tighter deadline;
+  // zero disables the default.
+  std::chrono::milliseconds default_deadline{0};
+  // Budgets for the stable-model slow path (the engine installs its own
+  // CancelToken into `solver.cancel` per query).
+  StableSolverOptions solver;
+  ModelCacheOptions cache;
+};
+
+struct QueryRequest {
+  std::string module;
+  std::string literal;  // ground literal text, e.g. "-fly(penguin)"
+  QueryMode mode = QueryMode::kSkeptical;
+  // Per-query deadline measured from Submit/Execute entry; overrides the
+  // engine default when tighter. A non-positive value is an
+  // already-expired deadline (useful in tests and load shedding).
+  std::optional<std::chrono::milliseconds> deadline;
+  // Callers may keep a copy and Cancel() it to abandon the query.
+  CancelToken cancel;
+};
+
+struct QueryAnswer {
+  QueryMode mode = QueryMode::kSkeptical;
+  TruthValue truth = TruthValue::kUndefined;  // kSkeptical
+  bool holds = false;                         // kBrave / kCautious
+  size_t model_count = 0;                     // kCountModels
+  uint64_t revision = 0;      // KB revision the answer is valid at
+  bool cache_hit = false;     // models came out of the cache
+  std::chrono::microseconds latency{0};
+};
+
+// A concurrent serving front-end for KnowledgeBase: the paper's semantics
+// core stays single-threaded and allocation-free of synchronization, and
+// this layer adds
+//
+//   * a fixed thread pool executing queries concurrently (Submit),
+//   * per-query deadlines and cooperative cancellation, threaded into the
+//     solver / least-model hot loops via CancelToken,
+//   * an immutable per-revision ground-program snapshot, so queries never
+//     race the KB's lazy grounding, and
+//   * a generation-keyed ModelCache with single-flight coalescing.
+//
+// Concurrency contract: route ALL mutations of the underlying KB through
+// Mutate() (or the convenience wrappers); they serialize against in-flight
+// snapshot/parse work under a writer lock and bump the KB revision, which
+// lazily invalidates cached models. Queries are wait-free with respect to
+// each other once they hold the snapshot (the heavy solver work runs
+// without any engine lock).
+class QueryEngine {
+ public:
+  explicit QueryEngine(KnowledgeBase& kb, QueryEngineOptions options = {});
+  ~QueryEngine();
+
+  QueryEngine(const QueryEngine&) = delete;
+  QueryEngine& operator=(const QueryEngine&) = delete;
+
+  // Asynchronous query on the pool. The future always becomes ready: with
+  // an answer, or with kDeadlineExceeded / kCancelled / a semantic error.
+  // A query whose deadline lapses while still queued fails fast without
+  // occupying a worker for the full computation.
+  std::future<StatusOr<QueryAnswer>> Submit(QueryRequest request);
+
+  // Synchronous query on the calling thread (same semantics as Submit).
+  StatusOr<QueryAnswer> Execute(QueryRequest request);
+
+  // Convenience wrappers for the common modes.
+  StatusOr<TruthValue> QuerySkeptical(std::string_view module,
+                                      std::string_view literal);
+  StatusOr<bool> QueryBrave(std::string_view module,
+                            std::string_view literal);
+  StatusOr<bool> QueryCautious(std::string_view module,
+                               std::string_view literal);
+
+  // Runs `mutation` against the KB under the writer lock. The KB bumps its
+  // revision internally; stale cache entries are swept on the next
+  // snapshot refresh.
+  Status Mutate(const std::function<Status(KnowledgeBase&)>& mutation);
+
+  // Common mutations, pre-wrapped.
+  Status AddRuleText(std::string_view module, std::string_view rule_text);
+  Status AddModule(std::string_view name);
+  Status AddIsa(std::string_view child, std::string_view parent);
+
+  uint64_t revision() const;
+  size_t num_threads() const { return pool_->num_threads(); }
+  MetricsSnapshot Metrics() const;
+
+ private:
+  // Immutable view of the KB at one revision. Queries compute against the
+  // copied ground program, so a concurrent mutation (which regrounds the
+  // KB) can never invalidate memory under a running solver.
+  struct Snapshot {
+    uint64_t revision = 0;
+    GroundProgram ground;
+    Snapshot(uint64_t r, GroundProgram g)
+        : revision(r), ground(std::move(g)) {}
+  };
+
+  StatusOr<std::shared_ptr<const Snapshot>> AcquireSnapshot(
+      const CancelToken& cancel);
+  // Module + literal resolution against the snapshot (serialized: parsing
+  // interns into the shared TermPool).
+  StatusOr<ComponentId> ResolveModule(const Snapshot& snapshot,
+                                      std::string_view module);
+  StatusOr<std::optional<GroundLiteral>> ResolveLiteral(
+      const Snapshot& snapshot, std::string_view literal);
+
+  StatusOr<QueryAnswer> Run(const QueryRequest& request);
+  StatusOr<ModelCache::Lookup> LeastModelFor(
+      const std::shared_ptr<const Snapshot>& snapshot, ComponentId view,
+      const CancelToken& cancel);
+  StatusOr<ModelCache::Lookup> StableModelsFor(
+      const std::shared_ptr<const Snapshot>& snapshot, ComponentId view,
+      const CancelToken& cancel);
+
+  KnowledgeBase& kb_;
+  const QueryEngineOptions options_;
+
+  // Lock order (outer to inner): kb_mutex_ -> snapshot_mutex_ /
+  // parse_mutex_. The cache and metrics have their own internal locking
+  // and are never held across engine locks.
+  mutable std::shared_mutex kb_mutex_;
+  std::mutex snapshot_mutex_;
+  std::mutex parse_mutex_;
+  std::shared_ptr<const Snapshot> snapshot_;
+
+  ModelCache cache_;
+  RuntimeMetrics metrics_;
+  // Last member: destroyed (drained + joined) first, so tasks never touch
+  // destroyed engine state.
+  std::unique_ptr<ThreadPool> pool_;
+};
+
+}  // namespace ordlog
+
+#endif  // ORDLOG_RUNTIME_QUERY_ENGINE_H_

@@ -1,0 +1,52 @@
+#ifndef ORDLOG_RUNTIME_THREAD_POOL_H_
+#define ORDLOG_RUNTIME_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace ordlog {
+
+// Fixed-size worker pool with a FIFO work queue. Tasks are type-erased
+// thunks; results travel through whatever the caller captured (the
+// QueryEngine uses std::promise).
+//
+// Shutdown semantics: the destructor stops accepting new work, lets the
+// workers drain every task already queued, then joins. Queued tasks are
+// never dropped, so a promise captured by a submitted task is always
+// fulfilled — deadline enforcement belongs in the task itself (a task
+// whose deadline passed while queued should notice immediately and bail).
+class ThreadPool {
+ public:
+  explicit ThreadPool(size_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  // Enqueues `task`. Returns false (dropping the task) iff the pool is
+  // shutting down. Safe to call from worker threads.
+  bool Submit(std::function<void()> task);
+
+  size_t num_threads() const { return workers_.size(); }
+
+  // Tasks currently waiting in the queue (diagnostics; racy by nature).
+  size_t QueueDepth() const;
+
+ private:
+  void WorkerLoop();
+
+  mutable std::mutex mutex_;
+  std::condition_variable wake_;
+  std::deque<std::function<void()>> queue_;
+  bool stopping_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace ordlog
+
+#endif  // ORDLOG_RUNTIME_THREAD_POOL_H_

@@ -30,6 +30,15 @@ TEST(StatusTest, AllConstructorsMapToCodes) {
   EXPECT_EQ(OutOfRangeError("x").code(), StatusCode::kOutOfRange);
   EXPECT_EQ(InternalError("x").code(), StatusCode::kInternal);
   EXPECT_EQ(UnimplementedError("x").code(), StatusCode::kUnimplemented);
+  EXPECT_EQ(CancelledError("x").code(), StatusCode::kCancelled);
+  EXPECT_EQ(DeadlineExceededError("x").code(),
+            StatusCode::kDeadlineExceeded);
+}
+
+TEST(StatusTest, RuntimeCodesRenderDistinctly) {
+  EXPECT_EQ(CancelledError("stop").ToString(), "cancelled: stop");
+  EXPECT_EQ(DeadlineExceededError("late").ToString(),
+            "deadline_exceeded: late");
 }
 
 TEST(StatusOrTest, HoldsValue) {

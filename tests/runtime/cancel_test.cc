@@ -1,0 +1,164 @@
+// Deadline / cancellation semantics of CancelToken and the cooperative
+// checks threaded into the engine hot loops (StableModelSolver::Search,
+// VOperator::LeastFixpoint, LeastModelComputer::Compute).
+
+#include <chrono>
+#include <sstream>
+
+#include "base/cancel.h"
+#include "core/least_model.h"
+#include "core/stable_solver.h"
+#include "core/total_solver.h"
+#include "core/v_operator.h"
+#include "gtest/gtest.h"
+#include "support/test_util.h"
+
+namespace ordlog {
+namespace {
+
+using ::ordlog::testing::GroundText;
+using std::chrono::milliseconds;
+
+// Many independent even negation loops under explicit closure: a stable
+// search space far beyond the solver's periodic cancellation check
+// interval (every 1024 nodes by default).
+GroundProgram BigSearchSpace(int pairs) {
+  std::ostringstream c, base;
+  c << "component c {\n";
+  base << "component base {\n";
+  for (int i = 0; i < pairs; ++i) {
+    c << "  p" << i << " :- -q" << i << ". q" << i << " :- -p" << i
+      << ".\n";
+    base << "  -p" << i << ". -q" << i << ".\n";
+  }
+  c << "}\n";
+  base << "}\n";
+  return GroundText(c.str() + base.str() + "order c < base.\n");
+}
+
+ComponentId ViewOf(const GroundProgram& program, std::string_view name) {
+  for (ComponentId id = 0; id < program.NumComponents(); ++id) {
+    if (program.component_name(id) == name) return id;
+  }
+  ADD_FAILURE() << "no component named " << name;
+  return 0;
+}
+
+TEST(CancelTokenTest, DefaultTokenNeverFires) {
+  CancelToken token;
+  EXPECT_FALSE(token.cancelled());
+  EXPECT_FALSE(token.has_deadline());
+  EXPECT_FALSE(token.expired());
+  EXPECT_TRUE(token.Check().ok());
+}
+
+TEST(CancelTokenTest, CancelPropagatesToEveryCopy) {
+  CancelToken token;
+  CancelToken copy = token;
+  copy.Cancel();
+  EXPECT_TRUE(token.cancelled());
+  EXPECT_EQ(token.Check().code(), StatusCode::kCancelled);
+}
+
+TEST(CancelTokenTest, DeadlineOnlyTightens) {
+  CancelToken token;
+  const auto now = CancelToken::Clock::now();
+  token.LimitDeadline(now + std::chrono::hours(1));
+  EXPECT_TRUE(token.has_deadline());
+  EXPECT_FALSE(token.expired());
+  // Loosening is ignored ...
+  token.LimitDeadline(now + std::chrono::hours(2));
+  EXPECT_FALSE(token.expired());
+  // ... tightening to the past fires.
+  token.LimitDeadline(now - milliseconds(1));
+  EXPECT_TRUE(token.expired());
+  EXPECT_EQ(token.Check().code(), StatusCode::kDeadlineExceeded);
+}
+
+TEST(CancelTokenTest, CancellationWinsOverDeadline) {
+  CancelToken token = CancelToken::WithTimeout(milliseconds(-1));
+  token.Cancel();
+  EXPECT_EQ(token.Check().code(), StatusCode::kCancelled);
+}
+
+TEST(SolverCancelTest, StableSearchAbortsOnCancelledToken) {
+  const GroundProgram program = BigSearchSpace(12);
+  CancelToken token;
+  token.Cancel();
+  StableSolverOptions options;
+  options.cancel = &token;
+  const StableModelSolver solver(program, ViewOf(program, "c"), options);
+  StableSolverStats stats;
+  EXPECT_EQ(solver.StableModels(&stats).status().code(),
+            StatusCode::kCancelled);
+  // The search stopped at (about) the first periodic check, far short of
+  // the full enumeration.
+  EXPECT_LE(stats.nodes, options.cancel_check_interval + 1);
+}
+
+TEST(SolverCancelTest, StableSearchAbortsOnExpiredDeadline) {
+  const GroundProgram program = BigSearchSpace(12);
+  const CancelToken token = CancelToken::WithTimeout(milliseconds(-1));
+  StableSolverOptions options;
+  options.cancel = &token;
+  const StableModelSolver solver(program, ViewOf(program, "c"), options);
+  EXPECT_EQ(solver.StableModels().status().code(),
+            StatusCode::kDeadlineExceeded);
+}
+
+TEST(SolverCancelTest, UncancelledSearchIsUnaffected) {
+  const GroundProgram program = BigSearchSpace(4);
+  CancelToken token;
+  StableSolverOptions with_token;
+  with_token.cancel = &token;
+  const auto guarded =
+      StableModelSolver(program, ViewOf(program, "c"), with_token).StableModels();
+  const auto plain = StableModelSolver(program, ViewOf(program, "c")).StableModels();
+  ASSERT_TRUE(guarded.ok());
+  ASSERT_TRUE(plain.ok());
+  EXPECT_EQ(guarded->size(), plain->size());
+  EXPECT_EQ(guarded->size(), 16u);  // 2^4 choices
+}
+
+TEST(SolverCancelTest, TotalSearchAbortsOnCancelledToken) {
+  const GroundProgram program = BigSearchSpace(12);
+  CancelToken token;
+  token.Cancel();
+  TotalSolverOptions options;
+  options.cancel = &token;
+  const TotalModelSolver solver(program, ViewOf(program, "c"), options);
+  EXPECT_EQ(solver.FindAll().status().code(), StatusCode::kCancelled);
+}
+
+TEST(LeastModelCancelTest, VOperatorAbortsOnExpiredDeadline) {
+  const GroundProgram program = BigSearchSpace(4);
+  const VOperator v(program, ViewOf(program, "c"));
+  const CancelToken expired = CancelToken::WithTimeout(milliseconds(-1));
+  EXPECT_EQ(v.LeastFixpoint(expired).status().code(),
+            StatusCode::kDeadlineExceeded);
+  // The uncancelled overloads agree with each other.
+  CancelToken open;
+  const auto guarded = v.LeastFixpoint(open);
+  ASSERT_TRUE(guarded.ok());
+  EXPECT_TRUE(*guarded == v.LeastFixpoint());
+}
+
+TEST(LeastModelCancelTest, WorklistComputeHonorsToken) {
+  const GroundProgram program = BigSearchSpace(4);
+  const LeastModelComputer computer(program, ViewOf(program, "c"));
+  CancelToken open;
+  const auto guarded = computer.Compute(open);
+  ASSERT_TRUE(guarded.ok());
+  EXPECT_TRUE(*guarded == computer.Compute());
+  // A pre-cancelled token aborts (possibly after a bounded prefix of
+  // work, never with a wrong answer).
+  CancelToken cancelled;
+  cancelled.Cancel();
+  const auto aborted = computer.Compute(cancelled);
+  if (!aborted.ok()) {
+    EXPECT_EQ(aborted.status().code(), StatusCode::kCancelled);
+  }
+}
+
+}  // namespace
+}  // namespace ordlog

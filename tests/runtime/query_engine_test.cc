@@ -1,0 +1,209 @@
+#include "runtime/query_engine.h"
+
+#include <chrono>
+#include <future>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "support/paper_programs.h"
+
+namespace ordlog {
+namespace {
+
+using std::chrono::milliseconds;
+
+QueryEngineOptions Threads(size_t n) {
+  QueryEngineOptions options;
+  options.num_threads = n;
+  return options;
+}
+
+QueryRequest Request(std::string module, std::string literal,
+                     QueryMode mode = QueryMode::kSkeptical) {
+  QueryRequest request;
+  request.module = std::move(module);
+  request.literal = std::move(literal);
+  request.mode = mode;
+  return request;
+}
+
+TEST(QueryEngineTest, SkepticalAnswersMatchDirectKnowledgeBase) {
+  KnowledgeBase kb;
+  ASSERT_TRUE(kb.Load(testing::kFig1Penguin).ok());
+  QueryEngine engine(kb, Threads(2));
+
+  EXPECT_EQ(engine.QuerySkeptical("c1", "fly(penguin)").value(),
+            TruthValue::kFalse);
+  EXPECT_EQ(engine.QuerySkeptical("c1", "fly(pigeon)").value(),
+            TruthValue::kTrue);
+  EXPECT_EQ(engine.QuerySkeptical("c2", "fly(penguin)").value(),
+            TruthValue::kTrue);
+  // A literal that never occurs in the ground program is undefined.
+  EXPECT_EQ(engine.QuerySkeptical("c1", "fly(dodo)").value(),
+            TruthValue::kUndefined);
+  // Unknown modules are reported, not crashed on.
+  EXPECT_EQ(engine.QuerySkeptical("nope", "fly(penguin)").status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST(QueryEngineTest, StableModesMatchDirectKnowledgeBase) {
+  KnowledgeBase kb;
+  ASSERT_TRUE(kb.Load(testing::kFig2Mimmo).ok());
+  QueryEngine engine(kb, Threads(2));
+
+  KnowledgeBase reference;
+  ASSERT_TRUE(reference.Load(testing::kFig2Mimmo).ok());
+
+  for (const char* module : {"c1", "c2", "c3"}) {
+    for (const char* literal : {"rich(mimmo)", "-rich(mimmo)"}) {
+      EXPECT_EQ(engine.QueryBrave(module, literal).value(),
+                reference.BravelyHolds(module, literal).value())
+          << module << " " << literal;
+      EXPECT_EQ(engine.QueryCautious(module, literal).value(),
+                reference.CautiouslyHolds(module, literal).value())
+          << module << " " << literal;
+    }
+    const auto counted =
+        engine.Execute(Request(module, "", QueryMode::kCountModels));
+    ASSERT_TRUE(counted.ok());
+    EXPECT_EQ(counted->model_count,
+              reference.CountStableModels(module).value());
+  }
+}
+
+TEST(QueryEngineTest, RepeatedQueriesHitTheCache) {
+  KnowledgeBase kb;
+  ASSERT_TRUE(kb.Load(testing::kFig1Penguin).ok());
+  QueryEngine engine(kb, Threads(2));
+
+  const auto first = engine.Execute(Request("c1", "fly(penguin)"));
+  ASSERT_TRUE(first.ok());
+  EXPECT_FALSE(first->cache_hit);
+
+  const auto second = engine.Execute(Request("c1", "fly(penguin)"));
+  ASSERT_TRUE(second.ok());
+  EXPECT_TRUE(second->cache_hit);
+  // A different literal against the same view reuses the same model.
+  const auto third = engine.Execute(Request("c1", "fly(pigeon)"));
+  ASSERT_TRUE(third.ok());
+  EXPECT_TRUE(third->cache_hit);
+
+  const MetricsSnapshot metrics = engine.Metrics();
+  EXPECT_EQ(metrics.queries_served, 3u);
+  EXPECT_EQ(metrics.cache_misses, 1u);
+  EXPECT_GE(metrics.cache_hits, 2u);
+  EXPECT_EQ(metrics.latency_count, 3u);
+  EXPECT_GT(metrics.latency_p99_us, 0u);
+}
+
+TEST(QueryEngineTest, MutationInvalidatesCachedAnswers) {
+  KnowledgeBase kb;
+  ASSERT_TRUE(kb.AddModule("m").ok());
+  ASSERT_TRUE(kb.AddRuleText("m", "p :- q.").ok());
+  ASSERT_TRUE(kb.AddRuleText("m", "q.").ok());
+  QueryEngine engine(kb, Threads(2));
+
+  EXPECT_EQ(engine.QuerySkeptical("m", "p").value(), TruthValue::kTrue);
+  const uint64_t before = engine.revision();
+
+  ASSERT_TRUE(engine.AddRuleText("m", "r.").ok());
+  EXPECT_GT(engine.revision(), before);
+
+  const auto after = engine.Execute(Request("m", "r"));
+  ASSERT_TRUE(after.ok());
+  EXPECT_EQ(after->truth, TruthValue::kTrue);
+  EXPECT_FALSE(after->cache_hit) << "new revision must not reuse old model";
+  EXPECT_EQ(after->revision, engine.revision());
+}
+
+TEST(QueryEngineTest, ExpiredDeadlineFailsFastWithoutBlockingThePool) {
+  KnowledgeBase kb;
+  ASSERT_TRUE(kb.Load(testing::kFig1Penguin).ok());
+  QueryEngine engine(kb, Threads(1));
+
+  QueryRequest doomed = Request("c1", "fly(penguin)");
+  doomed.deadline = milliseconds(-1);  // expired before submission
+  const auto result = engine.Submit(std::move(doomed)).get();
+  EXPECT_EQ(result.status().code(), StatusCode::kDeadlineExceeded);
+
+  // The (single-threaded) pool is still fully operational.
+  const auto healthy = engine.Submit(Request("c1", "fly(penguin)")).get();
+  ASSERT_TRUE(healthy.ok());
+  EXPECT_EQ(healthy->truth, TruthValue::kFalse);
+
+  const MetricsSnapshot metrics = engine.Metrics();
+  EXPECT_EQ(metrics.deadline_exceeded, 1u);
+  EXPECT_EQ(metrics.queries_failed, 1u);
+  EXPECT_EQ(metrics.queries_served, 1u);
+}
+
+TEST(QueryEngineTest, PreCancelledQueryReturnsCancelled) {
+  KnowledgeBase kb;
+  ASSERT_TRUE(kb.Load(testing::kFig1Penguin).ok());
+  QueryEngine engine(kb, Threads(1));
+
+  QueryRequest request = Request("c1", "fly(penguin)");
+  request.cancel.Cancel();
+  const auto result = engine.Submit(std::move(request)).get();
+  EXPECT_EQ(result.status().code(), StatusCode::kCancelled);
+  EXPECT_EQ(engine.Metrics().cancellations, 1u);
+}
+
+TEST(QueryEngineTest, DeadlineFailureDoesNotPolluteTheCache) {
+  KnowledgeBase kb;
+  ASSERT_TRUE(kb.Load(testing::kFig1Penguin).ok());
+  QueryEngine engine(kb, Threads(1));
+
+  QueryRequest doomed = Request("c1", "fly(penguin)");
+  doomed.deadline = milliseconds(-1);
+  EXPECT_EQ(engine.Execute(std::move(doomed)).status().code(),
+            StatusCode::kDeadlineExceeded);
+
+  // First healthy query is a miss (nothing partial was cached) ...
+  const auto first = engine.Execute(Request("c1", "fly(penguin)"));
+  ASSERT_TRUE(first.ok());
+  EXPECT_FALSE(first->cache_hit);
+  // ... and only then do repeats hit.
+  const auto second = engine.Execute(Request("c1", "fly(penguin)"));
+  ASSERT_TRUE(second.ok());
+  EXPECT_TRUE(second->cache_hit);
+}
+
+TEST(QueryEngineTest, CancelledStableQueryReturnsCancelled) {
+  KnowledgeBase kb;
+  ASSERT_TRUE(kb.Load(testing::kExample5P5).ok());
+  QueryEngine engine(kb, Threads(1));
+
+  QueryRequest request = Request("c1", "a", QueryMode::kBrave);
+  request.cancel.Cancel();
+  const auto result = engine.Execute(std::move(request));
+  EXPECT_EQ(result.status().code(), StatusCode::kCancelled);
+
+  // The same query without the cancelled token computes normally.
+  EXPECT_TRUE(engine.QueryBrave("c1", "a").value());
+}
+
+TEST(QueryEngineTest, ConcurrentSubmissionsAllComplete) {
+  KnowledgeBase kb;
+  ASSERT_TRUE(kb.Load(testing::kFig1Penguin).ok());
+  QueryEngine engine(kb, Threads(4));
+
+  std::vector<std::future<StatusOr<QueryAnswer>>> futures;
+  for (int i = 0; i < 64; ++i) {
+    futures.push_back(engine.Submit(
+        Request(i % 2 == 0 ? "c1" : "c2", "fly(penguin)")));
+  }
+  int penguin_flies = 0;
+  for (auto& future : futures) {
+    const auto result = future.get();
+    ASSERT_TRUE(result.ok());
+    if (result->truth == TruthValue::kTrue) ++penguin_flies;
+  }
+  EXPECT_EQ(penguin_flies, 32);  // the c2 view: no exception visible
+  EXPECT_EQ(engine.Metrics().queries_served, 64u);
+  // One least model per view; everything else came from the cache.
+  EXPECT_EQ(engine.Metrics().cache_misses, 2u);
+}
+
+}  // namespace
+}  // namespace ordlog

@@ -1,0 +1,173 @@
+// Concurrency stress: >= 64 in-flight queries racing mutations against a
+// single KnowledgeBase through the QueryEngine. Designed to run under
+// ThreadSanitizer — the assertions are deliberately about liveness and
+// accounting, not exact answers, since queries interleave with mutations.
+
+#include <atomic>
+#include <chrono>
+#include <future>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "runtime/query_engine.h"
+#include "support/paper_programs.h"
+
+namespace ordlog {
+namespace {
+
+using std::chrono::milliseconds;
+
+QueryEngineOptions Threads(size_t n) {
+  QueryEngineOptions options;
+  options.num_threads = n;
+  return options;
+}
+
+QueryRequest Request(std::string module, std::string literal,
+                     QueryMode mode) {
+  QueryRequest request;
+  request.module = std::move(module);
+  request.literal = std::move(literal);
+  request.mode = mode;
+  return request;
+}
+
+TEST(RuntimeStressTest, ConcurrentQueriesAndMutations) {
+  KnowledgeBase kb;
+  ASSERT_TRUE(kb.Load(testing::kFig1Penguin).ok());
+  QueryEngine engine(kb, Threads(4));
+
+  constexpr int kQueries = 96;   // >= 64 concurrent mixed queries
+  constexpr int kMutations = 8;  // interleaved writers
+
+  // Submit the full batch up front so the pool is saturated, then race a
+  // stream of mutations against the in-flight work.
+  std::vector<std::future<StatusOr<QueryAnswer>>> futures;
+  futures.reserve(kQueries);
+  for (int i = 0; i < kQueries; ++i) {
+    const char* module = (i % 2 == 0) ? "c1" : "c2";
+    switch (i % 4) {
+      case 0:
+        futures.push_back(
+            engine.Submit(Request(module, "fly(penguin)",
+                                  QueryMode::kSkeptical)));
+        break;
+      case 1:
+        futures.push_back(engine.Submit(
+            Request(module, "fly(pigeon)", QueryMode::kBrave)));
+        break;
+      case 2:
+        futures.push_back(engine.Submit(
+            Request(module, "-fly(penguin)", QueryMode::kCautious)));
+        break;
+      default:
+        futures.push_back(
+            engine.Submit(Request(module, "", QueryMode::kCountModels)));
+        break;
+    }
+  }
+
+  std::thread mutator([&engine] {
+    for (int i = 0; i < kMutations; ++i) {
+      ASSERT_TRUE(
+          engine.AddRuleText("c2", "bird(b" + std::to_string(i) + ").")
+              .ok());
+      std::this_thread::sleep_for(milliseconds(1));
+    }
+  });
+
+  int completed = 0;
+  for (auto& future : futures) {
+    const auto result = future.get();
+    ASSERT_TRUE(result.ok()) << result.status();
+    ++completed;
+    // Every answer is stamped with a revision the engine actually reached.
+    EXPECT_LE(result->revision, engine.revision());
+  }
+  mutator.join();
+
+  EXPECT_EQ(completed, kQueries);
+  const MetricsSnapshot metrics = engine.Metrics();
+  EXPECT_EQ(metrics.queries_served, static_cast<uint64_t>(kQueries));
+  EXPECT_EQ(metrics.queries_failed, 0u);
+  EXPECT_EQ(metrics.mutations, static_cast<uint64_t>(kMutations));
+  EXPECT_EQ(metrics.latency_count, static_cast<uint64_t>(kQueries));
+  // Coalescing + caching must have kicked in: far fewer model
+  // computations than queries even with mutations invalidating entries.
+  EXPECT_LT(metrics.cache_misses, static_cast<uint64_t>(kQueries));
+
+  // The engine still answers correctly once the dust settles.
+  EXPECT_EQ(engine.QuerySkeptical("c1", "fly(penguin)").value(),
+            TruthValue::kFalse);
+  EXPECT_EQ(engine.QuerySkeptical("c1", "bird(b0)").value(),
+            TruthValue::kTrue);
+}
+
+TEST(RuntimeStressTest, CancellationStormLeavesEngineHealthy) {
+  KnowledgeBase kb;
+  ASSERT_TRUE(kb.Load(testing::kFig2Mimmo).ok());
+  QueryEngine engine(kb, Threads(2));
+
+  // Half the requests carry pre-cancelled tokens or expired deadlines;
+  // they must all resolve without wedging a worker.
+  std::vector<std::future<StatusOr<QueryAnswer>>> futures;
+  for (int i = 0; i < 64; ++i) {
+    QueryRequest request =
+        Request("c1", "rich(mimmo)",
+                i % 2 == 0 ? QueryMode::kBrave : QueryMode::kSkeptical);
+    if (i % 4 == 1) request.cancel.Cancel();
+    if (i % 4 == 3) request.deadline = milliseconds(-1);
+    futures.push_back(engine.Submit(std::move(request)));
+  }
+
+  int ok = 0, cancelled = 0, deadline = 0;
+  for (auto& future : futures) {
+    const auto result = future.get();
+    if (result.ok()) {
+      ++ok;
+    } else if (result.status().code() == StatusCode::kCancelled) {
+      ++cancelled;
+    } else if (result.status().code() == StatusCode::kDeadlineExceeded) {
+      ++deadline;
+    } else {
+      FAIL() << "unexpected status: " << result.status();
+    }
+  }
+  EXPECT_EQ(ok, 32);
+  EXPECT_EQ(cancelled, 16);
+  EXPECT_EQ(deadline, 16);
+
+  const MetricsSnapshot metrics = engine.Metrics();
+  EXPECT_EQ(metrics.queries_served, 32u);
+  EXPECT_EQ(metrics.queries_failed, 32u);
+  EXPECT_EQ(metrics.cancellations, 16u);
+  EXPECT_EQ(metrics.deadline_exceeded, 16u);
+
+  // Failures never cached anything partial: a fresh query still works.
+  EXPECT_TRUE(engine.QueryBrave("c1", "rich(mimmo)").ok());
+}
+
+TEST(RuntimeStressTest, EngineDestructionWithQueuedWorkIsClean) {
+  KnowledgeBase kb;
+  ASSERT_TRUE(kb.Load(testing::kFig1Penguin).ok());
+
+  std::vector<std::future<StatusOr<QueryAnswer>>> futures;
+  {
+    QueryEngine engine(kb, Threads(1));
+    for (int i = 0; i < 32; ++i) {
+      futures.push_back(
+          engine.Submit(Request("c1", "fly(penguin)",
+                                QueryMode::kSkeptical)));
+    }
+  }  // engine destroyed: the pool drains every queued task first
+  for (auto& future : futures) {
+    const auto result = future.get();
+    ASSERT_TRUE(result.ok()) << result.status();
+    EXPECT_EQ(result->truth, TruthValue::kFalse);
+  }
+}
+
+}  // namespace
+}  // namespace ordlog

@@ -1,0 +1,73 @@
+#include "runtime/thread_pool.h"
+
+#include <atomic>
+#include <chrono>
+#include <future>
+#include <thread>
+
+#include "gtest/gtest.h"
+
+namespace ordlog {
+namespace {
+
+TEST(ThreadPoolTest, RunsEverySubmittedTask) {
+  std::atomic<int> executed{0};
+  {
+    ThreadPool pool(4);
+    EXPECT_EQ(pool.num_threads(), 4u);
+    for (int i = 0; i < 100; ++i) {
+      EXPECT_TRUE(pool.Submit([&executed] {
+        executed.fetch_add(1, std::memory_order_relaxed);
+      }));
+    }
+  }  // destructor drains the queue before joining
+  EXPECT_EQ(executed.load(), 100);
+}
+
+TEST(ThreadPoolTest, ZeroThreadsClampsToOne) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.num_threads(), 1u);
+  std::promise<int> value;
+  std::future<int> future = value.get_future();
+  ASSERT_TRUE(pool.Submit([&value] { value.set_value(42); }));
+  EXPECT_EQ(future.get(), 42);
+}
+
+TEST(ThreadPoolTest, TasksMaySubmitTasks) {
+  std::atomic<int> executed{0};
+  {
+    ThreadPool pool(2);
+    std::promise<void> nested_done;
+    std::future<void> wait = nested_done.get_future();
+    ASSERT_TRUE(pool.Submit([&] {
+      executed.fetch_add(1);
+      // A worker may enqueue follow-up work without deadlocking.
+      pool.Submit([&] {
+        executed.fetch_add(1);
+        nested_done.set_value();
+      });
+    }));
+    wait.wait();
+  }
+  EXPECT_EQ(executed.load(), 2);
+}
+
+TEST(ThreadPoolTest, ManyProducersOneQueue) {
+  std::atomic<int> executed{0};
+  {
+    ThreadPool pool(4);
+    std::vector<std::thread> producers;
+    for (int p = 0; p < 8; ++p) {
+      producers.emplace_back([&pool, &executed] {
+        for (int i = 0; i < 50; ++i) {
+          pool.Submit([&executed] { executed.fetch_add(1); });
+        }
+      });
+    }
+    for (std::thread& producer : producers) producer.join();
+  }
+  EXPECT_EQ(executed.load(), 8 * 50);
+}
+
+}  // namespace
+}  // namespace ordlog
