@@ -3,12 +3,15 @@
 // program and the scaled access-control policy.
 
 #include <future>
+#include <ostream>
+#include <streambuf>
 #include <string>
 #include <vector>
 
 #include "benchmark/benchmark.h"
 #include "kb/knowledge_base.h"
 #include "runtime/query_engine.h"
+#include "trace/sink.h"
 #include "workloads.h"
 
 namespace {
@@ -60,7 +63,9 @@ void RunBatches(benchmark::State& state, QueryEngine& engine,
   ReportCacheCounters(state, engine, before);
 }
 
-void BM_LoanThroughput(benchmark::State& state) {
+// Shared body for the loan workload so the tracing variants below measure
+// exactly the same query stream, differing only in the attached sink.
+void LoanThroughputWithSink(benchmark::State& state, ordlog::TraceSink* sink) {
   KnowledgeBase kb;
   if (!kb.Load(ordlog_bench::Fig3Loan(/*experts=*/8, /*inflation=*/19,
                                       /*rate=*/16))
@@ -70,6 +75,7 @@ void BM_LoanThroughput(benchmark::State& state) {
   }
   QueryEngineOptions options;
   options.num_threads = static_cast<size_t>(state.range(0));
+  options.trace = sink;
   QueryEngine engine(kb, options);
   const std::vector<QueryRequest> shapes = {
       Request("c1", "take_loan"),
@@ -78,7 +84,36 @@ void BM_LoanThroughput(benchmark::State& state) {
   };
   RunBatches(state, engine, shapes);
 }
+
+void BM_LoanThroughput(benchmark::State& state) {
+  LoanThroughputWithSink(state, nullptr);
+}
 BENCHMARK(BM_LoanThroughput)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
+
+// Tracing overhead guard: the null sink pays only the virtual Emit call per
+// event and must stay within ~2% of the untraced baseline above; the JSON
+// sink serializes every event and bounds the worst case.
+void BM_LoanThroughputNullSink(benchmark::State& state) {
+  ordlog::NullSink sink;
+  LoanThroughputWithSink(state, &sink);
+}
+BENCHMARK(BM_LoanThroughputNullSink)->Arg(1)->Arg(4);
+
+// Swallows the serialized bytes so the benchmark measures formatting and
+// sink locking, not terminal or file I/O.
+class DiscardBuffer : public std::streambuf {
+ protected:
+  int overflow(int c) override { return c; }
+  std::streamsize xsputn(const char*, std::streamsize n) override { return n; }
+};
+
+void BM_LoanThroughputJsonSink(benchmark::State& state) {
+  DiscardBuffer buffer;
+  std::ostream discard(&buffer);
+  ordlog::JsonLinesSink sink(discard);
+  LoanThroughputWithSink(state, &sink);
+}
+BENCHMARK(BM_LoanThroughputJsonSink)->Arg(1)->Arg(4);
 
 void BM_AccessControlThroughput(benchmark::State& state) {
   KnowledgeBase kb;

@@ -25,5 +25,8 @@ for path in sorted(pathlib.Path("build/bench_json").glob("*.json")):
 pathlib.Path("build/BENCH_runtime.json").write_text(json.dumps(merged, indent=1))
 print("wrote build/BENCH_runtime.json (%d suites)" % len(merged))
 EOF
+  # Tracing must be pay-for-what-you-use: the null sink has to stay
+  # within 2% of the untraced loan-throughput baseline.
+  python3 scripts/check_trace_overhead.py
 fi
 echo "ordlog: all checks passed"

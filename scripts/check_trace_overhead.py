@@ -1,0 +1,70 @@
+#!/usr/bin/env python3
+"""Tracing overhead guard.
+
+Reads build/BENCH_runtime.json (written by scripts/check.sh) and compares
+BM_LoanThroughputNullSink against the untraced BM_LoanThroughput baseline.
+The null sink pays only one virtual Emit call per trace event, so its
+throughput must stay within ORDLOG_TRACE_OVERHEAD_MAX (default 2%) of the
+baseline on the loan workload.  The JSON sink ratio is reported for
+information only: serializing every event is allowed to cost more.
+
+Benchmark wall times on loaded CI machines are noisy, so the guard
+compares real_time of the matching /1 (single-thread) runs and treats a
+faster-than-baseline traced run as 0% overhead.
+"""
+
+import json
+import os
+import pathlib
+import sys
+
+SUITE = "bench_runtime_throughput"
+BASELINE = "BM_LoanThroughput/1"
+NULL_SINK = "BM_LoanThroughputNullSink/1"
+JSON_SINK = "BM_LoanThroughputJsonSink/1"
+
+
+def real_time(benchmarks, name):
+    for entry in benchmarks:
+        if entry.get("name") == name and entry.get("run_type", "iteration") in (
+            "iteration",
+            "aggregate",
+        ):
+            if entry.get("aggregate_name", "median") == "median":
+                return float(entry["real_time"])
+    return None
+
+
+def main():
+    path = pathlib.Path(sys.argv[1] if len(sys.argv) > 1 else "build/BENCH_runtime.json")
+    if not path.exists():
+        print(f"check_trace_overhead: {path} not found (run scripts/check.sh first)")
+        return 1
+    data = json.loads(path.read_text())
+    if SUITE not in data:
+        print(f"check_trace_overhead: suite {SUITE} missing from {path}")
+        return 1
+    benchmarks = data[SUITE].get("benchmarks", [])
+    base = real_time(benchmarks, BASELINE)
+    null_sink = real_time(benchmarks, NULL_SINK)
+    json_sink = real_time(benchmarks, JSON_SINK)
+    if base is None or null_sink is None:
+        print("check_trace_overhead: loan throughput benchmarks missing; "
+              "did bench_runtime_throughput run?")
+        return 1
+
+    limit = float(os.environ.get("ORDLOG_TRACE_OVERHEAD_MAX", "0.02"))
+    overhead = max(0.0, null_sink / base - 1.0)
+    print(f"null-sink overhead on {BASELINE}: {overhead:+.2%} (limit {limit:.0%})")
+    if json_sink is not None:
+        json_overhead = json_sink / base - 1.0
+        print(f"json-sink overhead (informational): {json_overhead:+.2%}")
+    if overhead > limit:
+        print("check_trace_overhead: FAILED — null sink exceeds the overhead budget")
+        return 1
+    print("check_trace_overhead: ok")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

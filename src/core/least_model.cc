@@ -1,5 +1,6 @@
 #include "core/least_model.h"
 
+#include <chrono>
 #include <deque>
 
 #include "base/logging.h"
@@ -64,6 +65,10 @@ StatusOr<Interpretation> LeastModelComputer::Compute(
 
 StatusOr<Interpretation> LeastModelComputer::ComputeImpl(
     const CancelToken* cancel) const {
+  const std::chrono::steady_clock::time_point trace_start =
+      trace_ != nullptr ? std::chrono::steady_clock::now()
+                        : std::chrono::steady_clock::time_point();
+  size_t fired_count = 0;
   Interpretation result = Interpretation::ForProgram(program_);
   std::vector<RuleState> state = initial_state_;
   std::deque<uint32_t> ready;  // rules that may fire
@@ -118,6 +123,27 @@ StatusOr<Interpretation> LeastModelComputer::ComputeImpl(
     }
     rule_state.fired = true;
     add_literal(program_.rule(index).head);
+    ++fired_count;
+    if (trace_ != nullptr) {
+      TraceEvent event;
+      event.kind = TraceEventKind::kRuleFired;
+      event.component = view_;
+      event.rule = index;
+      event.a = result.NumAssigned();
+      trace_->Emit(event);
+    }
+  }
+  if (trace_ != nullptr) {
+    TraceEvent event;
+    event.kind = TraceEventKind::kFixpointDone;
+    event.component = view_;
+    event.a = fired_count;
+    event.b = result.NumAssigned();
+    event.duration_us = static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now() - trace_start)
+            .count());
+    trace_->Emit(event);
   }
   return result;
 }

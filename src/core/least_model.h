@@ -5,6 +5,7 @@
 #include "base/status.h"
 #include "core/interpretation.h"
 #include "ground/ground_program.h"
+#include "trace/sink.h"
 
 namespace ordlog {
 
@@ -41,6 +42,11 @@ class LeastModelComputer {
   // firings) and aborts with kCancelled / kDeadlineExceeded.
   StatusOr<Interpretation> Compute(const CancelToken& cancel) const;
 
+  // Attaches a structured trace sink (not owned; may be null). When set,
+  // Compute emits kRuleFired per rule firing and a final kFixpointDone
+  // whose `steps` payload is the number of firings.
+  void set_trace(TraceSink* sink) { trace_ = sink; }
+
  private:
   StatusOr<Interpretation> ComputeImpl(const CancelToken* cancel) const;
 
@@ -63,6 +69,7 @@ class LeastModelComputer {
   // silences_[r] = rules (in view) that rule r silences while non-blocked.
   std::vector<std::vector<uint32_t>> silences_;
   std::vector<RuleState> initial_state_;
+  TraceSink* trace_ = nullptr;
 };
 
 // Convenience wrapper.

@@ -88,6 +88,43 @@ bool RuleStatusEvaluator::IsSilenced(const GroundRule& rule,
   return false;
 }
 
+std::optional<RuleStatusEvaluator::Silencer>
+RuleStatusEvaluator::FindSilencer(const GroundRule& rule,
+                                  const Interpretation& i) const {
+  std::optional<Silencer> defeater;
+  for (uint32_t index :
+       program_.RulesWithHead(rule.head.atom, !rule.head.positive)) {
+    const GroundRule& other = program_.rule(index);
+    if (!program_.Leq(view_, other.component)) continue;  // outside C*
+    const Relation relation = Relate(other.component, rule.component);
+    if (relation == Relation::kNone) continue;
+    if (IsBlocked(other, i)) continue;
+    if (relation == Relation::kOverrules) {
+      return Silencer{index, /*overrules=*/true};
+    }
+    if (!defeater.has_value()) {
+      defeater = Silencer{index, /*overrules=*/false};
+    }
+  }
+  return defeater;
+}
+
+RuleStatusCode RuleStatusEvaluator::StatusCode(
+    const GroundRule& rule, const Interpretation& i,
+    std::optional<Silencer>* silencer) const {
+  if (silencer != nullptr) silencer->reset();
+  if (IsBlocked(rule, i)) return RuleStatusCode::kBlocked;
+  const std::optional<Silencer> found = FindSilencer(rule, i);
+  if (found.has_value()) {
+    if (silencer != nullptr) *silencer = found;
+    return found->overrules ? RuleStatusCode::kOverruled
+                            : RuleStatusCode::kDefeated;
+  }
+  if (IsApplied(rule, i)) return RuleStatusCode::kApplied;
+  if (IsApplicable(rule, i)) return RuleStatusCode::kApplicable;
+  return RuleStatusCode::kNotApplicable;
+}
+
 std::string RuleStatusEvaluator::StatusString(const GroundRule& rule,
                                               const Interpretation& i) const {
   std::ostringstream os;
@@ -100,6 +137,27 @@ std::string RuleStatusEvaluator::StatusString(const GroundRule& rule,
   if (result.empty()) return "(none)";
   result.pop_back();
   return result;
+}
+
+void EmitRuleStatuses(const GroundProgram& program, ComponentId view,
+                      const Interpretation& i, TraceSink* sink) {
+  if (sink == nullptr) return;
+  const RuleStatusEvaluator evaluator(program, view);
+  for (uint32_t index : program.ViewRules(view)) {
+    const GroundRule& rule = program.rule(index);
+    std::optional<RuleStatusEvaluator::Silencer> silencer;
+    const RuleStatusCode status = evaluator.StatusCode(rule, i, &silencer);
+    TraceEvent event;
+    event.kind = TraceEventKind::kRuleStatus;
+    event.rule = index;
+    event.component = rule.component;
+    event.a = static_cast<uint64_t>(status);
+    if (silencer.has_value()) {
+      event.other_rule = silencer->rule_index;
+      event.other_component = program.rule(silencer->rule_index).component;
+    }
+    sink->Emit(event);
+  }
 }
 
 }  // namespace ordlog

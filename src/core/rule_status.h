@@ -1,10 +1,12 @@
 #ifndef ORDLOG_CORE_RULE_STATUS_H_
 #define ORDLOG_CORE_RULE_STATUS_H_
 
+#include <optional>
 #include <string>
 
 #include "core/interpretation.h"
 #include "ground/ground_program.h"
+#include "trace/sink.h"
 
 namespace ordlog {
 
@@ -44,6 +46,30 @@ class RuleStatusEvaluator {
   // defeated, in one pass over the complementary-head rules.
   bool IsSilenced(const GroundRule& rule, const Interpretation& i) const;
 
+  // The witness for IsSilenced: a non-blocked complementary rule in an
+  // overruling or defeating position relative to `rule`.
+  struct Silencer {
+    // Ground-rule index of the silencing rule.
+    uint32_t rule_index = 0;
+    // True when the silencer's component sits strictly below `rule`'s
+    // (overruling, Def. 2); false for same/incomparable (defeating).
+    bool overrules = false;
+  };
+
+  // Finds a silencer of `rule` under `i`, preferring overruling witnesses
+  // over defeating ones (the stronger diagnosis); nullopt when the rule is
+  // not silenced. Deterministic: the first matching rule in index order.
+  std::optional<Silencer> FindSilencer(const GroundRule& rule,
+                                       const Interpretation& i) const;
+
+  // The Definition 2 status of `rule` under `i`, collapsed to the single
+  // dominant code used by trace events and derivation provenance:
+  // blocked > overruled > defeated > applied > applicable > not_applicable.
+  // For overruled/defeated, `silencer` (if non-null) receives the witness.
+  RuleStatusCode StatusCode(const GroundRule& rule, const Interpretation& i,
+                            std::optional<Silencer>* silencer = nullptr)
+      const;
+
   // Multi-line diagnostic of all statuses of `rule` under `i`.
   std::string StatusString(const GroundRule& rule,
                            const Interpretation& i) const;
@@ -58,6 +84,15 @@ class RuleStatusEvaluator {
   const GroundProgram& program_;
   const ComponentId view_;
 };
+
+// Emits one kRuleStatus trace event per rule of the view, in rule-index
+// order, carrying the rule's dominant Definition 2 status under `i` (for
+// overruled/defeated: the silencing rule and the component pair). `i` is
+// normally the least model V∞(∅); `sink` may be null (no-op). Intended as
+// the post-fixpoint provenance sweep — O(view rules × complementary
+// rules), off the solving hot path.
+void EmitRuleStatuses(const GroundProgram& program, ComponentId view,
+                      const Interpretation& i, TraceSink* sink);
 
 }  // namespace ordlog
 

@@ -1,0 +1,31 @@
+#ifndef ORDLOG_CORE_SOLVER_TRACE_H_
+#define ORDLOG_CORE_SOLVER_TRACE_H_
+
+#include "lang/program.h"
+#include "trace/sink.h"
+
+namespace ordlog {
+namespace solver_trace {
+
+// Shared emission helper for the backtracking solvers (stable and total):
+// one null check on the untraced path, a stack-built POD otherwise. The
+// payload slots a/b/c carry (atom, value, depth) for kSolverBranch,
+// (accepted, -, -) for kSolverLeaf, and (-, -, depth) for
+// kSolverPrune / kSolverBacktrack.
+inline void Emit(TraceSink* sink, TraceEventKind kind, ComponentId view,
+                 uint64_t node, uint64_t a, uint64_t b, uint64_t c) {
+  if (sink == nullptr) return;
+  TraceEvent event;
+  event.kind = kind;
+  event.component = view;
+  event.node = node;
+  event.a = a;
+  event.b = b;
+  event.c = c;
+  sink->Emit(event);
+}
+
+}  // namespace solver_trace
+}  // namespace ordlog
+
+#endif  // ORDLOG_CORE_SOLVER_TRACE_H_

@@ -4,6 +4,8 @@
 #include "core/enumerate.h"
 #include "core/least_model.h"
 
+#include "core/solver_trace.h"
+
 namespace ordlog {
 
 StableModelSolver::StableModelSolver(const GroundProgram& program,
@@ -141,34 +143,38 @@ Status StableModelSolver::Search(size_t level, Interpretation& candidate,
     ORDLOG_RETURN_IF_ERROR(options_.cancel->Check());
   }
   if (results.size() >= options_.max_models) return Status::Ok();
+  const uint64_t node = nodes;  // this invocation's search-node id
   if (level == branch_.size()) {
-    if (checker_.IsModel(candidate) &&
-        assumptions_.IsAssumptionFree(candidate)) {
-      results.push_back(candidate);
-    }
+    const bool accepted = checker_.IsModel(candidate) &&
+                          assumptions_.IsAssumptionFree(candidate);
+    if (accepted) results.push_back(candidate);
+    solver_trace::Emit(options_.trace, TraceEventKind::kSolverLeaf, view_,
+                       node, accepted ? 1 : 0, 0, 0);
     return Status::Ok();
   }
   const GroundAtomId atom = branch_[level];
+  const auto try_branch = [&](TruthValue value) -> Status {
+    candidate.Set(atom, value);
+    solver_trace::Emit(options_.trace, TraceEventKind::kSolverBranch, view_,
+                       node, atom, static_cast<uint64_t>(value), level);
+    if (options_.enable_pruning && !ExtensionPossible(candidate, level + 1)) {
+      solver_trace::Emit(options_.trace, TraceEventKind::kSolverPrune, view_,
+                         node, 0, 0, level + 1);
+      return Status::Ok();
+    }
+    return Search(level + 1, candidate, results, nodes);
+  };
   // Assigned values first so that maximal models tend to be found early.
   if (allow_true_[level]) {
-    candidate.Set(atom, TruthValue::kTrue);
-    if (!options_.enable_pruning ||
-        ExtensionPossible(candidate, level + 1)) {
-      ORDLOG_RETURN_IF_ERROR(Search(level + 1, candidate, results, nodes));
-    }
+    ORDLOG_RETURN_IF_ERROR(try_branch(TruthValue::kTrue));
   }
   if (allow_false_[level]) {
-    candidate.Set(atom, TruthValue::kFalse);
-    if (!options_.enable_pruning ||
-        ExtensionPossible(candidate, level + 1)) {
-      ORDLOG_RETURN_IF_ERROR(Search(level + 1, candidate, results, nodes));
-    }
+    ORDLOG_RETURN_IF_ERROR(try_branch(TruthValue::kFalse));
   }
+  ORDLOG_RETURN_IF_ERROR(try_branch(TruthValue::kUndefined));
   candidate.Set(atom, TruthValue::kUndefined);
-  if (!options_.enable_pruning || ExtensionPossible(candidate, level + 1)) {
-    ORDLOG_RETURN_IF_ERROR(Search(level + 1, candidate, results, nodes));
-  }
-  candidate.Set(atom, TruthValue::kUndefined);
+  solver_trace::Emit(options_.trace, TraceEventKind::kSolverBacktrack, view_,
+                     node, 0, 0, level);
   return Status::Ok();
 }
 

@@ -8,6 +8,7 @@
 #include "core/assumption.h"
 #include "core/model_check.h"
 #include "core/v_operator.h"
+#include "trace/sink.h"
 
 namespace ordlog {
 
@@ -25,6 +26,10 @@ struct StableSolverOptions {
   // or kDeadlineExceeded. Not owned; may be null (never checked).
   const CancelToken* cancel = nullptr;
   size_t cancel_check_interval = 1024;
+  // Structured trace sink (not owned; may be null). When set, the search
+  // emits kSolverBranch / kSolverPrune / kSolverLeaf / kSolverBacktrack
+  // events whose node ids are the search-node counter.
+  TraceSink* trace = nullptr;
 };
 
 // Per-call diagnostics, returned through the optional out-parameter of

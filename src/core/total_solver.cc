@@ -2,6 +2,7 @@
 
 #include "base/strings.h"
 #include "core/least_model.h"
+#include "core/solver_trace.h"
 
 namespace ordlog {
 
@@ -75,19 +76,30 @@ Status TotalModelSolver::Search(size_t level, Interpretation& candidate,
     ORDLOG_RETURN_IF_ERROR(options_.cancel->Check());
   }
   if (results.size() >= limit) return Status::Ok();
+  const uint64_t node = nodes;  // this invocation's search-node id
   if (level == branch_.size()) {
-    if (checker_.IsModel(candidate)) results.push_back(candidate);
+    const bool accepted = checker_.IsModel(candidate);
+    if (accepted) results.push_back(candidate);
+    solver_trace::Emit(options_.trace, TraceEventKind::kSolverLeaf, view_,
+                       node, accepted ? 1 : 0, 0, 0);
     return Status::Ok();
   }
   const GroundAtomId atom = branch_[level];
   for (const TruthValue value : {TruthValue::kTrue, TruthValue::kFalse}) {
     candidate.Set(atom, value);
+    solver_trace::Emit(options_.trace, TraceEventKind::kSolverBranch, view_,
+                       node, atom, static_cast<uint64_t>(value), level);
     if (ExtensionPossible(candidate, level + 1)) {
       ORDLOG_RETURN_IF_ERROR(
           Search(level + 1, candidate, results, limit, nodes));
+    } else {
+      solver_trace::Emit(options_.trace, TraceEventKind::kSolverPrune, view_,
+                         node, 0, 0, level + 1);
     }
   }
   candidate.Set(atom, TruthValue::kUndefined);
+  solver_trace::Emit(options_.trace, TraceEventKind::kSolverBacktrack, view_,
+                     node, 0, 0, level);
   return Status::Ok();
 }
 

@@ -8,6 +8,7 @@
 #include "base/status.h"
 #include "core/model_check.h"
 #include "core/v_operator.h"
+#include "trace/sink.h"
 
 namespace ordlog {
 
@@ -19,6 +20,9 @@ struct TotalSolverOptions {
   // cancel_check_interval search nodes (see StableSolverOptions).
   const CancelToken* cancel = nullptr;
   size_t cancel_check_interval = 1024;
+  // Structured trace sink (not owned; may be null); same event stream as
+  // StableSolverOptions::trace.
+  TraceSink* trace = nullptr;
 };
 
 // Per-call diagnostics (mirrors StableSolverStats).

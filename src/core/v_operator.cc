@@ -1,8 +1,53 @@
 #include "core/v_operator.h"
 
+#include <chrono>
+
 #include "base/logging.h"
 
 namespace ordlog {
+
+namespace {
+
+// Shared tracing scaffolding for the two LeastFixpoint overloads: emits
+// per-round and final events when a sink is attached, at zero cost (two
+// null checks per round) otherwise.
+struct FixpointTracer {
+  TraceSink* sink;
+  ComponentId view;
+  std::chrono::steady_clock::time_point start;
+
+  explicit FixpointTracer(TraceSink* s, ComponentId v)
+      : sink(s), view(v),
+        start(s != nullptr ? std::chrono::steady_clock::now()
+                           : std::chrono::steady_clock::time_point()) {}
+
+  void Round(size_t round, size_t size, size_t delta) const {
+    if (sink == nullptr) return;
+    TraceEvent event;
+    event.kind = TraceEventKind::kFixpointRound;
+    event.component = view;
+    event.a = round;
+    event.b = size;
+    event.c = delta;
+    sink->Emit(event);
+  }
+
+  void Done(size_t rounds, size_t size) const {
+    if (sink == nullptr) return;
+    TraceEvent event;
+    event.kind = TraceEventKind::kFixpointDone;
+    event.component = view;
+    event.a = rounds;
+    event.b = size;
+    event.duration_us = static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now() - start)
+            .count());
+    sink->Emit(event);
+  }
+};
+
+}  // namespace
 
 Interpretation VOperator::Apply(const Interpretation& i) const {
   const GroundProgram& program = evaluator_.program();
@@ -19,27 +64,43 @@ Interpretation VOperator::Apply(const Interpretation& i) const {
 }
 
 Interpretation VOperator::LeastFixpoint() const {
+  const FixpointTracer tracer(trace_, evaluator_.view());
   Interpretation current =
       Interpretation::ForProgram(evaluator_.program());
   last_iterations_ = 0;
+  size_t previous_size = 0;
   while (true) {
     ++last_iterations_;
     Interpretation next = Apply(current);
-    if (next == current) return current;
+    const size_t size = next.NumAssigned();
+    tracer.Round(last_iterations_, size, size - previous_size);
+    previous_size = size;
+    if (next == current) {
+      tracer.Done(last_iterations_, size);
+      return current;
+    }
     current = std::move(next);
   }
 }
 
 StatusOr<Interpretation> VOperator::LeastFixpoint(
     const CancelToken& cancel) const {
+  const FixpointTracer tracer(trace_, evaluator_.view());
   Interpretation current =
       Interpretation::ForProgram(evaluator_.program());
   last_iterations_ = 0;
+  size_t previous_size = 0;
   while (true) {
     ORDLOG_RETURN_IF_ERROR(cancel.Check());
     ++last_iterations_;
     Interpretation next = Apply(current);
-    if (next == current) return current;
+    const size_t size = next.NumAssigned();
+    tracer.Round(last_iterations_, size, size - previous_size);
+    previous_size = size;
+    if (next == current) {
+      tracer.Done(last_iterations_, size);
+      return current;
+    }
     current = std::move(next);
   }
 }

@@ -4,6 +4,7 @@
 #include "base/cancel.h"
 #include "base/status.h"
 #include "core/rule_status.h"
+#include "trace/sink.h"
 
 namespace ordlog {
 
@@ -38,9 +39,15 @@ class VOperator {
   // benchmarks/diagnostics).
   size_t last_iterations() const { return last_iterations_; }
 
+  // Attaches a structured trace sink (not owned; may be null). When set,
+  // LeastFixpoint emits one kFixpointRound event per Apply pass and a
+  // final kFixpointDone with the wall time.
+  void set_trace(TraceSink* sink) { trace_ = sink; }
+
  private:
   RuleStatusEvaluator evaluator_;
   mutable size_t last_iterations_ = 0;
+  TraceSink* trace_ = nullptr;
 };
 
 }  // namespace ordlog

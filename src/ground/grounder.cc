@@ -1,5 +1,7 @@
 #include "ground/grounder.h"
 
+#include <chrono>
+
 #include "base/logging.h"
 #include "base/strings.h"
 #include "lang/printer.h"
@@ -129,9 +131,22 @@ StatusOr<GroundProgram> Grounder::Ground(OrderedProgram& program,
     builder.AddOrder(lower, higher);
   }
 
+  using Clock = std::chrono::steady_clock;
+  const auto elapsed_us = [](Clock::time_point since) {
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() -
+                                                              since)
+            .count());
+  };
+  const Clock::time_point ground_start =
+      options.trace != nullptr ? Clock::now() : Clock::time_point();
+
   size_t emitted = 0;
   for (ComponentId c = 0; c < program.NumComponents(); ++c) {
     const Component& component = program.component(c);
+    const Clock::time_point component_start =
+        options.trace != nullptr ? Clock::now() : Clock::time_point();
+    const size_t emitted_before = emitted;
     for (size_t i = 0; i < component.rules.size(); ++i) {
       RuleInstantiator instantiator(
           program.pool(), universe, component.rules[i], c,
@@ -139,8 +154,25 @@ StatusOr<GroundProgram> Grounder::Ground(OrderedProgram& program,
           &emitted);
       ORDLOG_RETURN_IF_ERROR(instantiator.Run());
     }
+    if (options.trace != nullptr) {
+      TraceEvent event;
+      event.kind = TraceEventKind::kGroundComponent;
+      event.component = c;
+      event.a = emitted - emitted_before;
+      event.duration_us = elapsed_us(component_start);
+      options.trace->Emit(event);
+    }
   }
-  return builder.Build();
+  StatusOr<GroundProgram> ground = builder.Build();
+  if (options.trace != nullptr && ground.ok()) {
+    TraceEvent event;
+    event.kind = TraceEventKind::kGroundDone;
+    event.a = ground->NumRules();
+    event.b = ground->NumAtoms();
+    event.duration_us = elapsed_us(ground_start);
+    options.trace->Emit(event);
+  }
+  return ground;
 }
 
 }  // namespace ordlog

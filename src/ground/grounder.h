@@ -5,6 +5,7 @@
 #include "ground/ground_program.h"
 #include "ground/herbrand.h"
 #include "lang/program.h"
+#include "trace/sink.h"
 
 namespace ordlog {
 
@@ -15,6 +16,10 @@ struct GrounderOptions {
   // variables (Def. 2 needs the statuses of never-firing instances too),
   // so grounding is exponential in rule arity by construction.
   size_t max_ground_rules = 5'000'000;
+  // Structured trace sink (not owned; may be null). When set, Ground emits
+  // one kGroundComponent event per component (rules emitted, wall time)
+  // and a final kGroundDone (total rules, atoms, wall time).
+  TraceSink* trace = nullptr;
 };
 
 // Instantiates every rule of every component over the (depth-bounded)

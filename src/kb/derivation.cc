@@ -1,0 +1,219 @@
+#include "kb/derivation.h"
+
+#include <algorithm>
+#include <ostream>
+#include <sstream>
+
+#include "base/strings.h"
+#include "core/v_operator.h"
+#include "trace/event.h"
+#include "trace/json.h"
+
+namespace ordlog {
+
+std::string GroundRuleToString(const GroundProgram& program,
+                               const GroundRule& rule) {
+  std::ostringstream os;
+  os << program.LiteralToString(rule.head);
+  if (!rule.body.empty()) {
+    os << " :- "
+       << StrJoin(rule.body, ", ",
+                  [&program](std::ostringstream& s, GroundLiteral literal) {
+                    s << program.LiteralToString(literal);
+                  });
+  }
+  os << " [" << program.component_name(rule.component) << "]";
+  return os.str();
+}
+
+std::vector<int> DerivationRanks(const GroundProgram& program,
+                                 ComponentId view) {
+  std::vector<int> rank(program.NumAtoms(), -1);
+  VOperator v(program, view);
+  Interpretation current = Interpretation::ForProgram(program);
+  int round = 0;
+  while (true) {
+    Interpretation next = v.Apply(current);
+    if (next == current) break;
+    ++round;
+    for (const GroundLiteral& literal : next.Literals()) {
+      if (rank[literal.atom] < 0) rank[literal.atom] = round;
+    }
+    current = std::move(next);
+  }
+  return rank;
+}
+
+DerivationBuilder::DerivationBuilder(const GroundProgram& program,
+                                     ComponentId view,
+                                     const Interpretation& least_model)
+    : program_(program),
+      view_(view),
+      model_(least_model),
+      evaluator_(program, view),
+      rank_(DerivationRanks(program, view)) {}
+
+void DerivationBuilder::AppendRuleDiagnosis(
+    uint32_t rule_index, std::vector<RuleDiagnosis>* out) const {
+  const GroundRule& rule = program_.rule(rule_index);
+  if (!program_.Leq(view_, rule.component)) return;
+  RuleDiagnosis diag;
+  diag.rule_index = rule_index;
+  std::optional<RuleStatusEvaluator::Silencer> silencer;
+  diag.status = evaluator_.StatusCode(rule, model_, &silencer);
+  diag.silencer = silencer;
+  for (const GroundLiteral& literal : rule.body) {
+    if (model_.Contains(literal) || model_.ContainsComplement(literal)) {
+      continue;
+    }
+    if (std::find(diag.undefined_body.begin(), diag.undefined_body.end(),
+                  literal.atom) == diag.undefined_body.end()) {
+      diag.undefined_body.push_back(literal.atom);
+    }
+  }
+  out->push_back(std::move(diag));
+}
+
+std::vector<DerivationBuilder::RuleDiagnosis> DerivationBuilder::DiagnoseAtom(
+    GroundAtomId atom) const {
+  std::vector<RuleDiagnosis> out;
+  for (const bool positive : {true, false}) {
+    for (uint32_t index : program_.RulesWithHead(atom, positive)) {
+      AppendRuleDiagnosis(index, &out);
+    }
+  }
+  return out;
+}
+
+std::vector<DerivationBuilder::RuleDiagnosis> DerivationBuilder::DiagnoseHead(
+    GroundLiteral head) const {
+  std::vector<RuleDiagnosis> out;
+  for (uint32_t index : program_.RulesWithHead(head.atom, head.positive)) {
+    AppendRuleDiagnosis(index, &out);
+  }
+  return out;
+}
+
+void DerivationBuilder::TreeToJson(GroundLiteral literal,
+                                   std::ostream& os) const {
+  // Pick an applied, non-silenced rule whose body was derived strictly
+  // earlier in the V chain (the same choice Explainer makes, so the text
+  // and JSON explanations agree).
+  const GroundRule* chosen = nullptr;
+  for (uint32_t index :
+       program_.RulesWithHead(literal.atom, literal.positive)) {
+    const GroundRule& rule = program_.rule(index);
+    if (!program_.Leq(view_, rule.component)) continue;
+    if (!evaluator_.IsApplied(rule, model_)) continue;
+    if (evaluator_.IsSilenced(rule, model_)) continue;
+    bool body_earlier = true;
+    for (const GroundLiteral& body_literal : rule.body) {
+      if (rank_[body_literal.atom] >= rank_[literal.atom]) {
+        body_earlier = false;
+        break;
+      }
+    }
+    if (body_earlier) {
+      chosen = &rule;
+      break;
+    }
+  }
+  os << "{\"literal\":" << JsonQuote(program_.LiteralToString(literal));
+  if (chosen == nullptr) {
+    // Shouldn't happen for literals of the least model; degrade gracefully.
+    os << ",\"rule\":null}";
+    return;
+  }
+  os << ",\"rule\":" << JsonQuote(GroundRuleToString(program_, *chosen))
+     << ",\"component\":"
+     << JsonQuote(program_.component_name(chosen->component))
+     << ",\"fact\":" << (chosen->body.empty() ? "true" : "false");
+  if (!chosen->body.empty()) {
+    os << ",\"body\":[";
+    for (size_t i = 0; i < chosen->body.size(); ++i) {
+      if (i > 0) os << ',';
+      TreeToJson(chosen->body[i], os);
+    }
+    os << ']';
+  }
+  os << '}';
+}
+
+void DerivationBuilder::DiagnosesToJson(
+    const std::vector<RuleDiagnosis>& diagnoses, std::ostream& os) const {
+  os << '[';
+  for (size_t i = 0; i < diagnoses.size(); ++i) {
+    if (i > 0) os << ',';
+    const RuleDiagnosis& diag = diagnoses[i];
+    const GroundRule& rule = program_.rule(diag.rule_index);
+    os << "{\"rule\":" << JsonQuote(GroundRuleToString(program_, rule))
+       << ",\"component\":"
+       << JsonQuote(program_.component_name(rule.component))
+       << ",\"status\":" << JsonQuote(RuleStatusCodeName(diag.status));
+    if (diag.silencer.has_value()) {
+      const GroundRule& by = program_.rule(diag.silencer->rule_index);
+      os << ",\"by_rule\":" << JsonQuote(GroundRuleToString(program_, by))
+         << ",\"by_component\":"
+         << JsonQuote(program_.component_name(by.component));
+    }
+    if (!diag.undefined_body.empty()) {
+      os << ",\"undefined_body\":[";
+      for (size_t j = 0; j < diag.undefined_body.size(); ++j) {
+        if (j > 0) os << ',';
+        os << JsonQuote(program_.AtomToString(diag.undefined_body[j]));
+      }
+      os << ']';
+    }
+    os << '}';
+  }
+  os << ']';
+}
+
+std::string DerivationBuilder::ToJson(GroundLiteral literal) const {
+  std::ostringstream os;
+  os << "{\"query\":" << JsonQuote(program_.LiteralToString(literal))
+     << ",\"module\":" << JsonQuote(program_.component_name(view_));
+  if (model_.Contains(literal)) {
+    os << ",\"truth\":\"true\",\"derivation\":";
+    TreeToJson(literal, os);
+    os << ",\"counter_rules\":";
+    DiagnosesToJson(DiagnoseHead(literal.Complement()), os);
+  } else if (model_.ContainsComplement(literal)) {
+    os << ",\"truth\":\"false\",\"complement\":"
+       << JsonQuote(program_.LiteralToString(literal.Complement()))
+       << ",\"derivation\":";
+    TreeToJson(literal.Complement(), os);
+    os << ",\"counter_rules\":";
+    DiagnosesToJson(DiagnoseHead(literal), os);
+  } else {
+    // Breadth-first closure of the undefined region reachable from the
+    // query atom through undefined body atoms (discovery order, so the
+    // output is deterministic).
+    os << ",\"truth\":\"undefined\",\"undefined\":[";
+    std::vector<GroundAtomId> queue{literal.atom};
+    std::vector<bool> visited(program_.NumAtoms(), false);
+    visited[literal.atom] = true;
+    for (size_t head = 0; head < queue.size(); ++head) {
+      const GroundAtomId atom = queue[head];
+      const std::vector<RuleDiagnosis> diagnoses = DiagnoseAtom(atom);
+      if (head > 0) os << ',';
+      os << "{\"atom\":" << JsonQuote(program_.AtomToString(atom))
+         << ",\"rules\":";
+      DiagnosesToJson(diagnoses, os);
+      os << '}';
+      for (const RuleDiagnosis& diag : diagnoses) {
+        for (const GroundAtomId next : diag.undefined_body) {
+          if (!visited[next]) {
+            visited[next] = true;
+            queue.push_back(next);
+          }
+        }
+      }
+    }
+    os << ']';
+  }
+  os << '}';
+  return os.str();
+}
+
+}  // namespace ordlog

@@ -1,0 +1,87 @@
+#ifndef ORDLOG_KB_DERIVATION_H_
+#define ORDLOG_KB_DERIVATION_H_
+
+#include <string>
+#include <vector>
+
+#include "core/interpretation.h"
+#include "core/rule_status.h"
+
+namespace ordlog {
+
+// Renders a ground rule as "head :- body [component]" (body omitted for
+// facts), using the program's symbol table.
+std::string GroundRuleToString(const GroundProgram& program,
+                               const GroundRule& rule);
+
+// rank[atom] = V-iteration of V∞(∅) at which the atom's literal first
+// appeared, or -1 if the atom is undefined in the view's least model.
+// Ranks order derivations into well-founded proof trees (a rule instance
+// justifies its head only if every body literal was derived strictly
+// earlier), which guards the tree walk against cyclic justifications.
+std::vector<int> DerivationRanks(const GroundProgram& program,
+                                 ComponentId view);
+
+// Builds serializable derivation graphs for the least-model semantics of
+// one view: the machine-readable counterpart of Explainer.
+//
+// The graph answers the three provenance questions of the paper's
+// Definition 2 statuses:
+//   why p          — a proof tree of applied, non-silenced rules down to
+//                    facts, each body literal derived strictly earlier;
+//   why not p      — the proof tree for ¬p plus the diagnosis of every
+//                    rule for p (overruled/defeated with the silencing
+//                    rule and component pair, blocked, or inapplicable);
+//   why undefined  — a recursive diagnosis: every rule for the atom with
+//                    its dominant status, following inapplicable rules
+//                    into their undefined body atoms until closure.
+//
+// Output is deterministic (rule-index and discovery order, no timing
+// fields), so it can be golden-tested byte-for-byte.
+class DerivationBuilder {
+ public:
+  // `least_model` must be the V∞(∅) fixpoint for (program, view).
+  DerivationBuilder(const GroundProgram& program, ComponentId view,
+                    const Interpretation& least_model);
+
+  // Serializes the derivation graph of `literal` as a single-line JSON
+  // object. Top-level keys: "query", "module", "truth" (true/false/
+  // undefined), then per truth value: "derivation" (+"counter_rules") for
+  // true, "complement"+"derivation"+"counter_rules" for false, and
+  // "undefined" (the recursive atom diagnoses) otherwise.
+  std::string ToJson(GroundLiteral literal) const;
+
+ private:
+  // One rule's contribution to (or failure to contribute to) the atom it
+  // heads: the dominant Definition 2 status, the silencing witness for
+  // overruled/defeated, and the undefined body atoms for inapplicable
+  // rules (the edges the undefined-diagnosis recursion follows).
+  struct RuleDiagnosis {
+    uint32_t rule_index = 0;
+    RuleStatusCode status = RuleStatusCode::kNotApplicable;
+    std::optional<RuleStatusEvaluator::Silencer> silencer;
+    std::vector<GroundAtomId> undefined_body;
+  };
+
+  // Diagnoses every view-visible rule whose head is ±`atom`.
+  std::vector<RuleDiagnosis> DiagnoseAtom(GroundAtomId atom) const;
+  // Diagnoses every view-visible rule with exactly head `head`.
+  std::vector<RuleDiagnosis> DiagnoseHead(GroundLiteral head) const;
+  void AppendRuleDiagnosis(uint32_t rule_index,
+                           std::vector<RuleDiagnosis>* out) const;
+
+  // Writes the proof tree of a true literal as a JSON object.
+  void TreeToJson(GroundLiteral literal, std::ostream& os) const;
+  void DiagnosesToJson(const std::vector<RuleDiagnosis>& diagnoses,
+                       std::ostream& os) const;
+
+  const GroundProgram& program_;
+  const ComponentId view_;
+  const Interpretation& model_;
+  RuleStatusEvaluator evaluator_;
+  std::vector<int> rank_;
+};
+
+}  // namespace ordlog
+
+#endif  // ORDLOG_KB_DERIVATION_H_

@@ -1,7 +1,7 @@
 #include "kb/explain.h"
 
 #include "base/strings.h"
-#include "core/v_operator.h"
+#include "kb/derivation.h"
 
 namespace ordlog {
 
@@ -15,51 +15,21 @@ Explainer::Explainer(const GroundProgram& program, ComponentId view,
       view_(view),
       model_(least_model),
       evaluator_(program, view),
-      rank_(program.NumAtoms(), -1) {
-  // Recompute the V chain to rank literals by first-derivation round.
-  VOperator v(program, view);
-  Interpretation current = Interpretation::ForProgram(program);
-  int round = 0;
-  while (true) {
-    Interpretation next = v.Apply(current);
-    if (next == current) break;
-    ++round;
-    for (const GroundLiteral& literal : next.Literals()) {
-      if (rank_[literal.atom] < 0) rank_[literal.atom] = round;
-    }
-    current = std::move(next);
-  }
-}
+      rank_(DerivationRanks(program, view)) {}
 
 std::string Explainer::RuleName(const GroundRule& rule) const {
-  std::ostringstream os;
-  os << program_.LiteralToString(rule.head);
-  if (!rule.body.empty()) {
-    os << " :- "
-       << StrJoin(rule.body, ", ",
-                  [this](std::ostringstream& s, GroundLiteral literal) {
-                    s << program_.LiteralToString(literal);
-                  });
-  }
-  os << " [" << program_.component_name(rule.component) << "]";
-  return os.str();
+  return GroundRuleToString(program_, rule);
 }
 
 std::string Explainer::SilenceReason(const GroundRule& rule) const {
-  for (uint32_t index :
-       program_.RulesWithHead(rule.head.atom, !rule.head.positive)) {
-    const GroundRule& other = program_.rule(index);
-    if (!program_.Leq(view_, other.component)) continue;
-    if (evaluator_.IsBlocked(other, model_)) continue;
-    if (program_.Less(other.component, rule.component)) {
-      return StrCat("overruled by more specific rule: ", RuleName(other));
-    }
-    if (other.component == rule.component ||
-        program_.Incomparable(other.component, rule.component)) {
-      return StrCat("defeated by conflicting rule: ", RuleName(other));
-    }
+  const std::optional<RuleStatusEvaluator::Silencer> silencer =
+      evaluator_.FindSilencer(rule, model_);
+  if (!silencer.has_value()) return "not silenced";
+  const GroundRule& other = program_.rule(silencer->rule_index);
+  if (silencer->overrules) {
+    return StrCat("overruled by more specific rule: ", RuleName(other));
   }
-  return "not silenced";
+  return StrCat("defeated by conflicting rule: ", RuleName(other));
 }
 
 void Explainer::ExplainTrue(GroundLiteral literal, int indent,

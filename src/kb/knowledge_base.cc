@@ -5,8 +5,10 @@
 #include "lang/match.h"
 #include "lang/printer.h"
 #include "core/stable_solver.h"
+#include "kb/derivation.h"
 #include "kb/explain.h"
 #include "parser/parser.h"
+#include "trace/json.h"
 
 namespace ordlog {
 
@@ -293,6 +295,22 @@ StatusOr<std::string> KnowledgeBase::Explain(std::string_view module,
   ORDLOG_ASSIGN_OR_RETURN(const Interpretation* model, LeastModel(id));
   Explainer explainer(*ground_program, id, *model);
   return explainer.Explain(*literal);
+}
+
+StatusOr<std::string> KnowledgeBase::ExplainJson(
+    std::string_view module, std::string_view literal_text) {
+  ORDLOG_ASSIGN_OR_RETURN(const ComponentId id, ModuleId(module));
+  ORDLOG_ASSIGN_OR_RETURN(const std::optional<GroundLiteral> literal,
+                          ResolveLiteral(literal_text));
+  ORDLOG_ASSIGN_OR_RETURN(const GroundProgram* ground_program, ground());
+  if (!literal.has_value()) {
+    return StrCat("{\"query\":", JsonQuote(literal_text),
+                  ",\"module\":", JsonQuote(module),
+                  ",\"truth\":\"undefined\",\"unknown\":true}");
+  }
+  ORDLOG_ASSIGN_OR_RETURN(const Interpretation* model, LeastModel(id));
+  DerivationBuilder builder(*ground_program, id, *model);
+  return builder.ToJson(*literal);
 }
 
 }  // namespace ordlog

@@ -97,6 +97,13 @@ class KnowledgeBase {
   StatusOr<std::string> Explain(std::string_view module,
                                 std::string_view literal_text);
 
+  // Machine-readable counterpart of Explain: the literal's derivation
+  // graph under the module's least model as a single-line JSON object
+  // (see DerivationBuilder for the schema). A literal that does not occur
+  // in the knowledge base yields {"truth":"undefined","unknown":true}.
+  StatusOr<std::string> ExplainJson(std::string_view module,
+                                    std::string_view literal_text);
+
   // --- introspection --------------------------------------------------------
   // Names of all modules, in creation order.
   std::vector<std::string> ListModules() const;

@@ -40,6 +40,9 @@ MetricsSnapshot RuntimeMetrics::Snapshot() const {
   snapshot.latency_count = latency_.TotalCount();
   snapshot.latency_p50_us = latency_.PercentileUpperBoundUs(50.0);
   snapshot.latency_p99_us = latency_.PercentileUpperBoundUs(99.0);
+  for (size_t i = 0; i < snapshot.phase_us.size(); ++i) {
+    snapshot.phase_us[i] = phase_us_[i].load(std::memory_order_relaxed);
+  }
   return snapshot;
 }
 
@@ -54,7 +57,10 @@ std::string MetricsSnapshot::ToString() const {
                 " snapshots_built=", snapshots_built,
                 " solver_nodes=", solver_nodes,
                 " latency{count=", latency_count, " p50_us<=", latency_p50_us,
-                " p99_us<=", latency_p99_us, "}");
+                " p99_us<=", latency_p99_us, "}",
+                " phase_us{snapshot=", phase_us[0],
+                " resolve=", phase_us[1], " solve=", phase_us[2],
+                " explain=", phase_us[3], "}");
 }
 
 }  // namespace ordlog

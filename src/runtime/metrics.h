@@ -7,6 +7,8 @@
 #include <cstdint>
 #include <string>
 
+#include "trace/event.h"
+
 namespace ordlog {
 
 // Point-in-time copy of the runtime counters, safe to read at leisure.
@@ -26,7 +28,11 @@ struct MetricsSnapshot {
   uint64_t latency_count = 0;
   uint64_t latency_p50_us = 0;
   uint64_t latency_p99_us = 0;
+  // Cumulative wall time per query phase (QueryPhaseCode order:
+  // snapshot, resolve, solve, explain), in microseconds.
+  std::array<uint64_t, 4> phase_us{};
 
+  // One-line dashboard form, e.g. "served=5 failed=0 ... p99_us=128".
   std::string ToString() const;
 };
 
@@ -35,6 +41,7 @@ struct MetricsSnapshot {
 // sub-µs to ~35 minutes in 31 buckets.
 class LatencyHistogram {
  public:
+  // Adds one sample; lock-free, callable from any thread.
   void Record(std::chrono::microseconds latency) {
     uint64_t us = static_cast<uint64_t>(latency.count());
     size_t bucket = 0;
@@ -45,6 +52,7 @@ class LatencyHistogram {
     counts_[bucket].fetch_add(1, std::memory_order_relaxed);
   }
 
+  // Total number of recorded samples across all buckets.
   uint64_t TotalCount() const {
     uint64_t total = 0;
     for (const auto& count : counts_) {
@@ -67,30 +75,45 @@ class LatencyHistogram {
 // counters are independently relaxed-atomic, not a single transaction).
 class RuntimeMetrics {
  public:
+  // A query finished OK after `latency` of wall time.
   void RecordServed(std::chrono::microseconds latency) {
     queries_served_.fetch_add(1, std::memory_order_relaxed);
     latency_.Record(latency);
   }
+  // A query finished with a non-OK status; the flags break out the
+  // kCancelled / kDeadlineExceeded sub-counters.
   void RecordFailure(bool cancelled, bool deadline) {
     queries_failed_.fetch_add(1, std::memory_order_relaxed);
     if (cancelled) cancellations_.fetch_add(1, std::memory_order_relaxed);
     if (deadline) deadline_exceeded_.fetch_add(1, std::memory_order_relaxed);
   }
+  // A model lookup was served from a completed cache entry.
   void RecordCacheHit() { cache_hits_.fetch_add(1, std::memory_order_relaxed); }
+  // A model lookup became the computing owner of its cache slot.
   void RecordCacheMiss() {
     cache_misses_.fetch_add(1, std::memory_order_relaxed);
   }
+  // A model lookup waited on another caller's in-flight computation.
   void RecordCacheCoalesced() {
     cache_coalesced_.fetch_add(1, std::memory_order_relaxed);
   }
+  // A KB mutation went through the engine's writer path.
   void RecordMutation() { mutations_.fetch_add(1, std::memory_order_relaxed); }
+  // The engine reground + deep-copied the KB into a fresh snapshot.
   void RecordSnapshotBuilt() {
     snapshots_built_.fetch_add(1, std::memory_order_relaxed);
   }
+  // Adds `nodes` search-tree nodes from a stable/total-model solve.
   void RecordSolverNodes(uint64_t nodes) {
     solver_nodes_.fetch_add(nodes, std::memory_order_relaxed);
   }
+  // Accumulates `us` microseconds of wall time into the phase's bucket.
+  void RecordPhase(QueryPhaseCode phase, uint64_t us) {
+    phase_us_[static_cast<size_t>(phase)].fetch_add(
+        us, std::memory_order_relaxed);
+  }
 
+  // Copies every counter (plus histogram percentiles) into a snapshot.
   MetricsSnapshot Snapshot() const;
 
  private:
@@ -104,6 +127,7 @@ class RuntimeMetrics {
   std::atomic<uint64_t> mutations_{0};
   std::atomic<uint64_t> snapshots_built_{0};
   std::atomic<uint64_t> solver_nodes_{0};
+  std::array<std::atomic<uint64_t>, 4> phase_us_{};
   LatencyHistogram latency_;
 };
 

@@ -24,6 +24,7 @@ enum class CacheKind : uint8_t {
   kStableModels = 1, // all stable models (Def. 9) of the view
 };
 
+// Cache key: one (KB revision, module view, artifact kind) triple.
 struct ModelCacheKey {
   uint64_t revision = 0;  // KnowledgeBase::revision() the entry was built at
   ComponentId view = 0;
@@ -32,7 +33,9 @@ struct ModelCacheKey {
   bool operator==(const ModelCacheKey&) const = default;
 };
 
+// Hash functor for ModelCacheKey (std::unordered_map support).
 struct ModelCacheKeyHash {
+  // Combines the three key fields into one hash value.
   size_t operator()(const ModelCacheKey& key) const {
     size_t seed = std::hash<uint64_t>()(key.revision);
     HashCombine(seed, key.view);
@@ -49,6 +52,7 @@ struct ModelEntry {
   size_t solver_nodes = 0;
 };
 
+// Tuning knobs for ModelCache.
 struct ModelCacheOptions {
   // Soft bound on resident entries; exceeded only while every entry is
   // still computing.
@@ -72,8 +76,10 @@ struct ModelCacheOptions {
 // All methods are thread-safe.
 class ModelCache {
  public:
+  // Alias so callers can spell ModelCache::Options.
   using Options = ModelCacheOptions;
 
+  // Monotonic lookup counters, mirrored into RuntimeMetrics.
   struct Stats {
     uint64_t hits = 0;       // served from a completed entry
     uint64_t misses = 0;     // caller became the computing owner
@@ -89,8 +95,10 @@ class ModelCache {
     bool hit = false;
   };
 
+  // Computes a missing entry; run by exactly one caller per key.
   using ComputeFn = std::function<StatusOr<ModelEntry>()>;
 
+  // An empty cache; `options` bounds the resident entry count.
   explicit ModelCache(ModelCacheOptions options = {}) : options_(options) {}
 
   // Returns the cached entry for `key`, or runs `compute` (exactly once
@@ -107,7 +115,9 @@ class ModelCache {
   // also invoked internally when the table outgrows max_entries.
   void EvictStale(uint64_t current_revision);
 
+  // Number of resident entries (completed or still computing).
   size_t size() const;
+  // Point-in-time copy of the lookup counters.
   Stats stats() const;
 
  private:

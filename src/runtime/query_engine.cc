@@ -5,7 +5,10 @@
 
 #include "base/strings.h"
 #include "core/least_model.h"
+#include "core/rule_status.h"
+#include "kb/derivation.h"
 #include "parser/parser.h"
+#include "trace/json.h"
 
 namespace ordlog {
 
@@ -173,8 +176,12 @@ StatusOr<ModelCache::Lookup> QueryEngine::LeastModelFor(
       key,
       [&]() -> StatusOr<ModelEntry> {
         LeastModelComputer computer(snapshot->ground, view);
+        computer.set_trace(options_.trace);
         ORDLOG_ASSIGN_OR_RETURN(Interpretation model,
                                 computer.Compute(cancel));
+        // Post-fixpoint provenance sweep: the Definition 2 status of every
+        // view rule under the least model (off the hot path, trace only).
+        EmitRuleStatuses(snapshot->ground, view, model, options_.trace);
         ModelEntry entry;
         entry.least_model = std::move(model);
         return entry;
@@ -192,6 +199,7 @@ StatusOr<ModelCache::Lookup> QueryEngine::StableModelsFor(
       [&]() -> StatusOr<ModelEntry> {
         StableSolverOptions solver_options = options_.solver;
         solver_options.cancel = &cancel;
+        solver_options.trace = options_.trace;
         StableModelSolver solver(snapshot->ground, view, solver_options);
         StableSolverStats stats;
         StatusOr<std::vector<Interpretation>> models =
@@ -215,11 +223,39 @@ StatusOr<QueryAnswer> QueryEngine::Run(const QueryRequest& request) {
     cancel.LimitDeadline(start + options_.default_deadline);
   }
 
+  // Phase clock: EndPhase closes the current phase, accumulating its wall
+  // time into the metrics and (when tracing) emitting one kPhase event.
+  CancelToken::Clock::time_point phase_start = start;
+  const auto end_phase = [&](QueryPhaseCode phase, uint32_t component) {
+    const CancelToken::Clock::time_point now = CancelToken::Clock::now();
+    const uint64_t us = static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(now -
+                                                              phase_start)
+            .count());
+    phase_start = now;
+    metrics_.RecordPhase(phase, us);
+    if (options_.trace != nullptr) {
+      TraceEvent event;
+      event.kind = TraceEventKind::kPhase;
+      event.component = component;
+      event.a = static_cast<uint64_t>(phase);
+      event.duration_us = us;
+      options_.trace->Emit(event);
+    }
+    return std::chrono::microseconds(us);
+  };
+
   StatusOr<QueryAnswer> result = [&]() -> StatusOr<QueryAnswer> {
+    if (request.explain && request.mode != QueryMode::kSkeptical) {
+      return InvalidArgumentError(
+          "explain is only supported for skeptical queries");
+    }
     // Fail fast if the deadline lapsed while the task sat in the queue.
     ORDLOG_RETURN_IF_ERROR(cancel.Check());
+    QueryAnswer answer;
     ORDLOG_ASSIGN_OR_RETURN(std::shared_ptr<const Snapshot> snapshot,
                             AcquireSnapshot(cancel));
+    answer.phases.snapshot = end_phase(QueryPhaseCode::kSnapshot, 0);
     ORDLOG_ASSIGN_OR_RETURN(const ComponentId view,
                             ResolveModule(*snapshot, request.module));
     std::optional<GroundLiteral> literal;
@@ -227,14 +263,18 @@ StatusOr<QueryAnswer> QueryEngine::Run(const QueryRequest& request) {
       ORDLOG_ASSIGN_OR_RETURN(literal,
                               ResolveLiteral(*snapshot, request.literal));
     }
+    answer.phases.resolve = end_phase(QueryPhaseCode::kResolve, view);
 
-    QueryAnswer answer;
     answer.mode = request.mode;
     answer.revision = snapshot->revision;
+    // Kept alive past the switch for the explain phase (the derivation
+    // walks the same least model the answer was read from).
+    ModelCache::Lookup skeptical_lookup;
     switch (request.mode) {
       case QueryMode::kSkeptical: {
-        ORDLOG_ASSIGN_OR_RETURN(const ModelCache::Lookup lookup,
+        ORDLOG_ASSIGN_OR_RETURN(skeptical_lookup,
                                 LeastModelFor(snapshot, view, cancel));
+        const ModelCache::Lookup& lookup = skeptical_lookup;
         answer.cache_hit = lookup.hit;
         answer.truth = literal.has_value()
                            ? lookup.entry->least_model.Value(*literal)
@@ -277,6 +317,25 @@ StatusOr<QueryAnswer> QueryEngine::Run(const QueryRequest& request) {
         }
         break;
       }
+    }
+    answer.phases.solve = end_phase(QueryPhaseCode::kSolve, view);
+
+    if (request.explain) {
+      if (!literal.has_value()) {
+        answer.explanation =
+            StrCat("{\"query\":", JsonQuote(request.literal),
+                   ",\"module\":", JsonQuote(request.module),
+                   ",\"truth\":\"undefined\",\"unknown\":true}");
+      } else {
+        // Rendering rule/atom names reads the KB's shared TermPool (the
+        // snapshot's ground program borrows it), so like literal parsing
+        // this must exclude concurrent mutations via the reader lock.
+        std::shared_lock<std::shared_mutex> kb_lock(kb_mutex_);
+        DerivationBuilder builder(snapshot->ground, view,
+                                  skeptical_lookup.entry->least_model);
+        answer.explanation = builder.ToJson(*literal);
+      }
+      answer.phases.explain = end_phase(QueryPhaseCode::kExplain, view);
     }
     return answer;
   }();

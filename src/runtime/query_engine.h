@@ -32,6 +32,7 @@ enum class QueryMode : uint8_t {
   kCountModels,  // number of stable models (literal ignored)
 };
 
+// Construction-time configuration for QueryEngine.
 struct QueryEngineOptions {
   // Worker threads; 0 means hardware_concurrency (at least 1).
   size_t num_threads = 0;
@@ -42,8 +43,17 @@ struct QueryEngineOptions {
   // CancelToken into `solver.cancel` per query).
   StableSolverOptions solver;
   ModelCacheOptions cache;
+  // Structured trace sink (not owned; null = tracing off, the default).
+  // When set, the engine emits one kPhase event per completed query phase
+  // and threads the sink into the least-model / stable-model computations
+  // (fixpoint rounds, solver search, rule statuses). The sink must be
+  // thread-safe: concurrent queries interleave their events. To also see
+  // grounding events, construct the KnowledgeBase with GrounderOptions
+  // carrying the same sink.
+  TraceSink* trace = nullptr;
 };
 
+// One query: which module to ask, what to ask it, and how.
 struct QueryRequest {
   std::string module;
   std::string literal;  // ground literal text, e.g. "-fly(penguin)"
@@ -52,10 +62,24 @@ struct QueryRequest {
   // engine default when tighter. A non-positive value is an
   // already-expired deadline (useful in tests and load shedding).
   std::optional<std::chrono::milliseconds> deadline;
+  // For kSkeptical queries: also build the literal's derivation graph
+  // ("why p / why not p / why undefined") and return it serialized as
+  // JSON in QueryAnswer::explanation. Rejected for the other modes.
+  bool explain = false;
   // Callers may keep a copy and Cancel() it to abandon the query.
   CancelToken cancel;
 };
 
+// Wall time spent in each stage of one query (see QueryPhaseCode).
+struct QueryPhaseTimings {
+  std::chrono::microseconds snapshot{0};
+  std::chrono::microseconds resolve{0};
+  std::chrono::microseconds solve{0};
+  std::chrono::microseconds explain{0};
+};
+
+// The result of a finished query; which fields are meaningful depends
+// on the request's QueryMode.
 struct QueryAnswer {
   QueryMode mode = QueryMode::kSkeptical;
   TruthValue truth = TruthValue::kUndefined;  // kSkeptical
@@ -63,7 +87,11 @@ struct QueryAnswer {
   size_t model_count = 0;                     // kCountModels
   uint64_t revision = 0;      // KB revision the answer is valid at
   bool cache_hit = false;     // models came out of the cache
+  // Derivation graph JSON (only when QueryRequest::explain was set; see
+  // DerivationBuilder::ToJson for the schema).
+  std::string explanation;
   std::chrono::microseconds latency{0};
+  QueryPhaseTimings phases;
 };
 
 // A concurrent serving front-end for KnowledgeBase: the paper's semantics
@@ -85,6 +113,7 @@ struct QueryAnswer {
 // without any engine lock).
 class QueryEngine {
  public:
+  // Wraps `kb` (not owned; must outlive the engine) with a worker pool.
   explicit QueryEngine(KnowledgeBase& kb, QueryEngineOptions options = {});
   ~QueryEngine();
 
@@ -103,8 +132,10 @@ class QueryEngine {
   // Convenience wrappers for the common modes.
   StatusOr<TruthValue> QuerySkeptical(std::string_view module,
                                       std::string_view literal);
+  // True iff `literal` holds in at least one stable model of `module`.
   StatusOr<bool> QueryBrave(std::string_view module,
                             std::string_view literal);
+  // True iff `literal` holds in every stable model of `module`.
   StatusOr<bool> QueryCautious(std::string_view module,
                                std::string_view literal);
 
@@ -115,11 +146,16 @@ class QueryEngine {
 
   // Common mutations, pre-wrapped.
   Status AddRuleText(std::string_view module, std::string_view rule_text);
+  // Adds an (empty) module named `name`.
   Status AddModule(std::string_view name);
+  // Adds the isa edge `child` < `parent` to the component order.
   Status AddIsa(std::string_view child, std::string_view parent);
 
+  // Current KnowledgeBase revision (bumped by every mutation).
   uint64_t revision() const;
+  // Number of worker threads in the pool.
   size_t num_threads() const { return pool_->num_threads(); }
+  // Point-in-time copy of the runtime counters.
   MetricsSnapshot Metrics() const;
 
  private:

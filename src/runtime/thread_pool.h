@@ -22,6 +22,7 @@ namespace ordlog {
 // whose deadline passed while queued should notice immediately and bail).
 class ThreadPool {
  public:
+  // Starts `num_threads` workers (at least 1).
   explicit ThreadPool(size_t num_threads);
   ~ThreadPool();
 
@@ -32,6 +33,7 @@ class ThreadPool {
   // shutting down. Safe to call from worker threads.
   bool Submit(std::function<void()> task);
 
+  // Number of worker threads (fixed at construction).
   size_t num_threads() const { return workers_.size(); }
 
   // Tasks currently waiting in the queue (diagnostics; racy by nature).

@@ -1,0 +1,37 @@
+#include "trace/json.h"
+
+#include <cstdio>
+#include <sstream>
+
+namespace ordlog {
+
+void AppendJsonString(std::ostream& os, std::string_view text) {
+  os << '"';
+  for (const char c : text) {
+    switch (c) {
+      case '"': os << "\\\""; break;
+      case '\\': os << "\\\\"; break;
+      case '\n': os << "\\n"; break;
+      case '\r': os << "\\r"; break;
+      case '\t': os << "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof(buffer), "\\u%04x",
+                        static_cast<unsigned>(c));
+          os << buffer;
+        } else {
+          os << c;
+        }
+    }
+  }
+  os << '"';
+}
+
+std::string JsonQuote(std::string_view text) {
+  std::ostringstream os;
+  AppendJsonString(os, text);
+  return os.str();
+}
+
+}  // namespace ordlog

@@ -1,0 +1,20 @@
+#ifndef ORDLOG_TRACE_JSON_H_
+#define ORDLOG_TRACE_JSON_H_
+
+#include <ostream>
+#include <string>
+#include <string_view>
+
+namespace ordlog {
+
+// Appends `text` to `os` as a JSON string token (surrounding quotes
+// included), escaping quotes, backslashes and control characters per
+// RFC 8259. `text` must be UTF-8 or ASCII; bytes are passed through.
+void AppendJsonString(std::ostream& os, std::string_view text);
+
+// Returns `text` as a quoted, escaped JSON string token.
+std::string JsonQuote(std::string_view text);
+
+}  // namespace ordlog
+
+#endif  // ORDLOG_TRACE_JSON_H_

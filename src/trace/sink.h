@@ -1,0 +1,102 @@
+#ifndef ORDLOG_TRACE_SINK_H_
+#define ORDLOG_TRACE_SINK_H_
+
+#include <cstddef>
+#include <mutex>
+#include <ostream>
+#include <vector>
+
+#include "trace/event.h"
+
+namespace ordlog {
+
+// Receiver of structured trace events.
+//
+// Instrumented code holds a `TraceSink*` that defaults to nullptr and
+// guards every emission with a null check, so the untraced hot path costs
+// one predictable branch and no call — "null sink" is the absence of a
+// sink, not a virtual no-op. The NullSink class below exists for callers
+// that need a real object (e.g. to measure the virtual-dispatch cost in
+// bench_runtime_throughput).
+//
+// Emit() must be thread-safe: the QueryEngine shares one sink across all
+// worker threads. The sinks in this header lock internally; the events
+// themselves are PODs passed by reference and never retained.
+class TraceSink {
+ public:
+  virtual ~TraceSink() = default;
+
+  // Receives one event. Implementations must tolerate concurrent calls.
+  virtual void Emit(const TraceEvent& event) = 0;
+};
+
+// A sink that discards every event (one virtual call of overhead).
+class NullSink final : public TraceSink {
+ public:
+  // Drops the event.
+  void Emit(const TraceEvent& event) override { (void)event; }
+};
+
+// Fixed-capacity ring buffer of the most recent events. Overwrites the
+// oldest event once full; total_emitted() minus size() is the number of
+// events lost. Thread-safe via an internal mutex.
+class RingBufferSink final : public TraceSink {
+ public:
+  // `capacity` events are retained; must be at least 1.
+  explicit RingBufferSink(size_t capacity);
+
+  // Appends the event, overwriting the oldest once the buffer is full.
+  void Emit(const TraceEvent& event) override;
+
+  // The retained events, oldest first.
+  std::vector<TraceEvent> Events() const;
+
+  // Number of events ever emitted into this sink (including overwritten).
+  uint64_t total_emitted() const;
+
+  // Number of events currently retained (≤ capacity).
+  size_t size() const;
+
+  // Discards every retained event and resets total_emitted().
+  void Clear();
+
+ private:
+  mutable std::mutex mutex_;
+  const size_t capacity_;
+  std::vector<TraceEvent> buffer_;
+  size_t next_ = 0;           // write position
+  uint64_t total_ = 0;        // events ever emitted
+};
+
+// Streams every event as one JSON object per line (JSON-lines) to an
+// ostream. Output contains only the fields meaningful for the event's
+// kind, with stable key order, e.g.:
+//
+//   {"event":"solver_branch","node":7,"atom":3,"value":2,"depth":1}
+//
+// Thread-safe via an internal mutex (one line per Emit, never interleaved).
+// The ostream must outlive the sink; it is flushed on destruction only.
+class JsonLinesSink final : public TraceSink {
+ public:
+  // Writes to `out`, which is borrowed, not owned.
+  explicit JsonLinesSink(std::ostream& out) : out_(out) {}
+
+  // Serializes the event as one JSON line.
+  void Emit(const TraceEvent& event) override;
+
+  // Number of events written so far.
+  uint64_t lines_written() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::ostream& out_;
+  uint64_t lines_ = 0;
+};
+
+// Renders one event as a JSON object (no trailing newline) — the format
+// JsonLinesSink writes. Exposed for tests and for tools/trace_dump.
+std::string TraceEventToJson(const TraceEvent& event);
+
+}  // namespace ordlog
+
+#endif  // ORDLOG_TRACE_SINK_H_

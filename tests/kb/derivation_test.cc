@@ -1,0 +1,176 @@
+// Tests for the serializable derivation provenance (kb/derivation):
+// "why p / why not p / why undefined" as deterministic JSON.
+
+#include <string>
+
+#include "gtest/gtest.h"
+
+#include "core/least_model.h"
+#include "kb/derivation.h"
+#include "kb/knowledge_base.h"
+#include "support/paper_programs.h"
+#include "support/test_util.h"
+
+namespace ordlog {
+namespace {
+
+using ::ordlog::testing::GroundText;
+
+ComponentId FindView(const GroundProgram& program, std::string_view name) {
+  for (ComponentId c = 0;
+       c < static_cast<ComponentId>(program.NumComponents()); ++c) {
+    if (program.component_name(c) == name) return c;
+  }
+  ADD_FAILURE() << "no component named " << name;
+  return 0;
+}
+
+bool Contains(const std::string& haystack, std::string_view needle) {
+  return haystack.find(needle) != std::string::npos;
+}
+
+TEST(GroundRuleToStringTest, RendersHeadBodyComponent) {
+  const GroundProgram program = GroundText(testing::kFig1Penguin);
+  const ComponentId c1 = FindView(program, "c1");
+  bool found_fact = false, found_rule = false;
+  for (uint32_t index : program.ViewRules(c1)) {
+    const std::string text = GroundRuleToString(program, program.rule(index));
+    if (text == "ground_animal(penguin) [c1]") found_fact = true;
+    if (text == "-fly(penguin) :- ground_animal(penguin) [c1]") {
+      found_rule = true;
+    }
+  }
+  EXPECT_TRUE(found_fact);
+  EXPECT_TRUE(found_rule);
+}
+
+TEST(DerivationRanksTest, FactsRankBeforeDerivedLiterals) {
+  const GroundProgram program = GroundText(testing::kFig1Penguin);
+  const ComponentId c1 = FindView(program, "c1");
+  const std::vector<int> rank = DerivationRanks(program, c1);
+  const Interpretation model = ComputeLeastModel(program, c1);
+  for (const GroundLiteral& literal : model.Literals()) {
+    EXPECT_GE(rank[literal.atom], 1)
+        << program.LiteralToString(literal) << " should be ranked";
+  }
+  // -fly(penguin) needs ground_animal(penguin) derived first.
+  const auto atom_of = [&](std::string_view name) {
+    for (GroundAtomId a = 0; a < program.NumAtoms(); ++a) {
+      if (program.AtomToString(a) == name) return a;
+    }
+    ADD_FAILURE() << "no atom " << name;
+    return GroundAtomId{0};
+  };
+  EXPECT_LT(rank[atom_of("ground_animal(penguin)")],
+            rank[atom_of("fly(penguin)")]);
+}
+
+TEST(DerivationBuilderTest, WhyTrueIsAProofTreeDownToFacts) {
+  const GroundProgram program = GroundText(testing::kFig1Penguin);
+  const ComponentId c1 = FindView(program, "c1");
+  const Interpretation model = ComputeLeastModel(program, c1);
+  DerivationBuilder builder(program, c1, model);
+
+  const auto atom_of = [&](std::string_view name) {
+    for (GroundAtomId a = 0; a < program.NumAtoms(); ++a) {
+      if (program.AtomToString(a) == name) return a;
+    }
+    ADD_FAILURE() << "no atom " << name;
+    return GroundAtomId{0};
+  };
+  const std::string json =
+      builder.ToJson(GroundLiteral{atom_of("fly(penguin)"), false});
+  EXPECT_TRUE(Contains(json, "\"truth\":\"true\"")) << json;
+  EXPECT_TRUE(Contains(
+      json, "\"rule\":\"-fly(penguin) :- ground_animal(penguin) [c1]\""))
+      << json;
+  EXPECT_TRUE(Contains(json, "\"fact\":true")) << json;
+  // The silenced counter rule appears with the overruling pair.
+  EXPECT_TRUE(Contains(json, "\"status\":\"overruled\"")) << json;
+  EXPECT_TRUE(Contains(json, "\"by_component\":\"c1\"")) << json;
+}
+
+TEST(DerivationBuilderTest, WhyFalseDerivesTheComplement) {
+  const GroundProgram program = GroundText(testing::kFig1Penguin);
+  const ComponentId c1 = FindView(program, "c1");
+  const Interpretation model = ComputeLeastModel(program, c1);
+  DerivationBuilder builder(program, c1, model);
+
+  const auto atom_of = [&](std::string_view name) {
+    for (GroundAtomId a = 0; a < program.NumAtoms(); ++a) {
+      if (program.AtomToString(a) == name) return a;
+    }
+    ADD_FAILURE() << "no atom " << name;
+    return GroundAtomId{0};
+  };
+  const std::string json =
+      builder.ToJson(GroundLiteral{atom_of("fly(penguin)"), true});
+  EXPECT_TRUE(Contains(json, "\"truth\":\"false\"")) << json;
+  EXPECT_TRUE(Contains(json, "\"complement\":\"-fly(penguin)\"")) << json;
+  EXPECT_TRUE(Contains(
+      json, "\"rule\":\"fly(penguin) :- bird(penguin) [c2]\",\"component\":"
+            "\"c2\",\"status\":\"overruled\",\"by_rule\":\"-fly(penguin) :- "
+            "ground_animal(penguin) [c1]\",\"by_component\":\"c1\""))
+      << json;
+}
+
+TEST(DerivationBuilderTest, WhyUndefinedFollowsTheDefeatingCycle) {
+  const GroundProgram program = GroundText(testing::kFig2Mimmo);
+  const ComponentId c1 = FindView(program, "c1");
+  const Interpretation model = ComputeLeastModel(program, c1);
+  DerivationBuilder builder(program, c1, model);
+
+  const auto atom_of = [&](std::string_view name) {
+    for (GroundAtomId a = 0; a < program.NumAtoms(); ++a) {
+      if (program.AtomToString(a) == name) return a;
+    }
+    ADD_FAILURE() << "no atom " << name;
+    return GroundAtomId{0};
+  };
+  const std::string json =
+      builder.ToJson(GroundLiteral{atom_of("free_ticket(mimmo)"), true});
+  EXPECT_TRUE(Contains(json, "\"truth\":\"undefined\"")) << json;
+  // The inapplicable c1 rule points at its undefined body atom...
+  EXPECT_TRUE(Contains(json, "\"undefined_body\":[\"poor(mimmo)\"]")) << json;
+  // ...whose diagnosis shows the mutual defeat across c2/c3...
+  EXPECT_TRUE(Contains(
+      json, "\"rule\":\"poor(mimmo) [c2]\",\"component\":\"c2\",\"status\":"
+            "\"defeated\",\"by_rule\":\"-poor(mimmo) :- rich(mimmo) [c3]\","
+            "\"by_component\":\"c3\""))
+      << json;
+  // ...and the recursion closes over rich(mimmo) too.
+  EXPECT_TRUE(Contains(json, "\"atom\":\"rich(mimmo)\"")) << json;
+}
+
+TEST(DerivationBuilderTest, OutputIsDeterministic) {
+  const GroundProgram program = GroundText(testing::kFig2Mimmo);
+  const ComponentId c1 = FindView(program, "c1");
+  const Interpretation model = ComputeLeastModel(program, c1);
+  DerivationBuilder a(program, c1, model);
+  DerivationBuilder b(program, c1, model);
+  const GroundLiteral query{0, true};
+  EXPECT_EQ(a.ToJson(query), b.ToJson(query));
+}
+
+TEST(KnowledgeBaseExplainJsonTest, MatchesDirectBuilderOutput) {
+  KnowledgeBase kb;
+  ASSERT_TRUE(kb.Load(testing::kFig1Penguin).ok());
+  const auto json = kb.ExplainJson("c1", "fly(penguin)");
+  ASSERT_TRUE(json.ok());
+  EXPECT_TRUE(Contains(*json, "\"query\":\"fly(penguin)\"")) << *json;
+  EXPECT_TRUE(Contains(*json, "\"module\":\"c1\"")) << *json;
+  EXPECT_TRUE(Contains(*json, "\"truth\":\"false\"")) << *json;
+}
+
+TEST(KnowledgeBaseExplainJsonTest, UnknownLiteralIsExplicit) {
+  KnowledgeBase kb;
+  ASSERT_TRUE(kb.Load(testing::kFig1Penguin).ok());
+  const auto json = kb.ExplainJson("c1", "swims(penguin)");
+  ASSERT_TRUE(json.ok());
+  EXPECT_EQ(*json,
+            "{\"query\":\"swims(penguin)\",\"module\":\"c1\","
+            "\"truth\":\"undefined\",\"unknown\":true}");
+}
+
+}  // namespace
+}  // namespace ordlog

@@ -1,0 +1,162 @@
+// Tests for the QueryEngine's tracing and explanation support: per-phase
+// timing events, trace plumbing into the model computations, and the
+// explain query option.
+
+#include <string>
+
+#include "gtest/gtest.h"
+
+#include "kb/knowledge_base.h"
+#include "runtime/query_engine.h"
+#include "support/paper_programs.h"
+#include "trace/sink.h"
+
+namespace ordlog {
+namespace {
+
+KnowledgeBase LoadedKb(std::string_view source) {
+  KnowledgeBase kb;
+  EXPECT_TRUE(kb.Load(source).ok());
+  return kb;
+}
+
+QueryRequest SkepticalExplain(std::string_view module,
+                              std::string_view literal) {
+  QueryRequest request;
+  request.module = std::string(module);
+  request.literal = std::string(literal);
+  request.mode = QueryMode::kSkeptical;
+  request.explain = true;
+  return request;
+}
+
+size_t CountKind(const std::vector<TraceEvent>& events, TraceEventKind kind) {
+  size_t count = 0;
+  for (const TraceEvent& event : events) {
+    if (event.kind == kind) ++count;
+  }
+  return count;
+}
+
+TEST(EngineTraceTest, ExplainReturnsDerivationJson) {
+  KnowledgeBase kb = LoadedKb(testing::kFig1Penguin);
+  QueryEngineOptions options;
+  options.num_threads = 1;
+  QueryEngine engine(kb, options);
+
+  const auto answer = engine.Execute(SkepticalExplain("c1", "fly(penguin)"));
+  ASSERT_TRUE(answer.ok());
+  EXPECT_EQ(answer->truth, TruthValue::kFalse);
+  EXPECT_NE(answer->explanation.find("\"truth\":\"false\""),
+            std::string::npos)
+      << answer->explanation;
+  EXPECT_NE(answer->explanation.find("\"status\":\"overruled\""),
+            std::string::npos)
+      << answer->explanation;
+
+  // The engine's JSON agrees with the KB's own ExplainJson.
+  const auto direct = kb.ExplainJson("c1", "fly(penguin)");
+  ASSERT_TRUE(direct.ok());
+  EXPECT_EQ(answer->explanation, *direct);
+}
+
+TEST(EngineTraceTest, ExplainRejectedForNonSkepticalModes) {
+  KnowledgeBase kb = LoadedKb(testing::kFig1Penguin);
+  QueryEngine engine(kb, QueryEngineOptions{.num_threads = 1});
+
+  QueryRequest request = SkepticalExplain("c1", "fly(penguin)");
+  request.mode = QueryMode::kBrave;
+  const auto answer = engine.Execute(std::move(request));
+  ASSERT_FALSE(answer.ok());
+  EXPECT_EQ(answer.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(EngineTraceTest, ExplainUnknownLiteral) {
+  KnowledgeBase kb = LoadedKb(testing::kFig1Penguin);
+  QueryEngine engine(kb, QueryEngineOptions{.num_threads = 1});
+
+  const auto answer =
+      engine.Execute(SkepticalExplain("c1", "swims(penguin)"));
+  ASSERT_TRUE(answer.ok());
+  EXPECT_EQ(answer->truth, TruthValue::kUndefined);
+  EXPECT_NE(answer->explanation.find("\"unknown\":true"), std::string::npos)
+      << answer->explanation;
+}
+
+TEST(EngineTraceTest, PhaseEventsAndRuleStatusesReachTheSink) {
+  KnowledgeBase kb = LoadedKb(testing::kFig2Mimmo);
+  RingBufferSink sink(4096);
+  QueryEngineOptions options;
+  options.num_threads = 1;
+  options.trace = &sink;
+  QueryEngine engine(kb, options);
+
+  const auto answer =
+      engine.Execute(SkepticalExplain("c1", "free_ticket(mimmo)"));
+  ASSERT_TRUE(answer.ok());
+  EXPECT_EQ(answer->truth, TruthValue::kUndefined);
+
+  const std::vector<TraceEvent> events = sink.Events();
+  // One kPhase event per phase, including explain.
+  EXPECT_EQ(CountKind(events, TraceEventKind::kPhase), 4u);
+  // The least-model computation and the provenance sweep were traced.
+  EXPECT_EQ(CountKind(events, TraceEventKind::kFixpointDone), 1u);
+  EXPECT_GT(CountKind(events, TraceEventKind::kRuleStatus), 0u);
+  bool found_defeated = false;
+  for (const TraceEvent& event : events) {
+    if (event.kind == TraceEventKind::kRuleStatus &&
+        static_cast<RuleStatusCode>(event.a) == RuleStatusCode::kDefeated) {
+      found_defeated = true;
+    }
+  }
+  EXPECT_TRUE(found_defeated);
+
+  // A second identical query hits the model cache: phase events repeat,
+  // but no second fixpoint computation happens.
+  const auto again =
+      engine.Execute(SkepticalExplain("c1", "free_ticket(mimmo)"));
+  ASSERT_TRUE(again.ok());
+  const std::vector<TraceEvent> after = sink.Events();
+  EXPECT_EQ(CountKind(after, TraceEventKind::kPhase), 8u);
+  EXPECT_EQ(CountKind(after, TraceEventKind::kFixpointDone), 1u);
+}
+
+TEST(EngineTraceTest, PhaseTimingsAccumulateInMetrics) {
+  KnowledgeBase kb = LoadedKb(testing::kFig1Penguin);
+  QueryEngine engine(kb, QueryEngineOptions{.num_threads = 1});
+
+  const auto answer = engine.Execute(SkepticalExplain("c1", "fly(penguin)"));
+  ASSERT_TRUE(answer.ok());
+  // Phase wall times are non-negative and bounded by the total latency.
+  const auto total = answer->phases.snapshot + answer->phases.resolve +
+                     answer->phases.solve + answer->phases.explain;
+  EXPECT_LE(total, answer->latency + std::chrono::microseconds(1000));
+
+  const MetricsSnapshot metrics = engine.Metrics();
+  EXPECT_EQ(metrics.queries_served, 1u);
+  EXPECT_NE(metrics.ToString().find("phase_us{"), std::string::npos);
+}
+
+TEST(EngineTraceTest, SolverEventsFlowThroughStableQueries) {
+  KnowledgeBase kb = LoadedKb(testing::kExample5P5);
+  RingBufferSink sink(8192);
+  QueryEngineOptions options;
+  options.num_threads = 1;
+  options.trace = &sink;
+  QueryEngine engine(kb, options);
+
+  QueryRequest request;
+  request.module = "c1";
+  request.mode = QueryMode::kCountModels;
+  const auto answer = engine.Execute(std::move(request));
+  ASSERT_TRUE(answer.ok());
+  EXPECT_EQ(answer->model_count, 2u);
+
+  const std::vector<TraceEvent> events = sink.Events();
+  EXPECT_GT(CountKind(events, TraceEventKind::kSolverBranch), 0u);
+  EXPECT_GT(CountKind(events, TraceEventKind::kSolverLeaf), 0u);
+  EXPECT_GT(CountKind(events, TraceEventKind::kSolverBacktrack), 0u);
+}
+
+}  // namespace
+}  // namespace ordlog

@@ -1,0 +1,208 @@
+// trace_dump — structured tracing and provenance inspector for ordered
+// logic programs.
+//
+// Usage:
+//   trace_dump FILE [--module=NAME] [--why=LITERAL]... [--json]
+//              [--events] [--strip-durations] [--stable] [--metrics]
+//
+// With no module given, the first declared component is used.
+//
+//   --why=LITERAL     derivation provenance for the literal: why it is
+//                     true, false, or undefined in the module's least
+//                     model. Human-readable by default; --json switches
+//                     to the DerivationBuilder JSON schema (one line,
+//                     deterministic — what the golden tests diff).
+//   --events          stream every trace event (grounding, fixpoint
+//                     rounds, rule statuses, solver search, query phases)
+//                     to stdout as JSON lines, before the answers.
+//   --strip-durations zero the duration_us field of streamed events so
+//                     the event stream is byte-for-byte deterministic.
+//   --stable          enumerate the module's stable models (Def. 9) and
+//                     print each model's literals.
+//   --metrics         print the query engine's metrics snapshot last.
+
+#include <fstream>
+#include <iostream>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "base/strings.h"
+#include "core/stable_solver.h"
+#include "kb/knowledge_base.h"
+#include "runtime/query_engine.h"
+#include "trace/sink.h"
+
+namespace {
+
+struct Options {
+  std::string file;
+  std::optional<std::string> module;
+  std::vector<std::string> whys;
+  bool json = false;
+  bool events = false;
+  bool strip_durations = false;
+  bool stable = false;
+  bool metrics = false;
+};
+
+int Usage() {
+  std::cerr << "usage: trace_dump FILE [--module=NAME] [--why=LITERAL]...\n"
+            << "           [--json] [--events] [--strip-durations]\n"
+            << "           [--stable] [--metrics]\n";
+  return 2;
+}
+
+std::optional<Options> ParseArgs(int argc, char** argv) {
+  Options options;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (!ordlog::StartsWith(arg, "--")) {
+      if (!options.file.empty()) return std::nullopt;
+      options.file = arg;
+    } else if (ordlog::StartsWith(arg, "--module=")) {
+      options.module = arg.substr(9);
+    } else if (ordlog::StartsWith(arg, "--why=")) {
+      options.whys.push_back(arg.substr(6));
+    } else if (arg == "--json") {
+      options.json = true;
+    } else if (arg == "--events") {
+      options.events = true;
+    } else if (arg == "--strip-durations") {
+      options.strip_durations = true;
+    } else if (arg == "--stable") {
+      options.stable = true;
+    } else if (arg == "--metrics") {
+      options.metrics = true;
+    } else {
+      return std::nullopt;
+    }
+  }
+  if (options.file.empty()) return std::nullopt;
+  return options;
+}
+
+// Forwards events to `inner`, optionally zeroing wall times so that the
+// streamed output is deterministic (for the golden tests).
+class ForwardingSink : public ordlog::TraceSink {
+ public:
+  ForwardingSink(ordlog::TraceSink* inner, bool strip_durations)
+      : inner_(inner), strip_durations_(strip_durations) {}
+
+  void Emit(const ordlog::TraceEvent& event) override {
+    ordlog::TraceEvent copy = event;
+    if (strip_durations_) copy.duration_us = 0;
+    inner_->Emit(copy);
+  }
+
+ private:
+  ordlog::TraceSink* const inner_;
+  const bool strip_durations_;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::optional<Options> options = ParseArgs(argc, argv);
+  if (!options.has_value()) return Usage();
+
+  std::ifstream in(options->file);
+  if (!in) {
+    std::cerr << "trace_dump: cannot open " << options->file << "\n";
+    return 1;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+
+  ordlog::JsonLinesSink json_sink(std::cout);
+  ForwardingSink sink(&json_sink, options->strip_durations);
+  ordlog::TraceSink* const trace = options->events ? &sink : nullptr;
+
+  ordlog::GrounderOptions grounder_options;
+  grounder_options.trace = trace;
+  ordlog::KnowledgeBase kb(grounder_options);
+  const ordlog::Status status = kb.Load(buffer.str());
+  if (!status.ok()) {
+    std::cerr << "trace_dump: " << status << "\n";
+    return 1;
+  }
+  if (kb.program().NumComponents() == 0) {
+    std::cerr << "trace_dump: the program declares no components\n";
+    return 1;
+  }
+  const std::string module =
+      options->module.value_or(kb.program().component(0).name);
+  if (!kb.HasModule(module)) {
+    std::cerr << "trace_dump: no module named '" << module << "'\n";
+    return 1;
+  }
+
+  ordlog::QueryEngineOptions engine_options;
+  engine_options.num_threads = 1;
+  engine_options.trace = trace;
+  ordlog::QueryEngine engine(kb, engine_options);
+
+  for (const std::string& literal : options->whys) {
+    ordlog::QueryRequest request;
+    request.module = module;
+    request.literal = literal;
+    request.mode = ordlog::QueryMode::kSkeptical;
+    request.explain = true;
+    const ordlog::StatusOr<ordlog::QueryAnswer> answer =
+        engine.Execute(std::move(request));
+    if (!answer.ok()) {
+      std::cerr << "trace_dump: " << answer.status() << "\n";
+      return 1;
+    }
+    if (options->json) {
+      std::cout << answer->explanation << "\n";
+    } else {
+      std::cout << "why " << literal << " in " << module << ": "
+                << ordlog::TruthValueToString(answer->truth) << "\n";
+      const ordlog::StatusOr<std::string> text = kb.Explain(module, literal);
+      if (!text.ok()) {
+        std::cerr << "trace_dump: " << text.status() << "\n";
+        return 1;
+      }
+      std::cout << *text;
+    }
+  }
+
+  if (options->stable) {
+    const ordlog::StatusOr<const ordlog::GroundProgram*> ground = kb.ground();
+    if (!ground.ok()) {
+      std::cerr << "trace_dump: " << ground.status() << "\n";
+      return 1;
+    }
+    const ordlog::StatusOr<ordlog::ComponentId> view =
+        kb.program().FindComponent(module);
+    if (!view.ok()) {
+      std::cerr << "trace_dump: " << view.status() << "\n";
+      return 1;
+    }
+    ordlog::StableSolverOptions solver_options;
+    solver_options.trace = trace;
+    ordlog::StableModelSolver solver(**ground, *view, solver_options);
+    const ordlog::StatusOr<std::vector<ordlog::Interpretation>> models =
+        solver.StableModels();
+    if (!models.ok()) {
+      std::cerr << "trace_dump: " << models.status() << "\n";
+      return 1;
+    }
+    std::cout << "stable models of " << module << ": " << models->size()
+              << "\n";
+    for (size_t m = 0; m < models->size(); ++m) {
+      std::cout << "model " << (m + 1) << ":";
+      for (const ordlog::GroundLiteral& literal : (*models)[m].Literals()) {
+        std::cout << " " << (*ground)->LiteralToString(literal);
+      }
+      std::cout << "\n";
+    }
+  }
+
+  if (options->metrics) {
+    std::cout << engine.Metrics().ToString() << "\n";
+  }
+  return 0;
+}
