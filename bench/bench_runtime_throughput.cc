@@ -2,6 +2,7 @@
 // cache hit rate, on two serving-shaped workloads — the Figure 3 loan
 // program and the scaled access-control policy.
 
+#include <chrono>
 #include <future>
 #include <ostream>
 #include <streambuf>
@@ -63,9 +64,11 @@ void RunBatches(benchmark::State& state, QueryEngine& engine,
   ReportCacheCounters(state, engine, before);
 }
 
-// Shared body for the loan workload so the tracing variants below measure
-// exactly the same query stream, differing only in the attached sink.
-void LoanThroughputWithSink(benchmark::State& state, ordlog::TraceSink* sink) {
+// Shared body for the loan workload so the tracing and observability
+// variants below measure exactly the same query stream, differing only
+// in the engine options.
+void LoanThroughputWithOptions(benchmark::State& state,
+                               QueryEngineOptions options) {
   KnowledgeBase kb;
   if (!kb.Load(ordlog_bench::Fig3Loan(/*experts=*/8, /*inflation=*/19,
                                       /*rate=*/16))
@@ -73,9 +76,7 @@ void LoanThroughputWithSink(benchmark::State& state, ordlog::TraceSink* sink) {
     state.SkipWithError("load failed");
     return;
   }
-  QueryEngineOptions options;
   options.num_threads = static_cast<size_t>(state.range(0));
-  options.trace = sink;
   QueryEngine engine(kb, options);
   const std::vector<QueryRequest> shapes = {
       Request("c1", "take_loan"),
@@ -83,6 +84,12 @@ void LoanThroughputWithSink(benchmark::State& state, ordlog::TraceSink* sink) {
       Request("c3", "take_loan"),
   };
   RunBatches(state, engine, shapes);
+}
+
+void LoanThroughputWithSink(benchmark::State& state, ordlog::TraceSink* sink) {
+  QueryEngineOptions options;
+  options.trace = sink;
+  LoanThroughputWithOptions(state, options);
 }
 
 void BM_LoanThroughput(benchmark::State& state) {
@@ -114,6 +121,20 @@ void BM_LoanThroughputJsonSink(benchmark::State& state) {
   LoanThroughputWithSink(state, &sink);
 }
 BENCHMARK(BM_LoanThroughputJsonSink)->Arg(1)->Arg(4);
+
+// Observability overhead guard: the same query stream with the full
+// metrics stack armed — registry-backed labeled instruments, the statsz
+// endpoint listening on an ephemeral loopback port (never scraped), and
+// the slow-query log capturing per-query phase timings and trace events
+// into its ring sink. scripts/check_metrics_overhead.py holds this
+// within ~2% of the plain baseline above.
+void BM_LoanThroughputObserved(benchmark::State& state) {
+  QueryEngineOptions options;
+  options.statsz_port = 0;  // ephemeral, unscraped
+  options.slow_query_threshold = std::chrono::seconds(1);
+  LoanThroughputWithOptions(state, options);
+}
+BENCHMARK(BM_LoanThroughputObserved)->Arg(1)->Arg(4);
 
 void BM_AccessControlThroughput(benchmark::State& state) {
   KnowledgeBase kb;

@@ -2,10 +2,25 @@
 // answering concurrent queries on a thread pool, with per-query
 // deadlines, a live policy update, and a metrics report at the end. This
 // is the shape of a long-lived ordlog service embedded in a host process.
+//
+// Observability (optional; the no-argument behavior is unchanged):
+//   --statsz-port=N    serve /metricsz, /statsz, /healthz, /readyz and
+//                      /slowz on loopback port N (0 = ephemeral). The
+//                      ORDLOG_STATSZ_PORT environment variable is the
+//                      fallback when the flag is absent.
+//   --serve-seconds=N  keep the process (and the statsz endpoint) alive
+//                      for N seconds after the workload, so scrapers can
+//                      curl it. Default 0: exit immediately.
+// With statsz enabled the slow-query log records every query (threshold
+// 0), so /slowz always has content to show.
 
 #include <chrono>
+#include <cstdlib>
 #include <future>
+#include <iomanip>
 #include <iostream>
+#include <string>
+#include <thread>
 #include <vector>
 
 #include "kb/knowledge_base.h"
@@ -36,10 +51,34 @@ const char* Render(ordlog::TruthValue truth) {
   return "?";
 }
 
+bool StartsWith(const std::string& s, const std::string& prefix) {
+  return s.rfind(prefix, 0) == 0;
+}
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using std::chrono::milliseconds;
+
+  int statsz_port = -1;  // -1 = disabled
+  int serve_seconds = 0;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (StartsWith(arg, "--statsz-port=")) {
+      statsz_port = std::atoi(arg.c_str() + 14);
+    } else if (StartsWith(arg, "--serve-seconds=")) {
+      serve_seconds = std::atoi(arg.c_str() + 16);
+    } else {
+      std::cerr << "usage: server_loop [--statsz-port=N]"
+                << " [--serve-seconds=N]\n";
+      return 2;
+    }
+  }
+  if (statsz_port < 0) {
+    if (const char* env = std::getenv("ORDLOG_STATSZ_PORT")) {
+      statsz_port = std::atoi(env);
+    }
+  }
 
   ordlog::KnowledgeBase kb;
   if (auto status = kb.Load(kLoanPolicy); !status.ok()) {
@@ -52,7 +91,19 @@ int main() {
   ordlog::QueryEngineOptions options;
   options.num_threads = 4;
   options.default_deadline = milliseconds(250);
+  if (statsz_port >= 0) {
+    options.statsz_port = statsz_port;
+    options.slow_query_threshold = std::chrono::microseconds(0);
+  }
   ordlog::QueryEngine engine(kb, options);
+  if (statsz_port >= 0) {
+    if (!engine.statsz_status().ok()) {
+      std::cerr << "statsz failed: " << engine.statsz_status() << "\n";
+      return 1;
+    }
+    std::cout << "statsz listening on http://127.0.0.1:"
+              << engine.statsz_port() << "/statsz\n";
+  }
 
   // Burst 1: concurrent skeptical queries from several "clients". The
   // first one computes the least model of the c1 view; the rest coalesce
@@ -74,6 +125,16 @@ int main() {
     std::cout << "query -> " << Render(answer->truth)
               << (answer->cache_hit ? "  (cached)" : "") << "\n";
   }
+
+  // A brave query walks the stable-model search, so the per-component
+  // solver metrics (ordlog_solver_search_total) are exercised too.
+  const auto brave = engine.QueryBrave("c1", "take_loan");
+  if (!brave.ok()) {
+    std::cerr << "query failed: " << brave.status() << "\n";
+    return 1;
+  }
+  std::cout << "brave: take_loan -> " << (*brave ? "holds" : "does not hold")
+            << "\n";
 
   // A client with an already-expired deadline is shed without occupying
   // a worker for the full computation.
@@ -99,6 +160,15 @@ int main() {
   }
   std::cout << "after rate drop: take_loan -> " << Render(*after) << "\n";
 
-  std::cout << "\n" << engine.Metrics().ToString();
+  const ordlog::MetricsSnapshot metrics = engine.Metrics();
+  std::cout << "\n" << metrics.ToString() << "\n";
+  std::cout << std::fixed << std::setprecision(2)
+            << "cache hit rate: " << metrics.cache_hit_rate()
+            << "  failure rate: " << metrics.failure_rate() << "\n";
+
+  if (statsz_port >= 0 && serve_seconds > 0) {
+    std::cout << "serving statsz for " << serve_seconds << "s ...\n";
+    std::this_thread::sleep_for(std::chrono::seconds(serve_seconds));
+  }
   return 0;
 }

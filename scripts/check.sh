@@ -28,5 +28,10 @@ EOF
   # Tracing must be pay-for-what-you-use: the null sink has to stay
   # within 2% of the untraced loan-throughput baseline.
   python3 scripts/check_trace_overhead.py
+  # Same deal for the metrics stack: armed-but-unscraped observability
+  # has to stay within 2% of the plain engine.
+  python3 scripts/check_metrics_overhead.py
+  # Registered metric names must follow the documented naming scheme.
+  python3 scripts/check_metrics_names.py
 fi
 echo "ordlog: all checks passed"

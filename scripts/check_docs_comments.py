@@ -1,5 +1,6 @@
 #!/usr/bin/env python3
-"""Public-header documentation check for src/trace/ and src/runtime/.
+"""Public-header documentation check for src/trace/, src/obs/ and
+src/runtime/.
 
 CONTRIBUTING.md requires a doc comment on every public item.  This check
 enforces it for the headers the CI `docs` job guards: every top-level or
@@ -16,7 +17,7 @@ import re
 import sys
 
 ROOT = pathlib.Path(__file__).resolve().parent.parent
-GUARDED = ("src/trace", "src/runtime")
+GUARDED = ("src/trace", "src/obs", "src/runtime")
 
 # A declaration opener at file or class scope (2-space indent inside a
 # class).  Deliberately coarse: anything that looks like the start of a

@@ -1,0 +1,65 @@
+#!/usr/bin/env python3
+"""Metric naming lint.
+
+Every instrument registered in production code (src/) must follow the
+naming scheme documented in docs/OBSERVABILITY.md:
+
+  * matches ^ordlog_[a-z0-9_]+(_total|_us|_bytes|_ratio)?$ — the ordlog_
+    prefix, lowercase snake case, and (when the instrument is a counter
+    or measures a quantity) one of the blessed unit suffixes;
+  * appears verbatim in docs/OBSERVABILITY.md, so the exposition and the
+    documentation can never drift apart.
+
+The scan is lexical: it collects the first string literal passed to
+MetricsRegistry::Get{Counter,Gauge,Histogram}Family in any src/ source
+file.  Tests and benches may register throwaway names and are not
+scanned.  Exit code 0 when every registered name passes, 1 otherwise.
+"""
+
+import pathlib
+import re
+import sys
+
+ROOT = pathlib.Path(__file__).resolve().parent.parent
+DOC = ROOT / "docs" / "OBSERVABILITY.md"
+
+# GetCounterFamily(\n    "name", ... — the name may sit on the next line.
+REGISTRATION = re.compile(
+    r"Get(?:Counter|Gauge|Histogram)Family\(\s*\"([^\"]+)\"", re.S)
+VALID = re.compile(r"^ordlog_[a-z0-9_]+(_total|_us|_bytes|_ratio)?$")
+
+
+def registered_names():
+    names = {}
+    for path in sorted((ROOT / "src").rglob("*.cc")) + sorted(
+            (ROOT / "src").rglob("*.h")):
+        for match in REGISTRATION.finditer(path.read_text()):
+            names.setdefault(match.group(1), path.relative_to(ROOT))
+    return names
+
+
+def main():
+    names = registered_names()
+    if not names:
+        print("check_metrics_names: no registered metrics found under src/")
+        return 1
+    doc_text = DOC.read_text() if DOC.exists() else ""
+    errors = []
+    for name, path in sorted(names.items()):
+        if not VALID.match(name):
+            errors.append(f"{path}: {name!r} violates the naming scheme "
+                          f"(see docs/OBSERVABILITY.md)")
+        if name not in doc_text:
+            errors.append(f"{path}: {name!r} is not documented in "
+                          f"docs/OBSERVABILITY.md")
+    if errors:
+        print("check_metrics_names: FAILED")
+        for error in errors:
+            print(f"  {error}")
+        return 1
+    print(f"check_metrics_names: ok ({len(names)} metric names)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

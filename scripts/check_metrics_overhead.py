@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""Metrics overhead guard.
+
+Reads build/BENCH_runtime.json (written by scripts/check.sh) and compares
+BM_LoanThroughputObserved — the loan workload with the whole metrics
+stack armed: registry-backed instruments, the statsz endpoint listening
+(unscraped), and the slow-query log capturing trace events — against the
+plain BM_LoanThroughput baseline.  Enabled-but-unscraped observability
+must stay within ORDLOG_METRICS_OVERHEAD_MAX (default 2%) of the
+baseline.
+
+Benchmark wall times on loaded CI machines are noisy, so the guard
+compares real_time of the matching /1 (single-thread) runs and treats a
+faster-than-baseline observed run as 0% overhead.
+"""
+
+import json
+import os
+import pathlib
+import sys
+
+SUITE = "bench_runtime_throughput"
+BASELINE = "BM_LoanThroughput/1"
+OBSERVED = "BM_LoanThroughputObserved/1"
+
+
+def real_time(benchmarks, name):
+    for entry in benchmarks:
+        if entry.get("name") == name and entry.get("run_type", "iteration") in (
+            "iteration",
+            "aggregate",
+        ):
+            if entry.get("aggregate_name", "median") == "median":
+                return float(entry["real_time"])
+    return None
+
+
+def main():
+    path = pathlib.Path(sys.argv[1] if len(sys.argv) > 1 else "build/BENCH_runtime.json")
+    if not path.exists():
+        print(f"check_metrics_overhead: {path} not found (run scripts/check.sh first)")
+        return 1
+    data = json.loads(path.read_text())
+    if SUITE not in data:
+        print(f"check_metrics_overhead: suite {SUITE} missing from {path}")
+        return 1
+    benchmarks = data[SUITE].get("benchmarks", [])
+    base = real_time(benchmarks, BASELINE)
+    observed = real_time(benchmarks, OBSERVED)
+    if base is None or observed is None:
+        print("check_metrics_overhead: loan throughput benchmarks missing; "
+              "did bench_runtime_throughput run?")
+        return 1
+
+    limit = float(os.environ.get("ORDLOG_METRICS_OVERHEAD_MAX", "0.02"))
+    overhead = max(0.0, observed / base - 1.0)
+    print(f"observed-engine overhead on {BASELINE}: {overhead:+.2%} "
+          f"(limit {limit:.0%})")
+    if overhead > limit:
+        print("check_metrics_overhead: FAILED — armed metrics stack exceeds "
+              "the overhead budget")
+        return 1
+    print("check_metrics_overhead: ok")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

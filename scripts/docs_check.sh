@@ -1,18 +1,22 @@
 #!/bin/sh
 # Documentation gate, run by the CI `docs` job (and runnable locally).
 #
-#  1. check_docs_comments.py — every public declaration in src/trace/ and
-#     src/runtime/ carries a doc comment (pure python, always runs).
+#  1. check_docs_comments.py — every public declaration in src/trace/,
+#     src/obs/ and src/runtime/ carries a doc comment (pure python,
+#     always runs).
 #  2. check_links.py — every relative markdown link in README/docs/*
 #     resolves (pure python, always runs).
-#  3. Doxygen over Doxyfile with warnings promoted to errors for the
+#  3. check_metrics_names.py — every registered metric name follows the
+#     naming scheme and is documented in docs/OBSERVABILITY.md.
+#  4. Doxygen over Doxyfile with warnings promoted to errors for the
 #     guarded directories — only when doxygen is installed, so local
-#     machines without it still get the first two checks.
+#     machines without it still get the first three checks.
 set -e
 cd "$(dirname "$0")/.."
 
 python3 scripts/check_docs_comments.py
 python3 scripts/check_links.py
+python3 scripts/check_metrics_names.py
 
 if command -v doxygen >/dev/null 2>&1; then
   mkdir -p build
@@ -23,7 +27,7 @@ if command -v doxygen >/dev/null 2>&1; then
    echo "WARN_IF_UNDOCUMENTED = YES"
    echo "WARN_LOGFILE = build/doxygen_warnings.txt"
    echo "GENERATE_HTML = YES") | doxygen - >/dev/null
-  if grep -E 'src/(trace|runtime)/' build/doxygen_warnings.txt; then
+  if grep -E 'src/(trace|obs|runtime)/' build/doxygen_warnings.txt; then
     echo "docs_check: doxygen found undocumented items in guarded headers"
     exit 1
   fi

@@ -160,4 +160,21 @@ void EmitRuleStatuses(const GroundProgram& program, ComponentId view,
   }
 }
 
+uint64_t RuleStatusCounts::total() const {
+  uint64_t sum = 0;
+  for (const uint64_t count : by_status) sum += count;
+  return sum;
+}
+
+RuleStatusCounts CountRuleStatuses(const GroundProgram& program,
+                                   ComponentId view,
+                                   const Interpretation& i) {
+  RuleStatusCounts counts;
+  const RuleStatusEvaluator evaluator(program, view);
+  for (uint32_t index : program.ViewRules(view)) {
+    counts[evaluator.StatusCode(program.rule(index), i)] += 1;
+  }
+  return counts;
+}
+
 }  // namespace ordlog

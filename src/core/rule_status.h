@@ -1,6 +1,8 @@
 #ifndef ORDLOG_CORE_RULE_STATUS_H_
 #define ORDLOG_CORE_RULE_STATUS_H_
 
+#include <array>
+#include <cstdint>
 #include <optional>
 #include <string>
 
@@ -93,6 +95,33 @@ class RuleStatusEvaluator {
 // rules), off the solving hot path.
 void EmitRuleStatuses(const GroundProgram& program, ComponentId view,
                       const Interpretation& i, TraceSink* sink);
+
+// Tally of the dominant Definition 2 statuses across the rules of a view,
+// indexed by RuleStatusCode. Feeds the runtime's per-component
+// ordlog_rule_status_total metrics.
+struct RuleStatusCounts {
+  // Count per status; index with `counts[RuleStatusCode::...]` below.
+  std::array<uint64_t, 6> by_status{};
+
+  // Mutable count for `code`.
+  uint64_t& operator[](RuleStatusCode code) {
+    return by_status[static_cast<size_t>(code)];
+  }
+  // Count for `code`.
+  uint64_t operator[](RuleStatusCode code) const {
+    return by_status[static_cast<size_t>(code)];
+  }
+  // Total rules tallied (sum over all statuses).
+  uint64_t total() const;
+};
+
+// Counts the dominant Definition 2 status of every rule of the view under
+// `i` (normally the least model V∞(∅)). Same per-rule classification as
+// EmitRuleStatuses, without needing a trace sink; O(view rules ×
+// complementary rules), intended for the post-fixpoint sweep off the
+// solving hot path.
+RuleStatusCounts CountRuleStatuses(const GroundProgram& program,
+                                   ComponentId view, const Interpretation& i);
 
 }  // namespace ordlog
 

@@ -114,11 +114,11 @@ bool StableModelSolver::ExtensionPossible(const Interpretation& candidate,
 
 StatusOr<std::vector<Interpretation>>
 StableModelSolver::AssumptionFreeModels(StableSolverStats* stats) const {
-  size_t nodes = 0;
+  StableSolverStats local;
   std::vector<Interpretation> results;
   Interpretation candidate = seed_;
-  const Status status = Search(0, candidate, results, nodes);
-  if (stats != nullptr) stats->nodes = nodes;
+  const Status status = Search(0, candidate, results, local);
+  if (stats != nullptr) *stats = local;
   ORDLOG_RETURN_IF_ERROR(status);
   return results;
 }
@@ -132,22 +132,23 @@ StatusOr<std::vector<Interpretation>> StableModelSolver::StableModels(
 
 Status StableModelSolver::Search(size_t level, Interpretation& candidate,
                                  std::vector<Interpretation>& results,
-                                 size_t& nodes) const {
-  if (++nodes > options_.node_budget) {
+                                 StableSolverStats& stats) const {
+  if (++stats.nodes > options_.node_budget) {
     return ResourceExhaustedError(
         StrCat("stable-model search exceeded node_budget=",
                options_.node_budget));
   }
   if (options_.cancel != nullptr &&
-      nodes % options_.cancel_check_interval == 0) {
+      stats.nodes % options_.cancel_check_interval == 0) {
     ORDLOG_RETURN_IF_ERROR(options_.cancel->Check());
   }
   if (results.size() >= options_.max_models) return Status::Ok();
-  const uint64_t node = nodes;  // this invocation's search-node id
+  const uint64_t node = stats.nodes;  // this invocation's search-node id
   if (level == branch_.size()) {
     const bool accepted = checker_.IsModel(candidate) &&
                           assumptions_.IsAssumptionFree(candidate);
     if (accepted) results.push_back(candidate);
+    ++stats.leaves;
     solver_trace::Emit(options_.trace, TraceEventKind::kSolverLeaf, view_,
                        node, accepted ? 1 : 0, 0, 0);
     return Status::Ok();
@@ -155,14 +156,16 @@ Status StableModelSolver::Search(size_t level, Interpretation& candidate,
   const GroundAtomId atom = branch_[level];
   const auto try_branch = [&](TruthValue value) -> Status {
     candidate.Set(atom, value);
+    ++stats.branches;
     solver_trace::Emit(options_.trace, TraceEventKind::kSolverBranch, view_,
                        node, atom, static_cast<uint64_t>(value), level);
     if (options_.enable_pruning && !ExtensionPossible(candidate, level + 1)) {
+      ++stats.prunes;
       solver_trace::Emit(options_.trace, TraceEventKind::kSolverPrune, view_,
                          node, 0, 0, level + 1);
       return Status::Ok();
     }
-    return Search(level + 1, candidate, results, nodes);
+    return Search(level + 1, candidate, results, stats);
   };
   // Assigned values first so that maximal models tend to be found early.
   if (allow_true_[level]) {
@@ -173,6 +176,7 @@ Status StableModelSolver::Search(size_t level, Interpretation& candidate,
   }
   ORDLOG_RETURN_IF_ERROR(try_branch(TruthValue::kUndefined));
   candidate.Set(atom, TruthValue::kUndefined);
+  ++stats.backtracks;
   solver_trace::Emit(options_.trace, TraceEventKind::kSolverBacktrack, view_,
                      node, 0, 0, level);
   return Status::Ok();

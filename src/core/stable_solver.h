@@ -36,7 +36,11 @@ struct StableSolverOptions {
 // AssumptionFreeModels/StableModels so that one solver instance can be
 // used from several threads without shared mutable state.
 struct StableSolverStats {
-  size_t nodes = 0;  // search nodes visited
+  size_t nodes = 0;       // search nodes visited
+  size_t branches = 0;    // truth-value assignments tried
+  size_t prunes = 0;      // subtrees cut by ExtensionPossible
+  size_t leaves = 0;      // full candidates checked against Def. 3/7
+  size_t backtracks = 0;  // exhausted branch atoms
 };
 
 // Backtracking enumerator of assumption-free and stable models (Def. 9).
@@ -69,7 +73,8 @@ class StableModelSolver {
 
  private:
   Status Search(size_t level, Interpretation& candidate,
-                std::vector<Interpretation>& results, size_t& nodes) const;
+                std::vector<Interpretation>& results,
+                StableSolverStats& stats) const;
 
   // True when atom's value is fixed at this search depth (seeded, forced
   // undefined, or already branched on).

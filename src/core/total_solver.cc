@@ -66,20 +66,21 @@ bool TotalModelSolver::ExtensionPossible(const Interpretation& candidate,
 
 Status TotalModelSolver::Search(size_t level, Interpretation& candidate,
                                 std::vector<Interpretation>& results,
-                                size_t limit, size_t& nodes) const {
-  if (++nodes > options_.node_budget) {
+                                size_t limit, TotalSolverStats& stats) const {
+  if (++stats.nodes > options_.node_budget) {
     return ResourceExhaustedError(StrCat(
         "total-model search exceeded node_budget=", options_.node_budget));
   }
   if (options_.cancel != nullptr &&
-      nodes % options_.cancel_check_interval == 0) {
+      stats.nodes % options_.cancel_check_interval == 0) {
     ORDLOG_RETURN_IF_ERROR(options_.cancel->Check());
   }
   if (results.size() >= limit) return Status::Ok();
-  const uint64_t node = nodes;  // this invocation's search-node id
+  const uint64_t node = stats.nodes;  // this invocation's search-node id
   if (level == branch_.size()) {
     const bool accepted = checker_.IsModel(candidate);
     if (accepted) results.push_back(candidate);
+    ++stats.leaves;
     solver_trace::Emit(options_.trace, TraceEventKind::kSolverLeaf, view_,
                        node, accepted ? 1 : 0, 0, 0);
     return Status::Ok();
@@ -87,17 +88,20 @@ Status TotalModelSolver::Search(size_t level, Interpretation& candidate,
   const GroundAtomId atom = branch_[level];
   for (const TruthValue value : {TruthValue::kTrue, TruthValue::kFalse}) {
     candidate.Set(atom, value);
+    ++stats.branches;
     solver_trace::Emit(options_.trace, TraceEventKind::kSolverBranch, view_,
                        node, atom, static_cast<uint64_t>(value), level);
     if (ExtensionPossible(candidate, level + 1)) {
       ORDLOG_RETURN_IF_ERROR(
-          Search(level + 1, candidate, results, limit, nodes));
+          Search(level + 1, candidate, results, limit, stats));
     } else {
+      ++stats.prunes;
       solver_trace::Emit(options_.trace, TraceEventKind::kSolverPrune, view_,
                          node, 0, 0, level + 1);
     }
   }
   candidate.Set(atom, TruthValue::kUndefined);
+  ++stats.backtracks;
   solver_trace::Emit(options_.trace, TraceEventKind::kSolverBacktrack, view_,
                      node, 0, 0, level);
   return Status::Ok();
@@ -105,11 +109,11 @@ Status TotalModelSolver::Search(size_t level, Interpretation& candidate,
 
 StatusOr<std::optional<Interpretation>> TotalModelSolver::FindOne(
     TotalSolverStats* stats) const {
-  size_t nodes = 0;
+  TotalSolverStats local;
   std::vector<Interpretation> results;
   Interpretation candidate = seed_;
-  const Status status = Search(0, candidate, results, 1, nodes);
-  if (stats != nullptr) stats->nodes = nodes;
+  const Status status = Search(0, candidate, results, 1, local);
+  if (stats != nullptr) *stats = local;
   ORDLOG_RETURN_IF_ERROR(status);
   if (results.empty()) return std::optional<Interpretation>();
   return std::optional<Interpretation>(std::move(results[0]));
@@ -117,12 +121,12 @@ StatusOr<std::optional<Interpretation>> TotalModelSolver::FindOne(
 
 StatusOr<std::vector<Interpretation>> TotalModelSolver::FindAll(
     TotalSolverStats* stats) const {
-  size_t nodes = 0;
+  TotalSolverStats local;
   std::vector<Interpretation> results;
   Interpretation candidate = seed_;
   const Status status =
-      Search(0, candidate, results, options_.max_models, nodes);
-  if (stats != nullptr) stats->nodes = nodes;
+      Search(0, candidate, results, options_.max_models, local);
+  if (stats != nullptr) *stats = local;
   ORDLOG_RETURN_IF_ERROR(status);
   return results;
 }

@@ -27,7 +27,11 @@ struct TotalSolverOptions {
 
 // Per-call diagnostics (mirrors StableSolverStats).
 struct TotalSolverStats {
-  size_t nodes = 0;
+  size_t nodes = 0;       // search nodes visited
+  size_t branches = 0;    // truth-value assignments tried
+  size_t prunes = 0;      // subtrees cut by ExtensionPossible
+  size_t leaves = 0;      // full candidates checked against Def. 3
+  size_t backtracks = 0;  // exhausted branch atoms
 };
 
 // Searches for total models (Definition 5(a)): models that assign every
@@ -54,7 +58,7 @@ class TotalModelSolver {
  private:
   Status Search(size_t level, Interpretation& candidate,
                 std::vector<Interpretation>& results, size_t limit,
-                size_t& nodes) const;
+                TotalSolverStats& stats) const;
   bool Decided(GroundAtomId atom, size_t level) const {
     const int position = branch_position_[atom];
     return position < 0 || static_cast<size_t>(position) < level;

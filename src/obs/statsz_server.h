@@ -1,0 +1,84 @@
+#ifndef ORDLOG_OBS_STATSZ_SERVER_H_
+#define ORDLOG_OBS_STATSZ_SERVER_H_
+
+#include <atomic>
+#include <functional>
+#include <string>
+#include <thread>
+
+#include "base/status.h"
+#include "obs/metrics.h"
+#include "obs/slow_query_log.h"
+
+namespace ordlog {
+
+// Construction-time configuration for StatszServer.
+struct StatszServerOptions {
+  // TCP port to bind on the IPv4 loopback interface; 0 picks an ephemeral
+  // port (read it back via StatszServer::port()).
+  int port = 0;
+  // Metrics source for /metricsz and /statsz (not owned; may be null —
+  // the endpoints then serve an empty exposition).
+  MetricsRegistry* registry = nullptr;
+  // Slow-query source for /slowz (not owned; may be null — /slowz then
+  // serves an empty log).
+  SlowQueryLog* slow_log = nullptr;
+  // Readiness probe for /readyz; null means always ready.
+  std::function<bool()> ready;
+  // Extra human-readable status text for the /statsz dashboard (e.g. the
+  // engine's MetricsSnapshot::ToString()); null for none.
+  std::function<std::string()> stats_text;
+};
+
+// A minimal blocking HTTP/1.0 endpoint for operators and scrapers, served
+// from one listener thread:
+//
+//   /metricsz   Prometheus text exposition (?format=json for JSON)
+//   /statsz     human dashboard (HTML): status line + metrics
+//   /healthz    liveness ("ok" while the thread runs)
+//   /readyz     readiness (503 until the `ready` callback says yes)
+//   /slowz      the slow-query log as JSON
+//
+// Scope: a debug/scrape endpoint, not a general web server. One request
+// per connection, GET only, responses are built in memory; the accept
+// loop handles one connection at a time (scrapes are rare and cheap).
+// Binds the loopback interface only.
+class StatszServer {
+ public:
+  // Configures the server; call Start() to bind and serve.
+  explicit StatszServer(StatszServerOptions options);
+
+  // Stops the server (see Stop) if still running.
+  ~StatszServer();
+
+  StatszServer(const StatszServer&) = delete;
+  StatszServer& operator=(const StatszServer&) = delete;
+
+  // Binds the port and spawns the listener thread. Returns
+  // kFailedPrecondition if already started, or the socket error.
+  Status Start();
+
+  // Signals the listener thread to exit and joins it. Idempotent.
+  void Stop();
+
+  // The bound port (useful with options.port = 0); 0 before Start().
+  int port() const { return port_; }
+
+  // Builds the HTTP response for `request_target` (the path part of the
+  // request line, e.g. "/metricsz?format=json"). Exposed for tests; the
+  // returned string is a full HTTP/1.0 response including headers.
+  std::string ResponseFor(const std::string& request_target) const;
+
+ private:
+  void Serve();
+
+  const StatszServerOptions options_;
+  int listen_fd_ = -1;
+  int port_ = 0;
+  std::atomic<bool> stop_{false};
+  std::thread thread_;
+};
+
+}  // namespace ordlog
+
+#endif  // ORDLOG_OBS_STATSZ_SERVER_H_

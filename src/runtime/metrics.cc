@@ -1,8 +1,22 @@
 #include "runtime/metrics.h"
 
+#include <iomanip>
+#include <sstream>
+
 #include "base/strings.h"
 
 namespace ordlog {
+
+namespace {
+
+// Renders a rate in [0, 1] with two decimals (ToString only).
+std::string FormatRate(double rate) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(2) << rate;
+  return os.str();
+}
+
+}  // namespace
 
 uint64_t LatencyHistogram::PercentileUpperBoundUs(double percentile) const {
   std::array<uint64_t, kBuckets> counts;
@@ -17,33 +31,101 @@ uint64_t LatencyHistogram::PercentileUpperBoundUs(double percentile) const {
   uint64_t seen = 0;
   for (size_t i = 0; i < kBuckets; ++i) {
     seen += counts[i];
-    if (seen > rank) return uint64_t{1} << (i + 1);
+    if (seen > rank) return Histogram::BucketUpperBound(i);
   }
-  return uint64_t{1} << kBuckets;
+  return Histogram::BucketUpperBound(kBuckets - 1);
+}
+
+RuntimeMetrics::RuntimeMetrics(MetricsRegistry* registry) {
+  if (registry == nullptr) {
+    owned_registry_ = std::make_unique<MetricsRegistry>();
+    registry = owned_registry_.get();
+  }
+  registry_ = registry;
+
+  CounterFamily& queries = registry_->GetCounterFamily(
+      "ordlog_queries_total", "Queries finished, by final status.",
+      {"status"});
+  served_ = &queries.WithLabels("served");
+  failed_ = &queries.WithLabels("failed");
+  cancellations_ = &queries.WithLabels("cancelled");
+  deadline_exceeded_ = &queries.WithLabels("deadline_exceeded");
+
+  CounterFamily& cache = registry_->GetCounterFamily(
+      "ordlog_cache_requests_total",
+      "Model-cache lookups, by outcome (hit / miss / coalesced).",
+      {"outcome"});
+  cache_hits_ = &cache.WithLabels("hit");
+  cache_misses_ = &cache.WithLabels("miss");
+  cache_coalesced_ = &cache.WithLabels("coalesced");
+
+  mutations_ = &registry_
+                    ->GetCounterFamily(
+                        "ordlog_mutations_total",
+                        "KB mutations routed through the engine's "
+                        "writer path.")
+                    .WithLabels();
+  snapshots_built_ =
+      &registry_
+           ->GetCounterFamily(
+               "ordlog_snapshots_total",
+               "Immutable ground-program snapshots built (reground + "
+               "copy events).")
+           .WithLabels();
+  solver_nodes_ = &registry_
+                       ->GetCounterFamily(
+                           "ordlog_solver_nodes_total",
+                           "Cumulative stable-search nodes visited.")
+                       .WithLabels();
+
+  CounterFamily& phases = registry_->GetCounterFamily(
+      "ordlog_query_phase_us",
+      "Cumulative wall time per query phase, microseconds.", {"phase"});
+  for (size_t i = 0; i < phase_us_.size(); ++i) {
+    phase_us_[i] =
+        &phases.WithLabels(QueryPhaseCodeName(static_cast<QueryPhaseCode>(i)));
+  }
+
+  latency_ = &registry_
+                  ->GetHistogramFamily(
+                      "ordlog_query_latency_us",
+                      "End-to-end query latency, microseconds "
+                      "(log2 buckets).")
+                  .WithLabels();
 }
 
 MetricsSnapshot RuntimeMetrics::Snapshot() const {
   MetricsSnapshot snapshot;
-  snapshot.queries_served = queries_served_.load(std::memory_order_relaxed);
-  snapshot.queries_failed = queries_failed_.load(std::memory_order_relaxed);
-  snapshot.cancellations = cancellations_.load(std::memory_order_relaxed);
-  snapshot.deadline_exceeded =
-      deadline_exceeded_.load(std::memory_order_relaxed);
-  snapshot.cache_hits = cache_hits_.load(std::memory_order_relaxed);
-  snapshot.cache_misses = cache_misses_.load(std::memory_order_relaxed);
-  snapshot.cache_coalesced =
-      cache_coalesced_.load(std::memory_order_relaxed);
-  snapshot.mutations = mutations_.load(std::memory_order_relaxed);
-  snapshot.snapshots_built =
-      snapshots_built_.load(std::memory_order_relaxed);
-  snapshot.solver_nodes = solver_nodes_.load(std::memory_order_relaxed);
-  snapshot.latency_count = latency_.TotalCount();
-  snapshot.latency_p50_us = latency_.PercentileUpperBoundUs(50.0);
-  snapshot.latency_p99_us = latency_.PercentileUpperBoundUs(99.0);
+  snapshot.queries_served = served_->Value();
+  snapshot.queries_failed = failed_->Value();
+  snapshot.cancellations = cancellations_->Value();
+  snapshot.deadline_exceeded = deadline_exceeded_->Value();
+  snapshot.cache_hits = cache_hits_->Value();
+  snapshot.cache_misses = cache_misses_->Value();
+  snapshot.cache_coalesced = cache_coalesced_->Value();
+  snapshot.mutations = mutations_->Value();
+  snapshot.snapshots_built = snapshots_built_->Value();
+  snapshot.solver_nodes = solver_nodes_->Value();
+  snapshot.latency_count = latency_->TotalCount();
+  snapshot.latency_p50_us = latency_->PercentileUpperBound(50.0);
+  snapshot.latency_p99_us = latency_->PercentileUpperBound(99.0);
   for (size_t i = 0; i < snapshot.phase_us.size(); ++i) {
-    snapshot.phase_us[i] = phase_us_[i].load(std::memory_order_relaxed);
+    snapshot.phase_us[i] = phase_us_[i]->Value();
   }
   return snapshot;
+}
+
+double MetricsSnapshot::cache_hit_rate() const {
+  const uint64_t lookups = cache_hits + cache_misses;
+  if (lookups == 0) return 0.0;
+  return static_cast<double>(cache_hits) / static_cast<double>(lookups);
+}
+
+double MetricsSnapshot::failure_rate() const {
+  const uint64_t finished = queries_served + queries_failed;
+  if (finished == 0) return 0.0;
+  return static_cast<double>(queries_failed) /
+         static_cast<double>(finished);
 }
 
 std::string MetricsSnapshot::ToString() const {
@@ -56,6 +138,8 @@ std::string MetricsSnapshot::ToString() const {
                 " mutations=", mutations,
                 " snapshots_built=", snapshots_built,
                 " solver_nodes=", solver_nodes,
+                " hit_rate=", FormatRate(cache_hit_rate()),
+                " failure_rate=", FormatRate(failure_rate()),
                 " latency{count=", latency_count, " p50_us<=", latency_p50_us,
                 " p99_us<=", latency_p99_us, "}",
                 " phase_us{snapshot=", phase_us[0],

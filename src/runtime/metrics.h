@@ -5,8 +5,10 @@
 #include <atomic>
 #include <chrono>
 #include <cstdint>
+#include <memory>
 #include <string>
 
+#include "obs/metrics.h"
 #include "trace/event.h"
 
 namespace ordlog {
@@ -32,24 +34,32 @@ struct MetricsSnapshot {
   // snapshot, resolve, solve, explain), in microseconds.
   std::array<uint64_t, 4> phase_us{};
 
-  // One-line dashboard form, e.g. "served=5 failed=0 ... p99_us=128".
+  // Fraction of cache lookups served from a completed entry:
+  // hits / (hits + misses), counting coalesced waits as neither; 0.0 when
+  // no lookups happened yet.
+  double cache_hit_rate() const;
+
+  // Fraction of finished queries that failed:
+  // failed / (served + failed); 0.0 before the first query finishes.
+  double failure_rate() const;
+
+  // One-line dashboard form, e.g.
+  // "served=5 failed=0 ... hit_rate=0.80 failure_rate=0.00".
   std::string ToString() const;
 };
 
 // Lock-free log2-bucketed histogram of microsecond latencies. Bucket i
 // holds samples in [2^i, 2^{i+1}) µs (bucket 0 also takes 0), covering
-// sub-µs to ~35 minutes in 31 buckets.
+// sub-µs to ~35 minutes in 31 buckets. The bucket math is shared with
+// obs::Histogram (Histogram::BucketIndex), so an exact power of two 2^i
+// lands in bucket i — the left edge of its [2^i, 2^{i+1}) bucket.
 class LatencyHistogram {
  public:
   // Adds one sample; lock-free, callable from any thread.
   void Record(std::chrono::microseconds latency) {
-    uint64_t us = static_cast<uint64_t>(latency.count());
-    size_t bucket = 0;
-    while (us > 1 && bucket + 1 < kBuckets) {
-      us >>= 1;
-      ++bucket;
-    }
-    counts_[bucket].fetch_add(1, std::memory_order_relaxed);
+    const uint64_t us = static_cast<uint64_t>(latency.count());
+    counts_[Histogram::BucketIndex(us)].fetch_add(
+        1, std::memory_order_relaxed);
   }
 
   // Total number of recorded samples across all buckets.
@@ -61,74 +71,94 @@ class LatencyHistogram {
     return total;
   }
 
+  // Number of samples in `bucket` (see Histogram::BucketIndex).
+  uint64_t BucketCount(size_t bucket) const {
+    return counts_[bucket].load(std::memory_order_relaxed);
+  }
+
   // Upper bound (µs) of the bucket containing the `percentile`-th sample
   // (percentile in [0, 100]); 0 when empty.
   uint64_t PercentileUpperBoundUs(double percentile) const;
 
  private:
-  static constexpr size_t kBuckets = 31;
+  static constexpr size_t kBuckets = Histogram::kBuckets;
   std::array<std::atomic<uint64_t>, kBuckets> counts_{};
 };
 
-// The QueryEngine's counters. All mutators are lock-free and safe from any
-// thread; Snapshot() gives a consistent-enough copy for dashboards (the
-// counters are independently relaxed-atomic, not a single transaction).
+// The QueryEngine's counters, backed by pre-registered instruments in a
+// MetricsRegistry so that the same numbers the in-process MetricsSnapshot
+// reports are also served by the /metricsz exposition. All mutators are
+// one relaxed atomic increment on a cached instrument pointer — lock-free
+// and safe from any thread; Snapshot() gives a consistent-enough copy for
+// dashboards (the counters are independently relaxed-atomic, not a single
+// transaction).
 class RuntimeMetrics {
  public:
+  // Registers the runtime instruments in `registry`; when `registry` is
+  // null, an internal registry is created and owned (accessible through
+  // registry()).
+  explicit RuntimeMetrics(MetricsRegistry* registry = nullptr);
+
+  // The registry backing these metrics (owned or borrowed).
+  MetricsRegistry& registry() { return *registry_; }
+
   // A query finished OK after `latency` of wall time.
   void RecordServed(std::chrono::microseconds latency) {
-    queries_served_.fetch_add(1, std::memory_order_relaxed);
-    latency_.Record(latency);
+    served_->Increment();
+    latency_->Record(static_cast<uint64_t>(latency.count()));
   }
   // A query finished with a non-OK status; the flags break out the
   // kCancelled / kDeadlineExceeded sub-counters.
   void RecordFailure(bool cancelled, bool deadline) {
-    queries_failed_.fetch_add(1, std::memory_order_relaxed);
-    if (cancelled) cancellations_.fetch_add(1, std::memory_order_relaxed);
-    if (deadline) deadline_exceeded_.fetch_add(1, std::memory_order_relaxed);
+    failed_->Increment();
+    if (cancelled) cancellations_->Increment();
+    if (deadline) deadline_exceeded_->Increment();
   }
   // A model lookup was served from a completed cache entry.
-  void RecordCacheHit() { cache_hits_.fetch_add(1, std::memory_order_relaxed); }
+  void RecordCacheHit() { cache_hits_->Increment(); }
   // A model lookup became the computing owner of its cache slot.
-  void RecordCacheMiss() {
-    cache_misses_.fetch_add(1, std::memory_order_relaxed);
-  }
+  void RecordCacheMiss() { cache_misses_->Increment(); }
   // A model lookup waited on another caller's in-flight computation.
-  void RecordCacheCoalesced() {
-    cache_coalesced_.fetch_add(1, std::memory_order_relaxed);
-  }
+  void RecordCacheCoalesced() { cache_coalesced_->Increment(); }
   // A KB mutation went through the engine's writer path.
-  void RecordMutation() { mutations_.fetch_add(1, std::memory_order_relaxed); }
+  void RecordMutation() { mutations_->Increment(); }
   // The engine reground + deep-copied the KB into a fresh snapshot.
-  void RecordSnapshotBuilt() {
-    snapshots_built_.fetch_add(1, std::memory_order_relaxed);
-  }
+  void RecordSnapshotBuilt() { snapshots_built_->Increment(); }
   // Adds `nodes` search-tree nodes from a stable/total-model solve.
-  void RecordSolverNodes(uint64_t nodes) {
-    solver_nodes_.fetch_add(nodes, std::memory_order_relaxed);
-  }
+  void RecordSolverNodes(uint64_t nodes) { solver_nodes_->Increment(nodes); }
   // Accumulates `us` microseconds of wall time into the phase's bucket.
   void RecordPhase(QueryPhaseCode phase, uint64_t us) {
-    phase_us_[static_cast<size_t>(phase)].fetch_add(
-        us, std::memory_order_relaxed);
+    phase_us_[static_cast<size_t>(phase)]->Increment(us);
   }
+
+  // The cache counters, exposed so QueryEngine's exposition collector can
+  // mirror the ModelCache's authoritative tallies into the registry.
+  Counter& cache_hits_counter() { return *cache_hits_; }
+  // See cache_hits_counter().
+  Counter& cache_misses_counter() { return *cache_misses_; }
+  // See cache_hits_counter().
+  Counter& cache_coalesced_counter() { return *cache_coalesced_; }
 
   // Copies every counter (plus histogram percentiles) into a snapshot.
   MetricsSnapshot Snapshot() const;
 
  private:
-  std::atomic<uint64_t> queries_served_{0};
-  std::atomic<uint64_t> queries_failed_{0};
-  std::atomic<uint64_t> cancellations_{0};
-  std::atomic<uint64_t> deadline_exceeded_{0};
-  std::atomic<uint64_t> cache_hits_{0};
-  std::atomic<uint64_t> cache_misses_{0};
-  std::atomic<uint64_t> cache_coalesced_{0};
-  std::atomic<uint64_t> mutations_{0};
-  std::atomic<uint64_t> snapshots_built_{0};
-  std::atomic<uint64_t> solver_nodes_{0};
-  std::array<std::atomic<uint64_t>, 4> phase_us_{};
-  LatencyHistogram latency_;
+  std::unique_ptr<MetricsRegistry> owned_registry_;
+  MetricsRegistry* registry_;
+  // Cached children of the pre-registered families (pointers are stable
+  // for the registry's lifetime).
+  Counter* served_;
+  Counter* failed_;
+  Counter* cancellations_;
+  Counter* deadline_exceeded_;
+  Counter* cache_hits_;
+  Counter* cache_misses_;
+  Counter* cache_coalesced_;
+  Counter* mutations_;
+  Counter* snapshots_built_;
+  Counter* solver_nodes_;
+  std::array<Counter*, 4> phase_us_;
+  Histogram* latency_;
 };
 
 }  // namespace ordlog

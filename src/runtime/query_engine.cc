@@ -1,5 +1,7 @@
 #include "runtime/query_engine.h"
 
+#include <algorithm>
+#include <array>
 #include <thread>
 #include <utility>
 
@@ -9,20 +11,97 @@
 #include "kb/derivation.h"
 #include "parser/parser.h"
 #include "trace/json.h"
+#include "trace/sink.h"
 
 namespace ordlog {
 
+const char* QueryModeName(QueryMode mode) {
+  switch (mode) {
+    case QueryMode::kSkeptical:
+      return "skeptical";
+    case QueryMode::kBrave:
+      return "brave";
+    case QueryMode::kCautious:
+      return "cautious";
+    case QueryMode::kCountModels:
+      return "count_models";
+  }
+  return "unknown";
+}
+
 QueryEngine::QueryEngine(KnowledgeBase& kb, QueryEngineOptions options)
-    : kb_(kb), options_(options), cache_(options.cache) {
+    : kb_(kb),
+      options_(options),
+      cache_(options.cache),
+      metrics_(&registry_) {
+  rule_status_family_ = &registry_.GetCounterFamily(
+      "ordlog_rule_status_total",
+      "Definition 2 rule statuses, tallied over the view's rules after "
+      "each least-model computation.",
+      {"component", "status"});
+  solver_search_family_ = &registry_.GetCounterFamily(
+      "ordlog_solver_search_total",
+      "Stable-model search events per view component "
+      "(branch / prune / leaf / backtrack).",
+      {"component", "event"});
+  slow_queries_ = &registry_
+                       .GetCounterFamily(
+                           "ordlog_slow_queries_total",
+                           "Queries recorded in the slow-query log.")
+                       .WithLabels();
+  // The cache and KB keep their own authoritative counters; mirror them
+  // into the exposition at render time (MirrorFloor never decreases, so
+  // scrapes between updates stay monotonic).
+  Counter* evictions =
+      &registry_
+           .GetCounterFamily(
+               "ordlog_cache_evictions_total",
+               "Model-cache entries evicted (stale revision or capacity).")
+           .WithLabels();
+  Gauge* kb_revision =
+      &registry_
+           .GetGaugeFamily(
+               "ordlog_kb_revision",
+               "Current KnowledgeBase revision (bumped by every mutation).")
+           .WithLabels();
+  registry_.AddCollector([this, evictions, kb_revision] {
+    const ModelCache::Stats cache_stats = cache_.stats();
+    metrics_.cache_hits_counter().MirrorFloor(cache_stats.hits);
+    metrics_.cache_misses_counter().MirrorFloor(cache_stats.misses);
+    metrics_.cache_coalesced_counter().MirrorFloor(cache_stats.coalesced);
+    evictions->MirrorFloor(cache_stats.evictions);
+    kb_revision->Set(static_cast<int64_t>(revision()));
+  });
+
+  if (options_.slow_query_threshold.has_value()) {
+    slow_log_ = std::make_unique<SlowQueryLog>(
+        std::max<size_t>(1, options_.slow_query_capacity));
+  }
+
   size_t threads = options_.num_threads;
   if (threads == 0) {
     threads = std::thread::hardware_concurrency();
     if (threads == 0) threads = 1;
   }
   pool_ = std::make_unique<ThreadPool>(threads);
+
+  if (options_.statsz_port >= 0) {
+    StatszServerOptions statsz_options;
+    statsz_options.port = options_.statsz_port;
+    statsz_options.registry = &registry_;
+    statsz_options.slow_log = slow_log_.get();
+    statsz_options.stats_text = [this] { return Metrics().ToString(); };
+    statsz_ = std::make_unique<StatszServer>(std::move(statsz_options));
+    statsz_status_ = statsz_->Start();
+    if (!statsz_status_.ok()) statsz_.reset();
+  }
 }
 
 QueryEngine::~QueryEngine() = default;
+
+int QueryEngine::statsz_port() const {
+  return statsz_ == nullptr ? -1 : statsz_->port();
+}
 
 std::future<StatusOr<QueryAnswer>> QueryEngine::Submit(QueryRequest request) {
   auto promise = std::make_shared<std::promise<StatusOr<QueryAnswer>>>();
@@ -170,18 +249,30 @@ StatusOr<std::optional<GroundLiteral>> QueryEngine::ResolveLiteral(
 
 StatusOr<ModelCache::Lookup> QueryEngine::LeastModelFor(
     const std::shared_ptr<const Snapshot>& snapshot, ComponentId view,
-    const CancelToken& cancel) {
+    const CancelToken& cancel, TraceSink* trace) {
   const ModelCacheKey key{snapshot->revision, view, CacheKind::kLeastModel};
   return cache_.GetOrCompute(
       key,
       [&]() -> StatusOr<ModelEntry> {
         LeastModelComputer computer(snapshot->ground, view);
-        computer.set_trace(options_.trace);
+        computer.set_trace(trace);
         ORDLOG_ASSIGN_OR_RETURN(Interpretation model,
                                 computer.Compute(cancel));
         // Post-fixpoint provenance sweep: the Definition 2 status of every
-        // view rule under the least model (off the hot path, trace only).
-        EmitRuleStatuses(snapshot->ground, view, model, options_.trace);
+        // view rule under the least model, tallied into the per-component
+        // metrics and (when tracing) emitted as kRuleStatus events. Runs
+        // once per (revision, view) — cache hits skip it — off the hot
+        // path of the fixpoint itself.
+        const RuleStatusCounts counts =
+            CountRuleStatuses(snapshot->ground, view, model);
+        for (size_t s = 0; s < counts.by_status.size(); ++s) {
+          if (counts.by_status[s] == 0) continue;
+          rule_status_family_
+              ->WithLabels(snapshot->ground.component_name(view),
+                           RuleStatusCodeName(static_cast<RuleStatusCode>(s)))
+              .Increment(counts.by_status[s]);
+        }
+        EmitRuleStatuses(snapshot->ground, view, model, trace);
         ModelEntry entry;
         entry.least_model = std::move(model);
         return entry;
@@ -191,7 +282,7 @@ StatusOr<ModelCache::Lookup> QueryEngine::LeastModelFor(
 
 StatusOr<ModelCache::Lookup> QueryEngine::StableModelsFor(
     const std::shared_ptr<const Snapshot>& snapshot, ComponentId view,
-    const CancelToken& cancel) {
+    const CancelToken& cancel, TraceSink* trace) {
   const ModelCacheKey key{snapshot->revision, view,
                           CacheKind::kStableModels};
   return cache_.GetOrCompute(
@@ -199,12 +290,24 @@ StatusOr<ModelCache::Lookup> QueryEngine::StableModelsFor(
       [&]() -> StatusOr<ModelEntry> {
         StableSolverOptions solver_options = options_.solver;
         solver_options.cancel = &cancel;
-        solver_options.trace = options_.trace;
+        solver_options.trace = trace;
         StableModelSolver solver(snapshot->ground, view, solver_options);
         StableSolverStats stats;
         StatusOr<std::vector<Interpretation>> models =
             solver.StableModels(&stats);
         metrics_.RecordSolverNodes(stats.nodes);
+        const std::array<std::pair<const char*, size_t>, 4> search_events{{
+            {"branch", stats.branches},
+            {"prune", stats.prunes},
+            {"leaf", stats.leaves},
+            {"backtrack", stats.backtracks},
+        }};
+        for (const auto& [event_name, count] : search_events) {
+          if (count == 0) continue;
+          solver_search_family_
+              ->WithLabels(snapshot->ground.component_name(view), event_name)
+              .Increment(count);
+        }
         if (!models.ok()) return models.status();
         ModelEntry entry;
         entry.stable_models = std::move(models).value();
@@ -223,9 +326,23 @@ StatusOr<QueryAnswer> QueryEngine::Run(const QueryRequest& request) {
     cancel.LimitDeadline(start + options_.default_deadline);
   }
 
+  // Per-query trace routing: when the slow-query log is on, tee the
+  // caller's sink (possibly null) with a ring buffer capturing this
+  // query's own events for its SlowQueryRecord.
+  std::optional<RingBufferSink> capture;
+  std::optional<TeeSink> tee;
+  TraceSink* trace = options_.trace;
+  if (slow_log_ != nullptr) {
+    capture.emplace(std::max<size_t>(1, options_.slow_query_trace_events));
+    tee.emplace(options_.trace, &*capture);
+    trace = &*tee;
+  }
+
   // Phase clock: EndPhase closes the current phase, accumulating its wall
   // time into the metrics and (when tracing) emitting one kPhase event.
   CancelToken::Clock::time_point phase_start = start;
+  std::array<uint64_t, 4> phase_us{};  // also reported for failed queries
+  uint64_t observed_revision = 0;      // snapshot revision, once acquired
   const auto end_phase = [&](QueryPhaseCode phase, uint32_t component) {
     const CancelToken::Clock::time_point now = CancelToken::Clock::now();
     const uint64_t us = static_cast<uint64_t>(
@@ -233,14 +350,15 @@ StatusOr<QueryAnswer> QueryEngine::Run(const QueryRequest& request) {
                                                               phase_start)
             .count());
     phase_start = now;
+    phase_us[static_cast<size_t>(phase)] = us;
     metrics_.RecordPhase(phase, us);
-    if (options_.trace != nullptr) {
+    if (trace != nullptr) {
       TraceEvent event;
       event.kind = TraceEventKind::kPhase;
       event.component = component;
       event.a = static_cast<uint64_t>(phase);
       event.duration_us = us;
-      options_.trace->Emit(event);
+      trace->Emit(event);
     }
     return std::chrono::microseconds(us);
   };
@@ -267,13 +385,14 @@ StatusOr<QueryAnswer> QueryEngine::Run(const QueryRequest& request) {
 
     answer.mode = request.mode;
     answer.revision = snapshot->revision;
+    observed_revision = snapshot->revision;
     // Kept alive past the switch for the explain phase (the derivation
     // walks the same least model the answer was read from).
     ModelCache::Lookup skeptical_lookup;
     switch (request.mode) {
       case QueryMode::kSkeptical: {
         ORDLOG_ASSIGN_OR_RETURN(skeptical_lookup,
-                                LeastModelFor(snapshot, view, cancel));
+                                LeastModelFor(snapshot, view, cancel, trace));
         const ModelCache::Lookup& lookup = skeptical_lookup;
         answer.cache_hit = lookup.hit;
         answer.truth = literal.has_value()
@@ -284,8 +403,9 @@ StatusOr<QueryAnswer> QueryEngine::Run(const QueryRequest& request) {
       case QueryMode::kBrave:
       case QueryMode::kCautious:
       case QueryMode::kCountModels: {
-        ORDLOG_ASSIGN_OR_RETURN(const ModelCache::Lookup lookup,
-                                StableModelsFor(snapshot, view, cancel));
+        ORDLOG_ASSIGN_OR_RETURN(
+            const ModelCache::Lookup lookup,
+            StableModelsFor(snapshot, view, cancel, trace));
         answer.cache_hit = lookup.hit;
         const std::vector<Interpretation>& models =
             lookup.entry->stable_models;
@@ -350,6 +470,23 @@ StatusOr<QueryAnswer> QueryEngine::Run(const QueryRequest& request) {
     const StatusCode code = result.status().code();
     metrics_.RecordFailure(code == StatusCode::kCancelled,
                            code == StatusCode::kDeadlineExceeded);
+  }
+
+  if (slow_log_ != nullptr && latency >= *options_.slow_query_threshold) {
+    SlowQueryRecord record;
+    record.module = request.module;
+    record.literal = request.literal;
+    record.mode = QueryModeName(request.mode);
+    record.ok = result.ok();
+    record.status = result.ok() ? "ok" : result.status().ToString();
+    record.cache_hit = result.ok() && result->cache_hit;
+    record.revision = observed_revision;
+    record.latency_us = static_cast<uint64_t>(latency.count());
+    record.phase_us = phase_us;
+    record.events = capture->Events();
+    record.events_emitted = capture->total_emitted();
+    slow_log_->Add(std::move(record));
+    slow_queries_->Increment();
   }
   return result;
 }

@@ -15,6 +15,9 @@
 #include "base/status.h"
 #include "core/stable_solver.h"
 #include "kb/knowledge_base.h"
+#include "obs/metrics.h"
+#include "obs/slow_query_log.h"
+#include "obs/statsz_server.h"
 #include "runtime/metrics.h"
 #include "runtime/model_cache.h"
 #include "runtime/thread_pool.h"
@@ -31,6 +34,9 @@ enum class QueryMode : uint8_t {
   kCautious,     // holds in every stable model
   kCountModels,  // number of stable models (literal ignored)
 };
+
+// Canonical lowercase name of a query mode ("skeptical", "brave", ...).
+const char* QueryModeName(QueryMode mode);
 
 // Construction-time configuration for QueryEngine.
 struct QueryEngineOptions {
@@ -51,6 +57,19 @@ struct QueryEngineOptions {
   // grounding events, construct the KnowledgeBase with GrounderOptions
   // carrying the same sink.
   TraceSink* trace = nullptr;
+  // Loopback port for the embedded statsz endpoint (/metricsz, /statsz,
+  // /healthz, /readyz, /slowz): -1 (default) disables the server, 0 binds
+  // an ephemeral port (read back via QueryEngine::statsz_port()), any
+  // other value binds that port. See docs/OBSERVABILITY.md.
+  int statsz_port = -1;
+  // When set, every finished query whose wall time is >= the threshold is
+  // recorded in the slow-query log (0 records every query — useful for
+  // demos and tests); nullopt (default) disables the log entirely.
+  std::optional<std::chrono::microseconds> slow_query_threshold;
+  // Slow-query records retained (ring buffer; oldest overwritten).
+  size_t slow_query_capacity = 64;
+  // Trace events captured per query for slow-query records (ring buffer).
+  size_t slow_query_trace_events = 256;
 };
 
 // One query: which module to ask, what to ask it, and how.
@@ -158,6 +177,19 @@ class QueryEngine {
   // Point-in-time copy of the runtime counters.
   MetricsSnapshot Metrics() const;
 
+  // The metrics registry backing this engine's instruments — what the
+  // /metricsz endpoint serves. Callers may register their own families
+  // in it (names must satisfy IsValidMetricName).
+  MetricsRegistry& Registry() { return registry_; }
+  // The slow-query log, or null when slow_query_threshold is unset.
+  const SlowQueryLog* slow_query_log() const { return slow_log_.get(); }
+  // The statsz server's bound port; -1 when the server is disabled or
+  // failed to start (see statsz_status()).
+  int statsz_port() const;
+  // OK when the statsz server is disabled or started cleanly; otherwise
+  // the bind/listen error (the engine still serves queries).
+  Status statsz_status() const { return statsz_status_; }
+
  private:
   // Immutable view of the KB at one revision. Queries compute against the
   // copied ground program, so a concurrent mutation (which regrounds the
@@ -179,29 +211,43 @@ class QueryEngine {
       const Snapshot& snapshot, std::string_view literal);
 
   StatusOr<QueryAnswer> Run(const QueryRequest& request);
+  // `trace` is the per-query sink (the caller's sink, possibly teed into
+  // the slow-query capture buffer); may be null.
   StatusOr<ModelCache::Lookup> LeastModelFor(
       const std::shared_ptr<const Snapshot>& snapshot, ComponentId view,
-      const CancelToken& cancel);
+      const CancelToken& cancel, TraceSink* trace);
   StatusOr<ModelCache::Lookup> StableModelsFor(
       const std::shared_ptr<const Snapshot>& snapshot, ComponentId view,
-      const CancelToken& cancel);
+      const CancelToken& cancel, TraceSink* trace);
 
   KnowledgeBase& kb_;
   const QueryEngineOptions options_;
 
   // Lock order (outer to inner): kb_mutex_ -> snapshot_mutex_ /
-  // parse_mutex_. The cache and metrics have their own internal locking
-  // and are never held across engine locks.
+  // parse_mutex_. The cache, metrics, registry, and slow log have their
+  // own internal locking and are never held across engine locks.
   mutable std::shared_mutex kb_mutex_;
   std::mutex snapshot_mutex_;
   std::mutex parse_mutex_;
   std::shared_ptr<const Snapshot> snapshot_;
 
+  // Declared before metrics_: the instruments it registers live here.
+  MetricsRegistry registry_;
   ModelCache cache_;
   RuntimeMetrics metrics_;
-  // Last member: destroyed (drained + joined) first, so tasks never touch
-  // destroyed engine state.
+  // Per-component semantic stats, labeled {component, status} /
+  // {component, event}; children are created lazily per component.
+  CounterFamily* rule_status_family_;
+  CounterFamily* solver_search_family_;
+  Counter* slow_queries_;
+  std::unique_ptr<SlowQueryLog> slow_log_;
+  // Second-to-last member: destroyed (drained + joined) before everything
+  // above, so tasks never touch destroyed engine state.
   std::unique_ptr<ThreadPool> pool_;
+  // Last member: stopped/joined first of all, so the listener thread's
+  // render callbacks never read a partially destroyed engine.
+  std::unique_ptr<StatszServer> statsz_;
+  Status statsz_status_;
 };
 
 }  // namespace ordlog

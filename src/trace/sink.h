@@ -37,6 +37,28 @@ class NullSink final : public TraceSink {
   void Emit(const TraceEvent& event) override { (void)event; }
 };
 
+// Fans every event out to two sinks, either of which may be null. Used by
+// the runtime to feed both the caller's configured sink and a per-query
+// capture buffer (the slow-query log) without the instrumented code
+// knowing there are two receivers. Thread-safe iff both targets are; adds
+// no locking of its own.
+class TeeSink final : public TraceSink {
+ public:
+  // Both sinks are borrowed, not owned; null entries are skipped.
+  TeeSink(TraceSink* first, TraceSink* second)
+      : first_(first), second_(second) {}
+
+  // Forwards the event to each non-null target, in order.
+  void Emit(const TraceEvent& event) override {
+    if (first_ != nullptr) first_->Emit(event);
+    if (second_ != nullptr) second_->Emit(event);
+  }
+
+ private:
+  TraceSink* const first_;
+  TraceSink* const second_;
+};
+
 // Fixed-capacity ring buffer of the most recent events. Overwrites the
 // oldest event once full; total_emitted() minus size() is the number of
 // events lost. Thread-safe via an internal mutex.

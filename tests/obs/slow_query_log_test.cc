@@ -1,0 +1,89 @@
+// Tests for the slow-query log: ring-buffer retention, id assignment, and
+// the JSON rendering served by /slowz and trace_dump --slow.
+
+#include <string>
+
+#include "gtest/gtest.h"
+
+#include "obs/slow_query_log.h"
+#include "trace/event.h"
+
+namespace ordlog {
+namespace {
+
+SlowQueryRecord MakeRecord(const std::string& literal) {
+  SlowQueryRecord record;
+  record.module = "c1";
+  record.literal = literal;
+  record.mode = "skeptical";
+  record.status = "ok";
+  record.ok = true;
+  record.latency_us = 1234;
+  return record;
+}
+
+TEST(SlowQueryLogTest, AssignsIncreasingIds) {
+  SlowQueryLog log(4);
+  log.Add(MakeRecord("a"));
+  log.Add(MakeRecord("b"));
+  const auto records = log.Records();
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_EQ(records[0].id, 1u);
+  EXPECT_EQ(records[0].literal, "a");
+  EXPECT_EQ(records[1].id, 2u);
+  EXPECT_EQ(log.total_recorded(), 2u);
+  EXPECT_EQ(log.capacity(), 4u);
+}
+
+TEST(SlowQueryLogTest, OverwritesOldestWhenFull) {
+  SlowQueryLog log(2);
+  log.Add(MakeRecord("a"));
+  log.Add(MakeRecord("b"));
+  log.Add(MakeRecord("c"));  // evicts "a"
+  const auto records = log.Records();
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_EQ(records[0].literal, "b");  // oldest retained first
+  EXPECT_EQ(records[1].literal, "c");
+  EXPECT_EQ(records[1].id, 3u);
+  EXPECT_EQ(log.total_recorded(), 3u);  // includes the overwritten record
+  EXPECT_EQ(log.size(), 2u);
+}
+
+TEST(SlowQueryRecordTest, ToJsonCarriesTimingsAndEvents) {
+  SlowQueryRecord record = MakeRecord("fly(penguin)");
+  record.id = 7;
+  record.phase_us = {10, 20, 30, 40};
+  TraceEvent event;
+  event.kind = TraceEventKind::kFixpointDone;
+  event.a = 2;
+  record.events.push_back(event);
+  record.events_emitted = 5;
+
+  const std::string json = record.ToJson();
+  EXPECT_NE(json.find("\"id\":7"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"literal\":\"fly(penguin)\""), std::string::npos);
+  EXPECT_NE(json.find("\"latency_us\":1234"), std::string::npos);
+  EXPECT_NE(json.find("\"snapshot\":10"), std::string::npos);
+  EXPECT_NE(json.find("\"resolve\":20"), std::string::npos);
+  EXPECT_NE(json.find("\"solve\":30"), std::string::npos);
+  EXPECT_NE(json.find("\"explain\":40"), std::string::npos);
+  EXPECT_NE(json.find("\"events_emitted\":5"), std::string::npos);
+  EXPECT_NE(json.find("fixpoint_done"), std::string::npos);
+}
+
+TEST(SlowQueryLogTest, RenderJsonWrapsRecords) {
+  SlowQueryLog log(3);
+  log.Add(MakeRecord("a"));
+  const std::string json = log.RenderJson();
+  EXPECT_NE(json.find("\"capacity\":3"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"recorded\":1"), std::string::npos);
+  EXPECT_NE(json.find("\"queries\":[{"), std::string::npos);
+}
+
+TEST(SlowQueryLogTest, EmptyLogRenders) {
+  SlowQueryLog log(3);
+  EXPECT_EQ(log.RenderJson(), "{\"capacity\":3,\"recorded\":0,\"queries\":[]}");
+}
+
+}  // namespace
+}  // namespace ordlog

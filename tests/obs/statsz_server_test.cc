@@ -1,0 +1,177 @@
+// Tests for the statsz endpoint: route handling via ResponseFor, a real
+// HTTP round-trip over a loopback socket, and the end-to-end integration
+// with a QueryEngine serving the paper's Figure 1 program.
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <string>
+
+#include "gtest/gtest.h"
+
+#include "kb/knowledge_base.h"
+#include "obs/metrics.h"
+#include "obs/slow_query_log.h"
+#include "obs/statsz_server.h"
+#include "runtime/query_engine.h"
+#include "support/paper_programs.h"
+
+namespace ordlog {
+namespace {
+
+// Issues one blocking HTTP GET against the loopback port and returns the
+// whole response (headers + body).
+std::string HttpGet(int port, const std::string& target) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  EXPECT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  EXPECT_EQ(
+      ::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)),
+      0)
+      << std::strerror(errno);
+  const std::string request = "GET " + target + " HTTP/1.0\r\n\r\n";
+  EXPECT_EQ(::send(fd, request.data(), request.size(), 0),
+            static_cast<ssize_t>(request.size()));
+  std::string response;
+  char buffer[4096];
+  for (;;) {
+    const ssize_t n = ::recv(fd, buffer, sizeof(buffer), 0);
+    if (n <= 0) break;
+    response.append(buffer, static_cast<size_t>(n));
+  }
+  ::close(fd);
+  return response;
+}
+
+TEST(StatszServerTest, RoutesViaResponseFor) {
+  MetricsRegistry registry;
+  registry.GetCounterFamily("ordlog_demo_total", "demo").WithLabels()
+      .Increment(3);
+  SlowQueryLog slow_log(4);
+  bool ready = false;
+  StatszServerOptions options;
+  options.registry = &registry;
+  options.slow_log = &slow_log;
+  options.ready = [&ready] { return ready; };
+  options.stats_text = [] { return std::string("stats line"); };
+  StatszServer server(std::move(options));
+
+  EXPECT_NE(server.ResponseFor("/healthz").find("HTTP/1.0 200"),
+            std::string::npos);
+  EXPECT_NE(server.ResponseFor("/readyz").find("HTTP/1.0 503"),
+            std::string::npos);
+  ready = true;
+  EXPECT_NE(server.ResponseFor("/readyz").find("HTTP/1.0 200"),
+            std::string::npos);
+
+  const std::string metrics = server.ResponseFor("/metricsz");
+  EXPECT_NE(metrics.find("text/plain; version=0.0.4"), std::string::npos);
+  EXPECT_NE(metrics.find("ordlog_demo_total 3"), std::string::npos);
+
+  const std::string json = server.ResponseFor("/metricsz?format=json");
+  EXPECT_NE(json.find("application/json"), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"ordlog_demo_total\""), std::string::npos);
+
+  const std::string slowz = server.ResponseFor("/slowz");
+  EXPECT_NE(slowz.find("application/json"), std::string::npos);
+  EXPECT_NE(slowz.find("\"capacity\":4"), std::string::npos);
+
+  const std::string dashboard = server.ResponseFor("/statsz");
+  EXPECT_NE(dashboard.find("text/html"), std::string::npos);
+  EXPECT_NE(dashboard.find("stats line"), std::string::npos);
+  EXPECT_NE(dashboard.find("ordlog_demo_total"), std::string::npos);
+
+  EXPECT_NE(server.ResponseFor("/nope").find("HTTP/1.0 404"),
+            std::string::npos);
+}
+
+TEST(StatszServerTest, ServesOverLoopbackSocket) {
+  StatszServerOptions options;
+  options.port = 0;  // ephemeral
+  StatszServer server(std::move(options));
+  ASSERT_TRUE(server.Start().ok());
+  ASSERT_GT(server.port(), 0);
+
+  const std::string response = HttpGet(server.port(), "/healthz");
+  EXPECT_NE(response.find("HTTP/1.0 200 OK"), std::string::npos) << response;
+  EXPECT_NE(response.find("\r\n\r\nok\n"), std::string::npos);
+
+  // Start() twice is rejected; Stop() is idempotent.
+  EXPECT_FALSE(server.Start().ok());
+  server.Stop();
+  server.Stop();
+}
+
+TEST(StatszServerTest, EngineIntegrationServesSemanticStats) {
+  KnowledgeBase kb;
+  ASSERT_TRUE(kb.Load(testing::kFig1Penguin).ok());
+  QueryEngineOptions options;
+  options.num_threads = 1;
+  options.statsz_port = 0;  // ephemeral loopback port
+  options.slow_query_threshold = std::chrono::microseconds(0);
+  QueryEngine engine(kb, options);
+  ASSERT_TRUE(engine.statsz_status().ok());
+  ASSERT_GT(engine.statsz_port(), 0);
+
+  // Figure 1: the bird rule for fly(penguin) is overruled by the more
+  // specific penguin rule, so the per-component rule-status metric must
+  // expose an overruled sample after one least-model computation.
+  const auto truth = engine.QuerySkeptical("c1", "fly(penguin)");
+  ASSERT_TRUE(truth.ok());
+  EXPECT_EQ(*truth, TruthValue::kFalse);
+
+  const std::string metrics = HttpGet(engine.statsz_port(), "/metricsz");
+  EXPECT_NE(metrics.find("ordlog_rule_status_total{component=\"c1\","
+                         "status=\"overruled\"}"),
+            std::string::npos)
+      << metrics;
+  EXPECT_NE(metrics.find("ordlog_queries_total{status=\"served\"} 1"),
+            std::string::npos);
+  EXPECT_NE(metrics.find("ordlog_query_latency_us_count 1"),
+            std::string::npos);
+
+  // The query exceeded the zero threshold, so /slowz carries its record
+  // with phase timings and the captured trace events.
+  const std::string slowz = HttpGet(engine.statsz_port(), "/slowz");
+  EXPECT_NE(slowz.find("\"literal\":\"fly(penguin)\""), std::string::npos)
+      << slowz;
+  EXPECT_NE(slowz.find("\"phase_us\""), std::string::npos);
+  EXPECT_NE(slowz.find("\"events\":["), std::string::npos);
+  EXPECT_NE(slowz.find("rule_status"), std::string::npos);
+
+  EXPECT_NE(HttpGet(engine.statsz_port(), "/healthz").find("200 OK"),
+            std::string::npos);
+}
+
+TEST(StatszServerTest, EngineStableQueryExposesSolverSearch) {
+  KnowledgeBase kb;
+  ASSERT_TRUE(kb.Load(testing::kExample5P5).ok());
+  QueryEngineOptions options;
+  options.num_threads = 1;
+  options.statsz_port = 0;
+  QueryEngine engine(kb, options);
+  ASSERT_TRUE(engine.statsz_status().ok());
+
+  QueryRequest request;
+  request.module = "c1";
+  request.mode = QueryMode::kCountModels;
+  const auto answer = engine.Execute(std::move(request));
+  ASSERT_TRUE(answer.ok());
+  EXPECT_GT(answer->model_count, 0u);
+
+  const std::string metrics = HttpGet(engine.statsz_port(), "/metricsz");
+  EXPECT_NE(metrics.find("ordlog_solver_search_total{component=\"c1\","
+                         "event=\"branch\"}"),
+            std::string::npos)
+      << metrics;
+  EXPECT_NE(metrics.find("event=\"leaf\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ordlog

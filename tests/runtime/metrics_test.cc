@@ -1,0 +1,128 @@
+// Tests for the runtime metrics: the LatencyHistogram's log2 bucket
+// edges (regression: exact powers of two must land in [2^i, 2^{i+1})),
+// the RuntimeMetrics registry refactor, and the MetricsSnapshot helpers.
+
+#include <chrono>
+#include <string>
+
+#include "gtest/gtest.h"
+
+#include "obs/metrics.h"
+#include "runtime/metrics.h"
+
+namespace ordlog {
+namespace {
+
+using std::chrono::microseconds;
+
+TEST(LatencyHistogramTest, PowerOfTwoSamplesLandOnLeftEdges) {
+  LatencyHistogram histogram;
+  // Regression for the bucket math: 1, 2, 3, 4 and 1024 µs pin the edges.
+  histogram.Record(microseconds(1));     // bucket 0: [0, 2)
+  histogram.Record(microseconds(2));     // bucket 1: [2, 4)
+  histogram.Record(microseconds(3));     // bucket 1: [2, 4)
+  histogram.Record(microseconds(4));     // bucket 2: [4, 8)
+  histogram.Record(microseconds(1024));  // bucket 10: [1024, 2048)
+
+  EXPECT_EQ(histogram.TotalCount(), 5u);
+  EXPECT_EQ(histogram.BucketCount(0), 1u);
+  EXPECT_EQ(histogram.BucketCount(1), 2u);
+  EXPECT_EQ(histogram.BucketCount(2), 1u);
+  EXPECT_EQ(histogram.BucketCount(10), 1u);
+  // Nothing leaked into the neighbors of the pinned buckets.
+  EXPECT_EQ(histogram.BucketCount(3), 0u);
+  EXPECT_EQ(histogram.BucketCount(9), 0u);
+  EXPECT_EQ(histogram.BucketCount(11), 0u);
+}
+
+TEST(LatencyHistogramTest, PercentileReportsBucketUpperBound) {
+  LatencyHistogram histogram;
+  EXPECT_EQ(histogram.PercentileUpperBoundUs(99.0), 0u);
+  for (int i = 0; i < 90; ++i) histogram.Record(microseconds(5));
+  for (int i = 0; i < 10; ++i) histogram.Record(microseconds(5000));
+  EXPECT_EQ(histogram.PercentileUpperBoundUs(50.0), 8u);      // [4, 8)
+  EXPECT_EQ(histogram.PercentileUpperBoundUs(99.0), 8192u);   // [4096, 8192)
+}
+
+TEST(RuntimeMetricsTest, SnapshotReflectsRecordedCounters) {
+  RuntimeMetrics metrics;
+  metrics.RecordServed(microseconds(100));
+  metrics.RecordServed(microseconds(200));
+  metrics.RecordFailure(/*cancelled=*/true, /*deadline=*/false);
+  metrics.RecordCacheHit();
+  metrics.RecordCacheHit();
+  metrics.RecordCacheHit();
+  metrics.RecordCacheMiss();
+  metrics.RecordMutation();
+  metrics.RecordSnapshotBuilt();
+  metrics.RecordSolverNodes(17);
+  metrics.RecordPhase(QueryPhaseCode::kSolve, 42);
+
+  const MetricsSnapshot snapshot = metrics.Snapshot();
+  EXPECT_EQ(snapshot.queries_served, 2u);
+  EXPECT_EQ(snapshot.queries_failed, 1u);
+  EXPECT_EQ(snapshot.cancellations, 1u);
+  EXPECT_EQ(snapshot.deadline_exceeded, 0u);
+  EXPECT_EQ(snapshot.cache_hits, 3u);
+  EXPECT_EQ(snapshot.cache_misses, 1u);
+  EXPECT_EQ(snapshot.mutations, 1u);
+  EXPECT_EQ(snapshot.snapshots_built, 1u);
+  EXPECT_EQ(snapshot.solver_nodes, 17u);
+  EXPECT_EQ(snapshot.latency_count, 2u);
+  EXPECT_EQ(snapshot.phase_us[static_cast<size_t>(QueryPhaseCode::kSolve)],
+            42u);
+}
+
+TEST(MetricsSnapshotTest, RateHelpers) {
+  MetricsSnapshot snapshot;
+  // Empty snapshot: both rates are defined as zero.
+  EXPECT_DOUBLE_EQ(snapshot.cache_hit_rate(), 0.0);
+  EXPECT_DOUBLE_EQ(snapshot.failure_rate(), 0.0);
+
+  snapshot.cache_hits = 3;
+  snapshot.cache_misses = 1;
+  snapshot.queries_served = 1;
+  snapshot.queries_failed = 1;
+  EXPECT_DOUBLE_EQ(snapshot.cache_hit_rate(), 0.75);
+  EXPECT_DOUBLE_EQ(snapshot.failure_rate(), 0.5);
+}
+
+TEST(MetricsSnapshotTest, ToStringPrintsRates) {
+  MetricsSnapshot snapshot;
+  snapshot.cache_hits = 3;
+  snapshot.cache_misses = 1;
+  snapshot.queries_served = 1;
+  snapshot.queries_failed = 1;
+  const std::string text = snapshot.ToString();
+  EXPECT_NE(text.find("hit_rate=0.75"), std::string::npos) << text;
+  EXPECT_NE(text.find("failure_rate=0.50"), std::string::npos) << text;
+}
+
+TEST(RuntimeMetricsTest, RegistersInstrumentsInSharedRegistry) {
+  MetricsRegistry registry;
+  RuntimeMetrics metrics(&registry);
+  metrics.RecordServed(microseconds(50));
+  metrics.RecordCacheMiss();
+
+  const std::string text = registry.RenderPrometheus();
+  EXPECT_NE(text.find("ordlog_queries_total{status=\"served\"} 1"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("ordlog_cache_requests_total{outcome=\"miss\"} 1"),
+            std::string::npos);
+  EXPECT_NE(text.find("ordlog_query_latency_us_count 1"), std::string::npos);
+  // The snapshot reads the same instruments the exposition serves.
+  EXPECT_EQ(metrics.Snapshot().queries_served, 1u);
+  EXPECT_EQ(&metrics.registry(), &registry);
+}
+
+TEST(RuntimeMetricsTest, OwnsRegistryWhenNoneGiven) {
+  RuntimeMetrics metrics;
+  metrics.RecordMutation();
+  EXPECT_NE(metrics.registry().RenderPrometheus().find(
+                "ordlog_mutations_total 1"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace ordlog

@@ -20,7 +20,13 @@
 //   --stable          enumerate the module's stable models (Def. 9) and
 //                     print each model's literals.
 //   --metrics         print the query engine's metrics snapshot last.
+//   --slow            record every engine query in the slow-query log
+//                     (threshold 0) and dump the log as JSON last — the
+//                     same document the /slowz statsz endpoint serves.
+//                     With no --why, a count_models query is run so the
+//                     log has at least one record.
 
+#include <chrono>
 #include <fstream>
 #include <iostream>
 #include <optional>
@@ -45,12 +51,13 @@ struct Options {
   bool strip_durations = false;
   bool stable = false;
   bool metrics = false;
+  bool slow = false;
 };
 
 int Usage() {
   std::cerr << "usage: trace_dump FILE [--module=NAME] [--why=LITERAL]...\n"
             << "           [--json] [--events] [--strip-durations]\n"
-            << "           [--stable] [--metrics]\n";
+            << "           [--stable] [--metrics] [--slow]\n";
   return 2;
 }
 
@@ -75,6 +82,8 @@ std::optional<Options> ParseArgs(int argc, char** argv) {
       options.stable = true;
     } else if (arg == "--metrics") {
       options.metrics = true;
+    } else if (arg == "--slow") {
+      options.slow = true;
     } else {
       return std::nullopt;
     }
@@ -141,6 +150,11 @@ int main(int argc, char** argv) {
   ordlog::QueryEngineOptions engine_options;
   engine_options.num_threads = 1;
   engine_options.trace = trace;
+  if (options->slow) {
+    // Threshold 0: every query qualifies, so the dump below always shows
+    // the record schema (phase timings + captured trace events).
+    engine_options.slow_query_threshold = std::chrono::microseconds(0);
+  }
   ordlog::QueryEngine engine(kb, engine_options);
 
   for (const std::string& literal : options->whys) {
@@ -199,6 +213,21 @@ int main(int argc, char** argv) {
       }
       std::cout << "\n";
     }
+  }
+
+  if (options->slow) {
+    if (options->whys.empty()) {
+      ordlog::QueryRequest request;
+      request.module = module;
+      request.mode = ordlog::QueryMode::kCountModels;
+      const ordlog::StatusOr<ordlog::QueryAnswer> answer =
+          engine.Execute(std::move(request));
+      if (!answer.ok()) {
+        std::cerr << "trace_dump: " << answer.status() << "\n";
+        return 1;
+      }
+    }
+    std::cout << engine.slow_query_log()->RenderJson() << "\n";
   }
 
   if (options->metrics) {
