@@ -4,7 +4,12 @@
 # the perf trajectory can be tracked across commits.
 set -e
 cd "$(dirname "$0")/.."
-cmake -B build -G Ninja
+# Respect an already-configured build tree (its generator may differ).
+if [ -f build/CMakeCache.txt ]; then
+  cmake -B build
+else
+  cmake -B build -G Ninja
+fi
 cmake --build build
 ctest --test-dir build --output-on-failure -j"$(nproc)"
 mkdir -p build/bench_json
@@ -24,6 +29,11 @@ for path in sorted(pathlib.Path("build/bench_json").glob("*.json")):
     merged[path.stem] = json.loads(path.read_text())
 pathlib.Path("build/BENCH_runtime.json").write_text(json.dumps(merged, indent=1))
 print("wrote build/BENCH_runtime.json (%d suites)" % len(merged))
+# The grounding suite also stands alone: scripts/check_grounding_regression.py
+# gates the indexed matcher's speedup and exactness on it.
+grounding = json.loads(pathlib.Path("build/bench_json/bench_grounding.json").read_text())
+pathlib.Path("build/BENCH_grounding.json").write_text(json.dumps(grounding, indent=1))
+print("wrote build/BENCH_grounding.json")
 EOF
   # Tracing must be pay-for-what-you-use: the null sink has to stay
   # within 2% of the untraced loan-throughput baseline.
@@ -33,5 +43,8 @@ EOF
   python3 scripts/check_metrics_overhead.py
   # Registered metric names must follow the documented naming scheme.
   python3 scripts/check_metrics_names.py
+  # The indexed grounder must beat the naive enumerator on the grid
+  # workload and stay exact + regression-free on the paper programs.
+  python3 scripts/check_grounding_regression.py
 fi
 echo "ordlog: all checks passed"

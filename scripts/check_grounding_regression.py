@@ -1,0 +1,96 @@
+#!/usr/bin/env python3
+"""Grounding performance gate over the bench_grounding JSON report.
+
+Reads build/BENCH_grounding.json (written by scripts/check.sh) and checks
+the naive/indexed benchmark pairs emitted by bench/bench_grounding.cc:
+
+ * exactness: each pair grounds to the same number of rules;
+ * no regression on the small paper programs (Fig 1/2/3, Ex. 5): the
+   indexed matcher must not try more candidate bindings than the naive
+   enumerator, and its wall time must stay within a generous noise bound;
+ * the win: on the largest loan-grid workload the indexed matcher must
+   try at least MIN_GRID_SPEEDUP times fewer candidate bindings. The
+   candidates counter is deterministic, so the gate is machine-independent
+   (wall time is reported for information only).
+"""
+
+import json
+import pathlib
+import sys
+
+REPORT = pathlib.Path("build/BENCH_grounding.json")
+PREFIX = "BM_GroundingStrategy/"
+
+# Small programs where indexed must simply not regress.
+PAPER_WORKLOADS = ("fig1", "fig2", "fig3", "ex5")
+# Constraint-heavy workloads where the index must win, with the required
+# minimum ratio of naive/indexed candidate bindings.
+GRID_WORKLOAD = "loan_grid_256"
+MIN_GRID_SPEEDUP = 5.0
+# Wall-time noise bound for the tiny paper programs (parse-dominated).
+PAPER_TIME_TOLERANCE = 3.0
+
+
+def fail(message):
+    print("check_grounding_regression: FAIL: %s" % message)
+    sys.exit(1)
+
+
+def main():
+    if not REPORT.exists():
+        fail("%s not found (run scripts/check.sh first)" % REPORT)
+    report = json.loads(REPORT.read_text())
+    pairs = {}
+    for bench in report.get("benchmarks", []):
+        name = bench.get("name", "")
+        if not name.startswith(PREFIX):
+            continue
+        # BM_GroundingStrategy/<workload>/<strategy>
+        parts = name[len(PREFIX):].split("/")
+        if len(parts) != 2:
+            continue
+        workload, strategy = parts
+        pairs.setdefault(workload, {})[strategy] = bench
+
+    problems = []
+    for workload, by_strategy in sorted(pairs.items()):
+        naive = by_strategy.get("naive")
+        indexed = by_strategy.get("indexed")
+        if naive is None or indexed is None:
+            problems.append("%s: missing naive/indexed pair" % workload)
+            continue
+        if naive["ground_rules"] != indexed["ground_rules"]:
+            problems.append(
+                "%s: rule counts diverge (naive %d vs indexed %d)"
+                % (workload, naive["ground_rules"], indexed["ground_rules"]))
+        if indexed["candidates"] > naive["candidates"]:
+            problems.append(
+                "%s: indexed tried more candidates than naive (%d > %d)"
+                % (workload, indexed["candidates"], naive["candidates"]))
+        ratio = naive["candidates"] / max(indexed["candidates"], 1.0)
+        time_ratio = indexed["real_time"] / max(naive["real_time"], 1e-9)
+        print("  %-16s rules=%-8d candidates naive/indexed = %8.1fx  "
+              "time indexed/naive = %.2fx"
+              % (workload, int(naive["ground_rules"]), ratio, time_ratio))
+        if workload in PAPER_WORKLOADS and time_ratio > PAPER_TIME_TOLERANCE:
+            problems.append(
+                "%s: indexed wall time regressed %.2fx over naive (> %.1fx)"
+                % (workload, time_ratio, PAPER_TIME_TOLERANCE))
+        if workload == GRID_WORKLOAD and ratio < MIN_GRID_SPEEDUP:
+            problems.append(
+                "%s: candidate-binding speedup %.2fx below required %.1fx"
+                % (workload, ratio, MIN_GRID_SPEEDUP))
+
+    if GRID_WORKLOAD not in pairs:
+        problems.append("grid workload %s missing from report" % GRID_WORKLOAD)
+    for workload in PAPER_WORKLOADS:
+        if workload not in pairs:
+            problems.append("paper workload %s missing from report" % workload)
+
+    if problems:
+        fail("; ".join(problems))
+    print("check_grounding_regression: OK (%d workload pairs)" % len(pairs))
+
+
+if __name__ == "__main__":
+    main()

@@ -8,12 +8,21 @@
 
 namespace ordlog {
 
+namespace {
+// A zero poll interval would make the cancellation check's modulo
+// undefined; clamp to "poll every node".
+StableSolverOptions ClampStableOptions(StableSolverOptions options) {
+  if (options.cancel_check_interval == 0) options.cancel_check_interval = 1;
+  return options;
+}
+}  // namespace
+
 StableModelSolver::StableModelSolver(const GroundProgram& program,
                                      ComponentId view,
                                      StableSolverOptions options)
     : program_(program),
       view_(view),
-      options_(options),
+      options_(ClampStableOptions(options)),
       checker_(program, view),
       assumptions_(program, view),
       seed_(ComputeLeastModel(program, view)) {

@@ -24,6 +24,7 @@ struct StableSolverOptions {
   // Cooperative cancellation / deadline, polled every
   // cancel_check_interval search nodes; the search aborts with kCancelled
   // or kDeadlineExceeded. Not owned; may be null (never checked).
+  // An interval of 0 is clamped to 1 (poll every node).
   const CancelToken* cancel = nullptr;
   size_t cancel_check_interval = 1024;
   // Structured trace sink (not owned; may be null). When set, the search

@@ -6,12 +6,21 @@
 
 namespace ordlog {
 
+namespace {
+// A zero poll interval would make the cancellation check's modulo
+// undefined; clamp to "poll every node".
+TotalSolverOptions ClampTotalOptions(TotalSolverOptions options) {
+  if (options.cancel_check_interval == 0) options.cancel_check_interval = 1;
+  return options;
+}
+}  // namespace
+
 TotalModelSolver::TotalModelSolver(const GroundProgram& program,
                                    ComponentId view,
                                    TotalSolverOptions options)
     : program_(program),
       view_(view),
-      options_(options),
+      options_(ClampTotalOptions(options)),
       checker_(program, view),
       seed_(ComputeLeastModel(program, view)) {
   branch_position_.assign(program.NumAtoms(), -1);

@@ -17,7 +17,8 @@ struct TotalSolverOptions {
   size_t node_budget = 50'000'000;
   size_t max_models = 1'000'000;
   // Cooperative cancellation / deadline, polled every
-  // cancel_check_interval search nodes (see StableSolverOptions).
+  // cancel_check_interval search nodes (see StableSolverOptions); 0 is
+  // clamped to 1.
   const CancelToken* cancel = nullptr;
   size_t cancel_check_interval = 1024;
   // Structured trace sink (not owned; may be null); same event stream as

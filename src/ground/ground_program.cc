@@ -101,6 +101,21 @@ GroundAtomId GroundProgramBuilder::AddAtom(const Atom& atom) {
   return id;
 }
 
+GroundAtomId GroundProgramBuilder::AddAtom(SymbolId predicate,
+                                           const std::vector<TermId>& args) {
+  scratch_.predicate = predicate;
+  scratch_.args.assign(args.begin(), args.end());
+  auto it = program_.atom_index_.find(scratch_);
+  if (it != program_.atom_index_.end()) return it->second;
+  ORDLOG_CHECK(scratch_.IsGround(*program_.pool_))
+      << "non-ground atom in GroundProgramBuilder";
+  const GroundAtomId id =
+      static_cast<GroundAtomId>(program_.atoms_.size());
+  program_.atoms_.push_back(scratch_);
+  program_.atom_index_.emplace(scratch_, id);
+  return id;
+}
+
 GroundAtomId GroundProgramBuilder::AddPropositional(std::string_view name) {
   return AddAtom(Atom{program_.pool_->symbols().Intern(name), {}});
 }

@@ -124,6 +124,10 @@ class GroundProgramBuilder {
 
   // Interns a ground atom; `atom` must be ground.
   GroundAtomId AddAtom(const Atom& atom);
+  // Fast path for the grounder's hot loop: interns predicate(args...)
+  // without constructing an Atom per lookup (a reusable scratch atom
+  // backs the probe). All args must be ground.
+  GroundAtomId AddAtom(SymbolId predicate, const std::vector<TermId>& args);
   // Interns the 0-ary atom `name` (propositional convenience).
   GroundAtomId AddPropositional(std::string_view name);
 
@@ -139,6 +143,7 @@ class GroundProgramBuilder {
  private:
   GroundProgram program_;
   std::vector<std::pair<ComponentId, ComponentId>> edges_;
+  Atom scratch_;
   bool built_ = false;
 };
 

@@ -1,24 +1,32 @@
 #include "ground/grounder.h"
 
 #include <chrono>
+#include <memory>
+#include <vector>
 
 #include "base/logging.h"
 #include "base/strings.h"
+#include "ground/reachability.h"
+#include "ground/safety.h"
 #include "lang/printer.h"
 
 namespace ordlog {
 
 namespace {
 
-// Per-rule instantiation context: enumerates all bindings of the rule's
-// variables over the Herbrand universe, short-circuiting constraints as
-// soon as their variables are bound.
+// Per-rule instantiation context of the kNaive strategy: enumerates all
+// bindings of the rule's variables over the Herbrand universe,
+// short-circuiting constraints as soon as their variables are bound. Kept
+// as the reference implementation the indexed strategy is differentially
+// tested against.
 class RuleInstantiator {
  public:
   RuleInstantiator(TermPool& pool, const HerbrandUniverse& universe,
                    const Rule& rule, ComponentId component,
                    uint32_t source_rule_index, GroundProgramBuilder& builder,
-                   size_t max_ground_rules, size_t* emitted)
+                   size_t max_ground_rules, size_t* emitted,
+                   const CancelToken* cancel, size_t cancel_check_interval,
+                   GroundStats* stats)
       : pool_(pool),
         universe_(universe),
         rule_(rule),
@@ -26,7 +34,10 @@ class RuleInstantiator {
         source_rule_index_(source_rule_index),
         builder_(builder),
         max_ground_rules_(max_ground_rules),
-        emitted_(emitted) {
+        emitted_(emitted),
+        cancel_(cancel),
+        interval_(cancel_check_interval == 0 ? 1 : cancel_check_interval),
+        stats_(stats) {
     variables_ = rule.Variables(pool);
     // Schedule each constraint at the first level where all its variables
     // are bound (level = 1-based index of the last variable it mentions).
@@ -60,6 +71,10 @@ class RuleInstantiator {
       return Emit();
     }
     for (TermId term : universe_.terms()) {
+      ++stats_->candidates;
+      if (cancel_ != nullptr && (++ops_ % interval_) == 0) {
+        ORDLOG_RETURN_IF_ERROR(cancel_->Check());
+      }
       binding_[variables_[level]] = term;
       ORDLOG_RETURN_IF_ERROR(Enumerate(level + 1));
     }
@@ -74,26 +89,19 @@ class RuleInstantiator {
                  " (at rule '", ToString(pool_, rule_), "')"));
     }
     ++*emitted_;
-    GroundLiteral head{builder_.AddAtom(SubstituteAtom(rule_.head.atom)),
+    ++stats_->rules_emitted;
+    GroundLiteral head{builder_.AddAtom(SubstituteAtom(
+                           pool_, rule_.head.atom, binding_)),
                        rule_.head.positive};
     std::vector<GroundLiteral> body;
     body.reserve(rule_.body.size());
     for (const Literal& literal : rule_.body) {
       body.push_back(GroundLiteral{
-          builder_.AddAtom(SubstituteAtom(literal.atom)), literal.positive});
+          builder_.AddAtom(SubstituteAtom(pool_, literal.atom, binding_)),
+          literal.positive});
     }
     builder_.AddRule(component_, head, std::move(body), source_rule_index_);
     return Status::Ok();
-  }
-
-  Atom SubstituteAtom(const Atom& atom) {
-    Atom ground;
-    ground.predicate = atom.predicate;
-    ground.args.reserve(atom.args.size());
-    for (TermId arg : atom.args) {
-      ground.args.push_back(pool_.Substitute(arg, binding_));
-    }
-    return ground;
   }
 
   TermPool& pool_;
@@ -104,6 +112,10 @@ class RuleInstantiator {
   GroundProgramBuilder& builder_;
   const size_t max_ground_rules_;
   size_t* emitted_;
+  const CancelToken* cancel_;
+  const size_t interval_;
+  GroundStats* stats_;
+  uint64_t ops_ = 0;
 
   std::vector<SymbolId> variables_;
   std::vector<size_t> constraint_level_;
@@ -118,9 +130,17 @@ StatusOr<GroundProgram> Grounder::Ground(OrderedProgram& program,
     return FailedPreconditionError(
         "OrderedProgram must be finalized before grounding");
   }
+  ORDLOG_RETURN_IF_ERROR(CheckProgramSafe(program.pool(), program));
   ORDLOG_ASSIGN_OR_RETURN(
       const HerbrandUniverse universe,
       HerbrandUniverse::Compute(program, options.herbrand));
+
+  GroundStats local_stats;
+  GroundStats* stats =
+      options.stats != nullptr ? options.stats : &local_stats;
+  *stats = GroundStats{};
+  const size_t interval =
+      options.cancel_check_interval == 0 ? 1 : options.cancel_check_interval;
 
   GroundProgramBuilder builder(program.shared_pool(),
                                program.NumComponents());
@@ -129,6 +149,22 @@ StatusOr<GroundProgram> Grounder::Ground(OrderedProgram& program,
   }
   for (const auto& [lower, higher] : program.order_edges()) {
     builder.AddOrder(lower, higher);
+  }
+
+  std::unique_ptr<UniverseIndex> index;
+  std::unique_ptr<Reachability> reachability;
+  if (options.strategy == GroundStrategy::kIndexed) {
+    index = std::make_unique<UniverseIndex>(program.pool(), universe);
+    if (options.prune_unreachable) {
+      Reachability::Options reach_options;
+      reach_options.max_tuples = options.max_ground_rules;
+      reach_options.cancel = options.cancel;
+      reach_options.cancel_check_interval = interval;
+      ORDLOG_ASSIGN_OR_RETURN(
+          Reachability computed,
+          Reachability::Compute(program, *index, reach_options, stats));
+      reachability = std::make_unique<Reachability>(std::move(computed));
+    }
   }
 
   using Clock = std::chrono::steady_clock;
@@ -142,23 +178,99 @@ StatusOr<GroundProgram> Grounder::Ground(OrderedProgram& program,
       options.trace != nullptr ? Clock::now() : Clock::time_point();
 
   size_t emitted = 0;
+  std::vector<TermId> scratch_args;
   for (ComponentId c = 0; c < program.NumComponents(); ++c) {
     const Component& component = program.component(c);
     const Clock::time_point component_start =
         options.trace != nullptr ? Clock::now() : Clock::time_point();
     const size_t emitted_before = emitted;
+    const uint64_t candidates_before = stats->candidates;
+    const uint64_t probes_before = stats->index_probes;
     for (size_t i = 0; i < component.rules.size(); ++i) {
-      RuleInstantiator instantiator(
-          program.pool(), universe, component.rules[i], c,
-          static_cast<uint32_t>(i), builder, options.max_ground_rules,
-          &emitted);
-      ORDLOG_RETURN_IF_ERROR(instantiator.Run());
+      const Rule& rule = component.rules[i];
+      const auto emit_cap = [&]() -> Status {
+        if (emitted >= options.max_ground_rules) {
+          return ResourceExhaustedError(StrCat(
+              "grounding exceeds max_ground_rules=",
+              options.max_ground_rules, " (at rule '",
+              ToString(program.pool(), rule), "')"));
+        }
+        ++emitted;
+        ++stats->rules_emitted;
+        return Status::Ok();
+      };
+
+      if (options.strategy == GroundStrategy::kNaive) {
+        RuleInstantiator instantiator(
+            program.pool(), universe, rule, c, static_cast<uint32_t>(i),
+            builder, options.max_ground_rules, &emitted, options.cancel,
+            interval, stats);
+        ORDLOG_RETURN_IF_ERROR(instantiator.Run());
+        continue;
+      }
+
+      const bool prunable =
+          reachability != nullptr && !reachability->overflowed() &&
+          rule.head.positive &&
+          reachability->IsDefinite(rule.head.atom.predicate,
+                                   rule.head.atom.args.size());
+      if (prunable) {
+        GuidedInstantiator guided(program.pool(), *index, rule,
+                                  reachability->possible(), options.cancel,
+                                  interval, stats);
+        ORDLOG_RETURN_IF_ERROR(
+            guided.Run([&](const Binding& binding) -> Status {
+              ORDLOG_RETURN_IF_ERROR(emit_cap());
+              GroundLiteral head{
+                  builder.AddAtom(SubstituteAtom(program.pool(),
+                                                 rule.head.atom, binding)),
+                  rule.head.positive};
+              std::vector<GroundLiteral> body;
+              body.reserve(rule.body.size());
+              for (const Literal& literal : rule.body) {
+                body.push_back(GroundLiteral{
+                    builder.AddAtom(SubstituteAtom(program.pool(),
+                                                   literal.atom, binding)),
+                    literal.positive});
+              }
+              builder.AddRule(c, head, std::move(body),
+                              static_cast<uint32_t>(i));
+              return Status::Ok();
+            }));
+        continue;
+      }
+
+      ExactInstantiator instantiator(program.pool(), *index, rule,
+                                     options.cancel, interval, stats);
+      ORDLOG_RETURN_IF_ERROR(instantiator.Run([&]() -> Status {
+        ORDLOG_RETURN_IF_ERROR(emit_cap());
+        instantiator.MaterializeArgs(instantiator.head_template(),
+                                     &scratch_args);
+        GroundLiteral head{
+            builder.AddAtom(instantiator.head_template().predicate,
+                            scratch_args),
+            rule.head.positive};
+        std::vector<GroundLiteral> body;
+        body.reserve(instantiator.num_body());
+        for (size_t b = 0; b < instantiator.num_body(); ++b) {
+          instantiator.MaterializeArgs(instantiator.body_template(b),
+                                       &scratch_args);
+          body.push_back(GroundLiteral{
+              builder.AddAtom(instantiator.body_template(b).predicate,
+                              scratch_args),
+              instantiator.body_positive(b)});
+        }
+        builder.AddRule(c, head, std::move(body), static_cast<uint32_t>(i));
+        return Status::Ok();
+      }));
     }
     if (options.trace != nullptr) {
       TraceEvent event;
       event.kind = TraceEventKind::kGroundComponent;
       event.component = c;
       event.a = emitted - emitted_before;
+      event.b = stats->candidates - candidates_before;
+      event.c = stats->index_probes - probes_before;
       event.duration_us = elapsed_us(component_start);
       options.trace->Emit(event);
     }
@@ -169,6 +281,7 @@ StatusOr<GroundProgram> Grounder::Ground(OrderedProgram& program,
     event.kind = TraceEventKind::kGroundDone;
     event.a = ground->NumRules();
     event.b = ground->NumAtoms();
+    event.c = stats->candidates;
     event.duration_us = elapsed_us(ground_start);
     options.trace->Emit(event);
   }

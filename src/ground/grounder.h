@@ -1,13 +1,28 @@
 #ifndef ORDLOG_GROUND_GROUNDER_H_
 #define ORDLOG_GROUND_GROUNDER_H_
 
+#include <cstdint>
+
+#include "base/cancel.h"
 #include "base/status.h"
 #include "ground/ground_program.h"
 #include "ground/herbrand.h"
+#include "ground/instantiate.h"
 #include "lang/program.h"
 #include "trace/sink.h"
 
 namespace ordlog {
+
+enum class GroundStrategy : uint8_t {
+  // Body-guided indexed instantiation (the default): per-rule compiled
+  // atom templates, constraint range scans over the sorted integer
+  // universe, and forced-candidate lookups for `X = t` equalities. Emits
+  // exactly the instances of kNaive, in the same order.
+  kIndexed,
+  // The original full-universe cross-product sweep. Kept as the reference
+  // implementation for differential tests and benchmarks.
+  kNaive,
+};
 
 struct GrounderOptions {
   HerbrandOptions herbrand;
@@ -16,10 +31,24 @@ struct GrounderOptions {
   // variables (Def. 2 needs the statuses of never-firing instances too),
   // so grounding is exponential in rule arity by construction.
   size_t max_ground_rules = 5'000'000;
+  GroundStrategy strategy = GroundStrategy::kIndexed;
+  // Opt-in: restrict emission to instances whose positive body atoms are
+  // derivable (possible-tuple fixpoint), for rules whose head predicate is
+  // definite. NOT semantics-preserving in general — see
+  // docs/GROUNDING.md#reachability-pruning before enabling.
+  bool prune_unreachable = false;
+  // Cooperative cancellation (not owned; may be null). The enumeration
+  // loops poll Check() every `cancel_check_interval` candidate bindings
+  // and abort with kCancelled / kDeadlineExceeded. 0 is clamped to 1.
+  const CancelToken* cancel = nullptr;
+  size_t cancel_check_interval = 4096;
   // Structured trace sink (not owned; may be null). When set, Ground emits
-  // one kGroundComponent event per component (rules emitted, wall time)
-  // and a final kGroundDone (total rules, atoms, wall time).
+  // one kGroundComponent event per component (a=rules emitted, b=candidate
+  // bindings matched, c=index probes, wall time) and a final kGroundDone
+  // (a=total rules, b=atoms, c=total candidates, wall time).
   TraceSink* trace = nullptr;
+  // Optional out-param filled with instantiation counters (not owned).
+  GroundStats* stats = nullptr;
 };
 
 // Instantiates every rule of every component over the (depth-bounded)
@@ -28,6 +57,10 @@ struct GrounderOptions {
 // whose constraints cannot be evaluated (a constraint variable bound to a
 // non-integer term) is likewise dropped, mirroring the typed reading of
 // the paper's loan program.
+//
+// Rules with a constraint variable that occurs in no head/body atom are
+// rejected with kInvalidArgument before any instantiation (see
+// ground/safety.h).
 class Grounder {
  public:
   // `program` must be finalized.

@@ -1,0 +1,405 @@
+#include "ground/instantiate.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+
+namespace ordlog {
+
+UniverseIndex::UniverseIndex(const TermPool& pool,
+                             const HerbrandUniverse& universe)
+    : terms_(universe.terms()) {
+  rank_.reserve(terms_.size());
+  for (size_t i = 0; i < terms_.size(); ++i) {
+    rank_.emplace(terms_[i], i);
+    if (pool.kind(terms_[i]) == TermKind::kInteger) {
+      integers_.emplace_back(pool.int_value(terms_[i]), terms_[i]);
+    }
+  }
+  std::sort(integers_.begin(), integers_.end());
+}
+
+void UniverseIndex::IntegersInRange(int64_t lo, int64_t hi,
+                                    std::vector<TermId>* out) const {
+  out->clear();
+  if (lo > hi) return;
+  auto first = std::lower_bound(
+      integers_.begin(), integers_.end(), lo,
+      [](const std::pair<int64_t, TermId>& p, int64_t v) {
+        return p.first < v;
+      });
+  for (auto it = first; it != integers_.end() && it->first <= hi; ++it) {
+    out->push_back(it->second);
+  }
+  // Candidates must come back in universe order, not value order, so a
+  // restricted sweep emits instances in the same order as a full one.
+  std::sort(out->begin(), out->end(), [this](TermId a, TermId b) {
+    return rank_.at(a) < rank_.at(b);
+  });
+}
+
+Atom SubstituteAtom(TermPool& pool, const Atom& atom,
+                    const Binding& binding) {
+  Atom ground;
+  ground.predicate = atom.predicate;
+  ground.args.reserve(atom.args.size());
+  for (TermId arg : atom.args) {
+    ground.args.push_back(pool.Substitute(arg, binding));
+  }
+  return ground;
+}
+
+AtomTemplate CompileAtomTemplate(
+    const TermPool& pool, const Atom& atom,
+    const std::unordered_map<SymbolId, uint32_t>& slot_of_var) {
+  AtomTemplate tmpl;
+  tmpl.predicate = atom.predicate;
+  tmpl.args.reserve(atom.args.size());
+  for (TermId arg : atom.args) {
+    ArgTemplate at;
+    if (pool.IsGround(arg)) {
+      at.kind = ArgTemplate::Kind::kGround;
+      at.term = arg;
+    } else if (pool.kind(arg) == TermKind::kVariable) {
+      at.kind = ArgTemplate::Kind::kSlot;
+      at.slot = slot_of_var.at(pool.symbol(arg));
+    } else {
+      at.kind = ArgTemplate::Kind::kPattern;
+      at.term = arg;
+      tmpl.has_pattern = true;
+    }
+    tmpl.args.push_back(at);
+  }
+  return tmpl;
+}
+
+namespace {
+
+CompareOp Flip(CompareOp op) {
+  switch (op) {
+    case CompareOp::kLt:
+      return CompareOp::kGt;
+    case CompareOp::kLe:
+      return CompareOp::kGe;
+    case CompareOp::kGt:
+      return CompareOp::kLt;
+    case CompareOp::kGe:
+      return CompareOp::kLe;
+    default:
+      return op;
+  }
+}
+
+bool Mentions(const TermPool& pool, const ArithExpr& expr, SymbolId var) {
+  std::vector<SymbolId> vars;
+  expr.CollectVariables(pool, &vars);
+  return std::find(vars.begin(), vars.end(), var) != vars.end();
+}
+
+// Rewrites `expr op bound` — with `var` somewhere inside `expr` and
+// absent from `bound` — into `var op' bound'` by peeling the add /
+// subtract / negate spine: `X > Y + 2` at Y's level becomes
+// `Y < X - 2`. Fails (returns false) on any other node kind (a multiply
+// would need sign analysis, an embedded term is not linear arithmetic)
+// or when the variable occurs on both sides of a node.
+bool IsolateVariable(const TermPool& pool, SymbolId var, ArithExpr expr,
+                     ArithExpr bound, CompareOp op, CompareOp* out_op,
+                     ArithExpr* out_bound) {
+  while (!(expr.op() == ArithOp::kVariable && expr.variable() == var)) {
+    switch (expr.op()) {
+      case ArithOp::kAdd: {
+        const bool in_left = Mentions(pool, expr.left(), var);
+        if (in_left == Mentions(pool, expr.right(), var)) return false;
+        ArithExpr keep = in_left ? expr.left() : expr.right();
+        ArithExpr move = in_left ? expr.right() : expr.left();
+        bound = ArithExpr::Subtract(std::move(bound), std::move(move));
+        expr = std::move(keep);
+        break;
+      }
+      case ArithOp::kSubtract: {
+        const bool in_left = Mentions(pool, expr.left(), var);
+        if (in_left == Mentions(pool, expr.right(), var)) return false;
+        if (in_left) {
+          ArithExpr keep = expr.left();
+          bound = ArithExpr::Add(std::move(bound), expr.right());
+          expr = std::move(keep);
+        } else {
+          ArithExpr keep = expr.right();
+          bound = ArithExpr::Subtract(expr.left(), std::move(bound));
+          op = Flip(op);
+          expr = std::move(keep);
+        }
+        break;
+      }
+      case ArithOp::kNegate: {
+        ArithExpr keep = expr.operand();
+        bound = ArithExpr::Negate(std::move(bound));
+        op = Flip(op);
+        expr = std::move(keep);
+        break;
+      }
+      default:
+        return false;
+    }
+  }
+  *out_op = op;
+  *out_bound = std::move(bound);
+  return true;
+}
+
+}  // namespace
+
+ExactInstantiator::ExactInstantiator(TermPool& pool,
+                                     const UniverseIndex& universe,
+                                     const Rule& rule,
+                                     const CancelToken* cancel,
+                                     size_t cancel_check_interval,
+                                     GroundStats* stats)
+    : pool_(pool),
+      universe_(universe),
+      rule_(rule),
+      cancel_(cancel),
+      interval_(cancel_check_interval == 0 ? 1 : cancel_check_interval),
+      stats_(stats) {
+  const std::vector<SymbolId> variables = rule.Variables(pool);
+  std::unordered_map<SymbolId, uint32_t> slot_of_var;
+  levels_.resize(variables.size());
+  for (size_t i = 0; i < variables.size(); ++i) {
+    levels_[i].var = variables[i];
+    slot_of_var.emplace(variables[i], static_cast<uint32_t>(i));
+  }
+
+  // Variables whose binding_ entry must be maintained during enumeration
+  // (everything Comparison::Evaluate / Substitute will look up).
+  std::vector<SymbolId> needed;
+
+  for (size_t i = 0; i < rule.constraints.size(); ++i) {
+    const Comparison& constraint = rule.constraints[i];
+    std::vector<SymbolId> vars;
+    constraint.CollectVariables(pool, &vars);
+    if (vars.empty()) {
+      ground_checks_.push_back(static_cast<uint32_t>(i));
+      continue;
+    }
+    uint32_t max_slot = 0;
+    for (SymbolId var : vars) {
+      max_slot = std::max(max_slot, slot_of_var.at(var));
+    }
+    const SymbolId level_var = levels_[max_slot].var;
+
+    // Try to absorb `level_var op expr` as a domain restriction.
+    const ArithExpr* other = nullptr;
+    CompareOp oriented = constraint.op;
+    if (constraint.op != CompareOp::kNe) {
+      const bool lhs_is_var =
+          constraint.lhs.op() == ArithOp::kVariable &&
+          constraint.lhs.variable() == level_var;
+      const bool rhs_is_var =
+          constraint.rhs.op() == ArithOp::kVariable &&
+          constraint.rhs.variable() == level_var;
+      if (lhs_is_var && !Mentions(pool, constraint.rhs, level_var)) {
+        other = &constraint.rhs;
+      } else if (rhs_is_var && !Mentions(pool, constraint.lhs, level_var)) {
+        other = &constraint.lhs;
+        oriented = Flip(constraint.op);
+      }
+    }
+    // When the level variable sits inside an arithmetic expression
+    // rather than standing alone, try to isolate it: `X > Y + 2` at Y's
+    // level becomes the bound `Y < X - 2`. Integer domain only (the
+    // rewritten side is composite), matching Comparison::Evaluate, which
+    // also leaves the term-identity path for bare term-like operands.
+    ArithExpr isolated_bound = ArithExpr::Constant(0);
+    CompareOp isolated_op = CompareOp::kEq;
+    bool isolated = false;
+    if (other == nullptr && constraint.op != CompareOp::kNe) {
+      const bool in_lhs = Mentions(pool, constraint.lhs, level_var);
+      if (in_lhs != Mentions(pool, constraint.rhs, level_var)) {
+        isolated = in_lhs
+                       ? IsolateVariable(pool, level_var, constraint.lhs,
+                                         constraint.rhs, constraint.op,
+                                         &isolated_op, &isolated_bound)
+                       : IsolateVariable(pool, level_var, constraint.rhs,
+                                         constraint.lhs,
+                                         Flip(constraint.op), &isolated_op,
+                                         &isolated_bound);
+      }
+    }
+    if (other != nullptr || isolated) {
+      LevelBound bound;
+      if (other != nullptr) {
+        bound.op = oriented;
+        bound.expr = *other;
+        bound.term_identity = constraint.op == CompareOp::kEq &&
+                              constraint.lhs.IsTermLike() &&
+                              constraint.rhs.IsTermLike();
+      } else {
+        bound.op = isolated_op;
+        bound.expr = std::move(isolated_bound);
+      }
+      bound.expr.CollectVariables(pool, &needed);
+      levels_[max_slot].bounds.push_back(std::move(bound));
+    } else {
+      levels_[max_slot].checks.push_back(static_cast<uint32_t>(i));
+      constraint.CollectVariables(pool, &needed);
+    }
+  }
+
+  head_ = CompileAtomTemplate(pool, rule.head.atom, slot_of_var);
+  body_.reserve(rule.body.size());
+  body_positive_.reserve(rule.body.size());
+  for (const Literal& literal : rule.body) {
+    body_.push_back(CompileAtomTemplate(pool, literal.atom, slot_of_var));
+    body_positive_.push_back(literal.positive);
+  }
+  const auto collect_pattern_vars = [&](const AtomTemplate& tmpl) {
+    for (const ArgTemplate& arg : tmpl.args) {
+      if (arg.kind == ArgTemplate::Kind::kPattern) {
+        pool.CollectVariables(arg.term, &needed);
+      }
+    }
+  };
+  collect_pattern_vars(head_);
+  for (const AtomTemplate& tmpl : body_) collect_pattern_vars(tmpl);
+
+  for (SymbolId var : needed) {
+    levels_[slot_of_var.at(var)].needs_binding = true;
+  }
+
+  slots_.resize(levels_.size());
+  scratch_.resize(levels_.size());
+}
+
+Status ExactInstantiator::PollCancel() {
+  if (cancel_ != nullptr && (++ops_ % interval_) == 0) {
+    return cancel_->Check();
+  }
+  return Status::Ok();
+}
+
+Status ExactInstantiator::Run(const std::function<Status()>& emit) {
+  // Variable-free constraints gate the whole rule, exactly like the naive
+  // enumerator's level-0 checks.
+  for (uint32_t i : ground_checks_) {
+    StatusOr<bool> holds = rule_.constraints[i].Evaluate(pool_, binding_);
+    if (!holds.ok() || !holds.value()) return Status::Ok();
+  }
+  return Enumerate(0, emit);
+}
+
+bool ExactInstantiator::ComputeCandidates(const Level& level,
+                                          std::vector<TermId>* out,
+                                          bool* full_universe) {
+  if (level.bounds.empty()) {
+    *full_universe = true;
+    return true;
+  }
+  *full_universe = false;
+  int64_t lo = std::numeric_limits<int64_t>::min();
+  int64_t hi = std::numeric_limits<int64_t>::max();
+  bool have_int = false;
+  TermId forced = 0;
+  bool have_forced = false;
+  for (const LevelBound& bound : level.bounds) {
+    if (bound.term_identity) {
+      StatusOr<TermId> term = bound.expr.ResolveTerm(pool_, binding_);
+      // An unevaluable side fails for every candidate in the naive sweep,
+      // so an empty domain is the exact equivalent.
+      if (!term.ok()) return false;
+      if (have_forced && forced != term.value()) return false;
+      forced = term.value();
+      have_forced = true;
+      continue;
+    }
+    StatusOr<int64_t> value = bound.expr.Evaluate(pool_, binding_);
+    if (!value.ok()) return false;
+    const int64_t v = value.value();
+    have_int = true;
+    switch (bound.op) {
+      case CompareOp::kLt:
+        if (v == std::numeric_limits<int64_t>::min()) return false;
+        hi = std::min(hi, v - 1);
+        break;
+      case CompareOp::kLe:
+        hi = std::min(hi, v);
+        break;
+      case CompareOp::kGt:
+        if (v == std::numeric_limits<int64_t>::max()) return false;
+        lo = std::max(lo, v + 1);
+        break;
+      case CompareOp::kGe:
+        lo = std::max(lo, v);
+        break;
+      case CompareOp::kEq:
+        lo = std::max(lo, v);
+        hi = std::min(hi, v);
+        break;
+      case CompareOp::kNe:
+        break;  // never absorbed
+    }
+  }
+  out->clear();
+  ++stats_->index_probes;
+  if (have_forced) {
+    if (!universe_.Contains(forced)) return false;
+    if (have_int) {
+      if (pool_.kind(forced) != TermKind::kInteger) return false;
+      const int64_t v = pool_.int_value(forced);
+      if (v < lo || v > hi) return false;
+    }
+    out->push_back(forced);
+    return true;
+  }
+  universe_.IntegersInRange(lo, hi, out);
+  return true;
+}
+
+Status ExactInstantiator::Enumerate(size_t level,
+                                    const std::function<Status()>& emit) {
+  if (level == levels_.size()) return emit();
+  Level& state = levels_[level];
+  bool full_universe = false;
+  std::vector<TermId>& scratch = scratch_[level];
+  if (!ComputeCandidates(state, &scratch, &full_universe)) {
+    return Status::Ok();
+  }
+  const std::vector<TermId>& domain =
+      full_universe ? universe_.terms() : scratch;
+  for (TermId term : domain) {
+    ++stats_->candidates;
+    ORDLOG_RETURN_IF_ERROR(PollCancel());
+    slots_[level] = term;
+    if (state.needs_binding) binding_[state.var] = term;
+    bool ok = true;
+    for (uint32_t i : state.checks) {
+      StatusOr<bool> holds = rule_.constraints[i].Evaluate(pool_, binding_);
+      if (!holds.ok() || !holds.value()) {
+        ok = false;
+        break;
+      }
+    }
+    if (!ok) continue;
+    ORDLOG_RETURN_IF_ERROR(Enumerate(level + 1, emit));
+  }
+  return Status::Ok();
+}
+
+void ExactInstantiator::MaterializeArgs(const AtomTemplate& tmpl,
+                                        std::vector<TermId>* out) {
+  out->clear();
+  for (const ArgTemplate& arg : tmpl.args) {
+    switch (arg.kind) {
+      case ArgTemplate::Kind::kGround:
+        out->push_back(arg.term);
+        break;
+      case ArgTemplate::Kind::kSlot:
+        out->push_back(slots_[arg.slot]);
+        break;
+      case ArgTemplate::Kind::kPattern:
+        out->push_back(pool_.Substitute(arg.term, binding_));
+        break;
+    }
+  }
+}
+
+}  // namespace ordlog

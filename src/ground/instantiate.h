@@ -1,0 +1,173 @@
+#ifndef ORDLOG_GROUND_INSTANTIATE_H_
+#define ORDLOG_GROUND_INSTANTIATE_H_
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "base/cancel.h"
+#include "base/status.h"
+#include "ground/herbrand.h"
+#include "lang/program.h"
+
+namespace ordlog {
+
+// Counters filled in by one Grounder::Ground run. All counts are totals
+// across components; the per-component deltas ride on kGroundComponent
+// trace events.
+struct GroundStats {
+  // Ground rules added to the output program.
+  uint64_t rules_emitted = 0;
+  // Candidate variable bindings attempted (one per term tried at an
+  // enumeration level, or per tuple matched at a join step). This is the
+  // "matched" count reported next to "emitted" in traces.
+  uint64_t candidates = 0;
+  // Probes of the sorted-integer domain index, the universe membership
+  // set, and the possible-tuple first-argument indexes.
+  uint64_t index_probes = 0;
+  // Reachability pruning only: fixpoint rounds and distinct possible
+  // tuples derived (0 when pruning is off).
+  uint64_t fixpoint_rounds = 0;
+  uint64_t possible_tuples = 0;
+};
+
+// The Herbrand universe plus the lookup structures the indexed
+// instantiator probes: a membership set and the integer terms sorted by
+// value (for constraint range scans).
+//
+// Candidate sets handed out by the index are always ordered by a term's
+// position in `terms()`, so restricted enumerations visit terms in the
+// same relative order as a full sweep of the universe — the indexed
+// grounder's output is ordered identically to the naive one.
+class UniverseIndex {
+ public:
+  UniverseIndex(const TermPool& pool, const HerbrandUniverse& universe);
+
+  const std::vector<TermId>& terms() const { return terms_; }
+  bool Contains(TermId term) const { return rank_.count(term) != 0; }
+  // Position of `term` in terms(); term must be a member.
+  size_t Rank(TermId term) const { return rank_.at(term); }
+
+  // Appends the universe's integer terms with value in [lo, hi] to `out`,
+  // ordered by universe rank. Both bounds inclusive.
+  void IntegersInRange(int64_t lo, int64_t hi,
+                       std::vector<TermId>* out) const;
+
+ private:
+  std::vector<TermId> terms_;
+  // (value, term) pairs sorted by value; values are unique (terms are
+  // hash-consed).
+  std::vector<std::pair<int64_t, TermId>> integers_;
+  std::unordered_map<TermId, size_t> rank_;
+};
+
+// One argument position of a compiled atom: either a fixed ground term, a
+// direct slot reference (the argument is a bare variable), or a pattern
+// (a function term containing variables) that needs full substitution.
+struct ArgTemplate {
+  enum class Kind : uint8_t { kGround, kSlot, kPattern };
+  Kind kind = Kind::kGround;
+  TermId term = 0;    // kGround: the argument; kPattern: the pattern
+  uint32_t slot = 0;  // kSlot: index into the instantiator's slot vector
+};
+
+struct AtomTemplate {
+  SymbolId predicate = 0;
+  bool has_pattern = false;  // some argument is ArgTemplate::Kind::kPattern
+  std::vector<ArgTemplate> args;
+};
+
+// Applies `binding` to every argument of `atom`.
+Atom SubstituteAtom(TermPool& pool, const Atom& atom, const Binding& binding);
+
+// Compiles `atom` against the slot layout `slot_of_var` (variable symbol
+// -> slot index; every variable of `atom` must be present).
+AtomTemplate CompileAtomTemplate(
+    const TermPool& pool, const Atom& atom,
+    const std::unordered_map<SymbolId, uint32_t>& slot_of_var);
+
+// Instantiates one rule over the universe, level by level (one level per
+// distinct variable, in Rule::Variables order — the naive enumerator's
+// order). Constraints are used twice:
+//   * a constraint of the form `X op expr` (bare variable on one side, the
+//     other side's variables all bound at earlier levels) is absorbed into
+//     X's level as a domain restriction — an integer range scan for
+//     </<=/>/>=/composite `=`, or a single forced candidate for a
+//     term-identity `=`;
+//   * every other constraint is evaluated with Comparison::Evaluate as
+//     soon as its last variable is bound, exactly as the naive enumerator
+//     does, so failing or unevaluable instances are dropped identically.
+// The surviving bindings — and hence the emitted instances and their
+// order — are exactly those of the naive full-universe sweep.
+class ExactInstantiator {
+ public:
+  // `cancel` may be null; `cancel_check_interval` 0 is treated as 1.
+  // `stats` must outlive Run.
+  ExactInstantiator(TermPool& pool, const UniverseIndex& universe,
+                    const Rule& rule, const CancelToken* cancel,
+                    size_t cancel_check_interval, GroundStats* stats);
+
+  // Enumerates every surviving binding and calls `emit` for each. During
+  // `emit` the slot/binding accessors below describe the instance.
+  Status Run(const std::function<Status()>& emit);
+
+  const AtomTemplate& head_template() const { return head_; }
+  size_t num_body() const { return body_.size(); }
+  const AtomTemplate& body_template(size_t i) const { return body_[i]; }
+  bool body_positive(size_t i) const { return body_positive_[i]; }
+
+  // Resolves `tmpl`'s arguments under the current binding into `out`
+  // (cleared first). Only valid inside `emit`.
+  void MaterializeArgs(const AtomTemplate& tmpl, std::vector<TermId>* out);
+
+ private:
+  // A constraint absorbed into a level: `var op expr` (op already oriented
+  // so the level variable is on the left).
+  struct LevelBound {
+    CompareOp op = CompareOp::kEq;
+    bool term_identity = false;  // `=` over term-like operands
+    ArithExpr expr = ArithExpr::Constant(0);
+  };
+
+  struct Level {
+    SymbolId var = 0;
+    // True when binding_[var] must be maintained (the variable occurs in
+    // a non-absorbed constraint or inside a pattern argument).
+    bool needs_binding = false;
+    std::vector<LevelBound> bounds;
+    std::vector<uint32_t> checks;  // constraint indexes evaluated here
+  };
+
+  Status Enumerate(size_t level, const std::function<Status()>& emit);
+  Status PollCancel();
+  // Computes the candidate list for `level` under the current partial
+  // binding. Returns false when the domain is provably empty (including
+  // an unevaluable bound, which the naive enumerator also prunes).
+  bool ComputeCandidates(const Level& level, std::vector<TermId>* out,
+                         bool* full_universe);
+
+  TermPool& pool_;
+  const UniverseIndex& universe_;
+  const Rule& rule_;
+  const CancelToken* cancel_;
+  size_t interval_;
+  GroundStats* stats_;
+  uint64_t ops_ = 0;
+
+  std::vector<Level> levels_;
+  std::vector<uint32_t> ground_checks_;  // constraints with no variables
+  AtomTemplate head_;
+  std::vector<AtomTemplate> body_;
+  std::vector<bool> body_positive_;
+
+  std::vector<TermId> slots_;
+  Binding binding_;
+  // Per-level scratch candidate vectors (avoid reallocating in the loop).
+  std::vector<std::vector<TermId>> scratch_;
+};
+
+}  // namespace ordlog
+
+#endif  // ORDLOG_GROUND_INSTANTIATE_H_

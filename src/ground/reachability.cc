@@ -1,0 +1,217 @@
+#include "ground/reachability.h"
+
+#include <algorithm>
+
+#include "lang/match.h"
+
+namespace ordlog {
+
+bool PossibleAtoms::Insert(const Atom& atom) {
+  TupleSet& set = sets_[PackPredicate(atom.predicate, atom.args.size())];
+  if (!set.members.insert(atom).second) return false;
+  const uint32_t index = static_cast<uint32_t>(set.atoms.size());
+  set.atoms.push_back(atom);
+  if (!atom.args.empty()) set.by_first_arg[atom.args[0]].push_back(index);
+  ++total_;
+  return true;
+}
+
+const PossibleAtoms::TupleSet* PossibleAtoms::Find(SymbolId predicate,
+                                                   size_t arity) const {
+  auto it = sets_.find(PackPredicate(predicate, arity));
+  return it == sets_.end() ? nullptr : &it->second;
+}
+
+GuidedInstantiator::GuidedInstantiator(TermPool& pool,
+                                       const UniverseIndex& universe,
+                                       const Rule& rule,
+                                       const PossibleAtoms& possible,
+                                       const CancelToken* cancel,
+                                       size_t cancel_check_interval,
+                                       GroundStats* stats)
+    : pool_(pool),
+      universe_(universe),
+      rule_(rule),
+      possible_(possible),
+      cancel_(cancel),
+      interval_(cancel_check_interval == 0 ? 1 : cancel_check_interval),
+      stats_(stats) {
+  const std::vector<SymbolId> variables = rule.Variables(pool);
+
+  // Stage where each variable becomes bound: join steps first (in body
+  // order), then the residual free variables over the universe.
+  std::unordered_map<SymbolId, size_t> stage_of_var;
+  for (const Literal& literal : rule.body) {
+    if (!literal.positive) continue;
+    JoinStep step;
+    step.pattern = &literal.atom;
+    std::vector<SymbolId> vars;
+    literal.atom.CollectVariables(pool, &vars);
+    for (SymbolId var : vars) {
+      if (stage_of_var.emplace(var, steps_.size()).second) {
+        step.new_vars.push_back(var);
+      }
+    }
+    steps_.push_back(std::move(step));
+  }
+  for (SymbolId var : variables) {
+    if (stage_of_var.count(var) != 0) continue;
+    stage_of_var.emplace(var, steps_.size() + free_vars_.size());
+    free_vars_.push_back(var);
+  }
+
+  checks_.resize(steps_.size() + free_vars_.size());
+  for (size_t i = 0; i < rule.constraints.size(); ++i) {
+    std::vector<SymbolId> vars;
+    rule.constraints[i].CollectVariables(pool, &vars);
+    if (vars.empty()) {
+      ground_checks_.push_back(static_cast<uint32_t>(i));
+      continue;
+    }
+    size_t stage = 0;
+    for (SymbolId var : vars) {
+      stage = std::max(stage, stage_of_var.at(var));
+    }
+    checks_[stage].push_back(static_cast<uint32_t>(i));
+  }
+}
+
+Status GuidedInstantiator::PollCancel() {
+  if (cancel_ != nullptr && (++ops_ % interval_) == 0) {
+    return cancel_->Check();
+  }
+  return Status::Ok();
+}
+
+bool GuidedInstantiator::CheckStage(size_t stage) {
+  for (uint32_t i : checks_[stage]) {
+    StatusOr<bool> holds = rule_.constraints[i].Evaluate(pool_, binding_);
+    if (!holds.ok() || !holds.value()) return false;
+  }
+  return true;
+}
+
+Status GuidedInstantiator::Run(
+    const std::function<Status(const Binding&)>& emit) {
+  for (uint32_t i : ground_checks_) {
+    StatusOr<bool> holds = rule_.constraints[i].Evaluate(pool_, binding_);
+    if (!holds.ok() || !holds.value()) return Status::Ok();
+  }
+  return EnumStage(0, emit);
+}
+
+Status GuidedInstantiator::EnumStage(
+    size_t stage, const std::function<Status(const Binding&)>& emit) {
+  if (stage == checks_.size()) return emit(binding_);
+
+  if (stage < steps_.size()) {
+    const JoinStep& step = steps_[stage];
+    const Atom& pattern = *step.pattern;
+    const PossibleAtoms::TupleSet* set =
+        possible_.Find(pattern.predicate, pattern.args.size());
+    if (set == nullptr) return Status::Ok();
+
+    // Probe the first-argument index when the pattern's first argument is
+    // already ground under the partial binding.
+    const std::vector<uint32_t>* via_index = nullptr;
+    if (!pattern.args.empty()) {
+      const TermId first = pool_.Substitute(pattern.args[0], binding_);
+      if (pool_.IsGround(first)) {
+        ++stats_->index_probes;
+        auto it = set->by_first_arg.find(first);
+        if (it == set->by_first_arg.end()) return Status::Ok();
+        via_index = &it->second;
+      }
+    }
+    const size_t count =
+        via_index != nullptr ? via_index->size() : set->atoms.size();
+    for (size_t k = 0; k < count; ++k) {
+      const Atom& tuple =
+          set->atoms[via_index != nullptr ? (*via_index)[k] : k];
+      ++stats_->candidates;
+      ORDLOG_RETURN_IF_ERROR(PollCancel());
+      bool ok = true;
+      for (size_t a = 0; a < pattern.args.size(); ++a) {
+        if (!MatchTerm(pool_, pattern.args[a], tuple.args[a], binding_)) {
+          ok = false;
+          break;
+        }
+      }
+      if (ok) ok = CheckStage(stage);
+      const Status status =
+          ok ? EnumStage(stage + 1, emit) : Status::Ok();
+      // MatchTerm may leave partial bindings on mismatch; unconditionally
+      // unbind everything this step introduces.
+      for (SymbolId var : step.new_vars) binding_.erase(var);
+      ORDLOG_RETURN_IF_ERROR(status);
+    }
+    return Status::Ok();
+  }
+
+  const SymbolId var = free_vars_[stage - steps_.size()];
+  for (TermId term : universe_.terms()) {
+    ++stats_->candidates;
+    ORDLOG_RETURN_IF_ERROR(PollCancel());
+    binding_[var] = term;
+    if (!CheckStage(stage)) continue;
+    ORDLOG_RETURN_IF_ERROR(EnumStage(stage + 1, emit));
+  }
+  binding_.erase(var);
+  return Status::Ok();
+}
+
+StatusOr<Reachability> Reachability::Compute(OrderedProgram& program,
+                                             const UniverseIndex& universe,
+                                             const Options& options,
+                                             GroundStats* stats) {
+  Reachability result;
+  TermPool& pool = program.pool();
+  for (ComponentId c = 0; c < program.NumComponents(); ++c) {
+    for (const Rule& rule : program.component(c).rules) {
+      const auto mark_negative = [&](const Literal& literal) {
+        if (!literal.positive) {
+          result.negative_.insert(PackPredicate(
+              literal.atom.predicate, literal.atom.args.size()));
+        }
+      };
+      mark_negative(rule.head);
+      for (const Literal& literal : rule.body) mark_negative(literal);
+    }
+  }
+
+  const size_t interval =
+      options.cancel_check_interval == 0 ? 1 : options.cancel_check_interval;
+  bool changed = true;
+  std::vector<Atom> pending;
+  while (changed && !result.overflowed_) {
+    changed = false;
+    ++stats->fixpoint_rounds;
+    for (ComponentId c = 0;
+         c < program.NumComponents() && !result.overflowed_; ++c) {
+      for (const Rule& rule : program.component(c).rules) {
+        // Only positive heads produce possibly-true atoms.
+        if (!rule.head.positive) continue;
+        GuidedInstantiator guided(pool, universe, rule, result.possible_,
+                                  options.cancel, interval, stats);
+        pending.clear();
+        ORDLOG_RETURN_IF_ERROR(
+            guided.Run([&](const Binding& binding) -> Status {
+              pending.push_back(
+                  SubstituteAtom(pool, rule.head.atom, binding));
+              return Status::Ok();
+            }));
+        for (const Atom& atom : pending) {
+          if (result.possible_.Insert(atom)) changed = true;
+        }
+        if (result.possible_.total() > options.max_tuples) {
+          result.overflowed_ = true;
+          break;
+        }
+      }
+    }
+  }
+  stats->possible_tuples = result.possible_.total();
+  return result;
+}
+
+}  // namespace ordlog

@@ -1,0 +1,137 @@
+#ifndef ORDLOG_GROUND_REACHABILITY_H_
+#define ORDLOG_GROUND_REACHABILITY_H_
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "base/cancel.h"
+#include "base/status.h"
+#include "ground/instantiate.h"
+#include "lang/program.h"
+
+namespace ordlog {
+
+// Reachability-based grounding support (GrounderOptions::prune_unreachable).
+//
+// The default grounder emits every instance of every rule, because under
+// Definition 2 a ground rule whose body is underivable still participates
+// in the semantics: it is not blocked, so it overrules/defeats rules with
+// the complementary head. Pruning such instances is therefore only sound
+// for rules whose head predicate is *definite* — it never occurs in a
+// negative literal anywhere in the program, so no rule has a complementary
+// head to silence and no body distinguishes the head atom being false from
+// it being absent. docs/GROUNDING.md spells out the argument and the
+// least-model scope of the guarantee.
+
+// (predicate symbol, arity) packed for hashing.
+inline uint64_t PackPredicate(SymbolId predicate, size_t arity) {
+  return (static_cast<uint64_t>(predicate) << 16) |
+         (static_cast<uint64_t>(arity) & 0xffff);
+}
+
+// Per-predicate sets of ground atoms that may become true in any least
+// model, with a first-argument index for join probes.
+class PossibleAtoms {
+ public:
+  struct TupleSet {
+    std::vector<Atom> atoms;
+    std::unordered_set<Atom, AtomHash> members;
+    // First argument -> indexes into `atoms`; only filled for arity >= 1.
+    std::unordered_map<TermId, std::vector<uint32_t>> by_first_arg;
+  };
+
+  // Inserts a ground atom; returns true when it was new.
+  bool Insert(const Atom& atom);
+  const TupleSet* Find(SymbolId predicate, size_t arity) const;
+  size_t total() const { return total_; }
+
+ private:
+  std::unordered_map<uint64_t, TupleSet> sets_;
+  size_t total_ = 0;
+};
+
+// Joins a rule's positive body atoms against the possible-atom sets,
+// enumerating variables not bound by any positive body atom over the
+// universe, and checking each comparison constraint as soon as its
+// variables are bound. Used both to run the derivability fixpoint and to
+// emit pruned rules.
+class GuidedInstantiator {
+ public:
+  GuidedInstantiator(TermPool& pool, const UniverseIndex& universe,
+                     const Rule& rule, const PossibleAtoms& possible,
+                     const CancelToken* cancel, size_t cancel_check_interval,
+                     GroundStats* stats);
+
+  // Calls `emit` once per surviving instance with the complete binding of
+  // the rule's variables.
+  Status Run(const std::function<Status(const Binding&)>& emit);
+
+ private:
+  struct JoinStep {
+    const Atom* pattern = nullptr;
+    // Variables first bound by this step (erased when backtracking).
+    std::vector<SymbolId> new_vars;
+  };
+
+  Status EnumStage(size_t stage,
+                   const std::function<Status(const Binding&)>& emit);
+  Status PollCancel();
+  bool CheckStage(size_t stage);
+
+  TermPool& pool_;
+  const UniverseIndex& universe_;
+  const Rule& rule_;
+  const PossibleAtoms& possible_;
+  const CancelToken* cancel_;
+  size_t interval_;
+  GroundStats* stats_;
+  uint64_t ops_ = 0;
+
+  std::vector<JoinStep> steps_;
+  std::vector<SymbolId> free_vars_;
+  // checks_[stage] -> constraint indexes evaluable once stage completes;
+  // stage s < steps_.size() is a join step, the rest are free variables.
+  std::vector<std::vector<uint32_t>> checks_;
+  std::vector<uint32_t> ground_checks_;
+  Binding binding_;
+};
+
+// Definite-predicate analysis plus the possible-atom fixpoint over all
+// positive-head rules (negative body literals are assumed satisfiable and
+// constraints are enforced, so the result over-approximates every least
+// model's true atoms).
+class Reachability {
+ public:
+  struct Options {
+    // Cap on distinct possible tuples; exceeding it sets overflowed() and
+    // callers fall back to exact instantiation for every rule.
+    size_t max_tuples = 5'000'000;
+    const CancelToken* cancel = nullptr;
+    size_t cancel_check_interval = 4096;
+  };
+
+  static StatusOr<Reachability> Compute(OrderedProgram& program,
+                                        const UniverseIndex& universe,
+                                        const Options& options,
+                                        GroundStats* stats);
+
+  bool IsDefinite(SymbolId predicate, size_t arity) const {
+    return negative_.count(PackPredicate(predicate, arity)) == 0;
+  }
+  const PossibleAtoms& possible() const { return possible_; }
+  bool overflowed() const { return overflowed_; }
+
+ private:
+  Reachability() = default;
+
+  std::unordered_set<uint64_t> negative_;
+  PossibleAtoms possible_;
+  bool overflowed_ = false;
+};
+
+}  // namespace ordlog
+
+#endif  // ORDLOG_GROUND_REACHABILITY_H_

@@ -1,0 +1,49 @@
+#include "ground/safety.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "base/strings.h"
+#include "lang/printer.h"
+
+namespace ordlog {
+
+Status CheckRuleSafe(const TermPool& pool, const Rule& rule,
+                     std::string_view component_name) {
+  if (rule.constraints.empty()) return Status::Ok();
+
+  std::vector<SymbolId> atom_vars;
+  rule.head.atom.CollectVariables(pool, &atom_vars);
+  for (const Literal& literal : rule.body) {
+    literal.atom.CollectVariables(pool, &atom_vars);
+  }
+
+  std::vector<SymbolId> constraint_vars;
+  for (const Comparison& comparison : rule.constraints) {
+    comparison.CollectVariables(pool, &constraint_vars);
+  }
+  for (SymbolId var : constraint_vars) {
+    if (std::find(atom_vars.begin(), atom_vars.end(), var) ==
+        atom_vars.end()) {
+      return InvalidArgumentError(StrCat(
+          "unsafe rule '", ToString(pool, rule), "' in component '",
+          component_name, "': constraint variable ",
+          pool.symbols().Name(var),
+          " does not occur in any head or body atom"));
+    }
+  }
+  return Status::Ok();
+}
+
+Status CheckProgramSafe(const TermPool& pool,
+                        const OrderedProgram& program) {
+  for (ComponentId c = 0; c < program.NumComponents(); ++c) {
+    const Component& component = program.component(c);
+    for (const Rule& rule : component.rules) {
+      ORDLOG_RETURN_IF_ERROR(CheckRuleSafe(pool, rule, component.name));
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace ordlog

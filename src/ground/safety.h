@@ -1,0 +1,34 @@
+#ifndef ORDLOG_GROUND_SAFETY_H_
+#define ORDLOG_GROUND_SAFETY_H_
+
+#include <string_view>
+
+#include "base/status.h"
+#include "lang/program.h"
+
+namespace ordlog {
+
+// Grounder-level safety analysis.
+//
+// A rule is *safe* when every variable occurring in one of its comparison
+// constraints (including variables nested inside embedded terms, e.g. the
+// X of `f(X) != Y`) also occurs in the rule's head or in a body atom.
+// Unsafe rules are rejected up front: a constraint-only variable would
+// either be enumerated over the Herbrand universe — silently multiplying
+// the rule's ground instances — or, when the universe cannot supply a
+// binding (a propositional program), leave the constraint unevaluable so
+// that the whole rule is silently pruned to zero instances. Both failure
+// modes used to be swallowed by the enumerator; they are now a
+// kInvalidArgument diagnostic naming the rule and the variable.
+
+// Verifies that `rule` is safe. `component_name` is used in diagnostics
+// only.
+Status CheckRuleSafe(const TermPool& pool, const Rule& rule,
+                     std::string_view component_name);
+
+// Verifies every rule of every component. Returns the first violation.
+Status CheckProgramSafe(const TermPool& pool, const OrderedProgram& program);
+
+}  // namespace ordlog
+
+#endif  // ORDLOG_GROUND_SAFETY_H_

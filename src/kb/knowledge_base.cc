@@ -156,10 +156,19 @@ StatusOr<std::vector<std::string>> KnowledgeBase::Parents(
 }
 
 StatusOr<const GroundProgram*> KnowledgeBase::ground() {
+  return ground(nullptr, nullptr);
+}
+
+StatusOr<const GroundProgram*> KnowledgeBase::ground(
+    const CancelToken* cancel, GroundStats* stats) {
+  if (stats != nullptr) *stats = GroundStats{};
   if (!ground_.has_value()) {
     ORDLOG_RETURN_IF_ERROR(program_.Finalize());
+    GrounderOptions options = options_;
+    if (cancel != nullptr) options.cancel = cancel;
+    if (stats != nullptr) options.stats = stats;
     ORDLOG_ASSIGN_OR_RETURN(GroundProgram ground_program,
-                            Grounder::Ground(program_, options_));
+                            Grounder::Ground(program_, options));
     ground_ = std::move(ground_program);
   }
   return &ground_.value();

@@ -118,6 +118,13 @@ class KnowledgeBase {
   const OrderedProgram& program() const { return program_; }
   // Grounds if needed and returns the ground program.
   StatusOr<const GroundProgram*> ground();
+  // As above, threading a per-call cancellation token into the grounder's
+  // enumeration loops (kCancelled/kDeadlineExceeded mid-grounding) and
+  // filling `stats` with the run's instantiation counters. Both may be
+  // null; when the program is already grounded `stats` is zeroed (the
+  // cached snapshot cost nothing).
+  StatusOr<const GroundProgram*> ground(const CancelToken* cancel,
+                                        GroundStats* stats);
 
   // Monotone revision counter, bumped by every mutation (AddModule,
   // AddIsa, AddRule, Load, Instantiate). Serving layers (runtime/) key

@@ -19,8 +19,15 @@ StatusOr<ModelCache::Lookup> ModelCache::GetOrCompute(
       if (it == entries_.end()) {
         if (entries_.size() >= options_.max_entries) {
           EvictStaleLocked(key.revision);
+          // Stale eviction is a no-op when every entry shares the
+          // current revision; fall back to insertion-order eviction so
+          // the table cannot grow without bound under many distinct
+          // goals. Leave room for the entry about to be inserted.
+          EnforceCapacityLocked(
+              options_.max_entries == 0 ? 0 : options_.max_entries - 1);
         }
         slot = std::make_shared<Slot>();
+        slot->seq = next_seq_++;
         entries_.emplace(key, slot);
         owner = true;
       } else {
@@ -39,7 +46,14 @@ StatusOr<ModelCache::Lookup> ModelCache::GetOrCompute(
           slot->value = value;
           slot->ready = true;
         }
+        slot->completed.store(true, std::memory_order_release);
         slot->done.notify_all();
+        {
+          // Entries that finished while the table was over budget (all
+          // slots in flight at insert time) become evictable now.
+          std::lock_guard<std::mutex> lock(mutex_);
+          EnforceCapacityLocked(options_.max_entries);
+        }
         return Lookup{std::move(value), /*hit=*/false};
       }
       // Failed (deadline, cancellation, budget, ...): unpublish so the
@@ -96,6 +110,24 @@ void ModelCache::EvictStaleLocked(uint64_t current_revision) {
     } else {
       ++it;
     }
+  }
+}
+
+void ModelCache::EnforceCapacityLocked(size_t budget) {
+  while (entries_.size() > budget) {
+    auto oldest = entries_.end();
+    for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+      if (!it->second->completed.load(std::memory_order_acquire)) continue;
+      if (oldest == entries_.end() ||
+          it->second->seq < oldest->second->seq) {
+        oldest = it;
+      }
+    }
+    // Everything resident is still computing: those slots must stay (they
+    // carry waiters), so the bound is transiently exceeded.
+    if (oldest == entries_.end()) return;
+    entries_.erase(oldest);
+    evictions_.fetch_add(1, std::memory_order_relaxed);
   }
 }
 

@@ -54,8 +54,12 @@ struct ModelEntry {
 
 // Tuning knobs for ModelCache.
 struct ModelCacheOptions {
-  // Soft bound on resident entries; exceeded only while every entry is
-  // still computing.
+  // Bound on resident entries. Stale-revision entries are evicted first;
+  // when every entry is current, the oldest *completed* entries are
+  // evicted in insertion order, so the bound holds even under many
+  // distinct goals at one revision. Only in-flight computations (which
+  // must stay resident for single-flight coalescing) may transiently
+  // exceed it.
   size_t max_entries = 256;
 };
 
@@ -127,12 +131,24 @@ class ModelCache {
     bool ready = false;   // value published
     bool failed = false;  // owner aborted; waiters should retry
     std::shared_ptr<const ModelEntry> value;
+    // Insertion order for the capacity fallback (assigned under the
+    // table mutex).
+    uint64_t seq = 0;
+    // Set once the owner has published; read during eviction scans
+    // without the slot mutex, hence atomic. Only completed slots are
+    // eligible for capacity eviction — evicting an in-flight slot would
+    // break single-flight coalescing.
+    std::atomic<bool> completed{false};
   };
 
   void EvictStaleLocked(uint64_t current_revision);
+  // Insertion-order fallback: evicts the oldest completed entries until
+  // at most `budget` remain (or no completed entry remains).
+  void EnforceCapacityLocked(size_t budget);
 
   const ModelCacheOptions options_;
   mutable std::mutex mutex_;
+  uint64_t next_seq_ = 0;
   std::unordered_map<ModelCacheKey, std::shared_ptr<Slot>, ModelCacheKeyHash>
       entries_;
   std::atomic<uint64_t> hits_{0};

@@ -44,6 +44,20 @@ QueryEngine::QueryEngine(KnowledgeBase& kb, QueryEngineOptions options)
       "Stable-model search events per view component "
       "(branch / prune / leaf / backtrack).",
       {"component", "event"});
+  ground_rules_family_ = &registry_.GetCounterFamily(
+      "ordlog_ground_rules_total",
+      "Grounder work per snapshot reground: kind=emitted counts ground "
+      "rules added, kind=matched counts candidate bindings tried, "
+      "kind=possible counts reachability fixpoint tuples.",
+      {"kind"});
+  ground_index_probes_ =
+      &registry_
+           .GetCounterFamily(
+               "ordlog_ground_index_probes_total",
+               "Grounder index probes: sorted-integer range scans, "
+               "universe membership checks, and possible-tuple "
+               "first-argument lookups.")
+           .WithLabels();
   slow_queries_ = &registry_
                        .GetCounterFamily(
                            "ordlog_slow_queries_total",
@@ -207,9 +221,20 @@ QueryEngine::AcquireSnapshot(const CancelToken& cancel) {
   if (snapshot_ != nullptr && snapshot_->revision == kb_.revision()) {
     return snapshot_;
   }
-  ORDLOG_ASSIGN_OR_RETURN(const GroundProgram* ground, kb_.ground());
+  GroundStats ground_stats;
+  ORDLOG_ASSIGN_OR_RETURN(const GroundProgram* ground,
+                          kb_.ground(&cancel, &ground_stats));
   auto snapshot = std::make_shared<const Snapshot>(kb_.revision(), *ground);
   snapshot_ = snapshot;
+  ground_rules_family_->WithLabels("emitted")
+      .Increment(ground_stats.rules_emitted);
+  ground_rules_family_->WithLabels("matched")
+      .Increment(ground_stats.candidates);
+  if (ground_stats.possible_tuples != 0) {
+    ground_rules_family_->WithLabels("possible")
+        .Increment(ground_stats.possible_tuples);
+  }
+  ground_index_probes_->Increment(ground_stats.index_probes);
   metrics_.RecordSnapshotBuilt();
   cache_.EvictStale(snapshot->revision);
   return snapshot;

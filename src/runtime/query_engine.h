@@ -239,6 +239,10 @@ class QueryEngine {
   // {component, event}; children are created lazily per component.
   CounterFamily* rule_status_family_;
   CounterFamily* solver_search_family_;
+  // Grounding counters, bumped after each snapshot reground (labeled by
+  // kind: emitted / matched / possible).
+  CounterFamily* ground_rules_family_;
+  Counter* ground_index_probes_;
   Counter* slow_queries_;
   std::unique_ptr<SlowQueryLog> slow_log_;
   // Second-to-last member: destroyed (drained + joined) before everything

@@ -37,10 +37,12 @@ enum class TraceEventKind : uint8_t {
   // Search exhausted node `node` and returned to depth `c`.
   kSolverBacktrack,
   // Grounder finished one component: `component`, `a` = ground rules
-  // emitted for it, `duration_us` = wall time spent instantiating it.
+  // emitted for it, `b` = candidate bindings matched, `c` = index probes,
+  // `duration_us` = wall time spent instantiating it.
   kGroundComponent,
   // Grounding finished: `a` = total ground rules, `b` = ground atoms,
-  // `duration_us` = total wall time.
+  // `c` = total candidate bindings matched, `duration_us` = total wall
+  // time.
   kGroundDone,
   // A runtime query phase completed: `a` = phase (QueryPhaseCode below),
   // `duration_us` = wall time of the phase.

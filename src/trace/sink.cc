@@ -127,10 +127,12 @@ std::string TraceEventToJson(const TraceEvent& event) {
       break;
     case TraceEventKind::kGroundComponent:
       os << ",\"component\":" << event.component << ",\"rules\":" << event.a
+         << ",\"matched\":" << event.b << ",\"probes\":" << event.c
          << ",\"duration_us\":" << event.duration_us;
       break;
     case TraceEventKind::kGroundDone:
       os << ",\"rules\":" << event.a << ",\"atoms\":" << event.b
+         << ",\"matched\":" << event.c
          << ",\"duration_us\":" << event.duration_us;
       break;
     case TraceEventKind::kPhase:

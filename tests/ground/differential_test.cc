@@ -1,0 +1,361 @@
+// Differential grounding: the indexed matcher must agree with the naive
+// Herbrand cross-product enumerator on every program we can throw at it.
+//
+// The default kIndexed strategy is output-EXACT: same rule sequence, same
+// atom numbering, byte-for-byte (golden CLI/trace output depends on it).
+// The opt-in reachability pruning mode is checked at the semantic level
+// instead: identical least models per view (pruning only drops instances
+// that cannot affect V∞ — see docs/GROUNDING.md#reachability-pruning).
+
+#include <fstream>
+#include <algorithm>
+#include <random>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "core/least_model.h"
+#include "ground/grounder.h"
+#include "parser/parser.h"
+#include "support/paper_programs.h"
+#include "support/random_programs.h"
+#include "support/test_util.h"
+
+#ifndef ORDLOG_TESTDATA_DIR
+#error "ORDLOG_TESTDATA_DIR must be defined by the build"
+#endif
+
+namespace ordlog {
+namespace {
+
+using ::ordlog::testing::ParseText;
+using ::ordlog::testing::RandomDatalogOptions;
+using ::ordlog::testing::RandomDatalogProgram;
+using ::ordlog::testing::Render;
+
+GroundProgram GroundProgramOf(OrderedProgram program,
+                              const GrounderOptions& options) {
+  auto ground = Grounder::Ground(program, options);
+  EXPECT_TRUE(ground.ok()) << ground.status();
+  if (!ground.ok()) std::abort();
+  return std::move(ground).value();
+}
+
+std::string RuleToString(const GroundProgram& ground, const GroundRule& rule) {
+  std::ostringstream out;
+  out << ground.component_name(rule.component) << '#'
+      << rule.source_rule_index << ": "
+      << ground.LiteralToString(rule.head);
+  for (size_t i = 0; i < rule.body.size(); ++i) {
+    out << (i == 0 ? " :- " : ", ") << ground.LiteralToString(rule.body[i]);
+  }
+  return out.str();
+}
+
+std::vector<std::string> RuleStrings(const GroundProgram& ground) {
+  std::vector<std::string> rules;
+  rules.reserve(ground.NumRules());
+  for (size_t r = 0; r < ground.NumRules(); ++r) {
+    rules.push_back(RuleToString(ground, ground.rule(r)));
+  }
+  return rules;
+}
+
+std::vector<std::string> AtomStrings(const GroundProgram& ground) {
+  std::vector<std::string> atoms;
+  atoms.reserve(ground.NumAtoms());
+  for (GroundAtomId a = 0; a < ground.NumAtoms(); ++a) {
+    atoms.push_back(ground.AtomToString(a));
+  }
+  return atoms;
+}
+
+// The exactness contract: indexed grounding of `program` is
+// indistinguishable from naive grounding — same atoms in the same order,
+// same rules in the same order. Takes two structurally identical programs
+// because grounding interns into the program's pool.
+void ExpectExactlyEqual(OrderedProgram naive_program,
+                        OrderedProgram indexed_program) {
+  GrounderOptions naive_options;
+  naive_options.strategy = GroundStrategy::kNaive;
+  GrounderOptions indexed_options;
+  indexed_options.strategy = GroundStrategy::kIndexed;
+  GroundStats stats;
+  indexed_options.stats = &stats;
+
+  const GroundProgram naive =
+      GroundProgramOf(std::move(naive_program), naive_options);
+  const GroundProgram indexed =
+      GroundProgramOf(std::move(indexed_program), indexed_options);
+
+  EXPECT_EQ(AtomStrings(naive), AtomStrings(indexed));
+  EXPECT_EQ(RuleStrings(naive), RuleStrings(indexed));
+  EXPECT_EQ(stats.rules_emitted, indexed.NumRules());
+}
+
+// Sorted literal strings of a model. Atom numbering differs between the
+// exact and the pruned program, so models are compared as rendered sets,
+// not in atom-id order.
+std::vector<std::string> CanonicalModel(const GroundProgram& ground,
+                                        const Interpretation& model) {
+  std::vector<std::string> literals;
+  for (const GroundLiteral literal : model.Literals()) {
+    literals.push_back(ground.LiteralToString(literal));
+  }
+  std::sort(literals.begin(), literals.end());
+  return literals;
+}
+
+// The pruning contract: with prune_unreachable set, every view's least
+// model is unchanged (pruned instances are exactly the inert ones).
+void ExpectSameLeastModels(OrderedProgram exact_program,
+                           OrderedProgram pruned_program) {
+  GrounderOptions exact_options;
+  GrounderOptions pruned_options;
+  pruned_options.prune_unreachable = true;
+
+  const GroundProgram exact =
+      GroundProgramOf(std::move(exact_program), exact_options);
+  const GroundProgram pruned =
+      GroundProgramOf(std::move(pruned_program), pruned_options);
+
+  EXPECT_LE(pruned.NumRules(), exact.NumRules());
+  ASSERT_EQ(exact.NumComponents(), pruned.NumComponents());
+  for (ComponentId c = 0; c < exact.NumComponents(); ++c) {
+    const Interpretation exact_model =
+        LeastModelComputer(exact, c).Compute();
+    const Interpretation pruned_model =
+        LeastModelComputer(pruned, c).Compute();
+    EXPECT_EQ(CanonicalModel(exact, exact_model), CanonicalModel(pruned, pruned_model))
+        << "view " << exact.component_name(c);
+  }
+}
+
+std::string ReadTestdata(const std::string& name) {
+  const std::string path = std::string(ORDLOG_TESTDATA_DIR) + "/" + name;
+  std::ifstream in(path);
+  EXPECT_TRUE(in.good()) << "cannot open " << path;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+constexpr std::string_view kPaperPrograms[] = {
+    testing::kFig1Penguin,    testing::kFig1Flattened,
+    testing::kFig2Mimmo,      testing::kFig3LoanBase,
+    testing::kExample3P3,     testing::kExample4P4,
+    testing::kExample4P4Closed, testing::kExample5P5,
+    testing::kExample6Ancestor, testing::kExample8Birds,
+    testing::kExample9Colors,
+};
+
+TEST(DifferentialGroundingTest, PaperProgramsExact) {
+  for (const std::string_view source : kPaperPrograms) {
+    SCOPED_TRACE(source);
+    ExpectExactlyEqual(ParseText(source), ParseText(source));
+  }
+}
+
+TEST(DifferentialGroundingTest, TestdataFilesExact) {
+  for (const char* file :
+       {"penguin.olp", "loan.olp", "choice.olp", "mimmo.olp"}) {
+    SCOPED_TRACE(file);
+    const std::string source = ReadTestdata(file);
+    ExpectExactlyEqual(ParseText(source), ParseText(source));
+  }
+}
+
+TEST(DifferentialGroundingTest, JoinHeavyProgramExact) {
+  // Multi-atom bodies with shared variables: the join path, plus an
+  // unconstrained head variable that forces the universe fallback.
+  constexpr std::string_view kSource = R"(
+    edge(a, b). edge(b, c). edge(c, d). edge(d, a).
+    path(X, Y) :- edge(X, Y).
+    path(X, Z) :- edge(X, Y), path(Y, Z).
+    tagged(X, W) :- path(X, X).
+  )";
+  ExpectExactlyEqual(ParseText(kSource), ParseText(kSource));
+}
+
+TEST(DifferentialGroundingTest, ConstraintAbsorptionExact) {
+  // Every absorbable comparison shape, including flipped operands, term
+  // identity, chained bounds, and an unevaluable symbolic bound.
+  constexpr std::string_view kSource = R"(
+    value(1). value(5). value(9). value(red).
+    low(X) :- value(X), X < 5.
+    mid(X) :- value(X), X >= 2, 8 >= X.
+    same(X, Y) :- value(X), value(Y), X = Y.
+    diff(X, Y) :- value(X), value(Y), X != Y.
+    shifted(X, Y) :- value(X), value(Y), X > Y + 2.
+    color(X) :- value(X), X = red.
+    impossible(X) :- value(X), X < X.
+  )";
+  ExpectExactlyEqual(ParseText(kSource), ParseText(kSource));
+}
+
+TEST(DifferentialGroundingTest, InvertedAbsorptionExact) {
+  // The level variable sits inside an arithmetic expression, so the
+  // matcher must isolate it (X > Y + 2 at Y's level becomes Y < X - 2)
+  // across add/subtract/negate chains and both operand orders.
+  constexpr std::string_view kSource = R"(
+    value(1). value(3). value(5). value(9). value(red).
+    a(X, Y) :- value(X), value(Y), X > Y + 2.
+    b(X, Y) :- value(X), value(Y), Y - 1 < X.
+    c(X, Y) :- value(X), value(Y), X - Y > 1.
+    d(X, Y) :- value(X), value(Y), -Y < X - 6.
+    e(X, Y) :- value(X), value(Y), X = Y + 4.
+    f(X, Y) :- value(X), value(Y), 8 - Y >= X.
+    g(X, Y) :- value(X), value(Y), X * 2 > Y + 1.
+  )";
+  ExpectExactlyEqual(ParseText(kSource), ParseText(kSource));
+}
+
+TEST(DifferentialGroundingTest, InvertedAbsorptionUsesIndex) {
+  // The shifted comparison collapses Y's domain to a range scan: the
+  // matcher must not fall back to trying every (X, Y) pair.
+  std::string source = "pair(X, Y) :- v(X), v(Y), X > Y + 40.\n";
+  for (int i = 0; i < 64; ++i) {
+    source += "v(" + std::to_string(i) + ").\n";
+  }
+  GrounderOptions options;
+  GroundStats stats;
+  options.stats = &stats;
+  GroundProgramOf(ParseText(source), options);
+  EXPECT_GT(stats.index_probes, 0u);
+  // 64 facts + sum over X of |{Y : Y < X - 40}| pairs; a cross-product
+  // scan would try 64 + 64*64 candidates.
+  EXPECT_LT(stats.candidates, 64u + 64u * 64u / 2u);
+}
+
+TEST(DifferentialGroundingTest, NegationAndOrderExact) {
+  constexpr std::string_view kSource = R"(
+    component general {
+      bird(tweety). bird(pingu).
+      fly(X) :- bird(X).
+      -heavy(X) :- bird(X).
+    }
+    component specific {
+      penguin(pingu).
+      -fly(X) :- penguin(X).
+      heavy(X) :- penguin(X), -fly(X).
+    }
+    order specific < general.
+  )";
+  ExpectExactlyEqual(ParseText(kSource), ParseText(kSource));
+}
+
+TEST(DifferentialGroundingTest, RandomProgramsExact) {
+  for (uint32_t seed = 0; seed < 30; ++seed) {
+    SCOPED_TRACE(seed);
+    RandomDatalogOptions options;
+    options.num_components = 1 + seed % 3;
+    options.num_predicates = 2 + seed % 4;
+    options.num_constants = 2 + seed % 5;
+    options.num_rules = 6 + seed % 10;
+    options.constraint_prob = (seed % 2) ? 0.5 : 0.2;
+    options.variable_prob = 0.3 + 0.1 * (seed % 5);
+    std::mt19937 rng_a(seed);
+    std::mt19937 rng_b(seed);
+    ExpectExactlyEqual(RandomDatalogProgram(rng_a, options),
+                       RandomDatalogProgram(rng_b, options));
+  }
+}
+
+TEST(DifferentialGroundingTest, PaperProgramsPrunedLeastModels) {
+  for (const std::string_view source : kPaperPrograms) {
+    SCOPED_TRACE(source);
+    ExpectSameLeastModels(ParseText(source), ParseText(source));
+  }
+}
+
+TEST(DifferentialGroundingTest, TestdataFilesPrunedLeastModels) {
+  for (const char* file :
+       {"penguin.olp", "loan.olp", "choice.olp", "mimmo.olp"}) {
+    SCOPED_TRACE(file);
+    const std::string source = ReadTestdata(file);
+    ExpectSameLeastModels(ParseText(source), ParseText(source));
+  }
+}
+
+TEST(DifferentialGroundingTest, RandomProgramsPrunedLeastModels) {
+  for (uint32_t seed = 100; seed < 120; ++seed) {
+    SCOPED_TRACE(seed);
+    RandomDatalogOptions options;
+    options.num_components = 1 + seed % 2;
+    options.num_rules = 8;
+    std::mt19937 rng_a(seed);
+    std::mt19937 rng_b(seed);
+    ExpectSameLeastModels(RandomDatalogProgram(rng_a, options),
+                          RandomDatalogProgram(rng_b, options));
+  }
+}
+
+TEST(DifferentialGroundingTest, PruningDropsInertInstances) {
+  // reach/1 is definite (never negated): only reachable instances of the
+  // recursive rule survive pruning. The naive grounder emits an instance
+  // per universe pair.
+  constexpr std::string_view kSource = R"(
+    node(a). node(b). node(c). node(d). node(e).
+    edge(a, b). edge(b, c).
+    reach(a).
+    reach(Y) :- reach(X), edge(X, Y).
+  )";
+  GrounderOptions exact_options;
+  const GroundProgram exact = GroundProgramOf(ParseText(kSource),
+                                              exact_options);
+  GrounderOptions pruned_options;
+  pruned_options.prune_unreachable = true;
+  GroundStats stats;
+  pruned_options.stats = &stats;
+  const GroundProgram pruned = GroundProgramOf(ParseText(kSource),
+                                               pruned_options);
+  // Naive: 7 universe terms -> 49 instances of the recursive rule (plus
+  // facts). Pruned: only edges out of reachable nodes.
+  EXPECT_LT(pruned.NumRules(), exact.NumRules());
+  EXPECT_GT(stats.fixpoint_rounds, 0u);
+  EXPECT_GT(stats.possible_tuples, 0u);
+  const Interpretation exact_model = LeastModelComputer(exact, 0).Compute();
+  const Interpretation pruned_model = LeastModelComputer(pruned, 0).Compute();
+  EXPECT_EQ(CanonicalModel(exact, exact_model), CanonicalModel(pruned, pruned_model));
+}
+
+TEST(DifferentialGroundingTest, PruningKeepsNonDefiniteRules) {
+  // fly/1 occurs in a negative literal, so its rules are exempt from
+  // pruning: the never-firing instance fly(stone) must survive, because
+  // its status still participates in Def. 2 overruling/defeating.
+  constexpr std::string_view kSource = R"(
+    thing(stone). thing(tweety). bird(tweety).
+    fly(X) :- bird(X).
+    sad(X) :- thing(X), -fly(X).
+  )";
+  GrounderOptions pruned_options;
+  pruned_options.prune_unreachable = true;
+  const GroundProgram pruned = GroundProgramOf(ParseText(kSource),
+                                               pruned_options);
+  GrounderOptions exact_options;
+  const GroundProgram exact = GroundProgramOf(ParseText(kSource),
+                                              exact_options);
+  EXPECT_EQ(RuleStrings(exact), RuleStrings(pruned));
+}
+
+TEST(DifferentialGroundingTest, IndexedStatsCountProbes) {
+  // A ground first argument under the join makes the matcher probe the
+  // first-argument index rather than scan.
+  constexpr std::string_view kSource = R"(
+    edge(a, b). edge(a, c). edge(b, c).
+    reach(a).
+    reach(Y) :- reach(X), edge(X, Y).
+  )";
+  GrounderOptions options;
+  options.prune_unreachable = true;
+  GroundStats stats;
+  options.stats = &stats;
+  GroundProgramOf(ParseText(kSource), options);
+  EXPECT_GT(stats.index_probes, 0u);
+  EXPECT_GT(stats.candidates, 0u);
+  EXPECT_GT(stats.rules_emitted, 0u);
+}
+
+}  // namespace
+}  // namespace ordlog

@@ -1,0 +1,172 @@
+// Cooperative cancellation inside the grounder's enumeration loops: a
+// cancelled token or an expired deadline aborts mid-instantiation with
+// kCancelled / kDeadlineExceeded instead of emitting the full
+// cross-product, in both strategies, and the poll interval is clamped so
+// an interval of 0 cannot divide-by-zero (the same clamp the solvers
+// apply — regression coverage for both lives here).
+
+#include <chrono>
+#include <sstream>
+
+#include "base/cancel.h"
+#include "core/stable_solver.h"
+#include "core/total_solver.h"
+#include "gtest/gtest.h"
+#include "ground/grounder.h"
+#include "kb/knowledge_base.h"
+#include "runtime/query_engine.h"
+#include "support/test_util.h"
+
+namespace ordlog {
+namespace {
+
+using ::ordlog::testing::ParseText;
+using std::chrono::milliseconds;
+
+// d(0..k-1) plus a three-variable rule: k^3 instantiation candidates,
+// far beyond a small poll interval.
+std::string CubeSource(int k) {
+  std::ostringstream out;
+  out << "component c {\n";
+  for (int i = 0; i < k; ++i) out << "  d(" << i << ").\n";
+  out << "  p(X, Y, Z) :- d(X), d(Y), d(Z).\n}\n";
+  return out.str();
+}
+
+TEST(GroundCancelTest, IndexedAbortsOnCancelledToken) {
+  OrderedProgram program = ParseText(CubeSource(30));
+  CancelToken token;
+  token.Cancel();
+  GrounderOptions options;
+  options.cancel = &token;
+  options.cancel_check_interval = 64;
+  GroundStats stats;
+  options.stats = &stats;
+  EXPECT_EQ(Grounder::Ground(program, options).status().code(),
+            StatusCode::kCancelled);
+  // Stopped at (about) the first poll, nowhere near the 27000 candidates.
+  EXPECT_LE(stats.candidates, 2 * 64u);
+}
+
+TEST(GroundCancelTest, NaiveAbortsOnCancelledToken) {
+  OrderedProgram program = ParseText(CubeSource(30));
+  CancelToken token;
+  token.Cancel();
+  GrounderOptions options;
+  options.strategy = GroundStrategy::kNaive;
+  options.cancel = &token;
+  options.cancel_check_interval = 64;
+  GroundStats stats;
+  options.stats = &stats;
+  EXPECT_EQ(Grounder::Ground(program, options).status().code(),
+            StatusCode::kCancelled);
+  EXPECT_LE(stats.candidates, 2 * 64u);
+}
+
+TEST(GroundCancelTest, ExpiredDeadlineAbortsMidGrounding) {
+  OrderedProgram program = ParseText(CubeSource(30));
+  const CancelToken token = CancelToken::WithTimeout(milliseconds(-1));
+  GrounderOptions options;
+  options.cancel = &token;
+  options.cancel_check_interval = 64;
+  EXPECT_EQ(Grounder::Ground(program, options).status().code(),
+            StatusCode::kDeadlineExceeded);
+}
+
+TEST(GroundCancelTest, PruningFixpointHonorsToken) {
+  OrderedProgram program = ParseText(CubeSource(30));
+  CancelToken token;
+  token.Cancel();
+  GrounderOptions options;
+  options.prune_unreachable = true;
+  options.cancel = &token;
+  options.cancel_check_interval = 64;
+  EXPECT_EQ(Grounder::Ground(program, options).status().code(),
+            StatusCode::kCancelled);
+}
+
+TEST(GroundCancelTest, ZeroPollIntervalIsClamped) {
+  OrderedProgram program = ParseText(CubeSource(6));
+  CancelToken token;
+  GrounderOptions options;
+  options.cancel = &token;
+  options.cancel_check_interval = 0;  // would be UB as a modulo divisor
+  const auto ground = Grounder::Ground(program, options);
+  ASSERT_TRUE(ground.ok()) << ground.status();
+  EXPECT_GT(ground->NumRules(), 6u * 6 * 6);
+}
+
+TEST(GroundCancelTest, UncancelledTokenDoesNotChangeOutput) {
+  CancelToken token;
+  GrounderOptions with_token;
+  with_token.cancel = &token;
+  OrderedProgram a = ParseText(CubeSource(8));
+  OrderedProgram b = ParseText(CubeSource(8));
+  const auto guarded = Grounder::Ground(a, with_token);
+  const auto plain = Grounder::Ground(b);
+  ASSERT_TRUE(guarded.ok());
+  ASSERT_TRUE(plain.ok());
+  EXPECT_EQ(guarded->NumRules(), plain->NumRules());
+  EXPECT_EQ(guarded->NumAtoms(), plain->NumAtoms());
+}
+
+TEST(GroundCancelTest, KnowledgeBaseThreadsTokenIntoGrounding) {
+  KnowledgeBase kb;
+  ASSERT_TRUE(kb.Load(CubeSource(30)).ok());
+  const CancelToken token = CancelToken::WithTimeout(milliseconds(-1));
+  GroundStats stats;
+  EXPECT_EQ(kb.ground(&token, &stats).status().code(),
+            StatusCode::kDeadlineExceeded);
+  // A fresh call without a token still grounds (the aborted attempt left
+  // no cached half-ground program behind).
+  const auto ground = kb.ground();
+  ASSERT_TRUE(ground.ok()) << ground.status();
+  GroundStats fresh;
+  EXPECT_TRUE(kb.ground(nullptr, &fresh).ok());
+  // Already grounded: the cached snapshot costs no instantiation work.
+  EXPECT_EQ(fresh.candidates, 0u);
+}
+
+TEST(GroundCancelTest, QueryEngineDeadlineCoversGrounding) {
+  KnowledgeBase kb;
+  ASSERT_TRUE(kb.Load(CubeSource(20)).ok());
+  QueryEngine engine(kb);
+  QueryRequest request;
+  request.module = "c";
+  request.literal = "d(0)";
+  request.deadline = milliseconds(0);  // expired on entry
+  EXPECT_EQ(engine.Execute(std::move(request)).status().code(),
+            StatusCode::kDeadlineExceeded);
+}
+
+// Satellite regression: the solvers clamp cancel_check_interval = 0
+// instead of computing `nodes % 0`.
+TEST(SolverIntervalClampTest, StableSolverZeroInterval) {
+  const GroundProgram program = ::ordlog::testing::GroundText(
+      "component c { p :- -q. q :- -p. }\n"
+      "component base { -p. -q. }\norder c < base.\n");
+  CancelToken token;
+  StableSolverOptions options;
+  options.cancel = &token;
+  options.cancel_check_interval = 0;
+  const StableModelSolver solver(program, 0, options);
+  const auto models = solver.StableModels();
+  ASSERT_TRUE(models.ok()) << models.status();
+  EXPECT_EQ(models->size(), 2u);
+}
+
+TEST(SolverIntervalClampTest, TotalSolverZeroInterval) {
+  const GroundProgram program = ::ordlog::testing::GroundText(
+      "component c { p :- -q. q :- -p. }\n"
+      "component base { -p. -q. }\norder c < base.\n");
+  CancelToken token;
+  TotalSolverOptions options;
+  options.cancel = &token;
+  options.cancel_check_interval = 0;
+  const TotalModelSolver solver(program, 0, options);
+  const auto model = solver.FindOne();
+  EXPECT_TRUE(model.ok()) << model.status();
+}
+
+}  // namespace
+}  // namespace ordlog

@@ -183,6 +183,69 @@ TEST(ModelCacheTest, EvictStaleDropsOlderRevisionsOnly) {
           ->hit);
 }
 
+TEST(ModelCacheTest, CapacityBoundHolds) {
+  // Regression: the documented max_entries bound used to be advisory —
+  // the table grew without limit and EvictStale was the only shrink path.
+  ModelCacheOptions options;
+  options.max_entries = 4;
+  ModelCache cache(options);
+  CancelToken cancel;
+  const auto compute = [] { return StatusOr<ModelEntry>(EntryWithNodes(1)); };
+  for (ComponentId view = 0; view < 32; ++view) {
+    ASSERT_TRUE(
+        cache.GetOrCompute({1, view, CacheKind::kLeastModel}, compute, cancel)
+            .ok());
+    EXPECT_LE(cache.size(), options.max_entries)
+        << "after insert #" << view;
+  }
+  EXPECT_EQ(cache.size(), options.max_entries);
+  EXPECT_EQ(cache.stats().evictions, 32u - options.max_entries);
+}
+
+TEST(ModelCacheTest, CapacityEvictsOldestCompletedFirst) {
+  ModelCacheOptions options;
+  options.max_entries = 2;
+  ModelCache cache(options);
+  CancelToken cancel;
+  const auto compute = [] { return StatusOr<ModelEntry>(EntryWithNodes(1)); };
+  ASSERT_TRUE(
+      cache.GetOrCompute({1, 0, CacheKind::kLeastModel}, compute, cancel)
+          .ok());
+  ASSERT_TRUE(
+      cache.GetOrCompute({1, 1, CacheKind::kLeastModel}, compute, cancel)
+          .ok());
+  // Third insert evicts view 0 (oldest), keeps view 1.
+  ASSERT_TRUE(
+      cache.GetOrCompute({1, 2, CacheKind::kLeastModel}, compute, cancel)
+          .ok());
+  EXPECT_TRUE(
+      cache.GetOrCompute({1, 1, CacheKind::kLeastModel}, compute, cancel)
+          ->hit);
+  EXPECT_FALSE(
+      cache.GetOrCompute({1, 0, CacheKind::kLeastModel}, compute, cancel)
+          ->hit);
+}
+
+TEST(ModelCacheTest, CapacityOneStillServesSingleFlight) {
+  ModelCacheOptions options;
+  options.max_entries = 1;
+  ModelCache cache(options);
+  CancelToken cancel;
+  const auto compute = [] { return StatusOr<ModelEntry>(EntryWithNodes(5)); };
+  const auto first =
+      cache.GetOrCompute({1, 0, CacheKind::kLeastModel}, compute, cancel);
+  ASSERT_TRUE(first.ok());
+  EXPECT_EQ(first->entry->solver_nodes, 5u);
+  const auto second =
+      cache.GetOrCompute({1, 1, CacheKind::kLeastModel}, compute, cancel);
+  ASSERT_TRUE(second.ok());
+  EXPECT_LE(cache.size(), 1u);
+  // The surviving entry still hits.
+  EXPECT_TRUE(
+      cache.GetOrCompute({1, 1, CacheKind::kLeastModel}, compute, cancel)
+          ->hit);
+}
+
 TEST(ModelCacheTest, PreCancelledCallerNeverComputes) {
   ModelCache cache;
   CancelToken cancel;
