@@ -34,6 +34,11 @@ print("wrote build/BENCH_runtime.json (%d suites)" % len(merged))
 grounding = json.loads(pathlib.Path("build/bench_json/bench_grounding.json").read_text())
 pathlib.Path("build/BENCH_grounding.json").write_text(json.dumps(grounding, indent=1))
 print("wrote build/BENCH_grounding.json")
+# Same for the incremental suite: scripts/check_incremental_regression.py
+# gates the delta grounder's speedup and differential exactness on it.
+incremental = json.loads(pathlib.Path("build/bench_json/bench_incremental.json").read_text())
+pathlib.Path("build/BENCH_incremental.json").write_text(json.dumps(incremental, indent=1))
+print("wrote build/BENCH_incremental.json")
 EOF
   # Tracing must be pay-for-what-you-use: the null sink has to stay
   # within 2% of the untraced loan-throughput baseline.
@@ -46,5 +51,8 @@ EOF
   # The indexed grounder must beat the naive enumerator on the grid
   # workload and stay exact + regression-free on the paper programs.
   python3 scripts/check_grounding_regression.py
+  # The delta grounder must beat a full rebuild on the mutate-one-fact
+  # workload and patch to exactly the cold-reground program.
+  python3 scripts/check_incremental_regression.py
 fi
 echo "ordlog: all checks passed"

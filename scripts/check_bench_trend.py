@@ -1,0 +1,88 @@
+#!/usr/bin/env python3
+"""Wall-time trend gate between two merged benchmark reports.
+
+Usage: check_bench_trend.py BASELINE.json CURRENT.json [--warn-only]
+
+Both files are merged BENCH_runtime.json reports as written by
+scripts/check.sh: {suite_name: google-benchmark JSON}. For every
+benchmark present in both reports, the current real_time must not exceed
+the baseline by more than MAX_REGRESSION (25%). Benchmarks that appear
+only on one side (added / removed) are reported but never fail the gate.
+
+With --warn-only (used on forked-PR CI, where the baseline artifact may
+be missing or unrelated) regressions are printed but the exit code stays
+0. Wall time is noisy; this gate is a trend alarm with a generous bound,
+not a precision instrument — the semantic performance gates
+(check_grounding_regression.py, check_incremental_regression.py) use
+deterministic counters instead.
+"""
+
+import json
+import pathlib
+import sys
+
+MAX_REGRESSION = 0.25  # +25% real_time
+
+
+def load(path):
+    suites = json.loads(pathlib.Path(path).read_text())
+    benches = {}
+    for suite, report in sorted(suites.items()):
+        for bench in report.get("benchmarks", []):
+            # Aggregate rows (mean/median/stddev) would double-count.
+            if bench.get("run_type") == "aggregate":
+                continue
+            name = "%s/%s" % (suite, bench.get("name", ""))
+            benches[name] = bench
+    return benches
+
+
+def main():
+    args = [a for a in sys.argv[1:] if not a.startswith("--")]
+    warn_only = "--warn-only" in sys.argv[1:]
+    if len(args) != 2:
+        print(__doc__)
+        sys.exit(2)
+    baseline_path, current_path = args
+    if not pathlib.Path(baseline_path).exists():
+        print("check_bench_trend: no baseline at %s; skipping (first run?)"
+              % baseline_path)
+        sys.exit(0)
+    baseline = load(baseline_path)
+    current = load(current_path)
+
+    regressions = []
+    improvements = 0
+    compared = 0
+    for name in sorted(baseline.keys() & current.keys()):
+        base_time = baseline[name].get("real_time")
+        cur_time = current[name].get("real_time")
+        if not base_time or not cur_time:
+            continue
+        compared += 1
+        delta = (cur_time - base_time) / base_time
+        if delta > MAX_REGRESSION:
+            regressions.append("  %-70s %+7.1f%%  (%.0f -> %.0f ns)"
+                               % (name, delta * 100, base_time, cur_time))
+        elif delta < -MAX_REGRESSION:
+            improvements += 1
+    added = sorted(current.keys() - baseline.keys())
+    removed = sorted(baseline.keys() - current.keys())
+
+    print("check_bench_trend: compared %d benchmarks "
+          "(%d added, %d removed, %d improved >%d%%)"
+          % (compared, len(added), len(removed), improvements,
+             MAX_REGRESSION * 100))
+    if regressions:
+        print("wall-time regressions over %d%%:" % (MAX_REGRESSION * 100))
+        print("\n".join(regressions))
+        if warn_only:
+            print("check_bench_trend: WARN (--warn-only; not failing)")
+            sys.exit(0)
+        print("check_bench_trend: FAIL")
+        sys.exit(1)
+    print("check_bench_trend: OK")
+
+
+if __name__ == "__main__":
+    main()

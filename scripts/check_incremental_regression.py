@@ -1,0 +1,113 @@
+#!/usr/bin/env python3
+"""Incremental-update performance gate over the bench_incremental report.
+
+Reads build/BENCH_incremental.json (written by scripts/check.sh) and
+checks the full/delta benchmark pairs emitted by bench/bench_incremental.cc
+for the mutate-one-fact loan-grid workload:
+
+ * exactness: every delta bench's in-run differential check (patched
+   ground program canonically equal to a cold reground) must have passed
+   (`exact` counter == 1), and each full/delta pair must produce the same
+   ground-rule count;
+ * the win: on the 256 grid, the existing-constant mutation
+   (MutateOneFact) must try at least MIN_DELTA_SPEEDUP times fewer
+   candidate bindings than a full rebuild. The candidates counter is
+   deterministic, so the gate is machine-independent (wall time is
+   reported for information only). The fresh-constant mutation
+   (MutateFreshConstant) exercises the pivot passes over every old rule —
+   its ratio is printed but not gated: the indexed matcher makes the full
+   reground's candidate count output-proportional, so the delta's win
+   there is wall time (no parse, no universe rebuild), not candidates.
+
+When the incremental_differential_test binary is present in the build
+tree, the gate also runs it: its 110 random mutation traces and paper
+programs are the broad-coverage differential identity check the bench's
+single workload cannot provide.
+"""
+
+import json
+import pathlib
+import subprocess
+import sys
+
+REPORT = pathlib.Path("build/BENCH_incremental.json")
+FAMILIES = ("BM_MutateOneFact", "BM_MutateFreshConstant")
+GATED_FAMILY = "BM_MutateOneFact"
+GRID_WORKLOAD = "256"
+MIN_DELTA_SPEEDUP = 10.0
+DIFFERENTIAL_TEST = pathlib.Path("build/tests/incremental_differential_test")
+
+
+def fail(message):
+    print("check_incremental_regression: FAIL: %s" % message)
+    sys.exit(1)
+
+
+def main():
+    if not REPORT.exists():
+        fail("%s not found (run scripts/check.sh first)" % REPORT)
+    report = json.loads(REPORT.read_text())
+    pairs = {}  # (family, workload) -> {"Full": bench, "Delta": bench}
+    for bench in report.get("benchmarks", []):
+        name = bench.get("name", "")
+        for family in FAMILIES:
+            for kind in ("Full", "Delta"):
+                prefix = "%s_%s/" % (family, kind)
+                if name.startswith(prefix):
+                    # <family>_<kind>/<n>/iterations:<k> -> <n>
+                    workload = name[len(prefix):].split("/")[0]
+                    pairs.setdefault((family, workload), {})[kind] = bench
+
+    problems = []
+    for (family, workload), by_kind in sorted(pairs.items()):
+        full, delta = by_kind.get("Full"), by_kind.get("Delta")
+        if full is None or delta is None:
+            problems.append("%s/%s: missing full/delta pair"
+                            % (family, workload))
+            continue
+        if full["ground_rules"] != delta["ground_rules"]:
+            problems.append(
+                "%s/%s: rule counts diverge (full %d vs delta %d)"
+                % (family, workload, full["ground_rules"],
+                   delta["ground_rules"]))
+        if delta.get("exact") != 1.0:
+            problems.append(
+                "%s/%s: delta patch is not canonically equal to a cold "
+                "reground (exact=%s)"
+                % (family, workload, delta.get("exact")))
+        ratio = full["candidates"] / max(delta["candidates"], 1.0)
+        time_ratio = full["real_time"] / max(delta["real_time"], 1e-9)
+        print("  %-24s n=%-5s rules=%-7d candidates full/delta = %8.1fx  "
+              "time full/delta = %.1fx"
+              % (family, workload, int(full["ground_rules"]), ratio,
+                 time_ratio))
+        if (family == GATED_FAMILY and workload == GRID_WORKLOAD
+                and ratio < MIN_DELTA_SPEEDUP):
+            problems.append(
+                "%s/%s: candidate-binding speedup %.2fx below required %.1fx"
+                % (family, workload, ratio, MIN_DELTA_SPEEDUP))
+
+    if (GATED_FAMILY, GRID_WORKLOAD) not in pairs:
+        problems.append("gated workload %s/%s missing from report"
+                        % (GATED_FAMILY, GRID_WORKLOAD))
+
+    if problems:
+        fail("; ".join(problems))
+
+    if DIFFERENTIAL_TEST.exists():
+        print("  running %s ..." % DIFFERENTIAL_TEST)
+        result = subprocess.run([str(DIFFERENTIAL_TEST)],
+                                capture_output=True, text=True)
+        if result.returncode != 0:
+            print(result.stdout[-4000:])
+            fail("incremental differential test failed")
+        print("  differential identity: OK")
+    else:
+        print("  note: %s not built; differential identity covered by ctest"
+              % DIFFERENTIAL_TEST)
+
+    print("check_incremental_regression: OK (%d workload pairs)" % len(pairs))
+
+
+if __name__ == "__main__":
+    main()

@@ -36,6 +36,14 @@ class DynamicBitset {
     for (uint64_t& w : words_) w = 0;
   }
 
+  // Grows the universe to `new_size` bits; new bits are zero. Shrinking is
+  // not supported (ids are append-only everywhere bitsets are used).
+  void Resize(size_t new_size) {
+    if (new_size <= size_) return;
+    size_ = new_size;
+    words_.resize((new_size + 63) / 64, 0);
+  }
+
   // Number of set bits.
   size_t Count() const;
 

@@ -76,6 +76,14 @@ class Interpretation {
     negative_.Clear();
   }
 
+  // Grows the atom universe to `num_atoms` (append-only ground programs
+  // keep existing atom ids stable, so the assigned literals are
+  // unchanged). Shrinking is not supported.
+  void Resize(size_t num_atoms) {
+    positive_.Resize(num_atoms);
+    negative_.Resize(num_atoms);
+  }
+
   const DynamicBitset& positives() const { return positive_; }
   const DynamicBitset& negatives() const { return negative_; }
 

@@ -54,17 +54,22 @@ LeastModelComputer::LeastModelComputer(const GroundProgram& program,
 }
 
 Interpretation LeastModelComputer::Compute() const {
-  // No token: ComputeImpl cannot fail.
-  return std::move(ComputeImpl(nullptr)).value();
+  // No token, no seed: ComputeImpl cannot fail.
+  return std::move(ComputeImpl(nullptr, nullptr)).value();
 }
 
 StatusOr<Interpretation> LeastModelComputer::Compute(
     const CancelToken& cancel) const {
-  return ComputeImpl(&cancel);
+  return ComputeImpl(&cancel, nullptr);
+}
+
+StatusOr<Interpretation> LeastModelComputer::ComputeFrom(
+    const Interpretation& seed, const CancelToken* cancel) const {
+  return ComputeImpl(cancel, &seed);
 }
 
 StatusOr<Interpretation> LeastModelComputer::ComputeImpl(
-    const CancelToken* cancel) const {
+    const CancelToken* cancel, const Interpretation* seed) const {
   const std::chrono::steady_clock::time_point trace_start =
       trace_ != nullptr ? std::chrono::steady_clock::now()
                         : std::chrono::steady_clock::time_point();
@@ -83,11 +88,18 @@ StatusOr<Interpretation> LeastModelComputer::ComputeImpl(
 
   // A literal entering I (a) satisfies bodies containing it and (b) blocks
   // rules whose body contains its complement, which in turn releases the
-  // rules those silenced.
+  // rules those silenced. A conflict is impossible from ∅ (the invariant
+  // the DCHECK guards); a warm-start seed outside V∞(∅) can produce one,
+  // and is reported to the caller instead of polluting the result.
+  bool conflict = false;
   auto add_literal = [&](GroundLiteral literal) {
     if (result.Contains(literal)) return;
-    const bool consistent = result.Add(literal);
-    ORDLOG_DCHECK(consistent) << "least-model chaos produced a conflict";
+    if (!result.Add(literal)) {
+      ORDLOG_DCHECK(seed != nullptr)
+          << "least-model chaos produced a conflict";
+      conflict = true;
+      return;
+    }
     for (uint32_t index : body_index_[Key(literal)]) {
       if (--state[index].unsatisfied_body == 0) consider(index);
     }
@@ -103,6 +115,18 @@ StatusOr<Interpretation> LeastModelComputer::ComputeImpl(
 
   for (uint32_t index : program_.ViewRules(view_)) {
     consider(index);
+  }
+  if (seed != nullptr) {
+    // Seed literals enter exactly as if they had just been derived:
+    // satisfying bodies, blocking, and releasing silenced rules. Rules
+    // whose head is seeded may still fire later; add_literal dedupes.
+    for (const GroundLiteral& literal : seed->Literals()) {
+      add_literal(literal);
+    }
+    if (conflict) {
+      return InvalidArgumentError(
+          "warm-start seed is inconsistent with the view's least model");
+    }
   }
   // Cancellation poll interval: the per-pop work is a handful of index
   // lookups, so a few thousand pops between clock reads keeps the
@@ -123,6 +147,10 @@ StatusOr<Interpretation> LeastModelComputer::ComputeImpl(
     }
     rule_state.fired = true;
     add_literal(program_.rule(index).head);
+    if (conflict) {
+      return InvalidArgumentError(
+          "warm-start seed is inconsistent with the view's least model");
+    }
     ++fired_count;
     if (trace_ != nullptr) {
       TraceEvent event;

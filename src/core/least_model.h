@@ -42,13 +42,26 @@ class LeastModelComputer {
   // firings) and aborts with kCancelled / kDeadlineExceeded.
   StatusOr<Interpretation> Compute(const CancelToken& cancel) const;
 
+  // Warm start: chaotic iteration seeded with the literals of `seed`
+  // instead of ∅. Sound when seed ⊆ V∞(∅): the firing condition is
+  // monotone (Lemma 1), so iterating from any subset of the least
+  // fixpoint converges to that same fixpoint. The incremental layer
+  // passes the previous least model restricted to predicates outside the
+  // mutation's dependency cone (docs/INCREMENTAL.md); `seed` may range
+  // over a smaller (pre-patch) atom universe. A seed that violates the
+  // subset guarantee can surface as a conflict, reported as
+  // kInvalidArgument — callers fall back to a cold start.
+  StatusOr<Interpretation> ComputeFrom(const Interpretation& seed,
+                                       const CancelToken* cancel) const;
+
   // Attaches a structured trace sink (not owned; may be null). When set,
   // Compute emits kRuleFired per rule firing and a final kFixpointDone
   // whose `steps` payload is the number of firings.
   void set_trace(TraceSink* sink) { trace_ = sink; }
 
  private:
-  StatusOr<Interpretation> ComputeImpl(const CancelToken* cancel) const;
+  StatusOr<Interpretation> ComputeImpl(const CancelToken* cancel,
+                                       const Interpretation* seed) const;
 
   struct RuleState {
     uint32_t unsatisfied_body = 0;

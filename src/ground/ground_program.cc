@@ -64,6 +64,53 @@ std::string GroundProgram::DebugString() const {
   return os.str();
 }
 
+GroundAtomId GroundProgram::PatchAddAtom(SymbolId predicate,
+                                         const std::vector<TermId>& args) {
+  Atom atom;
+  atom.predicate = predicate;
+  atom.args = args;
+  auto it = atom_index_.find(atom);
+  if (it != atom_index_.end()) return it->second;
+  ORDLOG_CHECK(atom.IsGround(*pool_)) << "non-ground atom in patch";
+  const GroundAtomId id = static_cast<GroundAtomId>(atoms_.size());
+  atoms_.push_back(atom);
+  atom_index_.emplace(std::move(atom), id);
+  return id;
+}
+
+uint32_t GroundProgram::PatchAddRule(ComponentId component,
+                                     GroundLiteral head,
+                                     std::vector<GroundLiteral> body,
+                                     uint32_t source_rule_index) {
+  ORDLOG_CHECK_LT(component, component_names_.size());
+  const uint32_t index = static_cast<uint32_t>(rules_.size());
+  GroundRule rule;
+  rule.head = head;
+  rule.body = std::move(body);
+  rule.component = component;
+  rule.source_rule_index = source_rule_index;
+
+  // Grow the derived indexes to the (possibly patched) atom universe.
+  if (head_index_.size() < atoms_.size() * 2) {
+    head_index_.resize(atoms_.size() * 2);
+  }
+  head_index_[static_cast<size_t>(head.atom) * 2 + (head.positive ? 1 : 0)]
+      .push_back(index);
+  // Appending keeps each view's rule list in ascending index order, the
+  // invariant Build() establishes and the fixpoint engines rely on.
+  for (ComponentId c = 0; c < component_names_.size(); ++c) {
+    view_atoms_[c].Resize(atoms_.size());
+    if (!leq_[c].Test(rule.component)) continue;
+    view_rules_[c].push_back(index);
+    view_atoms_[c].Set(rule.head.atom);
+    for (const GroundLiteral& literal : rule.body) {
+      view_atoms_[c].Set(literal.atom);
+    }
+  }
+  rules_.push_back(std::move(rule));
+  return index;
+}
+
 GroundProgramBuilder::GroundProgramBuilder(std::shared_ptr<TermPool> pool,
                                            size_t num_components) {
   ORDLOG_CHECK(pool != nullptr);

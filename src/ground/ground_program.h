@@ -91,6 +91,23 @@ class GroundProgram {
   // Human-readable dump (for debugging and the CLI).
   std::string DebugString() const;
 
+  // --- incremental patching (src/incremental/) ----------------------------
+  // Appending is the only supported in-place mutation: existing atom and
+  // rule ids stay stable, so interpretations computed against the old
+  // program remain addressable after Resize. Both methods keep every
+  // derived index (atom interning, head index, per-view rule lists and
+  // atom universes) consistent, exactly as Build() would have.
+
+  // Interns a ground atom, appending it when missing. `args` must all be
+  // ground terms of pool().
+  GroundAtomId PatchAddAtom(SymbolId predicate,
+                            const std::vector<TermId>& args);
+  // Appends one ground rule to `component` (which must already exist; the
+  // component order is immutable under patching) and returns its index.
+  uint32_t PatchAddRule(ComponentId component, GroundLiteral head,
+                        std::vector<GroundLiteral> body,
+                        uint32_t source_rule_index);
+
  private:
   friend class GroundProgramBuilder;
   GroundProgram() = default;

@@ -4,6 +4,8 @@
 #include <cstdint>
 #include <limits>
 
+#include "base/logging.h"
+
 namespace ordlog {
 
 UniverseIndex::UniverseIndex(const TermPool& pool,
@@ -17,6 +19,22 @@ UniverseIndex::UniverseIndex(const TermPool& pool,
     }
   }
   std::sort(integers_.begin(), integers_.end());
+}
+
+size_t UniverseIndex::Extend(const TermPool& pool,
+                             const std::vector<TermId>& new_terms) {
+  size_t appended = 0;
+  for (TermId term : new_terms) {
+    if (rank_.count(term) != 0) continue;
+    rank_.emplace(term, terms_.size());
+    terms_.push_back(term);
+    if (pool.kind(term) == TermKind::kInteger) {
+      integers_.emplace_back(pool.int_value(term), term);
+    }
+    ++appended;
+  }
+  if (appended != 0) std::sort(integers_.begin(), integers_.end());
+  return appended;
 }
 
 void UniverseIndex::IntegersInRange(int64_t lo, int64_t hi,
@@ -270,6 +288,13 @@ ExactInstantiator::ExactInstantiator(TermPool& pool,
   scratch_.resize(levels_.size());
 }
 
+void ExactInstantiator::RestrictLevels(std::vector<LevelDomain> domains,
+                                       size_t old_size) {
+  ORDLOG_CHECK_EQ(domains.size(), levels_.size());
+  domains_ = std::move(domains);
+  old_size_ = old_size;
+}
+
 Status ExactInstantiator::PollCancel() {
   if (cancel_ != nullptr && (++ops_ % interval_) == 0) {
     return cancel_->Check();
@@ -365,7 +390,26 @@ Status ExactInstantiator::Enumerate(size_t level,
   }
   const std::vector<TermId>& domain =
       full_universe ? universe_.terms() : scratch;
-  for (TermId term : domain) {
+  // Segment restriction (delta grounding): a full-universe sweep narrows
+  // to the contiguous old/new prefix/suffix; a constraint-restricted
+  // candidate list is filtered by rank. Skipped terms are not candidates.
+  const LevelDomain segment =
+      domains_.empty() ? LevelDomain::kAll : domains_[level];
+  size_t begin = 0;
+  size_t end = domain.size();
+  if (segment != LevelDomain::kAll && full_universe) {
+    if (segment == LevelDomain::kOldOnly) {
+      end = std::min(end, old_size_);
+    } else {
+      begin = std::min(end, old_size_);
+    }
+  }
+  for (size_t position = begin; position < end; ++position) {
+    const TermId term = domain[position];
+    if (segment != LevelDomain::kAll && !full_universe) {
+      const bool is_new = universe_.Rank(term) >= old_size_;
+      if ((segment == LevelDomain::kNewOnly) != is_new) continue;
+    }
     ++stats_->candidates;
     ORDLOG_RETURN_IF_ERROR(PollCancel());
     slots_[level] = term;

@@ -50,6 +50,12 @@ class UniverseIndex {
   // Position of `term` in terms(); term must be a member.
   size_t Rank(TermId term) const { return rank_.at(term); }
 
+  // Appends the members of `new_terms` not already in the universe,
+  // preserving existing ranks: after Extend, rank < old size() identifies
+  // a pre-extension term. The delta grounder uses this split to enumerate
+  // only bindings that touch a new constant. Returns the count appended.
+  size_t Extend(const TermPool& pool, const std::vector<TermId>& new_terms);
+
   // Appends the universe's integer terms with value in [lo, hi] to `out`,
   // ordered by universe rank. Both bounds inclusive.
   void IntegersInRange(int64_t lo, int64_t hi,
@@ -101,6 +107,13 @@ AtomTemplate CompileAtomTemplate(
 //     does, so failing or unevaluable instances are dropped identically.
 // The surviving bindings — and hence the emitted instances and their
 // order — are exactly those of the naive full-universe sweep.
+// Which segment of an extended universe one enumeration level may draw
+// from (see UniverseIndex::Extend): everything, only pre-extension terms,
+// or only appended terms. The delta grounder's pivot decomposition uses
+// kOldOnly below the pivot level and kNewOnly at it, so each binding with
+// at least one new constant is enumerated exactly once.
+enum class LevelDomain : uint8_t { kAll, kOldOnly, kNewOnly };
+
 class ExactInstantiator {
  public:
   // `cancel` may be null; `cancel_check_interval` 0 is treated as 1.
@@ -108,6 +121,12 @@ class ExactInstantiator {
   ExactInstantiator(TermPool& pool, const UniverseIndex& universe,
                     const Rule& rule, const CancelToken* cancel,
                     size_t cancel_check_interval, GroundStats* stats);
+
+  // Restricts each enumeration level (one per variable, in Rule::Variables
+  // order; `domains` must match that length) to a segment of the extended
+  // universe, with `old_size` the universe size before Extend. Call before
+  // Run; without it every level enumerates the full universe.
+  void RestrictLevels(std::vector<LevelDomain> domains, size_t old_size);
 
   // Enumerates every surviving binding and calls `emit` for each. During
   // `emit` the slot/binding accessors below describe the instance.
@@ -157,6 +176,10 @@ class ExactInstantiator {
   uint64_t ops_ = 0;
 
   std::vector<Level> levels_;
+  // Per-level segment restriction (empty = no restriction) and the
+  // old/new boundary rank it is measured against.
+  std::vector<LevelDomain> domains_;
+  size_t old_size_ = 0;
   std::vector<uint32_t> ground_checks_;  // constraints with no variables
   AtomTemplate head_;
   std::vector<AtomTemplate> body_;

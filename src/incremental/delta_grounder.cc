@@ -1,0 +1,251 @@
+#include "incremental/delta_grounder.h"
+
+#include <algorithm>
+#include <chrono>
+#include <unordered_set>
+
+#include "base/strings.h"
+#include "ground/herbrand.h"
+#include "ground/instantiate.h"
+#include "ground/safety.h"
+#include "lang/printer.h"
+
+namespace ordlog {
+
+namespace {
+
+// Ground-subterm harvest for one atom argument, mirroring the collection
+// HerbrandUniverse::Compute performs (herbrand.cc): constants and integers
+// join the universe, ground function terms join it too, and arguments of
+// function terms are recursed into either way. Functors are not recorded —
+// the delta path only supports max_function_depth == 0, where the depth
+// closure never runs. Encounter order is preserved (the extended universe
+// must be deterministic), `seen` dedupes.
+void CollectGroundTerms(const TermPool& pool, TermId term,
+                        std::unordered_set<TermId>* seen,
+                        std::vector<TermId>* out) {
+  switch (pool.kind(term)) {
+    case TermKind::kVariable:
+      return;
+    case TermKind::kConstant:
+    case TermKind::kInteger:
+      if (seen->insert(term).second) out->push_back(term);
+      return;
+    case TermKind::kFunction:
+      if (pool.IsGround(term) && seen->insert(term).second) {
+        out->push_back(term);
+      }
+      for (TermId arg : pool.args(term)) {
+        CollectGroundTerms(pool, arg, seen, out);
+      }
+      return;
+  }
+}
+
+}  // namespace
+
+StatusOr<DeltaResult> DeltaGrounder::Apply(
+    OrderedProgram& program, const std::vector<DeltaRule>& added,
+    const GrounderOptions& options, GroundProgram* ground) {
+  if (ground == nullptr) {
+    return InvalidArgumentError("DeltaGrounder::Apply: null ground program");
+  }
+  if (options.strategy != GroundStrategy::kIndexed) {
+    return FailedPreconditionError(
+        "delta grounding requires the indexed strategy");
+  }
+  if (options.prune_unreachable) {
+    return FailedPreconditionError(
+        "delta grounding is incompatible with reachability pruning: new "
+        "facts can enlarge the possible-tuple sets old instances were "
+        "pruned against");
+  }
+  if (options.herbrand.max_function_depth != 0) {
+    return FailedPreconditionError(
+        "delta grounding requires max_function_depth == 0: the depth "
+        "closure makes the universe delta non-local");
+  }
+  TermPool& pool = program.pool();
+  for (const DeltaRule& delta : added) {
+    if (delta.component >= ground->NumComponents() ||
+        delta.component >= program.NumComponents()) {
+      return OutOfRangeError(
+          StrCat("delta rule targets unknown component ", delta.component));
+    }
+    ORDLOG_RETURN_IF_ERROR(CheckRuleSafe(
+        pool, delta.rule, program.component(delta.component).name));
+  }
+
+  using Clock = std::chrono::steady_clock;
+  const Clock::time_point start =
+      options.trace != nullptr ? Clock::now() : Clock::time_point();
+
+  // The old universe is recomputed from the pre-append program rather than
+  // cached: it is a deterministic function of the program, and recomputing
+  // keeps GroundProgram free of grounder-private state. Appending the new
+  // rules' ground terms afterwards preserves every old rank, which is what
+  // the pivot decomposition keys on.
+  ORDLOG_ASSIGN_OR_RETURN(
+      const HerbrandUniverse old_universe,
+      HerbrandUniverse::Compute(program, options.herbrand));
+  UniverseIndex index(pool, old_universe);
+  const size_t old_size = index.terms().size();
+
+  std::unordered_set<TermId> seen;
+  std::vector<TermId> harvested;
+  for (const DeltaRule& delta : added) {
+    for (TermId arg : delta.rule.head.atom.args) {
+      CollectGroundTerms(pool, arg, &seen, &harvested);
+    }
+    for (const Literal& literal : delta.rule.body) {
+      for (TermId arg : literal.atom.args) {
+        CollectGroundTerms(pool, arg, &seen, &harvested);
+      }
+    }
+  }
+  DeltaResult result;
+  result.touched_components = DynamicBitset(ground->NumComponents());
+  result.new_terms = index.Extend(pool, harvested);
+  if (index.terms().size() > options.herbrand.max_terms) {
+    return ResourceExhaustedError(
+        StrCat("Herbrand universe exceeds max_terms=",
+               options.herbrand.max_terms));
+  }
+
+  GroundStats stats;
+  const size_t interval =
+      options.cancel_check_interval == 0 ? 1 : options.cancel_check_interval;
+  const size_t rules_before = ground->NumRules();
+  const size_t atoms_before = ground->NumAtoms();
+
+  std::vector<TermId> scratch_args;
+  // Shared emit body: materializes the instantiator's current binding into
+  // the patched program, enforcing the same rule cap as a full ground.
+  const auto emit_instance = [&](ExactInstantiator& instantiator,
+                                 const Rule& rule, ComponentId component,
+                                 uint32_t source_rule_index) -> Status {
+    if (ground->NumRules() >= options.max_ground_rules) {
+      return ResourceExhaustedError(
+          StrCat("grounding exceeds max_ground_rules=",
+                 options.max_ground_rules, " (at rule '",
+                 ToString(pool, rule), "')"));
+    }
+    ++stats.rules_emitted;
+    instantiator.MaterializeArgs(instantiator.head_template(), &scratch_args);
+    GroundLiteral head{
+        ground->PatchAddAtom(instantiator.head_template().predicate,
+                             scratch_args),
+        rule.head.positive};
+    std::vector<GroundLiteral> body;
+    body.reserve(instantiator.num_body());
+    for (size_t b = 0; b < instantiator.num_body(); ++b) {
+      instantiator.MaterializeArgs(instantiator.body_template(b),
+                                   &scratch_args);
+      body.push_back(GroundLiteral{
+          ground->PatchAddAtom(instantiator.body_template(b).predicate,
+                               scratch_args),
+          instantiator.body_positive(b)});
+    }
+    ground->PatchAddRule(component, head, std::move(body), source_rule_index);
+    result.touched_components.Set(component);
+    return Status::Ok();
+  };
+
+  // Added rules instantiate over the full extended universe.
+  for (const DeltaRule& delta : added) {
+    ExactInstantiator instantiator(pool, index, delta.rule, options.cancel,
+                                   interval, &stats);
+    ORDLOG_RETURN_IF_ERROR(instantiator.Run([&]() -> Status {
+      return emit_instance(instantiator, delta.rule, delta.component,
+                           delta.source_rule_index);
+    }));
+  }
+
+  // Pre-existing rules gain exactly the instances whose binding uses at
+  // least one appended term. Pivot decomposition: for pivot level p, levels
+  // below p draw from the old segment only, level p from the new segment
+  // only, and levels above p from the whole universe. The p-th pass covers
+  // precisely the bindings whose first new term sits at level p, so the
+  // union over p covers every new binding once and no old binding at all.
+  if (result.new_terms > 0) {
+    for (ComponentId c = 0; c < program.NumComponents(); ++c) {
+      const Component& component = program.component(c);
+      for (size_t i = 0; i < component.rules.size(); ++i) {
+        const Rule& rule = component.rules[i];
+        const size_t num_vars = rule.Variables(pool).size();
+        for (size_t pivot = 0; pivot < num_vars; ++pivot) {
+          std::vector<LevelDomain> domains(num_vars, LevelDomain::kAll);
+          for (size_t level = 0; level < pivot; ++level) {
+            domains[level] = LevelDomain::kOldOnly;
+          }
+          domains[pivot] = LevelDomain::kNewOnly;
+          ExactInstantiator instantiator(pool, index, rule, options.cancel,
+                                         interval, &stats);
+          instantiator.RestrictLevels(std::move(domains), old_size);
+          ORDLOG_RETURN_IF_ERROR(instantiator.Run([&]() -> Status {
+            return emit_instance(instantiator, rule, c,
+                                 static_cast<uint32_t>(i));
+          }));
+        }
+      }
+    }
+  }
+
+  result.rules_added = ground->NumRules() - rules_before;
+  result.atoms_added = ground->NumAtoms() - atoms_before;
+  result.candidates = stats.candidates;
+  result.index_probes = stats.index_probes;
+  if (options.stats != nullptr) {
+    options.stats->rules_emitted += stats.rules_emitted;
+    options.stats->candidates += stats.candidates;
+    options.stats->index_probes += stats.index_probes;
+  }
+  if (options.trace != nullptr) {
+    TraceEvent event;
+    event.kind = TraceEventKind::kDeltaGround;
+    event.component = added.empty() ? 0 : added.front().component;
+    event.a = result.rules_added;
+    event.b = result.atoms_added;
+    event.c = result.new_terms;
+    event.duration_us = static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() -
+                                                              start)
+            .count());
+    options.trace->Emit(event);
+  }
+  return result;
+}
+
+std::string CanonicalDescription(const GroundProgram& ground) {
+  std::vector<std::string> lines;
+  lines.reserve(ground.NumRules() + ground.NumComponents());
+  for (size_t index = 0; index < ground.NumRules(); ++index) {
+    const GroundRule& rule = ground.rule(index);
+    std::string line =
+        StrCat(ground.component_name(rule.component), "#",
+               rule.source_rule_index, "|",
+               ground.LiteralToString(rule.head), " :- ");
+    for (size_t b = 0; b < rule.body.size(); ++b) {
+      if (b > 0) line += ", ";
+      line += ground.LiteralToString(rule.body[b]);
+    }
+    lines.push_back(std::move(line));
+  }
+  for (ComponentId a = 0; a < ground.NumComponents(); ++a) {
+    for (ComponentId b = 0; b < ground.NumComponents(); ++b) {
+      if (ground.Less(a, b)) {
+        lines.push_back(StrCat("order|", ground.component_name(a), " < ",
+                               ground.component_name(b)));
+      }
+    }
+  }
+  std::sort(lines.begin(), lines.end());
+  std::string out;
+  for (const std::string& line : lines) {
+    out += line;
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace ordlog

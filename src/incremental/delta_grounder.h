@@ -1,0 +1,83 @@
+#ifndef ORDLOG_INCREMENTAL_DELTA_GROUNDER_H_
+#define ORDLOG_INCREMENTAL_DELTA_GROUNDER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "base/bitset.h"
+#include "base/status.h"
+#include "ground/grounder.h"
+#include "lang/program.h"
+
+namespace ordlog {
+
+// One rule being added to `component` by a mutation, tagged with the
+// source-rule index it will occupy once the caller appends it to the
+// (non-ground) program.
+struct DeltaRule {
+  ComponentId component = 0;
+  uint32_t source_rule_index = 0;
+  Rule rule;
+};
+
+// What one applied delta did to the cached ground program.
+struct DeltaResult {
+  // Ground rules / ground atoms appended by the patch.
+  size_t rules_added = 0;
+  size_t atoms_added = 0;
+  // Universe terms the added rules introduced (0 = no old rule can gain
+  // instances).
+  size_t new_terms = 0;
+  // Instantiation work, comparable to GroundStats of a full reground.
+  uint64_t candidates = 0;
+  uint64_t index_probes = 0;
+  // Components that received at least one appended ground rule. A view v
+  // is affected by the mutation iff v <= b for some touched component b;
+  // every other view's least model is provably unchanged.
+  DynamicBitset touched_components;
+};
+
+// Patches a cached GroundProgram in place with the ground instances a
+// batch of added rules contributes, instead of regrounding from scratch:
+//
+//  * the extended Herbrand universe is the old one plus the ground terms
+//    occurring in the added rules (appended to the UniverseIndex, so old
+//    ranks are stable);
+//  * each added rule is instantiated over the full extended universe;
+//  * each pre-existing rule is re-instantiated restricted to bindings
+//    that use at least one new constant, via a pivot decomposition over
+//    its variable levels (below the pivot: old terms only; at the pivot:
+//    new terms only; above: unrestricted) — every new binding is
+//    enumerated exactly once and no old binding is repeated.
+//
+// The patched program equals a cold reground of the updated program as a
+// canonical set (CanonicalDescription below); rule/atom id order differs
+// because appended ids follow the existing ones. Removals are out of
+// scope: they can invalidate constraint-absorption assumptions baked into
+// the cached instances, so callers fall back to a full reground.
+class DeltaGrounder {
+ public:
+  // `program` must be the exact program `ground` was grounded from under
+  // `options`, NOT yet containing `added` (the caller appends the rules
+  // after a successful Apply). Fails with kFailedPrecondition unless
+  // options select the indexed strategy, no reachability pruning, and
+  // max_function_depth == 0. On any error the patch may be partially
+  // applied — the caller must drop `ground` and reground cold.
+  static StatusOr<DeltaResult> Apply(OrderedProgram& program,
+                                     const std::vector<DeltaRule>& added,
+                                     const GrounderOptions& options,
+                                     GroundProgram* ground);
+};
+
+// Canonical, id-order-insensitive rendering of a ground program: the
+// rendered rules of every component plus the strict component order, each
+// sorted. Two programs with equal canonical descriptions have the same
+// ground rule sets per component (and hence the same semantics), which is
+// how the differential tests compare delta-patched and cold-reground
+// programs.
+std::string CanonicalDescription(const GroundProgram& ground);
+
+}  // namespace ordlog
+
+#endif  // ORDLOG_INCREMENTAL_DELTA_GROUNDER_H_

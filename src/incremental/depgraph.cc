@@ -1,0 +1,149 @@
+#include "incremental/depgraph.h"
+
+#include <algorithm>
+#include <deque>
+
+namespace ordlog {
+
+size_t DepGraph::IndexOf(SymbolId predicate) {
+  auto it = index_.find(predicate);
+  if (it != index_.end()) return it->second;
+  const size_t idx = preds_.size();
+  index_.emplace(predicate, idx);
+  preds_.push_back(predicate);
+  edges_.emplace_back();
+  return idx;
+}
+
+DepGraph DepGraph::Build(const OrderedProgram& program) {
+  DepGraph graph;
+  const TermPool& pool = program.pool();
+  std::vector<SymbolId> body_vars;
+  std::vector<SymbolId> head_vars;
+  for (ComponentId c = 0; c < program.NumComponents(); ++c) {
+    for (const Rule& rule : program.component(c).rules) {
+      const size_t head = graph.IndexOf(rule.head.atom.predicate);
+      body_vars.clear();
+      for (const Literal& literal : rule.body) {
+        const size_t body = graph.IndexOf(literal.atom.predicate);
+        std::vector<uint32_t>& out = graph.edges_[body];
+        if (std::find(out.begin(), out.end(),
+                      static_cast<uint32_t>(head)) == out.end()) {
+          out.push_back(static_cast<uint32_t>(head));
+        }
+        literal.atom.CollectVariables(pool, &body_vars);
+      }
+      head_vars.clear();
+      rule.head.atom.CollectVariables(pool, &head_vars);
+      for (SymbolId var : head_vars) {
+        if (std::find(body_vars.begin(), body_vars.end(), var) ==
+            body_vars.end()) {
+          graph.head_only_var_preds_.push_back(rule.head.atom.predicate);
+          break;
+        }
+      }
+    }
+  }
+  std::sort(graph.head_only_var_preds_.begin(),
+            graph.head_only_var_preds_.end());
+  graph.head_only_var_preds_.erase(
+      std::unique(graph.head_only_var_preds_.begin(),
+                  graph.head_only_var_preds_.end()),
+      graph.head_only_var_preds_.end());
+
+  // Iterative Tarjan over the dense predicate graph.
+  const size_t n = graph.preds_.size();
+  graph.scc_.assign(n, SIZE_MAX);
+  std::vector<size_t> low(n, 0);
+  std::vector<size_t> order(n, SIZE_MAX);
+  std::vector<bool> on_stack(n, false);
+  std::vector<size_t> stack;
+  struct Frame {
+    size_t node;
+    size_t next_edge;
+  };
+  std::vector<Frame> frames;
+  size_t next_order = 0;
+  for (size_t root = 0; root < n; ++root) {
+    if (order[root] != SIZE_MAX) continue;
+    frames.push_back(Frame{root, 0});
+    while (!frames.empty()) {
+      Frame& frame = frames.back();
+      const size_t v = frame.node;
+      if (frame.next_edge == 0) {
+        order[v] = low[v] = next_order++;
+        stack.push_back(v);
+        on_stack[v] = true;
+      }
+      bool descended = false;
+      while (frame.next_edge < graph.edges_[v].size()) {
+        const size_t w = graph.edges_[v][frame.next_edge++];
+        if (order[w] == SIZE_MAX) {
+          frames.push_back(Frame{w, 0});
+          descended = true;
+          break;
+        }
+        if (on_stack[w]) low[v] = std::min(low[v], order[w]);
+      }
+      if (descended) continue;
+      if (low[v] == order[v]) {
+        const size_t scc = graph.scc_count_++;
+        while (true) {
+          const size_t w = stack.back();
+          stack.pop_back();
+          on_stack[w] = false;
+          graph.scc_[w] = scc;
+          if (w == v) break;
+        }
+      }
+      frames.pop_back();
+      if (!frames.empty()) {
+        low[frames.back().node] =
+            std::min(low[frames.back().node], low[v]);
+      }
+    }
+  }
+  return graph;
+}
+
+size_t DepGraph::SccOf(SymbolId predicate) const {
+  auto it = index_.find(predicate);
+  return it == index_.end() ? SIZE_MAX : scc_[it->second];
+}
+
+std::vector<SymbolId> DepGraph::Cone(
+    const std::vector<SymbolId>& seeds) const {
+  std::vector<SymbolId> cone;
+  std::vector<bool> visited(preds_.size(), false);
+  std::deque<size_t> frontier;
+  for (SymbolId seed : seeds) {
+    auto it = index_.find(seed);
+    if (it == index_.end()) {
+      // A predicate the program has never seen (a brand-new head) has no
+      // outgoing edges yet but is still part of its own cone.
+      if (std::find(cone.begin(), cone.end(), seed) == cone.end()) {
+        cone.push_back(seed);
+      }
+      continue;
+    }
+    if (!visited[it->second]) {
+      visited[it->second] = true;
+      frontier.push_back(it->second);
+    }
+  }
+  while (!frontier.empty()) {
+    const size_t v = frontier.front();
+    frontier.pop_front();
+    cone.push_back(preds_[v]);
+    for (uint32_t w : edges_[v]) {
+      if (!visited[w]) {
+        visited[w] = true;
+        frontier.push_back(w);
+      }
+    }
+  }
+  std::sort(cone.begin(), cone.end());
+  return cone;
+}
+
+}  // namespace ordlog

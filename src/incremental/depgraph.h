@@ -1,0 +1,72 @@
+#ifndef ORDLOG_INCREMENTAL_DEPGRAPH_H_
+#define ORDLOG_INCREMENTAL_DEPGRAPH_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "lang/program.h"
+
+namespace ordlog {
+
+// Predicate-level dependency graph of an ordered program, computed at
+// ground/mutation time to scope incremental invalidation (see
+// docs/INCREMENTAL.md).
+//
+// Nodes are the predicates occurring in the program; there is an edge
+// p -> q for every rule with p in the body and head predicate q, of either
+// polarity. One node covers both polarities of a predicate: the paper's
+// silencing (overruling/defeating, Definition 2) only ever couples rules
+// whose heads are complementary — i.e. share a predicate — so silencing
+// influence never leaves a node. Consequently the truth of a predicate r
+// in any view's least model depends only on the predicates with a directed
+// path to r, and a mutation whose seed predicates have no path to r cannot
+// change r's extension (the warm-start soundness argument).
+//
+// Strongly connected components (Tarjan) condense mutual recursion: cones
+// are computed on the SCC condensation, so "affected strongly-connected
+// region" is the invalidation unit rather than a single predicate.
+class DepGraph {
+ public:
+  // Builds the graph from every rule of every component. The program does
+  // not need to be finalized (the component order is irrelevant at the
+  // predicate level).
+  static DepGraph Build(const OrderedProgram& program);
+
+  // Number of distinct predicates seen.
+  size_t NumPredicates() const { return preds_.size(); }
+  // Number of strongly connected components of the edge relation.
+  size_t NumSccs() const { return scc_count_; }
+  // Dense SCC id of `predicate`, or nullopt-like SIZE_MAX when the
+  // predicate does not occur in the program.
+  size_t SccOf(SymbolId predicate) const;
+
+  // Forward dependency cone: every predicate reachable from `seeds` via
+  // body->head edges (SCC-closed), including the seeds themselves. Seeds
+  // absent from the graph are still returned (a rule with a brand-new
+  // head predicate seeds its own cone).
+  std::vector<SymbolId> Cone(const std::vector<SymbolId>& seeds) const;
+
+  // Head predicates of rules with a variable that occurs in no body atom
+  // (e.g. `r(X).` or `r(X) :- p.`). Any new universe constant mints fresh
+  // instances of such rules whose firing is not gated on new-constant body
+  // atoms, so a mutation that extends the universe must seed its cone with
+  // these predicates too (docs/INCREMENTAL.md#new-constants).
+  const std::vector<SymbolId>& HeadOnlyVarPredicates() const {
+    return head_only_var_preds_;
+  }
+
+ private:
+  size_t IndexOf(SymbolId predicate);
+
+  std::vector<SymbolId> preds_;                   // dense index -> symbol
+  std::unordered_map<SymbolId, size_t> index_;    // symbol -> dense index
+  std::vector<std::vector<uint32_t>> edges_;      // body pred -> head preds
+  std::vector<size_t> scc_;                       // dense index -> SCC id
+  size_t scc_count_ = 0;
+  std::vector<SymbolId> head_only_var_preds_;
+};
+
+}  // namespace ordlog
+
+#endif  // ORDLOG_INCREMENTAL_DEPGRAPH_H_

@@ -1,10 +1,14 @@
 #include "kb/knowledge_base.h"
 
+#include <unordered_set>
+
 #include "base/strings.h"
 #include "core/least_model.h"
 #include "lang/match.h"
 #include "lang/printer.h"
 #include "core/stable_solver.h"
+#include "incremental/delta_grounder.h"
+#include "incremental/depgraph.h"
 #include "kb/derivation.h"
 #include "kb/explain.h"
 #include "parser/parser.h"
@@ -24,6 +28,7 @@ void KnowledgeBase::Invalidate() {
   ground_.reset();
   least_models_.clear();
   stable_models_.clear();
+  warm_seeds_.clear();
 }
 
 Status KnowledgeBase::AddModule(std::string_view name) {
@@ -126,6 +131,193 @@ Status KnowledgeBase::Instantiate(std::string_view template_module,
   return Status::Ok();
 }
 
+StatusOr<MutationReport> KnowledgeBase::Apply(const Mutation& mutation) {
+  // Parse and resolve the whole batch before touching anything, so the
+  // common error cases (unknown module, syntax error) leave the KB and its
+  // caches untouched.
+  struct ParsedOp {
+    Mutation::Op::Kind kind = Mutation::Op::Kind::kAddFact;
+    ComponentId component = 0;
+    Rule rule;
+  };
+  std::vector<ParsedOp> parsed;
+  parsed.reserve(mutation.ops().size());
+  for (const Mutation::Op& op : mutation.ops()) {
+    ParsedOp p;
+    p.kind = op.kind;
+    ORDLOG_ASSIGN_OR_RETURN(p.component, ModuleId(op.module));
+    if (op.kind == Mutation::Op::Kind::kAddRule) {
+      ORDLOG_ASSIGN_OR_RETURN(p.rule, ParseRule(op.text, *pool_));
+    } else {
+      ORDLOG_ASSIGN_OR_RETURN(Literal literal, ParseLiteral(op.text, *pool_));
+      p.rule.head = std::move(literal);
+    }
+    parsed.push_back(std::move(p));
+  }
+
+  MutationReport report;
+  std::string ineligible;
+  if (!ground_.has_value()) {
+    ineligible = "no cached ground program to patch";
+  } else if (mutation.has_retraction()) {
+    ineligible = "retraction invalidates cached ground instances";
+  } else if (options_.strategy != GroundStrategy::kIndexed) {
+    ineligible = "delta grounding requires the indexed strategy";
+  } else if (options_.prune_unreachable) {
+    ineligible = "delta grounding is incompatible with reachability pruning";
+  } else if (options_.herbrand.max_function_depth != 0) {
+    ineligible = "delta grounding requires max_function_depth == 0";
+  }
+
+  if (ineligible.empty()) {
+    // Incremental path: patch the cached ground program, then append the
+    // rules to the source program so both tell the same story.
+    std::vector<DeltaRule> delta;
+    delta.reserve(parsed.size());
+    std::unordered_map<ComponentId, uint32_t> pending;
+    for (const ParsedOp& p : parsed) {
+      DeltaRule d;
+      d.component = p.component;
+      d.source_rule_index = static_cast<uint32_t>(
+          program_.component(p.component).rules.size() +
+          pending[p.component]++);
+      d.rule = p.rule;
+      delta.push_back(std::move(d));
+    }
+    StatusOr<DeltaResult> result =
+        DeltaGrounder::Apply(program_, delta, options_, &ground_.value());
+    for (ParsedOp& p : parsed) {
+      ORDLOG_RETURN_IF_ERROR(program_.AddRule(p.component, std::move(p.rule)));
+    }
+    if (!result.ok()) {
+      // The patch may be half applied; drop it and every model cache. The
+      // program mutations above already happened, so the KB is exactly "as
+      // if built cold with the new rules".
+      Invalidate();
+      report.revision = revision_;
+      report.fallback_reason =
+          StrCat("delta grounding failed: ", result.status().message());
+      report.affected_views = DynamicBitset(program_.NumComponents());
+      for (ComponentId c = 0; c < program_.NumComponents(); ++c) {
+        report.affected_views.Set(c);
+        report.affected_modules.push_back(program_.component(c).name);
+      }
+      return report;
+    }
+    ++revision_;
+    report.incremental = true;
+    report.revision = revision_;
+    report.delta_rules = result->rules_added;
+    report.delta_atoms = result->atoms_added;
+    report.new_constants = result->new_terms;
+    report.delta_candidates = result->candidates;
+
+    // Dependency cone of the batch: head predicates of the new rules,
+    // plus — when the universe grew — every head that a new constant can
+    // reach without passing through a body atom
+    // (docs/INCREMENTAL.md#new-constants).
+    const DepGraph graph = DepGraph::Build(program_);
+    std::vector<SymbolId> seeds;
+    for (const DeltaRule& d : delta) {
+      seeds.push_back(d.rule.head.atom.predicate);
+    }
+    if (result->new_terms > 0) {
+      const std::vector<SymbolId>& extra = graph.HeadOnlyVarPredicates();
+      seeds.insert(seeds.end(), extra.begin(), extra.end());
+    }
+    const std::vector<SymbolId> cone = graph.Cone(seeds);
+    const std::unordered_set<SymbolId> cone_set(cone.begin(), cone.end());
+    report.cone = cone;
+    for (SymbolId predicate : cone) {
+      report.touched_predicates.push_back(
+          std::string(pool_->symbols().Name(predicate)));
+    }
+
+    // A view is affected iff it sees some component that received delta
+    // rules; every other view's ground(C*) is unchanged, so its models
+    // survive verbatim (modulo resizing to the grown atom universe).
+    const GroundProgram& patched = *ground_;
+    report.affected_views = DynamicBitset(patched.NumComponents());
+    for (ComponentId v = 0; v < patched.NumComponents(); ++v) {
+      for (ComponentId b = 0; b < patched.NumComponents(); ++b) {
+        if (result->touched_components.Test(b) && patched.Leq(v, b)) {
+          report.affected_views.Set(v);
+          report.affected_modules.push_back(program_.component(v).name);
+          break;
+        }
+      }
+    }
+
+    // Cache maintenance. Affected views trade their cached least model for
+    // a warm-start seed (the model restricted to predicates outside the
+    // cone — still a subset of the new least model); unaffected entries are
+    // kept, resized to the grown atom universe.
+    for (auto it = least_models_.begin(); it != least_models_.end();) {
+      if (report.affected_views.Test(it->first)) {
+        Interpretation seed = Interpretation::ForProgram(patched);
+        for (const GroundLiteral& literal : it->second.Literals()) {
+          if (cone_set.count(patched.atom(literal.atom).predicate) == 0) {
+            seed.Add(literal);
+          }
+        }
+        warm_seeds_.insert_or_assign(it->first, std::move(seed));
+        it = least_models_.erase(it);
+      } else {
+        it->second.Resize(patched.NumAtoms());
+        ++it;
+      }
+    }
+    for (auto it = stable_models_.begin(); it != stable_models_.end();) {
+      if (report.affected_views.Test(it->first)) {
+        it = stable_models_.erase(it);
+      } else {
+        for (Interpretation& model : it->second) {
+          model.Resize(patched.NumAtoms());
+        }
+        ++it;
+      }
+    }
+    // Seeds left by an earlier batch: still subsets of the current least
+    // model for unaffected views; affected views additionally shed the new
+    // cone (what was outside the old cone and the new cone never changed).
+    for (auto& [view, seed] : warm_seeds_) {
+      seed.Resize(patched.NumAtoms());
+      if (!report.affected_views.Test(view)) continue;
+      Interpretation restricted = Interpretation::ForProgram(patched);
+      for (const GroundLiteral& literal : seed.Literals()) {
+        if (cone_set.count(patched.atom(literal.atom).predicate) == 0) {
+          restricted.Add(literal);
+        }
+      }
+      seed = std::move(restricted);
+    }
+    report.warm_seeded_views = 0;
+    for (const auto& [view, seed] : warm_seeds_) {
+      if (report.affected_views.Test(view)) ++report.warm_seeded_views;
+    }
+    return report;
+  }
+
+  // Full path: plain program mutations under one revision bump; every
+  // cache is dropped.
+  Invalidate();
+  for (ParsedOp& p : parsed) {
+    if (p.kind == Mutation::Op::Kind::kRetractFact) {
+      ORDLOG_RETURN_IF_ERROR(program_.RemoveRule(p.component, p.rule));
+    } else {
+      ORDLOG_RETURN_IF_ERROR(program_.AddRule(p.component, std::move(p.rule)));
+    }
+  }
+  report.revision = revision_;
+  report.fallback_reason = std::move(ineligible);
+  report.affected_views = DynamicBitset(program_.NumComponents());
+  for (ComponentId c = 0; c < program_.NumComponents(); ++c) {
+    report.affected_views.Set(c);
+    report.affected_modules.push_back(program_.component(c).name);
+  }
+  return report;
+}
+
 std::vector<std::string> KnowledgeBase::ListModules() const {
   std::vector<std::string> names;
   names.reserve(program_.NumComponents());
@@ -195,6 +387,19 @@ StatusOr<const Interpretation*> KnowledgeBase::LeastModel(
   auto it = least_models_.find(module);
   if (it == least_models_.end()) {
     ORDLOG_ASSIGN_OR_RETURN(const GroundProgram* ground_program, ground());
+    auto seed_it = warm_seeds_.find(module);
+    if (seed_it != warm_seeds_.end()) {
+      const Interpretation seed = std::move(seed_it->second);
+      warm_seeds_.erase(seed_it);
+      LeastModelComputer computer(*ground_program, module);
+      StatusOr<Interpretation> warm = computer.ComputeFrom(seed, nullptr);
+      if (warm.ok()) {
+        it = least_models_.emplace(module, std::move(warm).value()).first;
+        return &it->second;
+      }
+      // A rejected seed means the subset invariant was violated upstream;
+      // a cold fixpoint below is always sound, so recover silently.
+    }
     it = least_models_
              .emplace(module, ComputeLeastModel(*ground_program, module))
              .first;

@@ -11,6 +11,7 @@
 #include "base/status.h"
 #include "core/interpretation.h"
 #include "ground/grounder.h"
+#include "kb/mutation.h"
 #include "lang/program.h"
 
 namespace ordlog {
@@ -69,6 +70,20 @@ class KnowledgeBase {
   // not leak into another.
   Status Instantiate(std::string_view template_module,
                      std::string_view instance);
+
+  // --- mutation batches ----------------------------------------------------
+  // Applies a batch of edits as one revision bump and reports the damage
+  // (docs/INCREMENTAL.md). When the batch is add-only, a ground program is
+  // cached, and the grounder options permit it (indexed strategy, no
+  // reachability pruning, function depth 0), the cached ground program is
+  // patched in place by the delta grounder instead of being dropped; cached
+  // least/stable models of views outside the affected set survive, and
+  // affected views keep their previous model restricted to predicates
+  // outside the dependency cone as a warm-start seed. Retractions and
+  // ineligible batches fall back to a full invalidation (the report says
+  // why). On error the batch may be partially applied, but every cache is
+  // dropped, so subsequent queries are still sound.
+  StatusOr<MutationReport> Apply(const Mutation& mutation);
 
   // --- queries --------------------------------------------------------------
   // Truth of the literal in the module's least model: kTrue if derivable,
@@ -157,6 +172,12 @@ class KnowledgeBase {
   std::unordered_map<ComponentId, Interpretation> least_models_;
   std::unordered_map<ComponentId, std::vector<Interpretation>>
       stable_models_;
+  // Warm-start seeds left behind by Apply for affected views: the view's
+  // pre-mutation least model restricted to predicates outside the
+  // mutation's dependency cone (a subset of the new least model, so
+  // LeastModelComputer::ComputeFrom may resume from it). Consumed by the
+  // next LeastModel call; cleared by Invalidate.
+  std::unordered_map<ComponentId, Interpretation> warm_seeds_;
 };
 
 }  // namespace ordlog

@@ -30,6 +30,22 @@ Status OrderedProgram::AddRule(ComponentId id, Rule rule) {
   return Status::Ok();
 }
 
+Status OrderedProgram::RemoveRule(ComponentId id, const Rule& rule) {
+  if (id >= components_.size()) {
+    return OutOfRangeError(StrCat("no component with id ", id));
+  }
+  std::vector<Rule>& rules = components_[id].rules;
+  for (size_t i = 0; i < rules.size(); ++i) {
+    if (rules[i] == rule) {
+      rules.erase(rules.begin() + static_cast<ptrdiff_t>(i));
+      finalized_ = false;
+      return Status::Ok();
+    }
+  }
+  return NotFoundError(StrCat("no matching rule in component '",
+                              components_[id].name, "'"));
+}
+
 Status OrderedProgram::AddOrder(ComponentId lower, ComponentId higher) {
   if (lower >= components_.size() || higher >= components_.size()) {
     return OutOfRangeError("order edge references unknown component");

@@ -58,6 +58,11 @@ class OrderedProgram {
   // Appends `rule` to component `id`.
   Status AddRule(ComponentId id, Rule rule);
 
+  // Removes the first rule of component `id` equal to `rule` (structural
+  // equality over interned term ids). kNotFound when no rule matches.
+  // Like every other mutation this resets the finalized state.
+  Status RemoveRule(ComponentId id, const Rule& rule);
+
   // Declares `lower < higher`. Both must exist and differ. Cycles are
   // detected at Finalize time.
   Status AddOrder(ComponentId lower, ComponentId higher);

@@ -113,6 +113,55 @@ void ModelCache::EvictStaleLocked(uint64_t current_revision) {
   }
 }
 
+size_t ModelCache::Promote(uint64_t from_revision, uint64_t to_revision,
+                           const DynamicBitset& affected_views,
+                           size_t num_atoms) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  // Collect first: inserting while iterating the map would invalidate the
+  // iterator and could re-visit the freshly promoted entries.
+  std::vector<std::pair<ModelCacheKey, std::shared_ptr<Slot>>> sources;
+  for (const auto& [key, slot] : entries_) {
+    if (key.revision != from_revision) continue;
+    if (key.view < affected_views.size() && affected_views.Test(key.view)) {
+      continue;
+    }
+    if (!slot->completed.load(std::memory_order_acquire)) continue;
+    sources.emplace_back(key, slot);
+  }
+  size_t promoted = 0;
+  for (const auto& [key, slot] : sources) {
+    ModelCacheKey target = key;
+    target.revision = to_revision;
+    if (entries_.count(target) != 0) continue;
+    // Clone rather than alias: old-revision readers may still hold the
+    // source entry, and the promoted copy needs its bitsets grown to the
+    // patched program's atom universe.
+    ModelEntry clone = *slot->value;
+    clone.least_model.Resize(num_atoms);
+    for (Interpretation& model : clone.stable_models) {
+      model.Resize(num_atoms);
+    }
+    auto promoted_slot = std::make_shared<Slot>();
+    promoted_slot->seq = next_seq_++;
+    promoted_slot->value = std::make_shared<const ModelEntry>(std::move(clone));
+    promoted_slot->ready = true;
+    promoted_slot->completed.store(true, std::memory_order_release);
+    entries_.emplace(target, std::move(promoted_slot));
+    ++promoted;
+  }
+  return promoted;
+}
+
+std::shared_ptr<const ModelEntry> ModelCache::Peek(
+    const ModelCacheKey& key) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = entries_.find(key);
+  if (it == entries_.end()) return nullptr;
+  if (!it->second->completed.load(std::memory_order_acquire)) return nullptr;
+  std::lock_guard<std::mutex> slot_lock(it->second->mutex);
+  return it->second->value;
+}
+
 void ModelCache::EnforceCapacityLocked(size_t budget) {
   while (entries_.size() > budget) {
     auto oldest = entries_.end();

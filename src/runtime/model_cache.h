@@ -119,6 +119,20 @@ class ModelCache {
   // also invoked internally when the table outgrows max_entries.
   void EvictStale(uint64_t current_revision);
 
+  // Incremental-mutation carry-over: re-keys every *completed* entry of
+  // revision `from_revision` whose view is NOT set in `affected_views` to
+  // `to_revision`, resizing its interpretations to `num_atoms` (the
+  // patched ground program only ever appends atom ids). Entries still in
+  // flight, affected views, and already-present target keys are skipped.
+  // Returns the number of entries promoted.
+  size_t Promote(uint64_t from_revision, uint64_t to_revision,
+                 const DynamicBitset& affected_views, size_t num_atoms);
+
+  // Completed entry for `key`, or null — no side effects, no
+  // single-flight. The engine uses this to harvest warm-start seeds from
+  // the outgoing revision during a mutation.
+  std::shared_ptr<const ModelEntry> Peek(const ModelCacheKey& key) const;
+
   // Number of resident entries (completed or still computing).
   size_t size() const;
   // Point-in-time copy of the lookup counters.

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <array>
 #include <thread>
+#include <unordered_set>
 #include <utility>
 
 #include "base/strings.h"
@@ -58,6 +59,25 @@ QueryEngine::QueryEngine(KnowledgeBase& kb, QueryEngineOptions options)
                "universe membership checks, and possible-tuple "
                "first-argument lookups.")
            .WithLabels();
+  incremental_reuse_family_ = &registry_.GetCounterFamily(
+      "ordlog_incremental_reuse_total",
+      "Cached work salvaged across mutations: kind=delta_ground counts "
+      "mutations whose ground program was patched in place, "
+      "kind=cache_promoted counts model-cache entries re-keyed to the new "
+      "revision, kind=warm_start counts least-model fixpoints resumed "
+      "from a previous model, kind=full_fallback counts mutations that "
+      "invalidated everything.",
+      {"kind"});
+  delta_rules_total_ = &registry_
+                            .GetCounterFamily(
+                                "ordlog_incremental_delta_rules_total",
+                                "Ground rules appended by delta patches.")
+                            .WithLabels();
+  delta_atoms_total_ = &registry_
+                            .GetCounterFamily(
+                                "ordlog_incremental_delta_atoms_total",
+                                "Ground atoms appended by delta patches.")
+                            .WithLabels();
   slow_queries_ = &registry_
                        .GetCounterFamily(
                            "ordlog_slow_queries_total",
@@ -173,6 +193,67 @@ Status QueryEngine::Mutate(
   return status;
 }
 
+StatusOr<MutationReport> QueryEngine::ApplyMutation(
+    const Mutation& mutation) {
+  std::unique_lock<std::shared_mutex> kb_lock(kb_mutex_);
+  const uint64_t old_revision = kb_.revision();
+  StatusOr<MutationReport> report = kb_.Apply(mutation);
+  metrics_.RecordMutation();
+  if (!report.ok()) return report;
+
+  if (!report->incremental) {
+    incremental_reuse_family_->WithLabels("full_fallback").Increment();
+    std::lock_guard<std::mutex> warm_lock(warm_mutex_);
+    warm_seeds_.clear();
+    return report;
+  }
+
+  incremental_reuse_family_->WithLabels("delta_ground").Increment();
+  delta_rules_total_->Increment(report->delta_rules);
+  delta_atoms_total_->Increment(report->delta_atoms);
+
+  // The KB's patched ground program is cached (that is what "incremental"
+  // means), so this lookup cannot reground.
+  ORDLOG_ASSIGN_OR_RETURN(const GroundProgram* patched, kb_.ground());
+  const size_t promoted = cache_.Promote(
+      old_revision, report->revision, report->affected_views,
+      patched->NumAtoms());
+  if (promoted > 0) {
+    incremental_reuse_family_->WithLabels("cache_promoted")
+        .Increment(promoted);
+  }
+
+  // Harvest warm-start seeds for the affected views from the outgoing
+  // revision's completed least models: the old model restricted to
+  // predicates outside the cone is a subset of the new least model, so
+  // the fixpoint may resume from it (LeastModelComputer::ComputeFrom).
+  std::unordered_set<SymbolId> cone_set(report->cone.begin(),
+                                        report->cone.end());
+  std::unordered_map<ComponentId, Interpretation> seeds;
+  for (ComponentId view = 0; view < report->affected_views.size(); ++view) {
+    if (!report->affected_views.Test(view)) continue;
+    const std::shared_ptr<const ModelEntry> old_entry = cache_.Peek(
+        ModelCacheKey{old_revision, view, CacheKind::kLeastModel});
+    if (old_entry == nullptr) continue;
+    Interpretation seed(patched->NumAtoms());
+    for (const GroundLiteral& literal : old_entry->least_model.Literals()) {
+      if (cone_set.count(patched->atom(literal.atom).predicate) == 0) {
+        seed.Add(literal);
+      }
+    }
+    seeds.emplace(view, std::move(seed));
+  }
+  {
+    std::lock_guard<std::mutex> warm_lock(warm_mutex_);
+    // Seeds from an older revision that were never consumed are no longer
+    // known-subsets of the current least models; drop them wholesale.
+    warm_seeds_ = std::move(seeds);
+    warm_revision_ = report->revision;
+  }
+  cache_.EvictStale(report->revision);
+  return report;
+}
+
 Status QueryEngine::AddRuleText(std::string_view module,
                                 std::string_view rule_text) {
   return Mutate([module, rule_text](KnowledgeBase& kb) {
@@ -281,8 +362,38 @@ StatusOr<ModelCache::Lookup> QueryEngine::LeastModelFor(
       [&]() -> StatusOr<ModelEntry> {
         LeastModelComputer computer(snapshot->ground, view);
         computer.set_trace(trace);
-        ORDLOG_ASSIGN_OR_RETURN(Interpretation model,
-                                computer.Compute(cancel));
+        // Warm start: a seed parked by ApplyMutation for this revision
+        // resumes the fixpoint from the unaffected part of the previous
+        // model. A rejected seed (kInvalidArgument) falls back to a cold
+        // start; cancellation and deadline errors propagate as usual.
+        std::optional<Interpretation> seed;
+        {
+          std::lock_guard<std::mutex> warm_lock(warm_mutex_);
+          if (warm_revision_ == snapshot->revision) {
+            auto it = warm_seeds_.find(view);
+            if (it != warm_seeds_.end()) {
+              seed = std::move(it->second);
+              warm_seeds_.erase(it);
+            }
+          }
+        }
+        std::optional<Interpretation> warm_model;
+        if (seed.has_value()) {
+          StatusOr<Interpretation> warm =
+              computer.ComputeFrom(*seed, &cancel);
+          if (warm.ok()) {
+            warm_model = std::move(warm).value();
+            incremental_reuse_family_->WithLabels("warm_start").Increment();
+          } else if (warm.status().code() != StatusCode::kInvalidArgument) {
+            return warm.status();
+          }
+        }
+        Interpretation model{0};
+        if (warm_model.has_value()) {
+          model = std::move(*warm_model);
+        } else {
+          ORDLOG_ASSIGN_OR_RETURN(model, computer.Compute(cancel));
+        }
         // Post-fixpoint provenance sweep: the Definition 2 status of every
         // view rule under the least model, tallied into the per-component
         // metrics and (when tracing) emitted as kRuleStatus events. Runs

@@ -10,6 +10,7 @@
 #include <shared_mutex>
 #include <string>
 #include <string_view>
+#include <unordered_map>
 
 #include "base/cancel.h"
 #include "base/status.h"
@@ -163,6 +164,16 @@ class QueryEngine {
   // snapshot refresh.
   Status Mutate(const std::function<Status(KnowledgeBase&)>& mutation);
 
+  // Applies a structured mutation batch (KnowledgeBase::Apply) under the
+  // writer lock, then salvages cached work instead of letting the revision
+  // bump stampede every next query: on the incremental path, completed
+  // cache entries of unaffected views are promoted to the new revision
+  // in place, and each affected view's old least model is restricted to
+  // predicates outside the mutation's dependency cone and parked as a
+  // warm-start seed for that view's next least-model computation. Counted
+  // by ordlog_incremental_reuse_total{kind} (docs/OBSERVABILITY.md).
+  StatusOr<MutationReport> ApplyMutation(const Mutation& mutation);
+
   // Common mutations, pre-wrapped.
   Status AddRuleText(std::string_view module, std::string_view rule_text);
   // Adds an (empty) module named `name`.
@@ -243,7 +254,19 @@ class QueryEngine {
   // kind: emitted / matched / possible).
   CounterFamily* ground_rules_family_;
   Counter* ground_index_probes_;
+  // Incremental-mutation reuse events, labeled by kind: delta_ground /
+  // cache_promoted / warm_start / full_fallback.
+  CounterFamily* incremental_reuse_family_;
+  // Ground rules / atoms appended by delta patches.
+  Counter* delta_rules_total_;
+  Counter* delta_atoms_total_;
   Counter* slow_queries_;
+  // Warm-start seeds parked by ApplyMutation for the revision
+  // warm_revision_, consumed by LeastModelFor's compute path. Guarded by
+  // warm_mutex_ (never held across a fixpoint computation).
+  std::mutex warm_mutex_;
+  uint64_t warm_revision_ = 0;
+  std::unordered_map<ComponentId, Interpretation> warm_seeds_;
   std::unique_ptr<SlowQueryLog> slow_log_;
   // Second-to-last member: destroyed (drained + joined) before everything
   // above, so tasks never touch destroyed engine state.

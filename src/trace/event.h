@@ -47,6 +47,11 @@ enum class TraceEventKind : uint8_t {
   // A runtime query phase completed: `a` = phase (QueryPhaseCode below),
   // `duration_us` = wall time of the phase.
   kPhase,
+  // A KB mutation patched the cached ground program in place instead of
+  // regrounding: `component` = first mutated component, `a` = ground rules
+  // appended, `b` = ground atoms appended, `c` = new universe terms,
+  // `duration_us` = wall time of the delta ground.
+  kDeltaGround,
 };
 
 // Payload values for TraceEvent::a under kRuleStatus, mirroring the

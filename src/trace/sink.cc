@@ -17,6 +17,7 @@ const char* TraceEventKindName(TraceEventKind kind) {
     case TraceEventKind::kGroundComponent: return "ground_component";
     case TraceEventKind::kGroundDone: return "ground_done";
     case TraceEventKind::kPhase: return "phase";
+    case TraceEventKind::kDeltaGround: return "delta_ground";
   }
   return "unknown";
 }
@@ -138,6 +139,11 @@ std::string TraceEventToJson(const TraceEvent& event) {
     case TraceEventKind::kPhase:
       os << ",\"phase\":\""
          << QueryPhaseCodeName(static_cast<QueryPhaseCode>(event.a)) << '"'
+         << ",\"duration_us\":" << event.duration_us;
+      break;
+    case TraceEventKind::kDeltaGround:
+      os << ",\"component\":" << event.component << ",\"rules\":" << event.a
+         << ",\"atoms\":" << event.b << ",\"new_terms\":" << event.c
          << ",\"duration_us\":" << event.duration_us;
       break;
   }

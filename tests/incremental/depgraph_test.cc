@@ -1,0 +1,101 @@
+#include "incremental/depgraph.h"
+
+#include <algorithm>
+
+#include "gtest/gtest.h"
+#include "support/test_util.h"
+
+namespace ordlog {
+namespace {
+
+using ::ordlog::testing::ParseText;
+
+SymbolId Sym(const OrderedProgram& program, std::string_view name) {
+  const std::optional<SymbolId> id = program.pool().symbols().Find(name);
+  EXPECT_TRUE(id.has_value()) << name;
+  return id.value_or(0);
+}
+
+std::vector<std::string> Names(const OrderedProgram& program,
+                               const std::vector<SymbolId>& symbols) {
+  std::vector<std::string> names;
+  for (SymbolId symbol : symbols) {
+    names.push_back(program.pool().symbols().Name(symbol));
+  }
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+TEST(DepGraphTest, ConeFollowsBodyToHeadEdges) {
+  OrderedProgram program = ParseText(R"(
+    component c1 {
+      q(X) :- p(X).
+      r(X) :- q(X).
+      s(a).
+    }
+  )");
+  const DepGraph graph = DepGraph::Build(program);
+  EXPECT_EQ(Names(program, graph.Cone({Sym(program, "p")})),
+            (std::vector<std::string>{"p", "q", "r"}));
+  EXPECT_EQ(Names(program, graph.Cone({Sym(program, "q")})),
+            (std::vector<std::string>{"q", "r"}));
+  EXPECT_EQ(Names(program, graph.Cone({Sym(program, "s")})),
+            (std::vector<std::string>{"s"}));
+}
+
+TEST(DepGraphTest, NegativePolaritySharesTheNode) {
+  // Silencing couples rules with complementary heads, i.e. the same
+  // predicate: -fly and fly are one node, so bird reaches fly either way.
+  OrderedProgram program = ParseText(R"(
+    component c1 {
+      -fly(X) :- bird(X).
+      grounded(X) :- fly(X).
+    }
+  )");
+  const DepGraph graph = DepGraph::Build(program);
+  EXPECT_EQ(Names(program, graph.Cone({Sym(program, "bird")})),
+            (std::vector<std::string>{"bird", "fly", "grounded"}));
+}
+
+TEST(DepGraphTest, MutualRecursionCollapsesToOneScc) {
+  OrderedProgram program = ParseText(R"(
+    component c1 {
+      even(X) :- odd(X).
+      odd(X) :- even(X).
+      other(a).
+    }
+  )");
+  const DepGraph graph = DepGraph::Build(program);
+  EXPECT_EQ(graph.SccOf(Sym(program, "even")),
+            graph.SccOf(Sym(program, "odd")));
+  EXPECT_NE(graph.SccOf(Sym(program, "even")),
+            graph.SccOf(Sym(program, "other")));
+  EXPECT_EQ(graph.NumPredicates(), 3u);
+  EXPECT_EQ(graph.NumSccs(), 2u);
+}
+
+TEST(DepGraphTest, AbsentSeedIsItsOwnCone) {
+  OrderedProgram program = ParseText("component c1 { p(a). }");
+  const DepGraph graph = DepGraph::Build(program);
+  const SymbolId fresh = program.pool().symbols().Intern("fresh");
+  EXPECT_EQ(graph.SccOf(fresh), SIZE_MAX);
+  EXPECT_EQ(Names(program, graph.Cone({fresh})),
+            (std::vector<std::string>{"fresh"}));
+}
+
+TEST(DepGraphTest, HeadOnlyVariablePredicatesAreFlagged) {
+  OrderedProgram program = ParseText(R"(
+    component c1 {
+      free(X).
+      tied(X) :- anchor(X).
+      half(X) :- flag.
+      ok(a) :- anchor(b).
+    }
+  )");
+  const DepGraph graph = DepGraph::Build(program);
+  EXPECT_EQ(Names(program, graph.HeadOnlyVarPredicates()),
+            (std::vector<std::string>{"free", "half"}));
+}
+
+}  // namespace
+}  // namespace ordlog

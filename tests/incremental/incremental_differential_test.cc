@@ -1,0 +1,312 @@
+// Differential verification of the incremental layer (docs/INCREMENTAL.md):
+// for a random base program and a random batch of appended rules, the
+// delta-patched ground program must canonically equal a cold reground, and
+// warm-started least models must equal cold ones — per view, on paper
+// programs and on >= 100 random mutation traces.
+
+#include <algorithm>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "core/least_model.h"
+#include "incremental/delta_grounder.h"
+#include "incremental/depgraph.h"
+#include "kb/knowledge_base.h"
+#include "lang/printer.h"
+#include "support/random_programs.h"
+#include "support/test_util.h"
+
+namespace ordlog {
+namespace {
+
+using ::ordlog::testing::ParseText;
+using ::ordlog::testing::RandomDatalogOptions;
+using ::ordlog::testing::RandomDatalogProgram;
+
+std::vector<std::string> RenderedModel(const GroundProgram& ground,
+                                       const Interpretation& model) {
+  std::vector<std::string> rendered;
+  for (const GroundLiteral& literal : model.Literals()) {
+    rendered.push_back(ground.LiteralToString(literal));
+  }
+  std::sort(rendered.begin(), rendered.end());
+  return rendered;
+}
+
+// Splits `full` into a base program (kept rules, original order) plus the
+// deferred rules as a delta batch, then checks, for every view:
+//   * base ground + delta patch == cold ground of (base + appended), as
+//     canonical rule sets;
+//   * cold least model of the patched ground == cold least model of the
+//     reground;
+//   * warm-started least model (seeded with the pre-patch model restricted
+//     outside the mutation's dependency cone) == the cold least model.
+void CheckTrace(OrderedProgram& full, std::mt19937& rng) {
+  OrderedProgram base(full.shared_pool());
+  std::vector<DeltaRule> deferred;
+  std::bernoulli_distribution defer(0.35);
+  for (ComponentId c = 0; c < full.NumComponents(); ++c) {
+    const Component& component = full.component(c);
+    const ComponentId base_id =
+        base.AddComponent(component.name).value();
+    ASSERT_EQ(base_id, c);
+    std::vector<Rule> kept;
+    std::vector<Rule> dropped;
+    for (const Rule& rule : component.rules) {
+      (defer(rng) ? dropped : kept).push_back(rule);
+    }
+    for (Rule& rule : kept) {
+      ASSERT_TRUE(base.AddRule(c, std::move(rule)).ok());
+    }
+    for (Rule& rule : dropped) {
+      DeltaRule delta;
+      delta.component = c;
+      delta.source_rule_index = static_cast<uint32_t>(
+          base.component(c).rules.size() + [&] {
+            size_t pending = 0;
+            for (const DeltaRule& d : deferred) {
+              if (d.component == c) ++pending;
+            }
+            return pending;
+          }());
+      delta.rule = std::move(rule);
+      deferred.push_back(std::move(delta));
+    }
+  }
+  for (const auto& [lower, higher] : full.order_edges()) {
+    ASSERT_TRUE(base.AddOrder(lower, higher).ok());
+  }
+  ASSERT_TRUE(base.Finalize().ok());
+
+  const GrounderOptions options;  // indexed, no pruning, depth 0
+  StatusOr<GroundProgram> patched = Grounder::Ground(base, options);
+  ASSERT_TRUE(patched.ok()) << patched.status();
+
+  // Pre-patch models, for the warm-start seeds.
+  std::vector<Interpretation> old_models;
+  for (ComponentId view = 0; view < patched->NumComponents(); ++view) {
+    old_models.push_back(ComputeLeastModel(*patched, view));
+  }
+
+  StatusOr<DeltaResult> result =
+      DeltaGrounder::Apply(base, deferred, options, &patched.value());
+  ASSERT_TRUE(result.ok()) << result.status();
+  for (const DeltaRule& delta : deferred) {
+    Rule copy = delta.rule;
+    ASSERT_TRUE(base.AddRule(delta.component, std::move(copy)).ok());
+  }
+
+  // Cold reference: reground the appended program from scratch.
+  OrderedProgram reference = base;
+  ASSERT_TRUE(reference.Finalize().ok());
+  StatusOr<GroundProgram> cold = Grounder::Ground(reference, options);
+  ASSERT_TRUE(cold.ok()) << cold.status();
+  EXPECT_EQ(CanonicalDescription(*patched), CanonicalDescription(*cold))
+      << "patched ground diverges from cold reground";
+
+  // Mutation cone, as KnowledgeBase::Apply would compute it.
+  const DepGraph graph = DepGraph::Build(base);
+  std::vector<SymbolId> seeds;
+  for (const DeltaRule& delta : deferred) {
+    seeds.push_back(delta.rule.head.atom.predicate);
+  }
+  if (result->new_terms > 0) {
+    const std::vector<SymbolId>& extra = graph.HeadOnlyVarPredicates();
+    seeds.insert(seeds.end(), extra.begin(), extra.end());
+  }
+  const std::vector<SymbolId> cone = graph.Cone(seeds);
+
+  for (ComponentId view = 0; view < patched->NumComponents(); ++view) {
+    const Interpretation cold_model = ComputeLeastModel(*cold, view);
+    const std::vector<std::string> expected =
+        RenderedModel(*cold, cold_model);
+    EXPECT_EQ(RenderedModel(*patched, ComputeLeastModel(*patched, view)),
+              expected)
+        << "patched model diverges in view "
+        << patched->component_name(view);
+
+    bool affected = false;
+    for (ComponentId b = 0; b < patched->NumComponents(); ++b) {
+      if (result->touched_components.Test(b) && patched->Leq(view, b)) {
+        affected = true;
+        break;
+      }
+    }
+    if (!affected) {
+      // Unaffected views must not even need recomputation.
+      Interpretation retained = old_models[view];
+      retained.Resize(patched->NumAtoms());
+      EXPECT_EQ(RenderedModel(*patched, retained), expected)
+          << "supposedly unaffected view changed: "
+          << patched->component_name(view);
+      continue;
+    }
+    Interpretation seed = Interpretation(patched->NumAtoms());
+    for (const GroundLiteral& literal : old_models[view].Literals()) {
+      if (std::find(cone.begin(), cone.end(),
+                    patched->atom(literal.atom).predicate) == cone.end()) {
+        ASSERT_TRUE(seed.Add(literal));
+      }
+    }
+    LeastModelComputer computer(*patched, view);
+    StatusOr<Interpretation> warm = computer.ComputeFrom(seed, nullptr);
+    ASSERT_TRUE(warm.ok()) << "warm-start seed rejected in view "
+                           << patched->component_name(view) << ": "
+                           << warm.status();
+    EXPECT_EQ(RenderedModel(*patched, *warm), expected)
+        << "warm-started model diverges in view "
+        << patched->component_name(view);
+  }
+}
+
+TEST(IncrementalDifferentialTest, RandomMutationTraces) {
+  for (uint32_t seed = 0; seed < 110; ++seed) {
+    SCOPED_TRACE("seed=" + std::to_string(seed));
+    std::mt19937 rng(seed);
+    RandomDatalogOptions options;
+    options.num_components = 3;
+    options.num_rules = 12;
+    OrderedProgram full = RandomDatalogProgram(rng, options);
+    CheckTrace(full, rng);
+  }
+}
+
+TEST(IncrementalDifferentialTest, PaperFigure1Trace) {
+  // Figure 1 (penguins): defer the exception component's rules and patch
+  // them back in.
+  OrderedProgram full = ParseText(R"(
+    component c2 {
+      bird(penguin).
+      bird(pigeon).
+      fly(X) :- bird(X).
+      -ground_animal(X) :- bird(X).
+    }
+    component c1 {
+      ground_animal(penguin).
+      -fly(X) :- ground_animal(X).
+    }
+    order c1 < c2.
+  )");
+  std::mt19937 rng(7);
+  CheckTrace(full, rng);
+}
+
+// End-to-end check through KnowledgeBase::Apply: a KB mutated
+// incrementally answers exactly like a KB built cold with the same rules.
+TEST(IncrementalDifferentialTest, KnowledgeBaseDeltaMatchesColdBuild) {
+  const std::string base = R"(
+    component animals {
+      bird(tweety).
+      fly(X) :- bird(X).
+    }
+    component antarctic {
+      -fly(X) :- penguin(X).
+    }
+    order antarctic < animals.
+  )";
+
+  KnowledgeBase incremental;
+  ASSERT_TRUE(incremental.Load(base).ok());
+  ASSERT_TRUE(incremental.ground().ok());  // cache a ground program
+  Mutation mutation;
+  mutation.AddFact("antarctic", "penguin(pingu)")
+      .AddFact("animals", "bird(pingu)")
+      .AddRule("animals", "swims(X) :- penguin(X).");
+  const StatusOr<MutationReport> report = incremental.Apply(mutation);
+  ASSERT_TRUE(report.ok()) << report.status();
+  EXPECT_TRUE(report->incremental) << report->fallback_reason;
+  EXPECT_GT(report->delta_rules, 0u);
+
+  KnowledgeBase cold;
+  ASSERT_TRUE(cold.Load(base).ok());
+  ASSERT_TRUE(cold.AddRuleText("antarctic", "penguin(pingu).").ok());
+  ASSERT_TRUE(cold.AddRuleText("animals", "bird(pingu).").ok());
+  ASSERT_TRUE(cold.AddRuleText("animals", "swims(X) :- penguin(X).").ok());
+
+  for (const std::string& module : incremental.ListModules()) {
+    StatusOr<std::vector<std::string>> delta_facts =
+        incremental.DerivableFacts(module);
+    StatusOr<std::vector<std::string>> cold_facts =
+        cold.DerivableFacts(module);
+    ASSERT_TRUE(delta_facts.ok()) << delta_facts.status();
+    ASSERT_TRUE(cold_facts.ok()) << cold_facts.status();
+    std::sort(delta_facts->begin(), delta_facts->end());
+    std::sort(cold_facts->begin(), cold_facts->end());
+    EXPECT_EQ(*delta_facts, *cold_facts) << "module " << module;
+  }
+}
+
+// The same equivalence on random programs, batching random rendered rules
+// through KnowledgeBase::Apply (exercising warm seeds + selective
+// invalidation end to end).
+TEST(IncrementalDifferentialTest, KnowledgeBaseRandomTraces) {
+  for (uint32_t seed = 1000; seed < 1030; ++seed) {
+    SCOPED_TRACE("seed=" + std::to_string(seed));
+    std::mt19937 rng(seed);
+    RandomDatalogOptions options;
+    options.num_components = 2;
+    options.num_rules = 8;
+    OrderedProgram full = RandomDatalogProgram(rng, options);
+
+    // Render each component's rules; defer a random subset as mutations.
+    std::vector<std::pair<std::string, std::string>> deferred;
+    OrderedProgram base(full.shared_pool());
+    std::bernoulli_distribution defer(0.4);
+    for (ComponentId c = 0; c < full.NumComponents(); ++c) {
+      const Component& component = full.component(c);
+      ASSERT_TRUE(base.AddComponent(component.name).ok());
+      for (const Rule& rule : component.rules) {
+        if (defer(rng)) {
+          deferred.emplace_back(component.name,
+                                ToString(full.pool(), rule));
+        } else {
+          Rule copy = rule;
+          ASSERT_TRUE(base.AddRule(c, std::move(copy)).ok());
+        }
+      }
+    }
+    for (const auto& [lower, higher] : full.order_edges()) {
+      ASSERT_TRUE(base.AddOrder(lower, higher).ok());
+    }
+    const std::string base_text = ToString(base);
+
+    KnowledgeBase incremental;
+    ASSERT_TRUE(incremental.Load(base_text).ok());
+    ASSERT_TRUE(incremental.ground().ok());
+    // Warm every view's model cache so Apply builds warm seeds.
+    for (const std::string& module : incremental.ListModules()) {
+      ASSERT_TRUE(incremental.DerivableFacts(module).ok());
+    }
+    Mutation mutation;
+    for (const auto& [module, rule_text] : deferred) {
+      mutation.AddRule(module, rule_text);
+    }
+    KnowledgeBase cold;
+    ASSERT_TRUE(cold.Load(base_text).ok());
+    for (const auto& [module, rule_text] : deferred) {
+      ASSERT_TRUE(cold.AddRuleText(module, rule_text).ok());
+    }
+    if (!mutation.empty()) {
+      const StatusOr<MutationReport> report = incremental.Apply(mutation);
+      ASSERT_TRUE(report.ok()) << report.status();
+      EXPECT_TRUE(report->incremental) << report->fallback_reason;
+    }
+    for (const std::string& module : incremental.ListModules()) {
+      StatusOr<std::vector<std::string>> delta_facts =
+          incremental.DerivableFacts(module);
+      StatusOr<std::vector<std::string>> cold_facts =
+          cold.DerivableFacts(module);
+      ASSERT_TRUE(delta_facts.ok()) << delta_facts.status();
+      ASSERT_TRUE(cold_facts.ok()) << cold_facts.status();
+      std::sort(delta_facts->begin(), delta_facts->end());
+      std::sort(cold_facts->begin(), cold_facts->end());
+      EXPECT_EQ(*delta_facts, *cold_facts)
+          << "module " << module << " diverges after incremental apply";
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ordlog

@@ -1,0 +1,179 @@
+// KnowledgeBase::Mutation edge cases from docs/INCREMENTAL.md: retraction
+// of a fact that participates in cross-component overruling (full
+// fallback), rule addition to an order-incomparable component (defeating
+// must re-fire in the shared lower view), and the eligibility /
+// error-atomicity contract of Apply.
+
+#include <algorithm>
+
+#include "gtest/gtest.h"
+#include "kb/knowledge_base.h"
+
+namespace ordlog {
+namespace {
+
+std::vector<std::string> Sorted(std::vector<std::string> values) {
+  std::sort(values.begin(), values.end());
+  return values;
+}
+
+TEST(MutationTest, RetractingAnOverruledFactFallsBackToFullReground) {
+  KnowledgeBase kb;
+  ASSERT_TRUE(kb.Load(R"(
+    component general {
+      fly(penguin).
+      fly(pigeon).
+    }
+    component exception {
+      -fly(penguin).
+    }
+    order exception < general.
+  )")
+                  .ok());
+  ASSERT_TRUE(kb.ground().ok());
+  // The exception overrules the general fact in its own view.
+  EXPECT_EQ(kb.Query("exception", "fly(penguin)").value(),
+            TruthValue::kFalse);
+  EXPECT_EQ(kb.Query("general", "fly(penguin)").value(), TruthValue::kTrue);
+
+  Mutation mutation;
+  mutation.RetractFact("general", "fly(penguin)");
+  const StatusOr<MutationReport> report = kb.Apply(mutation);
+  ASSERT_TRUE(report.ok()) << report.status();
+  EXPECT_FALSE(report->incremental);
+  EXPECT_NE(report->fallback_reason.find("retraction"), std::string::npos)
+      << report->fallback_reason;
+  // A fallback invalidates everything: every view is affected.
+  EXPECT_EQ(report->affected_modules.size(), 2u);
+
+  // The general module no longer derives the fact; the exception still
+  // holds its own negative opinion (the silencing machinery was rebuilt
+  // against the reground program, not patched).
+  EXPECT_EQ(kb.Query("general", "fly(penguin)").value(),
+            TruthValue::kUndefined);
+  EXPECT_EQ(kb.Query("exception", "fly(penguin)").value(),
+            TruthValue::kFalse);
+  EXPECT_EQ(kb.Query("general", "fly(pigeon)").value(), TruthValue::kTrue);
+}
+
+TEST(MutationTest, AddingRuleToIncomparableComponentRefiresDefeating) {
+  KnowledgeBase kb;
+  ASSERT_TRUE(kb.Load(R"(
+    component both { }
+    component left { p. }
+    component right { q. }
+    order both < left.
+    order both < right.
+  )")
+                  .ok());
+  ASSERT_TRUE(kb.ground().ok());
+  // Warm the caches so Apply has models to keep / reseed.
+  EXPECT_EQ(kb.Query("both", "p").value(), TruthValue::kTrue);
+  EXPECT_EQ(kb.Query("left", "p").value(), TruthValue::kTrue);
+
+  // `right` is incomparable with `left`; its new rule -p. defeats left's
+  // fact in the shared lower view (Definition 2: complementary heads in
+  // incomparable components silence each other).
+  Mutation mutation;
+  mutation.AddRule("right", "-p.");
+  const StatusOr<MutationReport> report = kb.Apply(mutation);
+  ASSERT_TRUE(report.ok()) << report.status();
+  EXPECT_TRUE(report->incremental) << report->fallback_reason;
+  EXPECT_EQ(report->delta_rules, 1u);
+  // Affected views: `right` itself and every view that sees it — but NOT
+  // `left`, which is incomparable and keeps its cached model verbatim.
+  EXPECT_EQ(Sorted(report->affected_modules),
+            (std::vector<std::string>{"both", "right"}));
+  // The cached least model of `both` became a warm seed.
+  EXPECT_GE(report->warm_seeded_views, 1u);
+
+  EXPECT_EQ(kb.Query("both", "p").value(), TruthValue::kUndefined);
+  EXPECT_EQ(kb.Query("both", "q").value(), TruthValue::kTrue);
+  EXPECT_EQ(kb.Query("right", "p").value(), TruthValue::kFalse);
+  EXPECT_EQ(kb.Query("left", "p").value(), TruthValue::kTrue);
+}
+
+TEST(MutationTest, ApplyWithoutCachedGroundFallsBack) {
+  KnowledgeBase kb;
+  ASSERT_TRUE(kb.AddModule("m").ok());
+  ASSERT_TRUE(kb.AddRuleText("m", "p :- q.").ok());
+  Mutation mutation;
+  mutation.AddFact("m", "q");
+  const StatusOr<MutationReport> report = kb.Apply(mutation);
+  ASSERT_TRUE(report.ok()) << report.status();
+  EXPECT_FALSE(report->incremental);
+  EXPECT_NE(report->fallback_reason.find("no cached ground"),
+            std::string::npos)
+      << report->fallback_reason;
+  EXPECT_EQ(kb.Query("m", "p").value(), TruthValue::kTrue);
+}
+
+TEST(MutationTest, IncrementalAddFactReportsConeAndNewConstants) {
+  KnowledgeBase kb;
+  ASSERT_TRUE(kb.Load(R"(
+    component m {
+      bird(tweety).
+      fly(X) :- bird(X).
+      happy(X) :- fly(X).
+      rock(stone).
+    }
+  )")
+                  .ok());
+  ASSERT_TRUE(kb.ground().ok());
+  const uint64_t before = kb.revision();
+
+  Mutation mutation;
+  mutation.AddFact("m", "bird(pingu)");
+  const StatusOr<MutationReport> report = kb.Apply(mutation);
+  ASSERT_TRUE(report.ok()) << report.status();
+  EXPECT_TRUE(report->incremental) << report->fallback_reason;
+  EXPECT_EQ(report->revision, before + 1);
+  EXPECT_EQ(kb.revision(), before + 1);
+  EXPECT_GT(report->new_constants, 0u);  // pingu is a fresh constant
+  // bird feeds fly feeds happy; rock is untouched.
+  const std::vector<std::string> touched = Sorted(report->touched_predicates);
+  EXPECT_TRUE(std::binary_search(touched.begin(), touched.end(), "bird"));
+  EXPECT_TRUE(std::binary_search(touched.begin(), touched.end(), "fly"));
+  EXPECT_TRUE(std::binary_search(touched.begin(), touched.end(), "happy"));
+  EXPECT_FALSE(std::binary_search(touched.begin(), touched.end(), "rock"));
+
+  EXPECT_EQ(kb.Query("m", "happy(pingu)").value(), TruthValue::kTrue);
+  EXPECT_EQ(kb.Query("m", "rock(stone)").value(), TruthValue::kTrue);
+}
+
+TEST(MutationTest, BadMutationLeavesKnowledgeBaseUntouched) {
+  KnowledgeBase kb;
+  ASSERT_TRUE(kb.AddModule("m").ok());
+  ASSERT_TRUE(kb.AddRuleText("m", "p.").ok());
+  ASSERT_TRUE(kb.ground().ok());
+  const uint64_t before = kb.revision();
+
+  // Unknown module: the whole batch is rejected before any mutation.
+  Mutation bad_module;
+  bad_module.AddFact("m", "q").AddFact("missing", "r");
+  EXPECT_FALSE(kb.Apply(bad_module).ok());
+  EXPECT_EQ(kb.revision(), before);
+  EXPECT_EQ(kb.Query("m", "q").value(), TruthValue::kUndefined);
+
+  // Syntax error: ditto.
+  Mutation bad_syntax;
+  bad_syntax.AddRule("m", "q :- ");
+  EXPECT_FALSE(kb.Apply(bad_syntax).ok());
+  EXPECT_EQ(kb.revision(), before);
+  EXPECT_EQ(kb.Query("m", "p").value(), TruthValue::kTrue);
+}
+
+TEST(MutationTest, EmptyMutationIsAnIncrementalNoOp) {
+  KnowledgeBase kb;
+  ASSERT_TRUE(kb.AddModule("m").ok());
+  ASSERT_TRUE(kb.AddRuleText("m", "p.").ok());
+  ASSERT_TRUE(kb.ground().ok());
+  const StatusOr<MutationReport> report = kb.Apply(Mutation());
+  ASSERT_TRUE(report.ok()) << report.status();
+  EXPECT_TRUE(report->incremental);
+  EXPECT_EQ(report->delta_rules, 0u);
+  EXPECT_TRUE(report->affected_modules.empty());
+}
+
+}  // namespace
+}  // namespace ordlog

@@ -1,0 +1,191 @@
+// QueryEngine::ApplyMutation: cache promotion for unaffected views,
+// warm-started fixpoints for affected ones, the reuse metrics, and
+// mutations racing in-flight queries (cancellation + single-flight).
+
+#include "runtime/query_engine.h"
+
+#include <chrono>
+#include <future>
+#include <string>
+#include <vector>
+
+#include "gtest/gtest.h"
+
+namespace ordlog {
+namespace {
+
+using std::chrono::milliseconds;
+
+QueryEngineOptions Threads(size_t n) {
+  QueryEngineOptions options;
+  options.num_threads = n;
+  return options;
+}
+
+QueryRequest Request(std::string module, std::string literal) {
+  QueryRequest request;
+  request.module = std::move(module);
+  request.literal = std::move(literal);
+  return request;
+}
+
+uint64_t ReuseCount(QueryEngine& engine, std::string_view kind) {
+  return engine.Registry()
+      .GetCounterFamily("ordlog_incremental_reuse_total", "", {"kind"})
+      .WithLabels(kind)
+      .Value();
+}
+
+TEST(EngineIncrementalTest, MutationPromotesUnaffectedViewsAcrossRevisions) {
+  KnowledgeBase kb;
+  // `stable` and `hot` are order-incomparable: mutating `hot` cannot
+  // change anything `stable` sees.
+  ASSERT_TRUE(kb.Load(R"(
+    component stable { s(a). more(X) :- s(X). }
+    component hot { h(a). }
+  )")
+                  .ok());
+  QueryEngine engine(kb, Threads(2));
+
+  // Populate the cache for both views at the initial revision.
+  const StatusOr<QueryAnswer> cold = engine.Execute(Request("stable", "more(a)"));
+  ASSERT_TRUE(cold.ok()) << cold.status();
+  EXPECT_EQ(cold->truth, TruthValue::kTrue);
+  ASSERT_TRUE(engine.Execute(Request("hot", "h(a)")).ok());
+
+  // The new fact reuses the existing constant `a`: the universe does not
+  // grow, so no pre-existing rule gains instances and only `hot` is
+  // touched. (A fresh constant would conservatively touch every component
+  // with variable rules via the pivot passes.)
+  Mutation mutation;
+  mutation.AddFact("hot", "h2(a)");
+  const StatusOr<MutationReport> report = engine.ApplyMutation(mutation);
+  ASSERT_TRUE(report.ok()) << report.status();
+  ASSERT_TRUE(report->incremental) << report->fallback_reason;
+  EXPECT_EQ(report->new_constants, 0u);
+  EXPECT_EQ(ReuseCount(engine, "delta_ground"), 1u);
+  EXPECT_GE(ReuseCount(engine, "cache_promoted"), 1u);
+  EXPECT_GT(engine.Registry()
+                .GetCounterFamily("ordlog_incremental_delta_rules_total", "")
+                .WithLabels()
+                .Value(),
+            0u);
+
+  // The unaffected view answers from the promoted entry: a cache hit at
+  // the *new* revision, no recomputation.
+  const StatusOr<QueryAnswer> promoted =
+      engine.Execute(Request("stable", "more(a)"));
+  ASSERT_TRUE(promoted.ok()) << promoted.status();
+  EXPECT_EQ(promoted->truth, TruthValue::kTrue);
+  EXPECT_TRUE(promoted->cache_hit);
+  EXPECT_EQ(promoted->revision, report->revision);
+  // The mutated view sees the new fact.
+  EXPECT_EQ(engine.QuerySkeptical("hot", "h2(a)").value(), TruthValue::kTrue);
+}
+
+TEST(EngineIncrementalTest, AffectedViewWarmStartsFromThePreviousModel) {
+  KnowledgeBase kb;
+  ASSERT_TRUE(kb.Load(R"(
+    component m {
+      base(a).
+      derived(X) :- base(X).
+      unrelated(c).
+    }
+  )")
+                  .ok());
+  QueryEngine engine(kb, Threads(2));
+  ASSERT_TRUE(engine.Execute(Request("m", "derived(a)")).ok());
+  EXPECT_EQ(ReuseCount(engine, "warm_start"), 0u);
+
+  Mutation mutation;
+  mutation.AddFact("m", "base(b)");
+  const StatusOr<MutationReport> report = engine.ApplyMutation(mutation);
+  ASSERT_TRUE(report.ok()) << report.status();
+  ASSERT_TRUE(report->incremental) << report->fallback_reason;
+
+  const StatusOr<QueryAnswer> warm = engine.Execute(Request("m", "derived(b)"));
+  ASSERT_TRUE(warm.ok()) << warm.status();
+  EXPECT_EQ(warm->truth, TruthValue::kTrue);
+  EXPECT_FALSE(warm->cache_hit);  // recomputed — but from the parked seed
+  EXPECT_EQ(ReuseCount(engine, "warm_start"), 1u);
+  EXPECT_EQ(engine.QuerySkeptical("m", "unrelated(c)").value(),
+            TruthValue::kTrue);
+
+  // The seed is consumed: a second mutation-free computation (fresh view
+  // of the same revision after a cache wipe cannot happen here, so just
+  // check the counter stays put across more queries).
+  ASSERT_TRUE(engine.Execute(Request("m", "derived(a)")).ok());
+  EXPECT_EQ(ReuseCount(engine, "warm_start"), 1u);
+}
+
+TEST(EngineIncrementalTest, FullFallbackClearsSeedsAndStillAnswers) {
+  KnowledgeBase kb;
+  ASSERT_TRUE(kb.Load("component m { p(a). q(X) :- p(X). }").ok());
+  QueryEngine engine(kb, Threads(2));
+  ASSERT_TRUE(engine.Execute(Request("m", "q(a)")).ok());
+
+  Mutation mutation;
+  mutation.RetractFact("m", "p(a)").AddFact("m", "p(b)");
+  const StatusOr<MutationReport> report = engine.ApplyMutation(mutation);
+  ASSERT_TRUE(report.ok()) << report.status();
+  EXPECT_FALSE(report->incremental);
+  EXPECT_EQ(ReuseCount(engine, "full_fallback"), 1u);
+
+  EXPECT_EQ(engine.QuerySkeptical("m", "q(a)").value(),
+            TruthValue::kUndefined);
+  EXPECT_EQ(engine.QuerySkeptical("m", "q(b)").value(), TruthValue::kTrue);
+}
+
+TEST(EngineIncrementalTest, MutationDuringInFlightQueries) {
+  KnowledgeBase kb;
+  ASSERT_TRUE(kb.Load(R"(
+    component m {
+      edge(a, b). edge(b, c). edge(c, d). edge(d, e).
+      path(X, Y) :- edge(X, Y).
+      path(X, Z) :- edge(X, Y), path(Y, Z).
+    }
+  )")
+                  .ok());
+  QueryEngine engine(kb, Threads(2));
+  ASSERT_TRUE(engine.Execute(Request("m", "path(a, e)")).ok());
+
+  // A storm of identical queries racing a mutation: every future must
+  // resolve (ok at the old or new revision, or a fast deadline failure for
+  // the pre-expired ones), and single-flight means each (revision, view)
+  // is computed at most once — the warm seed can only ever be consumed by
+  // one of them.
+  std::vector<std::future<StatusOr<QueryAnswer>>> futures;
+  for (int i = 0; i < 12; ++i) {
+    QueryRequest request = Request("m", "path(a, e)");
+    if (i % 4 == 3) request.deadline = milliseconds(0);  // pre-expired
+    futures.push_back(engine.Submit(std::move(request)));
+  }
+  Mutation mutation;
+  mutation.AddFact("m", "edge(e, f)");
+  const StatusOr<MutationReport> report = engine.ApplyMutation(mutation);
+  ASSERT_TRUE(report.ok()) << report.status();
+  ASSERT_TRUE(report->incremental) << report->fallback_reason;
+
+  for (auto& future : futures) {
+    const StatusOr<QueryAnswer> answer = future.get();
+    if (answer.ok()) {
+      EXPECT_EQ(answer->truth, TruthValue::kTrue);
+    } else {
+      EXPECT_TRUE(answer.status().code() == StatusCode::kDeadlineExceeded ||
+                  answer.status().code() == StatusCode::kCancelled)
+          << answer.status();
+    }
+  }
+  EXPECT_LE(ReuseCount(engine, "warm_start"), 1u);
+
+  // Post-mutation queries see the new fact at the new revision.
+  const StatusOr<QueryAnswer> after =
+      engine.Execute(Request("m", "path(a, f)"));
+  ASSERT_TRUE(after.ok()) << after.status();
+  EXPECT_EQ(after->truth, TruthValue::kTrue);
+  EXPECT_EQ(after->revision, report->revision);
+  EXPECT_EQ(engine.revision(), report->revision);
+}
+
+}  // namespace
+}  // namespace ordlog
