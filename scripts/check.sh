@@ -54,5 +54,8 @@ EOF
   # The delta grounder must beat a full rebuild on the mutate-one-fact
   # workload and patch to exactly the cold-reground program.
   python3 scripts/check_incremental_regression.py
+  # WAL durability holds under kill -9: every acked mutation survives a
+  # mid-storm SIGKILL and recovery is deterministic.
+  python3 scripts/check_server_recovery.py
 fi
 echo "ordlog: all checks passed"

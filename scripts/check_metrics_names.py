@@ -10,6 +10,11 @@ naming scheme documented in docs/OBSERVABILITY.md:
   * appears verbatim in docs/OBSERVABILITY.md, so the exposition and the
     documentation can never drift apart.
 
+The check also runs in reverse: every name listed in an OBSERVABILITY.md
+metric-inventory table row must still be registered somewhere under
+src/, so deleting or renaming an instrument without updating the doc
+fails just like adding one without documenting it.
+
 The scan is lexical: it collects the first string literal passed to
 MetricsRegistry::Get{Counter,Gauge,Histogram}Family in any src/ source
 file.  Tests and benches may register throwaway names and are not
@@ -27,6 +32,12 @@ DOC = ROOT / "docs" / "OBSERVABILITY.md"
 REGISTRATION = re.compile(
     r"Get(?:Counter|Gauge|Histogram)Family\(\s*\"([^\"]+)\"", re.S)
 VALID = re.compile(r"^ordlog_[a-z0-9_]+(_total|_us|_bytes|_ratio)?$")
+# A metric-inventory table row: the name is the backticked first column.
+INVENTORY_ROW = re.compile(r"^\|\s*`(ordlog_[a-z0-9_]+)`\s*\|", re.M)
+
+
+def documented_inventory(doc_text):
+    return {match.group(1) for match in INVENTORY_ROW.finditer(doc_text)}
 
 
 def registered_names():
@@ -52,6 +63,9 @@ def main():
         if name not in doc_text:
             errors.append(f"{path}: {name!r} is not documented in "
                           f"docs/OBSERVABILITY.md")
+    for name in sorted(documented_inventory(doc_text) - set(names)):
+        errors.append(f"docs/OBSERVABILITY.md: {name!r} is in the metric "
+                      f"inventory but no longer registered under src/")
     if errors:
         print("check_metrics_names: FAILED")
         for error in errors:

@@ -1,0 +1,203 @@
+#!/usr/bin/env python3
+"""Crash-recovery gate for the multi-tenant KB server.
+
+Launches the real kbserver binary on a scratch data dir, drives a
+concurrent mutation storm across several tenants, kills the process with
+SIGKILL mid-storm (while WAL appends and snapshot rotations are in
+flight), restarts it on the same directory, and checks the durability
+contract from docs/SERVER.md:
+
+  acked  ⊆  recovered  ⊆  sent
+
+per tenant: every mutation the server acknowledged with 200 before the
+kill must be derivable after recovery, and nothing can be derivable that
+was never sent.  A second restart must then reproduce the first
+recovery's canonical state exactly (sorted fact set + revision) — replay
+is deterministic, not merely lossless.
+
+Needs only the standard library.  The server binary defaults to
+build/tools/kbserver; override with ORDLOG_KBSERVER.  Exit 0 on pass.
+"""
+
+import json
+import os
+import pathlib
+import re
+import signal
+import subprocess
+import sys
+import tempfile
+import threading
+import time
+import urllib.error
+import urllib.request
+
+ROOT = pathlib.Path(__file__).resolve().parent.parent
+SERVER = pathlib.Path(
+    os.environ.get("ORDLOG_KBSERVER", ROOT / "build" / "tools" / "kbserver"))
+
+TENANTS = ["alpha", "beta", "gamma", "delta"]
+STORM_THREADS = 8
+FACTS_PER_THREAD = 40
+KILL_AFTER_ACKS = 60  # SIGKILL once this many mutations are acked
+
+
+def request(port, method, path, body=None, timeout=10):
+    """One HTTP request; returns (status_code, parsed_json_or_None)."""
+    url = "http://127.0.0.1:%d%s" % (port, path)
+    data = json.dumps(body).encode() if body is not None else None
+    req = urllib.request.Request(url, data=data, method=method)
+    try:
+        with urllib.request.urlopen(req, timeout=timeout) as response:
+            return response.status, json.loads(response.read() or b"null")
+    except urllib.error.HTTPError as error:
+        return error.code, None
+
+
+def start_server(data_dir):
+    """Starts kbserver, returns (process, port)."""
+    process = subprocess.Popen(
+        [str(SERVER), "--port=0", "--data-dir=%s" % data_dir,
+         "--snapshot-every=8"],
+        stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True)
+    line = process.stdout.readline()
+    match = re.search(r"listening on 127\.0\.0\.1:(\d+)", line)
+    if not match:
+        process.kill()
+        raise SystemExit("check_server_recovery: server did not start: %r"
+                         % line)
+    return process, int(match.group(1))
+
+
+def canonical_state(port, tenant):
+    """(sorted derivable facts, revision) — the identity recovery must
+    reproduce.  Rendering order is atom-id order and legitimately differs
+    between the live and replayed engine, hence the sort."""
+    code, facts = request(port, "GET", "/v1/%s/facts?module=m" % tenant)
+    if code != 200:
+        raise SystemExit("check_server_recovery: facts(%s) -> %d"
+                         % (tenant, code))
+    code, status = request(port, "GET", "/v1/%s/status" % tenant)
+    if code != 200:
+        raise SystemExit("check_server_recovery: status(%s) -> %d"
+                         % (tenant, code))
+    return sorted(facts["facts"]), status["revision"]
+
+
+def main():
+    if not SERVER.exists():
+        print("check_server_recovery: %s not built" % SERVER)
+        return 1
+
+    scratch = tempfile.mkdtemp(prefix="ordlog_recovery_")
+    process, port = start_server(scratch)
+
+    for tenant in TENANTS:
+        code, _ = request(port, "POST", "/v1/admin/create", {"tenant": tenant})
+        assert code == 200, "create %s -> %d" % (tenant, code)
+        code, _ = request(port, "POST", "/v1/%s/mutate" % tenant, {"ops": [
+            {"op": "add_module", "module": "m"},
+            {"op": "add_rule", "module": "m", "text": "q(X) :- p(X)."},
+        ]})
+        assert code == 200, "seed %s -> %d" % (tenant, code)
+
+    # The storm: each thread streams distinct single-argument facts at its
+    # tenant, recording what was sent and what came back 200.  Requests
+    # in flight at the kill die with a connection error — those facts are
+    # sent-but-unacked, exactly the window the subset contract is about.
+    lock = threading.Lock()
+    sent = {tenant: set() for tenant in TENANTS}
+    acked = {tenant: set() for tenant in TENANTS}
+    total_acked = [0]
+
+    def storm(thread_index):
+        tenant = TENANTS[thread_index % len(TENANTS)]
+        for i in range(FACTS_PER_THREAD):
+            fact = "p(c%d_%d)" % (thread_index, i)
+            with lock:
+                sent[tenant].add(fact)
+            try:
+                code, _ = request(port, "POST", "/v1/%s/mutate" % tenant, {
+                    "ops": [{"op": "add_fact", "module": "m", "text": fact}]},
+                    timeout=5)
+            except (urllib.error.URLError, OSError):
+                return  # server is gone: the kill landed
+            if code == 200:
+                with lock:
+                    acked[tenant].add(fact)
+                    total_acked[0] += 1
+
+    threads = [threading.Thread(target=storm, args=(t,))
+               for t in range(STORM_THREADS)]
+    for thread in threads:
+        thread.start()
+
+    deadline = time.monotonic() + 30
+    while total_acked[0] < KILL_AFTER_ACKS:
+        if time.monotonic() > deadline:
+            process.kill()
+            raise SystemExit("check_server_recovery: storm stalled at %d acks"
+                             % total_acked[0])
+        time.sleep(0.002)
+    process.send_signal(signal.SIGKILL)  # no Stop(), no fsync, no mercy
+    process.wait()
+    for thread in threads:
+        thread.join()
+
+    in_flight = sum(len(sent[t]) - len(acked[t]) for t in TENANTS)
+    print("check_server_recovery: killed after %d acks (%d sent-but-unacked)"
+          % (total_acked[0], in_flight))
+
+    # First restart: recovery must hold the subset contract per tenant.
+    process, port = start_server(scratch)
+    first = {}
+    for tenant in TENANTS:
+        facts, revision = canonical_state(port, tenant)
+        recovered = {fact for fact in facts if fact.startswith("p(")}
+        missing = acked[tenant] - recovered
+        phantom = recovered - sent[tenant]
+        if missing:
+            print("check_server_recovery: FAILED — %s lost %d acked fact(s): "
+                  "%s" % (tenant, len(missing), sorted(missing)[:5]))
+            process.kill()
+            return 1
+        if phantom:
+            print("check_server_recovery: FAILED — %s recovered %d fact(s) "
+                  "never sent: %s" % (tenant, len(phantom),
+                                      sorted(phantom)[:5]))
+            process.kill()
+            return 1
+        # Every p-fact must carry its derived q-twin: recovery replays
+        # through the same apply path, so derivation state recovers too.
+        derived = {fact for fact in facts if fact.startswith("q(")}
+        if len(derived) != len(recovered):
+            print("check_server_recovery: FAILED — %s has %d base facts but "
+                  "%d derived" % (tenant, len(recovered), len(derived)))
+            process.kill()
+            return 1
+        first[tenant] = (facts, revision)
+    process.send_signal(signal.SIGTERM)
+    process.wait(timeout=30)
+
+    # Second restart: replay determinism — canonically identical state.
+    process, port = start_server(scratch)
+    for tenant in TENANTS:
+        if canonical_state(port, tenant) != first[tenant]:
+            print("check_server_recovery: FAILED — %s differs between two "
+                  "recoveries of the same directory" % tenant)
+            process.kill()
+            return 1
+    process.send_signal(signal.SIGTERM)
+    process.wait(timeout=30)
+
+    recovered_total = sum(
+        len([f for f in first[t][0] if f.startswith("p(")]) for t in TENANTS)
+    print("check_server_recovery: ok (%d acked ⊆ %d recovered ⊆ %d sent; "
+          "two recoveries canonically identical)"
+          % (total_acked[0], recovered_total,
+             sum(len(sent[t]) for t in TENANTS)))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,419 @@
+#include "obs/http_server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cctype>
+#include <cerrno>
+#include <cstring>
+
+#include "base/strings.h"
+
+namespace ordlog {
+
+namespace {
+
+// Sentinel pushed into the pending queue is never needed: workers are
+// woken by the stop flag + notify_all.
+
+std::string ToLowerAscii(std::string_view text) {
+  std::string lower(text);
+  std::transform(lower.begin(), lower.end(), lower.begin(), [](unsigned char c) {
+    return static_cast<char>(std::tolower(c));
+  });
+  return lower;
+}
+
+// Reads more bytes into `buffer`, polling so the stop flag and the idle
+// deadline are observed. Returns false on EOF / error / timeout / stop.
+bool ReadMore(int fd, std::string& buffer, const std::atomic<bool>& stop,
+              std::chrono::steady_clock::time_point idle_deadline) {
+  char chunk[4096];
+  while (!stop.load(std::memory_order_relaxed)) {
+    if (std::chrono::steady_clock::now() >= idle_deadline) return false;
+    pollfd pfd{};
+    pfd.fd = fd;
+    pfd.events = POLLIN;
+    const int ready = ::poll(&pfd, 1, 50);
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    if (ready == 0) continue;
+    const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (n <= 0) return false;
+    buffer.append(chunk, static_cast<size_t>(n));
+    return true;
+  }
+  return false;
+}
+
+bool SendAll(int fd, std::string_view bytes) {
+  size_t written = 0;
+  while (written < bytes.size()) {
+    const ssize_t n = ::send(fd, bytes.data() + written,
+                             bytes.size() - written, MSG_NOSIGNAL);
+    if (n <= 0) return false;
+    written += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+}  // namespace
+
+std::string HttpRequest::QueryParam(std::string_view key) const {
+  size_t pos = 0;
+  while (pos <= query.size()) {
+    size_t amp = query.find('&', pos);
+    if (amp == std::string::npos) amp = query.size();
+    const std::string_view piece =
+        std::string_view(query).substr(pos, amp - pos);
+    const size_t eq = piece.find('=');
+    const std::string_view name =
+        eq == std::string_view::npos ? piece : piece.substr(0, eq);
+    if (name == key) {
+      return eq == std::string_view::npos ? std::string()
+                                          : std::string(piece.substr(eq + 1));
+    }
+    pos = amp + 1;
+  }
+  return std::string();
+}
+
+std::string HttpRequest::Header(std::string_view name) const {
+  for (const auto& [header_name, value] : headers) {
+    if (header_name == name) return value;
+  }
+  return std::string();
+}
+
+HttpResponse HttpResponse::Text(int code, std::string body) {
+  HttpResponse response;
+  response.code = code;
+  response.content_type = "text/plain";
+  response.body = std::move(body);
+  return response;
+}
+
+HttpResponse HttpResponse::Json(int code, std::string body) {
+  HttpResponse response;
+  response.code = code;
+  response.content_type = "application/json";
+  response.body = std::move(body);
+  return response;
+}
+
+HttpResponse HttpResponse::Html(std::string body) {
+  HttpResponse response;
+  response.code = 200;
+  response.content_type = "text/html; charset=utf-8";
+  response.body = std::move(body);
+  return response;
+}
+
+const char* HttpReasonPhrase(int code) {
+  switch (code) {
+    case 200: return "OK";
+    case 201: return "Created";
+    case 204: return "No Content";
+    case 400: return "Bad Request";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    case 409: return "Conflict";
+    case 413: return "Payload Too Large";
+    case 429: return "Too Many Requests";
+    case 431: return "Request Header Fields Too Large";
+    case 500: return "Internal Server Error";
+    case 503: return "Service Unavailable";
+    case 504: return "Gateway Timeout";
+    default: return "Status";
+  }
+}
+
+HttpServer::HttpServer(HttpServerOptions options)
+    : options_(std::move(options)) {}
+
+HttpServer::~HttpServer() { Stop(); }
+
+void HttpServer::Handle(std::string path, HttpHandler handler) {
+  exact_routes_[std::move(path)] = std::move(handler);
+}
+
+void HttpServer::HandlePrefix(std::string prefix, HttpHandler handler) {
+  prefix_routes_.emplace_back(std::move(prefix), std::move(handler));
+  std::stable_sort(prefix_routes_.begin(), prefix_routes_.end(),
+                   [](const auto& a, const auto& b) {
+                     return a.first.size() > b.first.size();
+                   });
+}
+
+Status HttpServer::Start() {
+  if (listen_fd_ >= 0) {
+    return FailedPreconditionError("http server already started");
+  }
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return InternalError(StrCat("http socket(): ", std::strerror(errno)));
+  }
+  const int enable = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &enable, sizeof(enable));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<uint16_t>(options_.port));
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    const int err = errno;
+    ::close(fd);
+    return InternalError(
+        StrCat("http bind(port=", options_.port, "): ", std::strerror(err)));
+  }
+  if (::listen(fd, 128) != 0) {
+    const int err = errno;
+    ::close(fd);
+    return InternalError(StrCat("http listen(): ", std::strerror(err)));
+  }
+  sockaddr_in bound{};
+  socklen_t bound_len = sizeof(bound);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &bound_len) ==
+      0) {
+    port_ = ntohs(bound.sin_port);
+  }
+  listen_fd_ = fd;
+  stop_.store(false);
+  const size_t workers = std::max<size_t>(1, options_.num_workers);
+  workers_.reserve(workers);
+  for (size_t i = 0; i < workers; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  return Status::Ok();
+}
+
+void HttpServer::Stop() {
+  if (listen_fd_ < 0) return;
+  stop_.store(true);
+  queue_cv_.notify_all();
+  if (accept_thread_.joinable()) accept_thread_.join();
+  for (std::thread& worker : workers_) {
+    if (worker.joinable()) worker.join();
+  }
+  workers_.clear();
+  {
+    std::lock_guard<std::mutex> lock(queue_mutex_);
+    for (const int fd : pending_) ::close(fd);
+    pending_.clear();
+  }
+  ::close(listen_fd_);
+  listen_fd_ = -1;
+}
+
+void HttpServer::AcceptLoop() {
+  while (!stop_.load()) {
+    pollfd pfd{};
+    pfd.fd = listen_fd_;
+    pfd.events = POLLIN;
+    // Bounded poll so the stop flag is observed within ~100 ms.
+    const int ready = ::poll(&pfd, 1, 100);
+    if (ready <= 0) continue;
+    const int conn = ::accept(listen_fd_, nullptr, nullptr);
+    if (conn < 0) continue;
+    const int enable = 1;
+    ::setsockopt(conn, IPPROTO_TCP, TCP_NODELAY, &enable, sizeof(enable));
+    {
+      std::lock_guard<std::mutex> lock(queue_mutex_);
+      if (pending_.size() >= options_.max_pending_connections) {
+        // Shed load at the listener rather than queueing unboundedly.
+        ::close(conn);
+        continue;
+      }
+      pending_.push_back(conn);
+    }
+    queue_cv_.notify_one();
+  }
+}
+
+void HttpServer::WorkerLoop() {
+  for (;;) {
+    int fd = -1;
+    {
+      std::unique_lock<std::mutex> lock(queue_mutex_);
+      queue_cv_.wait(lock, [this] {
+        return stop_.load() || !pending_.empty();
+      });
+      if (stop_.load()) return;  // leftovers are closed by Stop()
+      fd = pending_.front();
+      pending_.pop_front();
+    }
+    ServeConnection(fd);
+  }
+}
+
+void HttpServer::ServeConnection(int fd) {
+  std::string buffer;
+  size_t served = 0;
+  bool keep_alive = true;
+  while (keep_alive && !stop_.load()) {
+    // --- read one header block -------------------------------------------
+    const auto idle_deadline =
+        std::chrono::steady_clock::now() + options_.idle_timeout;
+    size_t header_end = std::string::npos;
+    size_t terminator = 4;
+    for (;;) {
+      header_end = buffer.find("\r\n\r\n");
+      if (header_end == std::string::npos) {
+        header_end = buffer.find("\n\n");
+        terminator = 2;
+      } else {
+        terminator = 4;
+      }
+      if (header_end != std::string::npos) break;
+      if (buffer.size() > options_.max_header_bytes) {
+        SendAll(fd, RenderResponse(
+                        HttpResponse::Text(431, "header block too large\n"),
+                        /*http11=*/true, /*keep_alive=*/false));
+        ::close(fd);
+        return;
+      }
+      if (!ReadMore(fd, buffer, stop_, idle_deadline)) {
+        ::close(fd);
+        return;
+      }
+    }
+
+    // --- parse request line + headers ------------------------------------
+    HttpRequest request;
+    bool http11 = false;
+    {
+      const std::string_view head =
+          std::string_view(buffer).substr(0, header_end);
+      size_t line_end = head.find("\r\n");
+      if (line_end == std::string_view::npos) line_end = head.find('\n');
+      const std::string_view line =
+          line_end == std::string_view::npos ? head : head.substr(0, line_end);
+      const size_t sp1 = line.find(' ');
+      const size_t sp2 =
+          sp1 == std::string_view::npos ? std::string_view::npos
+                                        : line.find(' ', sp1 + 1);
+      if (sp1 == std::string_view::npos || sp2 == std::string_view::npos) {
+        SendAll(fd, RenderResponse(
+                        HttpResponse::Text(400, "malformed request line\n"),
+                        /*http11=*/true, /*keep_alive=*/false));
+        ::close(fd);
+        return;
+      }
+      request.method = std::string(line.substr(0, sp1));
+      std::string target(line.substr(sp1 + 1, sp2 - sp1 - 1));
+      const std::string_view version = line.substr(sp2 + 1);
+      http11 = version.find("HTTP/1.1") != std::string_view::npos;
+      const size_t question = target.find('?');
+      if (question != std::string::npos) {
+        request.query = target.substr(question + 1);
+        target.resize(question);
+      }
+      request.path = std::move(target);
+      // Header lines follow the request line.
+      size_t pos = line_end == std::string_view::npos ? head.size()
+                                                      : line_end + 1;
+      while (pos < head.size()) {
+        if (head[pos] == '\n' || head[pos] == '\r') {
+          ++pos;
+          continue;
+        }
+        size_t eol = head.find('\n', pos);
+        if (eol == std::string_view::npos) eol = head.size();
+        std::string_view header_line = head.substr(pos, eol - pos);
+        if (!header_line.empty() && header_line.back() == '\r') {
+          header_line.remove_suffix(1);
+        }
+        const size_t colon = header_line.find(':');
+        if (colon != std::string_view::npos) {
+          request.headers.emplace_back(
+              ToLowerAscii(StripWhitespace(header_line.substr(0, colon))),
+              std::string(StripWhitespace(header_line.substr(colon + 1))));
+        }
+        pos = eol + 1;
+      }
+    }
+
+    // --- read the body ----------------------------------------------------
+    size_t content_length = 0;
+    {
+      const std::string length_text = request.Header("content-length");
+      if (!length_text.empty()) {
+        char* end = nullptr;
+        const unsigned long long parsed =
+            std::strtoull(length_text.c_str(), &end, 10);
+        if (end == nullptr || *end != '\0') {
+          SendAll(fd, RenderResponse(
+                          HttpResponse::Text(400, "bad content-length\n"),
+                          http11, /*keep_alive=*/false));
+          ::close(fd);
+          return;
+        }
+        content_length = static_cast<size_t>(parsed);
+      }
+    }
+    if (content_length > options_.max_body_bytes) {
+      SendAll(fd, RenderResponse(
+                      HttpResponse::Text(413, "request body too large\n"),
+                      http11, /*keep_alive=*/false));
+      ::close(fd);
+      return;
+    }
+    const size_t body_start = header_end + terminator;
+    while (buffer.size() - body_start < content_length) {
+      if (!ReadMore(fd, buffer, stop_, idle_deadline)) {
+        ::close(fd);
+        return;
+      }
+    }
+    request.body = buffer.substr(body_start, content_length);
+    // Keep any pipelined bytes beyond this request for the next loop turn.
+    buffer.erase(0, body_start + content_length);
+
+    // --- dispatch and respond --------------------------------------------
+    const std::string connection = ToLowerAscii(request.Header("connection"));
+    ++served;
+    keep_alive = http11 && connection != "close" &&
+                 served < options_.max_requests_per_connection &&
+                 !stop_.load();
+    if (!http11 && connection == "keep-alive") keep_alive = true;
+    const HttpResponse response = Dispatch(request);
+    if (!SendAll(fd, RenderResponse(response, http11, keep_alive))) break;
+  }
+  ::close(fd);
+}
+
+HttpResponse HttpServer::Dispatch(const HttpRequest& request) const {
+  const auto exact = exact_routes_.find(request.path);
+  if (exact != exact_routes_.end()) return exact->second(request);
+  for (const auto& [prefix, handler] : prefix_routes_) {
+    if (StartsWith(request.path, prefix)) return handler(request);
+  }
+  return HttpResponse::Text(
+      404, StrCat("no such endpoint: ", request.path, "\n"));
+}
+
+std::string HttpServer::RenderResponse(const HttpResponse& response,
+                                       bool http11, bool keep_alive) {
+  std::string rendered =
+      StrCat(http11 ? "HTTP/1.1 " : "HTTP/1.0 ", response.code, " ",
+             HttpReasonPhrase(response.code),
+             "\r\nContent-Type: ", response.content_type,
+             "\r\nContent-Length: ", response.body.size());
+  for (const auto& [name, value] : response.headers) {
+    rendered += StrCat("\r\n", name, ": ", value);
+  }
+  rendered += keep_alive ? "\r\nConnection: keep-alive\r\n\r\n"
+                         : "\r\nConnection: close\r\n\r\n";
+  rendered += response.body;
+  return rendered;
+}
+
+}  // namespace ordlog

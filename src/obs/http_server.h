@@ -1,0 +1,159 @@
+#ifndef ORDLOG_OBS_HTTP_SERVER_H_
+#define ORDLOG_OBS_HTTP_SERVER_H_
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "base/status.h"
+
+namespace ordlog {
+
+// One parsed HTTP request, as handed to a route handler.
+struct HttpRequest {
+  std::string method;  // "GET", "POST", ... (uppercase, as sent)
+  std::string path;    // request path without the query string
+  std::string query;   // raw query string (text after '?', no '?')
+  std::string body;    // entity body (empty unless Content-Length > 0)
+  // Header (name, value) pairs in arrival order; names are lowercased.
+  std::vector<std::pair<std::string, std::string>> headers;
+
+  // Value of the query parameter `key` ("a=1&b=2" style; no %-decoding),
+  // or "" when absent. A bare "key" (no '=') yields "".
+  std::string QueryParam(std::string_view key) const;
+  // Value of the (lowercase) header `name`, or "" when absent.
+  std::string Header(std::string_view name) const;
+};
+
+// What a route handler returns; the server adds the status line,
+// Content-Length and Connection headers when rendering.
+struct HttpResponse {
+  int code = 200;
+  std::string content_type = "text/plain";
+  std::string body;
+  // Extra response headers, e.g. {"Retry-After", "1"}.
+  std::vector<std::pair<std::string, std::string>> headers;
+
+  // A text/plain response with the given status code and body.
+  static HttpResponse Text(int code, std::string body);
+  // An application/json response with the given status code and body.
+  static HttpResponse Json(int code, std::string body);
+  // A 200 text/html response with the given body.
+  static HttpResponse Html(std::string body);
+};
+
+// Canonical reason phrase for `code` ("OK", "Too Many Requests", ...);
+// "Status" for codes this server never emits.
+const char* HttpReasonPhrase(int code);
+
+// A route handler. Must be thread-safe: the worker pool invokes handlers
+// concurrently.
+using HttpHandler = std::function<HttpResponse(const HttpRequest&)>;
+
+// Construction-time configuration for HttpServer.
+struct HttpServerOptions {
+  // TCP port on the IPv4 loopback interface; 0 picks an ephemeral port
+  // (read it back via HttpServer::port()).
+  int port = 0;
+  // Worker threads serving accepted connections (at least 1).
+  size_t num_workers = 2;
+  // Request bodies larger than this are rejected with 413.
+  size_t max_body_bytes = 1 << 20;
+  // Header blocks larger than this are rejected with 431.
+  size_t max_header_bytes = 16 * 1024;
+  // A keep-alive connection idle longer than this is closed.
+  std::chrono::milliseconds idle_timeout{5000};
+  // Requests served per connection before the server closes it.
+  size_t max_requests_per_connection = 1024;
+  // Accepted connections waiting for a worker beyond this are closed
+  // immediately (load shedding at the listener).
+  size_t max_pending_connections = 256;
+};
+
+// A small embedded HTTP/1.1 server over the loopback interface: an accept
+// loop feeding a fixed worker pool, keep-alive with Content-Length framing
+// (bodies are read, responses carry explicit lengths), and a routing table
+// of exact paths plus longest-prefix routes. Grown out of the statsz
+// endpoint (which now runs on top of it) so the KB server and any future
+// endpoint share one HTTP substrate.
+//
+// Scope: an operator/serving endpoint behind a trusted proxy, not a
+// hardened edge server — no TLS, no chunked encoding, loopback only.
+class HttpServer {
+ public:
+  // Configures the server; call Start() to bind and serve.
+  explicit HttpServer(HttpServerOptions options = {});
+
+  // Stops the server (see Stop) if still running.
+  ~HttpServer();
+
+  HttpServer(const HttpServer&) = delete;
+  HttpServer& operator=(const HttpServer&) = delete;
+
+  // Registers `handler` for requests whose path equals `path` exactly.
+  // Routes must be registered before Start(); later registrations race
+  // the dispatch path.
+  void Handle(std::string path, HttpHandler handler);
+
+  // Registers `handler` for requests whose path starts with `prefix`.
+  // The longest matching prefix wins; exact routes win over prefixes.
+  void HandlePrefix(std::string prefix, HttpHandler handler);
+
+  // Binds the port and spawns the accept loop + worker pool. Returns
+  // kFailedPrecondition if already started, or the socket error.
+  Status Start();
+
+  // Signals every thread to exit, joins them, and closes the listener.
+  // In-flight requests finish; idle keep-alive connections are dropped.
+  // Idempotent.
+  void Stop();
+
+  // The bound port (useful with options.port = 0); 0 before Start().
+  int port() const { return port_; }
+
+  // Routes `request` through the handler table without any socket I/O
+  // (exposed for tests and for StatszServer::ResponseFor). Unrouted paths
+  // get the default 404 response.
+  HttpResponse Dispatch(const HttpRequest& request) const;
+
+  // Serializes `response` into wire bytes: status line (HTTP/1.1 when
+  // `http11`, else HTTP/1.0), Content-Type/-Length, extra headers, and
+  // Connection: keep-alive or close per `keep_alive`.
+  static std::string RenderResponse(const HttpResponse& response, bool http11,
+                                    bool keep_alive);
+
+ private:
+  void AcceptLoop();
+  void WorkerLoop();
+  // Serves requests on one connection until close / error / keep-alive
+  // budget / server stop; closes the fd.
+  void ServeConnection(int fd);
+
+  const HttpServerOptions options_;
+  std::unordered_map<std::string, HttpHandler> exact_routes_;
+  // Sorted by descending prefix length (longest match first).
+  std::vector<std::pair<std::string, HttpHandler>> prefix_routes_;
+
+  int listen_fd_ = -1;
+  int port_ = 0;
+  std::atomic<bool> stop_{false};
+  std::thread accept_thread_;
+  std::vector<std::thread> workers_;
+  std::mutex queue_mutex_;
+  std::condition_variable queue_cv_;
+  std::deque<int> pending_;  // accepted fds awaiting a worker
+};
+
+}  // namespace ordlog
+
+#endif  // ORDLOG_OBS_HTTP_SERVER_H_

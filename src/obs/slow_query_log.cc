@@ -11,6 +11,10 @@ namespace ordlog {
 std::string SlowQueryRecord::ToJson() const {
   std::ostringstream os;
   os << "{\"id\":" << id;
+  if (!tenant.empty()) {
+    os << ",\"tenant\":";
+    AppendJsonString(os, tenant);
+  }
   os << ",\"module\":";
   AppendJsonString(os, module);
   os << ",\"literal\":";

@@ -18,6 +18,9 @@ namespace ordlog {
 struct SlowQueryRecord {
   // Monotonically increasing id, assigned by SlowQueryLog::Add.
   uint64_t id = 0;
+  // Owning tenant (QueryEngineOptions::tenant_label); empty for
+  // single-tenant embedders.
+  std::string tenant;
   // QueryRequest::module.
   std::string module;
   // QueryRequest::literal (empty for kCountModels).

@@ -1,184 +1,47 @@
 #include "obs/statsz_server.h"
 
-#include <arpa/inet.h>
-#include <netinet/in.h>
-#include <poll.h>
-#include <sys/socket.h>
-#include <unistd.h>
-
-#include <cerrno>
-#include <cstring>
 #include <sstream>
+#include <utility>
 
 #include "base/strings.h"
 
 namespace ordlog {
 
-namespace {
+void InstallStatszRoutes(HttpServer& http,
+                         const StatszServerOptions& options) {
+  MetricsRegistry* registry = options.registry;
+  SlowQueryLog* slow_log = options.slow_log;
+  std::function<bool()> ready = options.ready;
+  std::function<std::string()> stats_text = options.stats_text;
 
-// Builds a complete HTTP/1.0 response with the standard header block.
-std::string HttpResponse(int code, std::string_view reason,
-                         std::string_view content_type,
-                         std::string_view body) {
-  return StrCat("HTTP/1.0 ", code, " ", reason,
-                "\r\nContent-Type: ", content_type,
-                "\r\nContent-Length: ", body.size(),
-                "\r\nConnection: close\r\n\r\n", body);
-}
-
-// Reads one HTTP request (up to the header terminator or 8 KiB) from a
-// connected socket with a receive timeout already set. Returns the raw
-// bytes; empty on error.
-std::string ReadRequest(int fd) {
-  std::string request;
-  char buffer[1024];
-  while (request.size() < 8192) {
-    const ssize_t n = ::recv(fd, buffer, sizeof(buffer), 0);
-    if (n <= 0) break;
-    request.append(buffer, static_cast<size_t>(n));
-    if (request.find("\r\n\r\n") != std::string::npos) break;
-    if (request.find("\n\n") != std::string::npos) break;
-  }
-  return request;
-}
-
-}  // namespace
-
-StatszServer::StatszServer(StatszServerOptions options)
-    : options_(std::move(options)) {}
-
-StatszServer::~StatszServer() { Stop(); }
-
-Status StatszServer::Start() {
-  if (listen_fd_ >= 0) {
-    return FailedPreconditionError("statsz server already started");
-  }
-  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
-  if (fd < 0) {
-    return InternalError(StrCat("statsz socket(): ", std::strerror(errno)));
-  }
-  const int enable = 1;
-  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &enable, sizeof(enable));
-  sockaddr_in addr{};
-  addr.sin_family = AF_INET;
-  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
-  addr.sin_port = htons(static_cast<uint16_t>(options_.port));
-  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
-      0) {
-    const int err = errno;
-    ::close(fd);
-    return InternalError(StrCat("statsz bind(port=", options_.port,
-                                "): ", std::strerror(err)));
-  }
-  if (::listen(fd, 16) != 0) {
-    const int err = errno;
-    ::close(fd);
-    return InternalError(StrCat("statsz listen(): ", std::strerror(err)));
-  }
-  sockaddr_in bound{};
-  socklen_t bound_len = sizeof(bound);
-  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &bound_len) ==
-      0) {
-    port_ = ntohs(bound.sin_port);
-  }
-  listen_fd_ = fd;
-  stop_.store(false);
-  thread_ = std::thread([this] { Serve(); });
-  return Status::Ok();
-}
-
-void StatszServer::Stop() {
-  if (listen_fd_ < 0) return;
-  stop_.store(true);
-  if (thread_.joinable()) thread_.join();
-  ::close(listen_fd_);
-  listen_fd_ = -1;
-}
-
-void StatszServer::Serve() {
-  while (!stop_.load()) {
-    pollfd pfd{};
-    pfd.fd = listen_fd_;
-    pfd.events = POLLIN;
-    // Bounded poll so the stop flag is observed within ~100 ms.
-    const int ready = ::poll(&pfd, 1, 100);
-    if (ready <= 0) continue;
-    const int conn = ::accept(listen_fd_, nullptr, nullptr);
-    if (conn < 0) continue;
-    timeval timeout{};
-    timeout.tv_sec = 2;
-    ::setsockopt(conn, SOL_SOCKET, SO_RCVTIMEO, &timeout, sizeof(timeout));
-    const std::string request = ReadRequest(conn);
-    std::string response;
-    // Request line: METHOD SP TARGET SP VERSION.
-    const size_t line_end = request.find_first_of("\r\n");
-    const std::string line =
-        line_end == std::string::npos ? request : request.substr(0, line_end);
-    const size_t sp1 = line.find(' ');
-    const size_t sp2 = line.find(' ', sp1 + 1);
-    if (sp1 == std::string::npos || sp2 == std::string::npos) {
-      response = HttpResponse(400, "Bad Request", "text/plain",
-                              "malformed request line\n");
-    } else if (line.substr(0, sp1) != "GET") {
-      response = HttpResponse(405, "Method Not Allowed", "text/plain",
-                              "only GET is supported\n");
-    } else {
-      response = ResponseFor(line.substr(sp1 + 1, sp2 - sp1 - 1));
+  http.Handle("/healthz", [](const HttpRequest&) {
+    return HttpResponse::Text(200, "ok\n");
+  });
+  http.Handle("/readyz", [ready](const HttpRequest&) {
+    const bool is_ready = ready == nullptr || ready();
+    return is_ready ? HttpResponse::Text(200, "ok\n")
+                    : HttpResponse::Text(503, "not ready\n");
+  });
+  http.Handle("/metricsz", [registry](const HttpRequest& request) {
+    const bool want_json = request.QueryParam("format") == "json";
+    if (want_json) {
+      return HttpResponse::Json(
+          200, registry == nullptr ? "{\"families\":[]}"
+                                   : registry->RenderJson());
     }
-    size_t written = 0;
-    while (written < response.size()) {
-      const ssize_t n = ::send(conn, response.data() + written,
-                               response.size() - written, MSG_NOSIGNAL);
-      if (n <= 0) break;
-      written += static_cast<size_t>(n);
-    }
-    ::close(conn);
-  }
-}
-
-std::string StatszServer::ResponseFor(const std::string& request_target) const {
-  std::string path = request_target;
-  std::string query;
-  const size_t question = path.find('?');
-  if (question != std::string::npos) {
-    query = path.substr(question + 1);
-    path = path.substr(0, question);
-  }
-  const bool want_json = query.find("format=json") != std::string::npos;
-
-  if (path == "/healthz") {
-    return HttpResponse(200, "OK", "text/plain", "ok\n");
-  }
-  if (path == "/readyz") {
-    const bool ready = options_.ready == nullptr || options_.ready();
-    return ready ? HttpResponse(200, "OK", "text/plain", "ok\n")
-                 : HttpResponse(503, "Service Unavailable", "text/plain",
-                                "not ready\n");
-  }
-  if (path == "/metricsz") {
-    if (options_.registry == nullptr) {
-      return want_json
-                 ? HttpResponse(200, "OK", "application/json",
-                                "{\"families\":[]}")
-                 : HttpResponse(200, "OK",
-                                "text/plain; version=0.0.4; charset=utf-8",
-                                "");
-    }
-    return want_json
-               ? HttpResponse(200, "OK", "application/json",
-                              options_.registry->RenderJson())
-               : HttpResponse(200, "OK",
-                              "text/plain; version=0.0.4; charset=utf-8",
-                              options_.registry->RenderPrometheus());
-  }
-  if (path == "/slowz") {
-    const std::string body = options_.slow_log == nullptr
-                                 ? "{\"capacity\":0,\"recorded\":0,"
-                                   "\"queries\":[]}"
-                                 : options_.slow_log->RenderJson();
-    return HttpResponse(200, "OK", "application/json", body);
-  }
-  if (path == "/" || path == "/statsz") {
+    HttpResponse response = HttpResponse::Text(
+        200, registry == nullptr ? "" : registry->RenderPrometheus());
+    response.content_type = "text/plain; version=0.0.4; charset=utf-8";
+    return response;
+  });
+  http.Handle("/slowz", [slow_log](const HttpRequest&) {
+    return HttpResponse::Json(
+        200, slow_log == nullptr
+                 ? "{\"capacity\":0,\"recorded\":0,\"queries\":[]}"
+                 : slow_log->RenderJson());
+  });
+  const HttpHandler dashboard = [registry,
+                                 stats_text](const HttpRequest&) {
     std::ostringstream os;
     os << "<!DOCTYPE html><html><head><title>ordlog statsz</title></head>"
        << "<body><h1>ordlog statsz</h1>";
@@ -187,18 +50,60 @@ std::string StatszServer::ResponseFor(const std::string& request_target) const {
        << "<a href=\"/slowz\">/slowz</a> | "
        << "<a href=\"/healthz\">/healthz</a> | "
        << "<a href=\"/readyz\">/readyz</a></p>";
-    if (options_.stats_text != nullptr) {
-      os << "<h2>runtime</h2><pre>" << options_.stats_text() << "</pre>";
+    if (stats_text != nullptr) {
+      os << "<h2>runtime</h2><pre>" << stats_text() << "</pre>";
     }
-    if (options_.registry != nullptr) {
-      os << "<h2>metrics</h2><pre>" << options_.registry->RenderPrometheus()
+    if (registry != nullptr) {
+      os << "<h2>metrics</h2><pre>" << registry->RenderPrometheus()
          << "</pre>";
     }
     os << "</body></html>\n";
-    return HttpResponse(200, "OK", "text/html; charset=utf-8", os.str());
+    return HttpResponse::Html(os.str());
+  };
+  http.Handle("/statsz", dashboard);
+  http.Handle("/", dashboard);
+}
+
+StatszServer::StatszServer(StatszServerOptions options)
+    : options_(std::move(options)) {
+  HttpServerOptions http_options;
+  http_options.port = options_.port;
+  http_options.num_workers = options_.num_workers;
+  http_ = std::make_unique<HttpServer>(http_options);
+  InstallStatszRoutes(*http_, options_);
+}
+
+StatszServer::~StatszServer() { Stop(); }
+
+Status StatszServer::Start() {
+  if (started_) {
+    return FailedPreconditionError("statsz server already started");
   }
-  return HttpResponse(404, "Not Found", "text/plain",
-                      StrCat("no such endpoint: ", path, "\n"));
+  ORDLOG_RETURN_IF_ERROR(http_->Start());
+  started_ = true;
+  return Status::Ok();
+}
+
+void StatszServer::Stop() {
+  if (!started_) return;
+  http_->Stop();
+  started_ = false;
+}
+
+std::string StatszServer::ResponseFor(
+    const std::string& request_target) const {
+  HttpRequest request;
+  request.method = "GET";
+  request.path = request_target;
+  const size_t question = request.path.find('?');
+  if (question != std::string::npos) {
+    request.query = request.path.substr(question + 1);
+    request.path.resize(question);
+  }
+  // Rendered as HTTP/1.0 + close, matching the endpoint's historical
+  // single-request contract (the live server negotiates keep-alive).
+  return HttpServer::RenderResponse(http_->Dispatch(request),
+                                    /*http11=*/false, /*keep_alive=*/false);
 }
 
 }  // namespace ordlog

@@ -1,18 +1,19 @@
 #ifndef ORDLOG_OBS_STATSZ_SERVER_H_
 #define ORDLOG_OBS_STATSZ_SERVER_H_
 
-#include <atomic>
 #include <functional>
+#include <memory>
 #include <string>
-#include <thread>
 
 #include "base/status.h"
+#include "obs/http_server.h"
 #include "obs/metrics.h"
 #include "obs/slow_query_log.h"
 
 namespace ordlog {
 
-// Construction-time configuration for StatszServer.
+// Construction-time configuration for StatszServer (and for the shared
+// statsz routes installed by InstallStatszRoutes).
 struct StatszServerOptions {
   // TCP port to bind on the IPv4 loopback interface; 0 picks an ephemeral
   // port (read it back via StatszServer::port()).
@@ -28,21 +29,29 @@ struct StatszServerOptions {
   // Extra human-readable status text for the /statsz dashboard (e.g. the
   // engine's MetricsSnapshot::ToString()); null for none.
   std::function<std::string()> stats_text;
+  // Worker threads for the underlying HttpServer; concurrent scrapes no
+  // longer serialize behind a single accept loop.
+  size_t num_workers = 2;
 };
 
-// A minimal blocking HTTP/1.0 endpoint for operators and scrapers, served
-// from one listener thread:
+// Installs the operator endpoints on `http`:
 //
 //   /metricsz   Prometheus text exposition (?format=json for JSON)
 //   /statsz     human dashboard (HTML): status line + metrics
-//   /healthz    liveness ("ok" while the thread runs)
+//   /healthz    liveness ("ok" while the server runs)
 //   /readyz     readiness (503 until the `ready` callback says yes)
 //   /slowz      the slow-query log as JSON
 //
-// Scope: a debug/scrape endpoint, not a general web server. One request
-// per connection, GET only, responses are built in memory; the accept
-// loop handles one connection at a time (scrapes are rare and cheap).
-// Binds the loopback interface only.
+// `options.port` / `options.num_workers` are ignored here; the sources and
+// callbacks must outlive `http`. Shared by StatszServer and the KB server
+// (src/server/), so every embedded HTTP endpoint exposes the same
+// dashboard surface.
+void InstallStatszRoutes(HttpServer& http, const StatszServerOptions& options);
+
+// The operator/scrape endpoint, served by a reusable HttpServer (see
+// obs/http_server.h): a small worker pool accepts concurrent scrapes,
+// connections are kept alive for HTTP/1.1 clients, and responses are
+// built in memory. Binds the loopback interface only.
 class StatszServer {
  public:
   // Configures the server; call Start() to bind and serve.
@@ -54,15 +63,15 @@ class StatszServer {
   StatszServer(const StatszServer&) = delete;
   StatszServer& operator=(const StatszServer&) = delete;
 
-  // Binds the port and spawns the listener thread. Returns
+  // Binds the port and spawns the listener + workers. Returns
   // kFailedPrecondition if already started, or the socket error.
   Status Start();
 
-  // Signals the listener thread to exit and joins it. Idempotent.
+  // Stops and joins every server thread. Idempotent.
   void Stop();
 
   // The bound port (useful with options.port = 0); 0 before Start().
-  int port() const { return port_; }
+  int port() const { return http_ == nullptr ? 0 : http_->port(); }
 
   // Builds the HTTP response for `request_target` (the path part of the
   // request line, e.g. "/metricsz?format=json"). Exposed for tests; the
@@ -70,13 +79,9 @@ class StatszServer {
   std::string ResponseFor(const std::string& request_target) const;
 
  private:
-  void Serve();
-
   const StatszServerOptions options_;
-  int listen_fd_ = -1;
-  int port_ = 0;
-  std::atomic<bool> stop_{false};
-  std::thread thread_;
+  std::unique_ptr<HttpServer> http_;
+  bool started_ = false;
 };
 
 }  // namespace ordlog

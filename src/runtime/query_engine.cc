@@ -610,6 +610,7 @@ StatusOr<QueryAnswer> QueryEngine::Run(const QueryRequest& request) {
 
   if (slow_log_ != nullptr && latency >= *options_.slow_query_threshold) {
     SlowQueryRecord record;
+    record.tenant = options_.tenant_label;
     record.module = request.module;
     record.literal = request.literal;
     record.mode = QueryModeName(request.mode);

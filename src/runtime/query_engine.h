@@ -71,6 +71,10 @@ struct QueryEngineOptions {
   size_t slow_query_capacity = 64;
   // Trace events captured per query for slow-query records (ring buffer).
   size_t slow_query_trace_events = 256;
+  // Multi-tenant embedders (src/server/) set the owning tenant's name
+  // here; it is stamped onto every SlowQueryRecord this engine emits.
+  // Empty (the default) leaves single-tenant output unchanged.
+  std::string tenant_label;
 };
 
 // One query: which module to ask, what to ask it, and how.

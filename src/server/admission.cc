@@ -1,0 +1,72 @@
+#include "server/admission.h"
+
+namespace ordlog {
+
+AdmissionController::AdmissionController(AdmissionOptions options,
+                                         MetricsRegistry* metrics)
+    : options_(options) {
+  if (metrics != nullptr) {
+    rejected_ = &metrics->GetCounterFamily(
+        "ordlog_server_admission_rejected_total",
+        "Requests rejected by admission control, by tenant and reason.",
+        {"tenant", "reason"});
+    inflight_gauge_ = &metrics
+                           ->GetGaugeFamily(
+                               "ordlog_server_inflight",
+                               "Requests currently admitted, server-wide.")
+                           .WithLabels();
+  }
+}
+
+AdmissionDecision AdmissionController::TryEnter(
+    const std::string& tenant, std::atomic<uint64_t>& tenant_inflight) {
+  AdmissionDecision decision;
+
+  // Claim a global slot first; it is the cheaper check to unwind.
+  const uint64_t global =
+      global_inflight_.fetch_add(1, std::memory_order_relaxed) + 1;
+  if (options_.global_max_inflight != 0 &&
+      global > options_.global_max_inflight) {
+    global_inflight_.fetch_sub(1, std::memory_order_relaxed);
+    decision.http_code = 503;
+    decision.retry_after_seconds = options_.retry_after_seconds;
+    decision.reason = "global_quota";
+    if (rejected_ != nullptr) {
+      rejected_->WithLabels(tenant, decision.reason).Increment();
+    }
+    return decision;
+  }
+
+  const uint64_t mine =
+      tenant_inflight.fetch_add(1, std::memory_order_relaxed) + 1;
+  if (options_.tenant_max_inflight != 0 &&
+      mine > options_.tenant_max_inflight) {
+    tenant_inflight.fetch_sub(1, std::memory_order_relaxed);
+    global_inflight_.fetch_sub(1, std::memory_order_relaxed);
+    decision.http_code = 429;
+    decision.retry_after_seconds = options_.retry_after_seconds;
+    decision.reason = "tenant_quota";
+    if (rejected_ != nullptr) {
+      rejected_->WithLabels(tenant, decision.reason).Increment();
+    }
+    return decision;
+  }
+
+  decision.admitted = true;
+  if (inflight_gauge_ != nullptr) {
+    inflight_gauge_->Set(
+        static_cast<int64_t>(global_inflight_.load(std::memory_order_relaxed)));
+  }
+  return decision;
+}
+
+void AdmissionController::Exit(std::atomic<uint64_t>& tenant_inflight) {
+  tenant_inflight.fetch_sub(1, std::memory_order_relaxed);
+  const uint64_t global =
+      global_inflight_.fetch_sub(1, std::memory_order_relaxed) - 1;
+  if (inflight_gauge_ != nullptr) {
+    inflight_gauge_->Set(static_cast<int64_t>(global));
+  }
+}
+
+}  // namespace ordlog

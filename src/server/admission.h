@@ -1,0 +1,74 @@
+#ifndef ORDLOG_SERVER_ADMISSION_H_
+#define ORDLOG_SERVER_ADMISSION_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+#include "obs/metrics.h"
+
+namespace ordlog {
+
+struct AdmissionOptions {
+  // Concurrent requests allowed per tenant before 429 (0 = unlimited).
+  size_t tenant_max_inflight = 32;
+  // Concurrent requests allowed server-wide before 503 (0 = unlimited).
+  size_t global_max_inflight = 256;
+  // Retry-After header value, in seconds, on rejected requests.
+  int retry_after_seconds = 1;
+};
+
+// Outcome of AdmissionController::TryEnter.
+struct AdmissionDecision {
+  bool admitted = false;
+  // 429 (per-tenant quota) or 503 (global quota) when rejected.
+  int http_code = 0;
+  int retry_after_seconds = 0;
+  // "tenant_quota" or "global_quota"; used as the metric's reason label.
+  std::string reason;
+};
+
+// Server-wide admission control: a global in-flight ceiling protecting the
+// process (503) layered over per-tenant ceilings protecting neighbors from
+// a noisy tenant (429). The per-tenant counter lives with the tenant (so a
+// dropped tenant's quota dies with it); this class owns only the global
+// count and the rejection metrics.
+//
+// Usage:
+//   AdmissionDecision d = admission.TryEnter(tenant_name, tenant_inflight);
+//   if (!d.admitted) { reply d.http_code with Retry-After; return; }
+//   ... handle request ...
+//   admission.Exit(tenant_inflight);
+class AdmissionController {
+ public:
+  // `metrics` may be null (no rejection counters exported).
+  AdmissionController(AdmissionOptions options, MetricsRegistry* metrics);
+
+  AdmissionController(const AdmissionController&) = delete;
+  AdmissionController& operator=(const AdmissionController&) = delete;
+
+  // Tries to admit one request for `tenant`, whose live in-flight counter
+  // is `tenant_inflight`. On admission both counters are incremented and
+  // the caller MUST balance with Exit(tenant_inflight); on rejection
+  // neither is.
+  AdmissionDecision TryEnter(const std::string& tenant,
+                             std::atomic<uint64_t>& tenant_inflight);
+
+  // Releases one admitted request.
+  void Exit(std::atomic<uint64_t>& tenant_inflight);
+
+  uint64_t global_inflight() const {
+    return global_inflight_.load(std::memory_order_relaxed);
+  }
+  const AdmissionOptions& options() const { return options_; }
+
+ private:
+  const AdmissionOptions options_;
+  std::atomic<uint64_t> global_inflight_{0};
+  CounterFamily* rejected_ = nullptr;  // {tenant, reason}
+  Gauge* inflight_gauge_ = nullptr;
+};
+
+}  // namespace ordlog
+
+#endif  // ORDLOG_SERVER_ADMISSION_H_

@@ -1,0 +1,256 @@
+#include "server/json_value.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdlib>
+
+#include "base/strings.h"
+
+namespace ordlog {
+
+namespace {
+constexpr int kMaxDepth = 64;
+}  // namespace
+
+// Recursive-descent parser over a string_view cursor.
+class JsonParser {
+ public:
+  explicit JsonParser(std::string_view text) : text_(text) {}
+
+  StatusOr<JsonValue> ParseDocument() {
+    ORDLOG_ASSIGN_OR_RETURN(JsonValue value, ParseValue(0));
+    SkipWhitespace();
+    if (pos_ != text_.size()) {
+      return Error("trailing characters after JSON document");
+    }
+    return value;
+  }
+
+ private:
+  Status Error(std::string_view message) const {
+    return InvalidArgumentError(
+        StrCat("json parse error at byte ", pos_, ": ", message));
+  }
+
+  void SkipWhitespace() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  bool Consume(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool ConsumeWord(std::string_view word) {
+    if (text_.substr(pos_, word.size()) == word) {
+      pos_ += word.size();
+      return true;
+    }
+    return false;
+  }
+
+  StatusOr<JsonValue> ParseValue(int depth) {
+    if (depth > kMaxDepth) return Error("nesting too deep");
+    SkipWhitespace();
+    if (pos_ >= text_.size()) return Error("unexpected end of input");
+    const char c = text_[pos_];
+    JsonValue value;
+    switch (c) {
+      case '{': {
+        ++pos_;
+        value.kind_ = JsonValue::Kind::kObject;
+        SkipWhitespace();
+        if (Consume('}')) return value;
+        for (;;) {
+          SkipWhitespace();
+          if (pos_ >= text_.size() || text_[pos_] != '"') {
+            return Error("expected object key string");
+          }
+          ORDLOG_ASSIGN_OR_RETURN(std::string key, ParseString());
+          SkipWhitespace();
+          if (!Consume(':')) return Error("expected ':' after object key");
+          ORDLOG_ASSIGN_OR_RETURN(JsonValue member, ParseValue(depth + 1));
+          value.object_.emplace_back(std::move(key), std::move(member));
+          SkipWhitespace();
+          if (Consume(',')) continue;
+          if (Consume('}')) return value;
+          return Error("expected ',' or '}' in object");
+        }
+      }
+      case '[': {
+        ++pos_;
+        value.kind_ = JsonValue::Kind::kArray;
+        SkipWhitespace();
+        if (Consume(']')) return value;
+        for (;;) {
+          ORDLOG_ASSIGN_OR_RETURN(JsonValue item, ParseValue(depth + 1));
+          value.array_.push_back(std::move(item));
+          SkipWhitespace();
+          if (Consume(',')) continue;
+          if (Consume(']')) return value;
+          return Error("expected ',' or ']' in array");
+        }
+      }
+      case '"': {
+        value.kind_ = JsonValue::Kind::kString;
+        ORDLOG_ASSIGN_OR_RETURN(value.string_, ParseString());
+        return value;
+      }
+      case 't':
+        if (!ConsumeWord("true")) return Error("bad literal");
+        value.kind_ = JsonValue::Kind::kBool;
+        value.bool_ = true;
+        return value;
+      case 'f':
+        if (!ConsumeWord("false")) return Error("bad literal");
+        value.kind_ = JsonValue::Kind::kBool;
+        value.bool_ = false;
+        return value;
+      case 'n':
+        if (!ConsumeWord("null")) return Error("bad literal");
+        value.kind_ = JsonValue::Kind::kNull;
+        return value;
+      default:
+        return ParseNumber();
+    }
+  }
+
+  StatusOr<std::string> ParseString() {
+    // Caller verified text_[pos_] == '"'.
+    ++pos_;
+    std::string out;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c == '"') {
+        ++pos_;
+        return out;
+      }
+      if (c == '\\') {
+        ++pos_;
+        if (pos_ >= text_.size()) break;
+        const char escape = text_[pos_++];
+        switch (escape) {
+          case '"': out.push_back('"'); break;
+          case '\\': out.push_back('\\'); break;
+          case '/': out.push_back('/'); break;
+          case 'b': out.push_back('\b'); break;
+          case 'f': out.push_back('\f'); break;
+          case 'n': out.push_back('\n'); break;
+          case 'r': out.push_back('\r'); break;
+          case 't': out.push_back('\t'); break;
+          case 'u': {
+            if (pos_ + 4 > text_.size()) return Error("bad \\u escape");
+            unsigned int codepoint = 0;
+            for (int i = 0; i < 4; ++i) {
+              const char hex = text_[pos_++];
+              codepoint <<= 4;
+              if (hex >= '0' && hex <= '9') codepoint |= hex - '0';
+              else if (hex >= 'a' && hex <= 'f') codepoint |= hex - 'a' + 10;
+              else if (hex >= 'A' && hex <= 'F') codepoint |= hex - 'A' + 10;
+              else return Error("bad \\u escape digit");
+            }
+            // UTF-8 encode the BMP code point (surrogate pairs are not
+            // combined; the wire protocol carries ASCII program text).
+            if (codepoint < 0x80) {
+              out.push_back(static_cast<char>(codepoint));
+            } else if (codepoint < 0x800) {
+              out.push_back(static_cast<char>(0xC0 | (codepoint >> 6)));
+              out.push_back(static_cast<char>(0x80 | (codepoint & 0x3F)));
+            } else {
+              out.push_back(static_cast<char>(0xE0 | (codepoint >> 12)));
+              out.push_back(
+                  static_cast<char>(0x80 | ((codepoint >> 6) & 0x3F)));
+              out.push_back(static_cast<char>(0x80 | (codepoint & 0x3F)));
+            }
+            break;
+          }
+          default:
+            return Error("unknown escape character");
+        }
+        continue;
+      }
+      if (static_cast<unsigned char>(c) < 0x20) {
+        return Error("unescaped control character in string");
+      }
+      out.push_back(c);
+      ++pos_;
+    }
+    return Error("unterminated string");
+  }
+
+  StatusOr<JsonValue> ParseNumber() {
+    const size_t start = pos_;
+    if (Consume('-')) {
+    }
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-')) {
+      ++pos_;
+    }
+    if (pos_ == start) return Error("expected a JSON value");
+    const std::string token(text_.substr(start, pos_ - start));
+    char* end = nullptr;
+    const double parsed = std::strtod(token.c_str(), &end);
+    if (end == nullptr || *end != '\0' || !std::isfinite(parsed)) {
+      return Error("malformed number");
+    }
+    JsonValue value;
+    value.kind_ = JsonValue::Kind::kNumber;
+    value.number_ = parsed;
+    return value;
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+};
+
+StatusOr<JsonValue> JsonValue::Parse(std::string_view text) {
+  return JsonParser(text).ParseDocument();
+}
+
+const JsonValue* JsonValue::Find(std::string_view key) const {
+  if (kind_ != Kind::kObject) return nullptr;
+  for (const auto& [name, value] : object_) {
+    if (name == key) return &value;
+  }
+  return nullptr;
+}
+
+StatusOr<std::string> JsonValue::GetString(std::string_view key,
+                                           std::string_view fallback) const {
+  const JsonValue* member = Find(key);
+  if (member == nullptr) return std::string(fallback);
+  if (!member->is_string()) {
+    return InvalidArgumentError(StrCat("field '", key, "' must be a string"));
+  }
+  return member->string_value();
+}
+
+StatusOr<bool> JsonValue::GetBool(std::string_view key, bool fallback) const {
+  const JsonValue* member = Find(key);
+  if (member == nullptr) return fallback;
+  if (!member->is_bool()) {
+    return InvalidArgumentError(StrCat("field '", key, "' must be a bool"));
+  }
+  return member->bool_value();
+}
+
+StatusOr<int64_t> JsonValue::GetInt(std::string_view key,
+                                    int64_t fallback) const {
+  const JsonValue* member = Find(key);
+  if (member == nullptr) return fallback;
+  if (!member->is_number()) {
+    return InvalidArgumentError(StrCat("field '", key, "' must be a number"));
+  }
+  return static_cast<int64_t>(member->number_value());
+}
+
+}  // namespace ordlog

@@ -1,0 +1,70 @@
+#ifndef ORDLOG_SERVER_JSON_VALUE_H_
+#define ORDLOG_SERVER_JSON_VALUE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "base/status.h"
+
+namespace ordlog {
+
+// A parsed JSON document node. The wire protocol's request bodies are
+// small, so this favors simplicity over zero-copy: strings are owned,
+// objects are ordered (name, value) vectors. The companion *writer* lives
+// in trace/json.h (AppendJsonString / JsonQuote); this is the reader side
+// the server needs to accept request bodies.
+class JsonValue {
+ public:
+  enum class Kind : uint8_t { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  // Parses `text` as one JSON document (RFC 8259 subset: no \u surrogate
+  // pairs beyond the BMP, numbers as double). Trailing non-whitespace is
+  // an error. Nesting is capped at 64 levels.
+  static StatusOr<JsonValue> Parse(std::string_view text);
+
+  Kind kind() const { return kind_; }
+  bool is_null() const { return kind_ == Kind::kNull; }
+  bool is_bool() const { return kind_ == Kind::kBool; }
+  bool is_number() const { return kind_ == Kind::kNumber; }
+  bool is_string() const { return kind_ == Kind::kString; }
+  bool is_array() const { return kind_ == Kind::kArray; }
+  bool is_object() const { return kind_ == Kind::kObject; }
+
+  bool bool_value() const { return bool_; }
+  double number_value() const { return number_; }
+  const std::string& string_value() const { return string_; }
+  const std::vector<JsonValue>& array_items() const { return array_; }
+  const std::vector<std::pair<std::string, JsonValue>>& object_members()
+      const {
+    return object_;
+  }
+
+  // Object member lookup (first match), or null when absent or when this
+  // value is not an object.
+  const JsonValue* Find(std::string_view key) const;
+
+  // Convenience accessors for the protocol handlers: the member's value
+  // coerced to the requested type, or `fallback` when the member is
+  // missing; kInvalidArgument when present with the wrong type.
+  StatusOr<std::string> GetString(std::string_view key,
+                                  std::string_view fallback) const;
+  StatusOr<bool> GetBool(std::string_view key, bool fallback) const;
+  StatusOr<int64_t> GetInt(std::string_view key, int64_t fallback) const;
+
+ private:
+  Kind kind_ = Kind::kNull;
+  bool bool_ = false;
+  double number_ = 0;
+  std::string string_;
+  std::vector<JsonValue> array_;
+  std::vector<std::pair<std::string, JsonValue>> object_;
+
+  friend class JsonParser;
+};
+
+}  // namespace ordlog
+
+#endif  // ORDLOG_SERVER_JSON_VALUE_H_

@@ -1,0 +1,259 @@
+#include "server/kb_registry.h"
+
+#include <algorithm>
+#include <filesystem>
+#include <functional>
+#include <utility>
+
+#include "base/strings.h"
+
+namespace fs = std::filesystem;
+
+namespace ordlog {
+
+void TenantLease::Release() {
+  if (tenant_ == nullptr) return;
+  {
+    std::lock_guard<std::mutex> lock(tenant_->drain_mutex);
+    --tenant_->active;
+  }
+  tenant_->drain_cv.notify_all();
+  tenant_.reset();
+}
+
+bool IsValidTenantName(std::string_view name) {
+  if (name.empty() || name.size() > 64) return false;
+  for (const char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') ||
+                    c == '_' || c == '-';
+    if (!ok) return false;
+  }
+  return true;
+}
+
+KbRegistry::KbRegistry(KbRegistryOptions options)
+    : options_(std::move(options)) {
+  const size_t shards = std::max<size_t>(1, options_.num_shards);
+  shards_.reserve(shards);
+  for (size_t i = 0; i < shards; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+  if (options_.metrics != nullptr) {
+    tenants_gauge_ =
+        &options_.metrics
+             ->GetGaugeFamily("ordlog_server_tenants", "Live tenant count.")
+             .WithLabels();
+  }
+}
+
+KbRegistry::~KbRegistry() { Shutdown(); }
+
+KbRegistry::Shard& KbRegistry::ShardFor(std::string_view name) {
+  return *shards_[std::hash<std::string_view>{}(name) % shards_.size()];
+}
+
+const KbRegistry::Shard& KbRegistry::ShardFor(std::string_view name) const {
+  return *shards_[std::hash<std::string_view>{}(name) % shards_.size()];
+}
+
+std::string KbRegistry::TenantDir(std::string_view name) const {
+  return StrCat(options_.data_dir, "/", name);
+}
+
+StatusOr<std::shared_ptr<Tenant>> KbRegistry::Build(std::string_view name,
+                                                    RecoveryInfo* info) {
+  auto tenant = std::make_shared<Tenant>();
+  tenant->name = std::string(name);
+  tenant->durable = !options_.data_dir.empty();
+  if (tenant->durable) {
+    TenantStorageOptions storage_options;
+    storage_options.dir = TenantDir(name);
+    storage_options.snapshot_every = options_.snapshot_every;
+    ORDLOG_RETURN_IF_ERROR(
+        tenant->storage.Open(std::move(storage_options), tenant->kb, info));
+  }
+  QueryEngineOptions engine_options;
+  engine_options.num_threads = std::max<size_t>(1, options_.engine_threads);
+  engine_options.default_deadline = options_.default_deadline;
+  engine_options.slow_query_threshold = options_.slow_query_threshold;
+  engine_options.statsz_port = -1;  // the KB server fronts all HTTP
+  engine_options.tenant_label = tenant->name;
+  tenant->engine =
+      std::make_unique<QueryEngine>(tenant->kb, std::move(engine_options));
+  if (tenant->durable) {
+    // Route the WAL fsync histogram into the tenant engine's registry so
+    // /v1/<tenant>/metricsz shows it (installed after engine construction
+    // because the registry lives inside the engine).
+    Histogram* fsync_us =
+        &tenant->engine->Registry()
+             .GetHistogramFamily("ordlog_server_wal_fsync_us",
+                                 "WAL fsync latency, microseconds.")
+             .WithLabels();
+    // The same samples also feed the server-wide registry, labeled by
+    // tenant (cardinality bounded by max_tenants).
+    Histogram* server_fsync_us =
+        options_.metrics == nullptr
+            ? nullptr
+            : &options_.metrics
+                   ->GetHistogramFamily(
+                       "ordlog_server_wal_fsync_us",
+                       "WAL fsync latency, microseconds.", {"tenant"})
+                   .WithLabels(tenant->name);
+    // Safe to capture raw: the observer is owned by storage, which the
+    // drain protocol destroys before the engine.
+    tenant->storage.SetFsyncObserver([fsync_us, server_fsync_us](double us) {
+      const auto sample = static_cast<uint64_t>(us);
+      fsync_us->Record(sample);
+      if (server_fsync_us != nullptr) server_fsync_us->Record(sample);
+    });
+  }
+  return tenant;
+}
+
+Status KbRegistry::Create(std::string_view name, RecoveryInfo* info) {
+  if (!IsValidTenantName(name)) {
+    return InvalidArgumentError(
+        StrCat("invalid tenant name '", name,
+               "' (want [a-z0-9_-]+, at most 64 bytes)"));
+  }
+  if (count_.load(std::memory_order_relaxed) >= options_.max_tenants) {
+    return ResourceExhaustedError(
+        StrCat("tenant limit reached (", options_.max_tenants, ")"));
+  }
+  {
+    // Reserve the name first so two racing Creates cannot both build.
+    Shard& shard = ShardFor(name);
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    auto [it, inserted] =
+        shard.tenants.emplace(std::string(name), nullptr);
+    if (!inserted) {
+      return it->second == nullptr
+                 ? AlreadyExistsError(
+                       StrCat("tenant '", name, "' is being created"))
+                 : AlreadyExistsError(StrCat("tenant '", name, "' exists"));
+    }
+  }
+  StatusOr<std::shared_ptr<Tenant>> built = Build(name, info);
+  Shard& shard = ShardFor(name);
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  if (!built.ok()) {
+    shard.tenants.erase(std::string(name));
+    return built.status();
+  }
+  shard.tenants[std::string(name)] = std::move(built).value();
+  const size_t count = count_.fetch_add(1, std::memory_order_relaxed) + 1;
+  if (tenants_gauge_ != nullptr) {
+    tenants_gauge_->Set(static_cast<int64_t>(count));
+  }
+  return Status::Ok();
+}
+
+StatusOr<TenantLease> KbRegistry::Acquire(std::string_view name) {
+  Shard& shard = ShardFor(name);
+  std::shared_ptr<Tenant> tenant;
+  {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    const auto it = shard.tenants.find(std::string(name));
+    if (it == shard.tenants.end() || it->second == nullptr) {
+      return NotFoundError(StrCat("no such tenant '", name, "'"));
+    }
+    tenant = it->second;
+    // Count the lease while still under the shard lock, so Drop (which
+    // unlinks under the same lock) either sees us or never admits us.
+    std::lock_guard<std::mutex> drain(tenant->drain_mutex);
+    ++tenant->active;
+  }
+  return TenantLease(std::move(tenant));
+}
+
+void KbRegistry::Drain(const std::shared_ptr<Tenant>& tenant) {
+  {
+    std::unique_lock<std::mutex> lock(tenant->drain_mutex);
+    tenant->drain_cv.wait(lock, [&] { return tenant->active == 0; });
+  }
+  // Deterministic teardown on the calling thread: the engine's destructor
+  // joins its worker pool here and now — no detached threads survive.
+  tenant->engine.reset();
+  tenant->storage.Close();
+}
+
+Status KbRegistry::Drop(std::string_view name) {
+  Shard& shard = ShardFor(name);
+  std::shared_ptr<Tenant> tenant;
+  {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    const auto it = shard.tenants.find(std::string(name));
+    if (it == shard.tenants.end() || it->second == nullptr) {
+      return NotFoundError(StrCat("no such tenant '", name, "'"));
+    }
+    tenant = std::move(it->second);
+    shard.tenants.erase(it);
+  }
+  const size_t count = count_.fetch_sub(1, std::memory_order_relaxed) - 1;
+  if (tenants_gauge_ != nullptr) {
+    tenants_gauge_->Set(static_cast<int64_t>(count));
+  }
+  Drain(tenant);
+  if (tenant->durable) {
+    ORDLOG_RETURN_IF_ERROR(tenant->storage.Destroy());
+  }
+  return Status::Ok();
+}
+
+std::vector<std::string> KbRegistry::List() const {
+  std::vector<std::string> names;
+  for (const std::unique_ptr<Shard>& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mutex);
+    for (const auto& [name, tenant] : shard->tenants) {
+      if (tenant != nullptr) names.push_back(name);
+    }
+  }
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+size_t KbRegistry::size() const {
+  return count_.load(std::memory_order_relaxed);
+}
+
+Status KbRegistry::RecoverAll() {
+  if (options_.data_dir.empty()) return Status::Ok();
+  std::error_code ec;
+  fs::create_directories(options_.data_dir, ec);
+  if (ec) {
+    return InternalError(
+        StrCat("create ", options_.data_dir, ": ", ec.message()));
+  }
+  for (const fs::directory_entry& entry :
+       fs::directory_iterator(options_.data_dir, ec)) {
+    if (!entry.is_directory()) continue;
+    const std::string name = entry.path().filename().string();
+    if (!IsValidTenantName(name)) continue;
+    ORDLOG_RETURN_IF_ERROR(Create(name));
+  }
+  if (ec) {
+    return InternalError(
+        StrCat("list ", options_.data_dir, ": ", ec.message()));
+  }
+  return Status::Ok();
+}
+
+void KbRegistry::Shutdown() {
+  for (const std::unique_ptr<Shard>& shard : shards_) {
+    std::unordered_map<std::string, std::shared_ptr<Tenant>> taken;
+    {
+      std::lock_guard<std::mutex> lock(shard->mutex);
+      taken.swap(shard->tenants);
+    }
+    for (auto& [name, tenant] : taken) {
+      if (tenant == nullptr) continue;
+      count_.fetch_sub(1, std::memory_order_relaxed);
+      Drain(tenant);
+    }
+  }
+  if (tenants_gauge_ != nullptr) {
+    tenants_gauge_->Set(static_cast<int64_t>(count_.load()));
+  }
+}
+
+}  // namespace ordlog

@@ -1,0 +1,175 @@
+#ifndef ORDLOG_SERVER_KB_REGISTRY_H_
+#define ORDLOG_SERVER_KB_REGISTRY_H_
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "base/status.h"
+#include "kb/knowledge_base.h"
+#include "obs/metrics.h"
+#include "runtime/query_engine.h"
+#include "server/storage.h"
+
+namespace ordlog {
+
+struct KbRegistryOptions {
+  // Shard count for the tenant map (locks scale with it).
+  size_t num_shards = 8;
+  // Hard cap on live tenants; Create past it returns kResourceExhausted.
+  // Also the cardinality bound justifying per-tenant metric labels.
+  size_t max_tenants = 64;
+  // Root data directory; each tenant gets `<data_dir>/<name>`. Empty
+  // disables durability (in-memory tenants, no WAL, no snapshots).
+  std::string data_dir;
+  // WAL rotation threshold per tenant (see TenantStorageOptions).
+  size_t snapshot_every = 256;
+  // Worker threads per tenant engine. The server executes queries
+  // synchronously on its HTTP workers, so 1 keeps per-tenant thread cost
+  // flat; the pool still exists for engine-internal structure.
+  size_t engine_threads = 1;
+  // Default query deadline applied by each tenant engine.
+  std::chrono::milliseconds default_deadline{5000};
+  // Slow-query log threshold per tenant engine (nullopt = log disabled).
+  std::optional<std::chrono::microseconds> slow_query_threshold;
+  // Server-wide metrics registry for registry-level instruments (tenant
+  // count, WAL counters); not owned, may be null. Distinct from each
+  // tenant engine's own registry.
+  MetricsRegistry* metrics = nullptr;
+};
+
+// One tenant: an isolated KnowledgeBase + QueryEngine + durability, plus
+// the bookkeeping the server needs (mutate serialization, admission
+// counter, drain state for deterministic drop).
+struct Tenant {
+  std::string name;
+  KnowledgeBase kb;
+  std::unique_ptr<QueryEngine> engine;
+  TenantStorage storage;
+  bool durable = false;
+
+  // Serializes the mutate path: WAL append+fsync -> Apply -> rotation.
+  std::mutex mutate_mutex;
+  // Admission counter (see AdmissionController).
+  std::atomic<uint64_t> inflight{0};
+
+  // Drain protocol for Drop: `active` counts outstanding leases; Drop
+  // removes the tenant from the map (no new leases), waits for active to
+  // reach zero, then tears the engine down on the dropping thread — no
+  // detached threads outlive the registry.
+  std::mutex drain_mutex;
+  std::condition_variable drain_cv;
+  size_t active = 0;
+};
+
+// RAII access to a tenant. While a lease is alive the tenant's engine and
+// storage are guaranteed to exist; Drop blocks until every lease returns.
+class TenantLease {
+ public:
+  TenantLease() = default;
+  explicit TenantLease(std::shared_ptr<Tenant> tenant)
+      : tenant_(std::move(tenant)) {}
+  ~TenantLease() { Release(); }
+
+  TenantLease(const TenantLease&) = delete;
+  TenantLease& operator=(const TenantLease&) = delete;
+  TenantLease(TenantLease&& other) noexcept
+      : tenant_(std::move(other.tenant_)) {
+    other.tenant_.reset();
+  }
+  TenantLease& operator=(TenantLease&& other) noexcept {
+    if (this != &other) {
+      Release();
+      tenant_ = std::move(other.tenant_);
+      other.tenant_.reset();
+    }
+    return *this;
+  }
+
+  Tenant* operator->() const { return tenant_.get(); }
+  Tenant& operator*() const { return *tenant_; }
+  Tenant* get() const { return tenant_.get(); }
+  explicit operator bool() const { return tenant_ != nullptr; }
+
+ private:
+  void Release();
+  std::shared_ptr<Tenant> tenant_;
+};
+
+// True when `name` is a legal tenant name: [a-z0-9_-]+, at most 64 bytes.
+// Doubles as path-traversal protection (names become directory names).
+bool IsValidTenantName(std::string_view name);
+
+// The multi-tenant map: tenant name -> Tenant, sharded by name hash so
+// create/drop/acquire on different tenants never contend on one lock.
+// Shard locks are held only for map access — never across recovery,
+// engine construction, or queries.
+class KbRegistry {
+ public:
+  explicit KbRegistry(KbRegistryOptions options);
+  ~KbRegistry();
+
+  KbRegistry(const KbRegistry&) = delete;
+  KbRegistry& operator=(const KbRegistry&) = delete;
+
+  // Creates an empty tenant (recovering its directory if one already
+  // exists on disk from a previous run). kAlreadyExists if live,
+  // kInvalidArgument for a bad name, kResourceExhausted past max_tenants.
+  Status Create(std::string_view name, RecoveryInfo* info = nullptr);
+
+  // Drops `name`: unlinks it from the map, drains in-flight leases, joins
+  // and destroys the engine on THIS thread, then removes the tenant's
+  // data directory. Blocking and deterministic by design.
+  Status Drop(std::string_view name);
+
+  // A lease on the named tenant, or kNotFound.
+  StatusOr<TenantLease> Acquire(std::string_view name);
+
+  // Live tenant names, sorted.
+  std::vector<std::string> List() const;
+
+  size_t size() const;
+
+  // Scans data_dir for tenant directories and recovers each (server
+  // startup). No-op without a data_dir.
+  Status RecoverAll();
+
+  // Drops every tenant from the map and destroys the engines (without
+  // deleting data directories) — shutdown path, same drain discipline as
+  // Drop.
+  void Shutdown();
+
+  const KbRegistryOptions& options() const { return options_; }
+
+ private:
+  struct Shard {
+    mutable std::mutex mutex;
+    std::unordered_map<std::string, std::shared_ptr<Tenant>> tenants;
+  };
+
+  Shard& ShardFor(std::string_view name);
+  const Shard& ShardFor(std::string_view name) const;
+  std::string TenantDir(std::string_view name) const;
+  // Builds a tenant (recovery + engine); no locks held.
+  StatusOr<std::shared_ptr<Tenant>> Build(std::string_view name,
+                                          RecoveryInfo* info);
+  // Waits out the leases and destroys engine+storage on this thread.
+  static void Drain(const std::shared_ptr<Tenant>& tenant);
+
+  const KbRegistryOptions options_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::atomic<size_t> count_{0};
+  Gauge* tenants_gauge_ = nullptr;
+};
+
+}  // namespace ordlog
+
+#endif  // ORDLOG_SERVER_KB_REGISTRY_H_

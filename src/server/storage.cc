@@ -1,0 +1,338 @@
+#include "server/storage.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <utility>
+#include <vector>
+
+#include "base/strings.h"
+
+namespace fs = std::filesystem;
+
+namespace ordlog {
+
+namespace {
+
+constexpr char kSnapshotMagic[] = "OLPSNAP1";
+
+// Parses the epoch suffix of "snapshot-<E>" / "wal-<E>" names.
+bool ParseEpochSuffix(std::string_view name, std::string_view prefix,
+                      uint64_t* epoch) {
+  if (!StartsWith(name, prefix)) return false;
+  const std::string_view digits = name.substr(prefix.size());
+  if (digits.empty()) return false;
+  uint64_t value = 0;
+  for (const char c : digits) {
+    if (c < '0' || c > '9') return false;
+    value = value * 10 + static_cast<uint64_t>(c - '0');
+  }
+  *epoch = value;
+  return true;
+}
+
+}  // namespace
+
+Status WriteKbSnapshot(KnowledgeBase& kb, std::ostream& out) {
+  out << kSnapshotMagic << "\n";
+  const std::vector<std::string> modules = kb.ListModules();
+  for (const std::string& module : modules) {
+    out << "module " << module << "\n";
+  }
+  for (const std::string& module : modules) {
+    ORDLOG_ASSIGN_OR_RETURN(std::vector<std::string> parents,
+                            kb.Parents(module));
+    for (const std::string& parent : parents) {
+      out << "isa " << module << " " << parent << "\n";
+    }
+  }
+  for (const std::string& module : modules) {
+    ORDLOG_ASSIGN_OR_RETURN(std::vector<std::string> rules,
+                            kb.ModuleRules(module));
+    for (const std::string& rule : rules) {
+      out << "rule " << module << " " << rule << "\n";
+    }
+  }
+  out << "end\n";
+  if (!out.good()) return InternalError("snapshot stream write failed");
+  return Status::Ok();
+}
+
+Status LoadKbSnapshot(std::istream& in, KnowledgeBase& kb) {
+  std::string line;
+  if (!std::getline(in, line) || StripWhitespace(line) != kSnapshotMagic) {
+    return InvalidArgumentError("snapshot missing OLPSNAP1 header");
+  }
+  bool saw_end = false;
+  size_t line_no = 1;
+  while (std::getline(in, line)) {
+    ++line_no;
+    const std::string_view stripped = StripWhitespace(line);
+    if (stripped.empty()) continue;
+    if (stripped == "end") {
+      saw_end = true;
+      break;
+    }
+    const size_t space = stripped.find(' ');
+    if (space == std::string_view::npos) {
+      return InvalidArgumentError(
+          StrCat("snapshot line ", line_no, ": malformed directive"));
+    }
+    const std::string_view verb = stripped.substr(0, space);
+    const std::string_view rest = stripped.substr(space + 1);
+    if (verb == "module") {
+      ORDLOG_RETURN_IF_ERROR(kb.AddModule(rest));
+    } else if (verb == "isa") {
+      const size_t gap = rest.find(' ');
+      if (gap == std::string_view::npos) {
+        return InvalidArgumentError(
+            StrCat("snapshot line ", line_no, ": isa needs two modules"));
+      }
+      ORDLOG_RETURN_IF_ERROR(
+          kb.AddIsa(rest.substr(0, gap), rest.substr(gap + 1)));
+    } else if (verb == "rule") {
+      const size_t gap = rest.find(' ');
+      if (gap == std::string_view::npos) {
+        return InvalidArgumentError(
+            StrCat("snapshot line ", line_no, ": rule needs a body"));
+      }
+      ORDLOG_RETURN_IF_ERROR(
+          kb.AddRuleText(rest.substr(0, gap), rest.substr(gap + 1)));
+    } else {
+      return InvalidArgumentError(StrCat("snapshot line ", line_no,
+                                         ": unknown directive '", verb, "'"));
+    }
+  }
+  if (!saw_end) {
+    return InvalidArgumentError("snapshot truncated (no 'end' terminator)");
+  }
+  return Status::Ok();
+}
+
+std::string TenantStorage::SnapshotPath(uint64_t epoch) const {
+  return StrCat(options_.dir, "/snapshot-", epoch);
+}
+
+std::string TenantStorage::WalPath(uint64_t epoch) const {
+  return StrCat(options_.dir, "/wal-", epoch);
+}
+
+Status TenantStorage::SyncDir() const {
+  const int fd = ::open(options_.dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd < 0) {
+    return InternalError(
+        StrCat("open dir ", options_.dir, ": ", std::strerror(errno)));
+  }
+  if (::fsync(fd) != 0) {
+    const Status status =
+        InternalError(StrCat("fsync dir: ", std::strerror(errno)));
+    ::close(fd);
+    return status;
+  }
+  ::close(fd);
+  return Status::Ok();
+}
+
+Status TenantStorage::Open(TenantStorageOptions options, KnowledgeBase& kb,
+                           RecoveryInfo* info) {
+  options_ = std::move(options);
+  RecoveryInfo local;
+  if (info == nullptr) info = &local;
+  *info = RecoveryInfo{};
+
+  std::error_code ec;
+  fs::create_directories(options_.dir, ec);
+  if (ec) {
+    return InternalError(
+        StrCat("create dir ", options_.dir, ": ", ec.message()));
+  }
+
+  // Collect candidate snapshot epochs, highest first; the newest loadable
+  // one wins (a crash between "write snapshot-(E+1)" and "delete epoch E"
+  // leaves both — preferring the highest is exactly the rotation's intent,
+  // and a torn snapshot-(E+1) fails to load so we fall back to epoch E).
+  std::vector<uint64_t> snapshot_epochs;
+  uint64_t max_wal_epoch = 0;
+  bool any_wal = false;
+  for (const fs::directory_entry& entry :
+       fs::directory_iterator(options_.dir, ec)) {
+    const std::string name = entry.path().filename().string();
+    uint64_t epoch = 0;
+    if (ParseEpochSuffix(name, "snapshot-", &epoch)) {
+      snapshot_epochs.push_back(epoch);
+    } else if (ParseEpochSuffix(name, "wal-", &epoch)) {
+      max_wal_epoch = std::max(max_wal_epoch, epoch);
+      any_wal = true;
+    }
+  }
+  if (ec) {
+    return InternalError(
+        StrCat("list dir ", options_.dir, ": ", ec.message()));
+  }
+  std::sort(snapshot_epochs.rbegin(), snapshot_epochs.rend());
+
+  epoch_ = any_wal ? max_wal_epoch : 0;
+  for (const uint64_t epoch : snapshot_epochs) {
+    std::ifstream in(SnapshotPath(epoch));
+    if (!in.is_open()) continue;
+    KnowledgeBase fresh;
+    const Status loaded = LoadKbSnapshot(in, fresh);
+    if (!loaded.ok()) {
+      info->detail = StrCat("snapshot-", epoch, " unloadable (",
+                            loaded.message(), "); trying older epoch. ");
+      continue;
+    }
+    // Re-load into the caller's (empty) KB now that the snapshot is known
+    // good. Loading twice is cheap next to replaying the WAL.
+    std::ifstream again(SnapshotPath(epoch));
+    ORDLOG_RETURN_IF_ERROR(LoadKbSnapshot(again, kb));
+    info->loaded_snapshot = true;
+    epoch_ = epoch;
+    break;
+  }
+
+  WalReplayResult replay;
+  ORDLOG_RETURN_IF_ERROR(WriteAheadLog::Replay(
+      WalPath(epoch_),
+      [&kb](std::string_view payload) -> Status {
+        ORDLOG_ASSIGN_OR_RETURN(ServerMutation ops, DecodeOps(payload));
+        // Semantic failures are skipped deterministically: the live server
+        // logs before applying, so a logged-but-rejected op must be
+        // rejected on replay too. Grouping mirrors the live mutate path
+        // (ForEachOpGroup), so the revision sequence matches.
+        return ForEachOpGroup(
+            ops,
+            [&kb](const ServerOp& op) {
+              if (op.kind == ServerOp::Kind::kAddModule) {
+                (void)kb.AddModule(op.module);
+              } else {
+                (void)kb.AddIsa(op.module, op.text);
+              }
+              return Status::Ok();
+            },
+            [&kb](const Mutation& mutation) {
+              (void)kb.Apply(mutation);
+              return Status::Ok();
+            });
+      },
+      &replay));
+  if (!replay.clean) {
+    ORDLOG_RETURN_IF_ERROR(
+        WriteAheadLog::TruncateTo(WalPath(epoch_), replay.valid_bytes));
+    info->wal_clean = false;
+    info->detail = StrCat(info->detail, replay.detail);
+  }
+  info->epoch = epoch_;
+  info->wal_records = replay.records;
+  wal_records_ = replay.records;
+
+  ORDLOG_RETURN_IF_ERROR(wal_.Open(WalPath(epoch_)));
+  ORDLOG_RETURN_IF_ERROR(SyncDir());
+
+  // Drop stale files from older epochs that a crash mid-rotation left
+  // behind (never the current epoch's pair).
+  for (const fs::directory_entry& entry :
+       fs::directory_iterator(options_.dir, ec)) {
+    const std::string name = entry.path().filename().string();
+    uint64_t epoch = 0;
+    const bool is_snapshot = ParseEpochSuffix(name, "snapshot-", &epoch);
+    const bool is_wal = !is_snapshot && ParseEpochSuffix(name, "wal-", &epoch);
+    if ((is_snapshot || is_wal) && epoch != epoch_) {
+      std::error_code remove_ec;
+      fs::remove(entry.path(), remove_ec);
+    }
+  }
+  return Status::Ok();
+}
+
+Status TenantStorage::LogRecord(std::string_view payload) {
+  ORDLOG_RETURN_IF_ERROR(wal_.Append(payload));
+  const auto start = std::chrono::steady_clock::now();
+  ORDLOG_RETURN_IF_ERROR(wal_.Sync());
+  if (options_.fsync_observer != nullptr) {
+    const auto elapsed = std::chrono::steady_clock::now() - start;
+    options_.fsync_observer(
+        std::chrono::duration<double, std::micro>(elapsed).count());
+  }
+  ++wal_records_;
+  return Status::Ok();
+}
+
+Status TenantStorage::MaybeSnapshot(KnowledgeBase& kb) {
+  if (options_.snapshot_every == 0 ||
+      wal_records_ < options_.snapshot_every) {
+    return Status::Ok();
+  }
+  return Snapshot(kb);
+}
+
+Status TenantStorage::Snapshot(KnowledgeBase& kb) {
+  const uint64_t next = epoch_ + 1;
+  const std::string tmp = StrCat(options_.dir, "/snapshot.tmp");
+  {
+    std::ofstream out(tmp, std::ios::trunc);
+    if (!out.is_open()) {
+      return InternalError(StrCat("open ", tmp, " for snapshot"));
+    }
+    ORDLOG_RETURN_IF_ERROR(WriteKbSnapshot(kb, out));
+    out.flush();
+    if (!out.good()) return InternalError("snapshot flush failed");
+  }
+  // fsync the tmp file before the rename makes it visible.
+  {
+    const int fd = ::open(tmp.c_str(), O_RDONLY);
+    if (fd < 0) {
+      return InternalError(StrCat("reopen ", tmp, ": ", std::strerror(errno)));
+    }
+    if (::fsync(fd) != 0) {
+      const Status status =
+          InternalError(StrCat("fsync snapshot: ", std::strerror(errno)));
+      ::close(fd);
+      return status;
+    }
+    ::close(fd);
+  }
+  std::error_code ec;
+  fs::rename(tmp, SnapshotPath(next), ec);
+  if (ec) {
+    return InternalError(StrCat("rename snapshot: ", ec.message()));
+  }
+
+  // New epoch's WAL, then make everything durable before deleting the old
+  // epoch. A crash at any point leaves a recoverable state: either epoch E
+  // (snapshot-(E+1) ignored if torn) or epoch E+1.
+  wal_.Close();
+  WriteAheadLog next_wal;
+  ORDLOG_RETURN_IF_ERROR(next_wal.Open(WalPath(next)));
+  ORDLOG_RETURN_IF_ERROR(SyncDir());
+
+  std::error_code remove_ec;
+  fs::remove(WalPath(epoch_), remove_ec);
+  fs::remove(SnapshotPath(epoch_), remove_ec);
+
+  wal_ = std::move(next_wal);
+  epoch_ = next;
+  wal_records_ = 0;
+  return Status::Ok();
+}
+
+Status TenantStorage::Destroy() {
+  wal_.Close();
+  if (options_.dir.empty()) return Status::Ok();
+  std::error_code ec;
+  fs::remove_all(options_.dir, ec);
+  if (ec) {
+    return InternalError(
+        StrCat("remove ", options_.dir, ": ", ec.message()));
+  }
+  return Status::Ok();
+}
+
+}  // namespace ordlog

@@ -1,0 +1,127 @@
+#ifndef ORDLOG_SERVER_STORAGE_H_
+#define ORDLOG_SERVER_STORAGE_H_
+
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+#include <string>
+#include <utility>
+
+#include "base/status.h"
+#include "kb/knowledge_base.h"
+#include "kb/mutation.h"
+#include "server/wal.h"
+
+namespace ordlog {
+
+// Text snapshot of a KnowledgeBase's definitional state (modules, isa
+// links, rules). Format, one directive per line:
+//
+//   OLPSNAP1
+//   module <name>
+//   isa <child> <parent>
+//   rule <module> <rule text>
+//   end
+//
+// Rule text is the engine's own rendering, which round-trips through the
+// parser (verified by kb tests), so load is AddModule/AddIsa/AddRuleText
+// replay. The trailing `end` makes a torn snapshot detectable.
+Status WriteKbSnapshot(KnowledgeBase& kb, std::ostream& out);
+Status LoadKbSnapshot(std::istream& in, KnowledgeBase& kb);
+
+// What TenantStorage::Open found on disk.
+struct RecoveryInfo {
+  // Epoch whose snapshot+log pair was recovered.
+  uint64_t epoch = 0;
+  bool loaded_snapshot = false;
+  size_t wal_records = 0;
+  // False when the WAL had a torn/corrupt suffix that was truncated away.
+  bool wal_clean = true;
+  std::string detail;
+};
+
+struct TenantStorageOptions {
+  // Tenant data directory (created if missing). Holds snapshot-<E> and
+  // wal-<E> files.
+  std::string dir;
+  // Rotate (snapshot + fresh WAL) after this many logged mutations;
+  // 0 disables automatic rotation.
+  size_t snapshot_every = 256;
+  // Timing hook around each WAL fsync, in microseconds (for the
+  // ordlog_server_wal_fsync_us histogram); may be null.
+  std::function<void(double)> fsync_observer;
+};
+
+// Per-tenant durability: a write-ahead log with periodic snapshot
+// rotation. Layout inside `dir`:
+//
+//   snapshot-<E>   definitional state at the start of epoch E (absent for
+//                  epoch 0, which starts from an empty KB)
+//   wal-<E>        mutations applied since, in order
+//
+// Exactly one epoch's files exist after a clean rotation; recovery picks
+// the highest epoch with a loadable snapshot and replays its WAL,
+// tolerating a torn tail (kill -9 mid-append). Mutations that fail to
+// *decode* abort recovery (the log is damaged in a way CRC missed);
+// mutations that decode but fail to *apply* are skipped — the original
+// server rejected them too, so skipping reproduces the acknowledged
+// state.
+class TenantStorage {
+ public:
+  TenantStorage() = default;
+
+  TenantStorage(const TenantStorage&) = delete;
+  TenantStorage& operator=(const TenantStorage&) = delete;
+
+  // Recovers `kb` from `options.dir` (creating the directory and an empty
+  // epoch-0 WAL when absent) and leaves the WAL open for appending.
+  Status Open(TenantStorageOptions options, KnowledgeBase& kb,
+              RecoveryInfo* info);
+
+  // Durably logs one encoded ServerMutation record (append + fsync)
+  // BEFORE the caller applies it. Counts toward the rotation threshold.
+  Status LogRecord(std::string_view payload);
+
+  // Rotates if the mutation count since the last snapshot reached
+  // `snapshot_every`. Call with the tenant's mutate lock held, after a
+  // successful apply, so the snapshot captures exactly the logged state.
+  Status MaybeSnapshot(KnowledgeBase& kb);
+
+  // Unconditional rotation: write snapshot-(E+1) (tmp + fsync + rename),
+  // open a fresh wal-(E+1), fsync the directory, then delete epoch E's
+  // files. Crash-safe at every step: recovery prefers the highest
+  // *loadable* snapshot.
+  Status Snapshot(KnowledgeBase& kb);
+
+  // Installs (or replaces) the fsync timing hook after Open — the KB
+  // server wires it into the tenant engine's registry, which is built
+  // after recovery.
+  void SetFsyncObserver(std::function<void(double)> observer) {
+    options_.fsync_observer = std::move(observer);
+  }
+
+  // Closes the WAL and removes the tenant directory (tenant drop).
+  Status Destroy();
+
+  void Close() { wal_.Close(); }
+
+  uint64_t epoch() const { return epoch_; }
+  uint64_t wal_records() const { return wal_records_; }
+  const std::string& dir() const { return options_.dir; }
+
+ private:
+  std::string SnapshotPath(uint64_t epoch) const;
+  std::string WalPath(uint64_t epoch) const;
+  Status SyncDir() const;
+
+  TenantStorageOptions options_;
+  WriteAheadLog wal_;
+  uint64_t epoch_ = 0;
+  // Mutations appended to the current epoch's WAL (survives recovery: the
+  // replayed count seeds it so rotation pressure is preserved).
+  uint64_t wal_records_ = 0;
+};
+
+}  // namespace ordlog
+
+#endif  // ORDLOG_SERVER_STORAGE_H_

@@ -1,0 +1,311 @@
+#include "server/wal.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <array>
+#include <cerrno>
+#include <cstring>
+#include <utility>
+#include <vector>
+
+#include "base/strings.h"
+
+namespace ordlog {
+
+namespace {
+
+std::array<uint32_t, 256> BuildCrcTable() {
+  std::array<uint32_t, 256> table{};
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t crc = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      crc = (crc & 1u) ? (crc >> 1) ^ 0xEDB88320u : crc >> 1;
+    }
+    table[i] = crc;
+  }
+  return table;
+}
+
+void AppendU32(std::string& out, uint32_t value) {
+  out.push_back(static_cast<char>(value & 0xFF));
+  out.push_back(static_cast<char>((value >> 8) & 0xFF));
+  out.push_back(static_cast<char>((value >> 16) & 0xFF));
+  out.push_back(static_cast<char>((value >> 24) & 0xFF));
+}
+
+uint32_t ReadU32(const char* bytes) {
+  return static_cast<uint32_t>(static_cast<unsigned char>(bytes[0])) |
+         static_cast<uint32_t>(static_cast<unsigned char>(bytes[1])) << 8 |
+         static_cast<uint32_t>(static_cast<unsigned char>(bytes[2])) << 16 |
+         static_cast<uint32_t>(static_cast<unsigned char>(bytes[3])) << 24;
+}
+
+Status WriteFully(int fd, const char* data, size_t len) {
+  size_t written = 0;
+  while (written < len) {
+    const ssize_t n = ::write(fd, data + written, len - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return InternalError(StrCat("wal write: ", std::strerror(errno)));
+    }
+    written += static_cast<size_t>(n);
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+uint32_t Crc32(std::string_view data) {
+  static const std::array<uint32_t, 256> kTable = BuildCrcTable();
+  uint32_t crc = 0xFFFFFFFFu;
+  for (const char c : data) {
+    crc = kTable[(crc ^ static_cast<unsigned char>(c)) & 0xFF] ^ (crc >> 8);
+  }
+  return crc ^ 0xFFFFFFFFu;
+}
+
+std::string EncodeOps(const ServerMutation& ops) {
+  std::string out;
+  AppendU32(out, static_cast<uint32_t>(ops.size()));
+  for (const ServerOp& op : ops) {
+    out.push_back(static_cast<char>(op.kind));
+    AppendU32(out, static_cast<uint32_t>(op.module.size()));
+    out.append(op.module);
+    AppendU32(out, static_cast<uint32_t>(op.text.size()));
+    out.append(op.text);
+  }
+  return out;
+}
+
+StatusOr<ServerMutation> DecodeOps(std::string_view payload) {
+  size_t pos = 0;
+  const auto need = [&](size_t n) -> Status {
+    if (payload.size() - pos < n) {
+      return InvalidArgumentError("wal record payload truncated");
+    }
+    return Status::Ok();
+  };
+  ORDLOG_RETURN_IF_ERROR(need(4));
+  const uint32_t op_count = ReadU32(payload.data() + pos);
+  pos += 4;
+  ServerMutation ops;
+  for (uint32_t i = 0; i < op_count; ++i) {
+    ORDLOG_RETURN_IF_ERROR(need(1 + 4));
+    const uint8_t kind_byte = static_cast<unsigned char>(payload[pos]);
+    ++pos;
+    if (kind_byte > static_cast<uint8_t>(ServerOp::Kind::kAddIsa)) {
+      return InvalidArgumentError(
+          StrCat("wal record has unknown op kind ", kind_byte));
+    }
+    ServerOp op;
+    op.kind = static_cast<ServerOp::Kind>(kind_byte);
+    const uint32_t module_len = ReadU32(payload.data() + pos);
+    pos += 4;
+    ORDLOG_RETURN_IF_ERROR(need(module_len));
+    op.module = std::string(payload.substr(pos, module_len));
+    pos += module_len;
+    ORDLOG_RETURN_IF_ERROR(need(4));
+    const uint32_t text_len = ReadU32(payload.data() + pos);
+    pos += 4;
+    ORDLOG_RETURN_IF_ERROR(need(text_len));
+    op.text = std::string(payload.substr(pos, text_len));
+    pos += text_len;
+    ops.push_back(std::move(op));
+  }
+  if (pos != payload.size()) {
+    return InvalidArgumentError("wal record payload has trailing bytes");
+  }
+  return ops;
+}
+
+Status ForEachOpGroup(const ServerMutation& ops,
+                      const std::function<Status(const ServerOp&)>& admin,
+                      const std::function<Status(const Mutation&)>& batch) {
+  Mutation pending;
+  const auto flush = [&]() -> Status {
+    if (pending.empty()) return Status::Ok();
+    Mutation out = std::move(pending);
+    pending = Mutation();
+    return batch(out);
+  };
+  for (const ServerOp& op : ops) {
+    switch (op.kind) {
+      case ServerOp::Kind::kAddFact:
+        pending.AddFact(op.module, op.text);
+        break;
+      case ServerOp::Kind::kRetractFact:
+        pending.RetractFact(op.module, op.text);
+        break;
+      case ServerOp::Kind::kAddRule:
+        pending.AddRule(op.module, op.text);
+        break;
+      case ServerOp::Kind::kAddModule:
+      case ServerOp::Kind::kAddIsa:
+        ORDLOG_RETURN_IF_ERROR(flush());
+        ORDLOG_RETURN_IF_ERROR(admin(op));
+        break;
+    }
+  }
+  return flush();
+}
+
+WriteAheadLog::~WriteAheadLog() { Close(); }
+
+Status WriteAheadLog::Open(const std::string& path) {
+  if (fd_ >= 0) return FailedPreconditionError("wal already open");
+  const bool existed = ::access(path.c_str(), F_OK) == 0;
+  const int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644);
+  if (fd < 0) {
+    return InternalError(
+        StrCat("wal open ", path, ": ", std::strerror(errno)));
+  }
+  fd_ = fd;
+  path_ = path;
+  if (!existed) {
+    const Status magic = WriteFully(fd_, kMagic, kMagicLen);
+    if (!magic.ok()) {
+      Close();
+      return magic;
+    }
+    if (::fsync(fd_) != 0) {
+      const Status status =
+          InternalError(StrCat("wal fsync: ", std::strerror(errno)));
+      Close();
+      return status;
+    }
+  }
+  return Status::Ok();
+}
+
+Status WriteAheadLog::Append(std::string_view payload) {
+  if (fd_ < 0) return FailedPreconditionError("wal not open");
+  if (payload.size() > kMaxPayloadLen) {
+    return InvalidArgumentError(
+        StrCat("wal record too large: ", payload.size(), " bytes"));
+  }
+  std::string framed;
+  framed.reserve(kHeaderLen + payload.size());
+  AppendU32(framed, static_cast<uint32_t>(payload.size()));
+  AppendU32(framed, Crc32(payload));
+  framed.append(payload);
+  return WriteFully(fd_, framed.data(), framed.size());
+}
+
+Status WriteAheadLog::Sync() {
+  if (fd_ < 0) return FailedPreconditionError("wal not open");
+  if (::fsync(fd_) != 0) {
+    return InternalError(StrCat("wal fsync: ", std::strerror(errno)));
+  }
+  return Status::Ok();
+}
+
+void WriteAheadLog::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Status WriteAheadLog::Replay(
+    const std::string& path,
+    const std::function<Status(std::string_view)>& apply,
+    WalReplayResult* result) {
+  WalReplayResult local;
+  if (result == nullptr) result = &local;
+  *result = WalReplayResult{};
+
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    if (errno == ENOENT) return Status::Ok();  // no log, nothing to replay
+    return InternalError(
+        StrCat("wal open ", path, ": ", std::strerror(errno)));
+  }
+  std::string contents;
+  char buffer[64 * 1024];
+  for (;;) {
+    const ssize_t n = ::read(fd, buffer, sizeof(buffer));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      const Status status =
+          InternalError(StrCat("wal read: ", std::strerror(errno)));
+      ::close(fd);
+      return status;
+    }
+    if (n == 0) break;
+    contents.append(buffer, static_cast<size_t>(n));
+  }
+  ::close(fd);
+
+  if (contents.empty()) return Status::Ok();
+  if (contents.size() < kMagicLen ||
+      contents.compare(0, kMagicLen, kMagic, kMagicLen) != 0) {
+    result->clean = false;
+    result->valid_bytes = 0;
+    result->detail = "bad or truncated wal magic; whole log dropped";
+    return Status::Ok();
+  }
+
+  size_t pos = kMagicLen;
+  result->valid_bytes = pos;
+  while (pos < contents.size()) {
+    if (contents.size() - pos < kHeaderLen) {
+      result->clean = false;
+      result->detail = StrCat("torn record header at byte ", pos, "; ",
+                              contents.size() - pos, " trailing bytes dropped");
+      break;
+    }
+    const uint32_t len = ReadU32(contents.data() + pos);
+    const uint32_t crc = ReadU32(contents.data() + pos + 4);
+    if (len > kMaxPayloadLen) {
+      result->clean = false;
+      result->detail =
+          StrCat("implausible record length ", len, " at byte ", pos,
+                 "; suffix dropped");
+      break;
+    }
+    if (contents.size() - pos - kHeaderLen < len) {
+      result->clean = false;
+      result->detail = StrCat("torn record payload at byte ", pos, "; ",
+                              contents.size() - pos, " trailing bytes dropped");
+      break;
+    }
+    const std::string_view payload(contents.data() + pos + kHeaderLen, len);
+    if (Crc32(payload) != crc) {
+      result->clean = false;
+      result->detail = StrCat("crc mismatch at byte ", pos, "; ",
+                              contents.size() - pos, " trailing bytes dropped");
+      break;
+    }
+    ORDLOG_RETURN_IF_ERROR(apply(payload));
+    pos += kHeaderLen + len;
+    result->valid_bytes = pos;
+    ++result->records;
+  }
+  return Status::Ok();
+}
+
+Status WriteAheadLog::TruncateTo(const std::string& path,
+                                 uint64_t valid_bytes) {
+  const int fd = ::open(path.c_str(), O_WRONLY);
+  if (fd < 0) {
+    return InternalError(
+        StrCat("wal open ", path, ": ", std::strerror(errno)));
+  }
+  if (::ftruncate(fd, static_cast<off_t>(valid_bytes)) != 0) {
+    const Status status =
+        InternalError(StrCat("wal truncate: ", std::strerror(errno)));
+    ::close(fd);
+    return status;
+  }
+  if (::fsync(fd) != 0) {
+    const Status status =
+        InternalError(StrCat("wal fsync: ", std::strerror(errno)));
+    ::close(fd);
+    return status;
+  }
+  ::close(fd);
+  return Status::Ok();
+}
+
+}  // namespace ordlog

@@ -1,0 +1,151 @@
+#ifndef ORDLOG_SERVER_WAL_H_
+#define ORDLOG_SERVER_WAL_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+#include <utility>
+
+#include "base/status.h"
+#include "kb/mutation.h"
+
+namespace ordlog {
+
+// CRC-32 (IEEE 802.3 polynomial, reflected) of `data`. Used to frame WAL
+// records; also handy for tests that corrupt logs deliberately.
+uint32_t Crc32(std::string_view data);
+
+// One logged KB edit. The first three kinds mirror Mutation::Op::Kind
+// (same numeric values, so a Mutation batch embeds unchanged); the last
+// two cover the definitional edits KnowledgeBase exposes outside Apply.
+struct ServerOp {
+  enum class Kind : uint8_t {
+    kAddFact = 0,
+    kRetractFact = 1,
+    kAddRule = 2,
+    kAddModule = 3,  // module = new module name, text unused
+    kAddIsa = 4,     // module = child, text = parent
+  };
+  Kind kind = Kind::kAddFact;
+  std::string module;
+  std::string text;
+};
+
+// A batch of edits logged as one WAL record and applied as one wire
+// request.
+using ServerMutation = std::vector<ServerOp>;
+
+// Binary codec for ServerMutation batches. Layout (integers
+// little-endian):
+//
+//   u32 op_count
+//   per op: u8 kind, u32 module_len, module bytes, u32 text_len, text bytes
+//
+// DecodeOps rejects truncated or over-long payloads with
+// kInvalidArgument (the WAL layer treats that as corruption).
+std::string EncodeOps(const ServerMutation& ops);
+StatusOr<ServerMutation> DecodeOps(std::string_view payload);
+
+// Walks `ops` in order with the apply granularity both the live mutate
+// path and crash recovery use — so the two produce identical KB revision
+// sequences. Definitional ops (add_module / add_isa) go to `admin` one at
+// a time; maximal contiguous runs of fact/rule ops are flushed to `batch`
+// as one Mutation (one revision bump each). Stops at the first error.
+Status ForEachOpGroup(const ServerMutation& ops,
+                      const std::function<Status(const ServerOp&)>& admin,
+                      const std::function<Status(const Mutation&)>& batch);
+
+// Outcome of one WriteAheadLog::Replay pass.
+struct WalReplayResult {
+  // Records decoded and handed to the apply callback.
+  size_t records = 0;
+  // True when the log ended exactly at a record boundary. False means a
+  // torn tail or a CRC mismatch was found; `valid_bytes` is where the
+  // valid prefix ends and `detail` says what was dropped.
+  bool clean = true;
+  // Byte offset of the end of the last intact record (including the
+  // 8-byte file magic). TruncateTo(path, valid_bytes) discards the rest.
+  uint64_t valid_bytes = 0;
+  // Human-readable note about any dropped suffix.
+  std::string detail;
+};
+
+// An append-only, crash-tolerant mutation log. One file per tenant epoch:
+//
+//   8-byte magic "OLPWAL01"
+//   records: u32 payload_len (LE), u32 crc32(payload) (LE), payload
+//
+// Durability contract: Append + Sync BEFORE the mutation is applied to the
+// in-memory KB, acknowledge the client only after apply. On recovery,
+// Replay accepts every record whose length and CRC check out and stops at
+// the first damaged one — a torn final record (the common kill -9 case) is
+// expected and silently dropped; the caller truncates to `valid_bytes` so
+// the next Append lands on a clean boundary.
+class WriteAheadLog {
+ public:
+  WriteAheadLog() = default;
+  ~WriteAheadLog();
+
+  WriteAheadLog(const WriteAheadLog&) = delete;
+  WriteAheadLog& operator=(const WriteAheadLog&) = delete;
+  WriteAheadLog(WriteAheadLog&& other) noexcept { *this = std::move(other); }
+  WriteAheadLog& operator=(WriteAheadLog&& other) noexcept {
+    if (this != &other) {
+      Close();
+      fd_ = other.fd_;
+      path_ = std::move(other.path_);
+      other.fd_ = -1;
+      other.path_.clear();
+    }
+    return *this;
+  }
+
+  // Opens `path` for appending, creating it (and writing + syncing the
+  // magic) if absent. An existing file is trusted as-is: run Replay +
+  // TruncateTo first when recovering.
+  Status Open(const std::string& path);
+
+  // Appends one framed record. Buffered by the OS until Sync().
+  Status Append(std::string_view payload);
+
+  // fsyncs the log file. Callers time this around the call to feed the
+  // ordlog_server_wal_fsync_us histogram.
+  Status Sync();
+
+  // Closes the file descriptor (without syncing). Idempotent.
+  void Close();
+
+  bool is_open() const { return fd_ >= 0; }
+  const std::string& path() const { return path_; }
+
+  // Scans `path`, invoking `apply` for each intact record payload in
+  // order. Damage (bad magic on a non-empty file, short header, short
+  // payload, CRC mismatch) stops the scan and is reported via `result`
+  // rather than as an error; a missing file yields zero records. Errors
+  // from `apply` abort the scan and are returned (use this for *decode*
+  // failures only — semantic Apply errors should be swallowed by the
+  // callback to keep recovery deterministic).
+  static Status Replay(const std::string& path,
+                       const std::function<Status(std::string_view)>& apply,
+                       WalReplayResult* result);
+
+  // Truncates `path` to `valid_bytes` (from Replay) and syncs it, so a
+  // damaged suffix can never resurface.
+  static Status TruncateTo(const std::string& path, uint64_t valid_bytes);
+
+  static constexpr char kMagic[9] = "OLPWAL01";  // 8 bytes + NUL
+  static constexpr size_t kMagicLen = 8;
+  static constexpr size_t kHeaderLen = 8;  // u32 len + u32 crc
+  // Upper bound on one record's payload; larger lengths in a header are
+  // treated as corruption during replay and rejected at Append time.
+  static constexpr uint32_t kMaxPayloadLen = 64u << 20;
+
+ private:
+  int fd_ = -1;
+  std::string path_;
+};
+
+}  // namespace ordlog
+
+#endif  // ORDLOG_SERVER_WAL_H_

@@ -1,0 +1,256 @@
+// Tests for the reusable embedded HTTP server: routing (exact and
+// prefix), request parsing (query strings, headers, bodies), keep-alive
+// connection reuse, oversized-input rejection, and concurrent clients
+// against the worker pool.
+
+#include "obs/http_server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "gtest/gtest.h"
+
+namespace ordlog {
+namespace {
+
+int Connect(int port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  EXPECT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  EXPECT_EQ(
+      ::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)),
+      0)
+      << std::strerror(errno);
+  return fd;
+}
+
+void SendAll(int fd, const std::string& data) {
+  size_t sent = 0;
+  while (sent < data.size()) {
+    const ssize_t n = ::send(fd, data.data() + sent, data.size() - sent, 0);
+    ASSERT_GT(n, 0);
+    sent += static_cast<size_t>(n);
+  }
+}
+
+std::string RecvUntilClose(int fd) {
+  std::string out;
+  char buffer[4096];
+  for (;;) {
+    const ssize_t n = ::recv(fd, buffer, sizeof(buffer), 0);
+    if (n <= 0) break;
+    out.append(buffer, static_cast<size_t>(n));
+  }
+  return out;
+}
+
+// Reads exactly one HTTP response (headers + Content-Length body) off a
+// keep-alive connection.
+std::string RecvOneResponse(int fd) {
+  std::string out;
+  char c;
+  size_t body_len = 0;
+  while (out.find("\r\n\r\n") == std::string::npos) {
+    const ssize_t n = ::recv(fd, &c, 1, 0);
+    if (n <= 0) return out;
+    out.push_back(c);
+  }
+  const size_t header_end = out.find("\r\n\r\n") + 4;
+  const size_t cl = out.find("Content-Length:");
+  if (cl != std::string::npos) {
+    body_len = static_cast<size_t>(std::atol(out.c_str() + cl + 15));
+  }
+  while (out.size() < header_end + body_len) {
+    char buffer[4096];
+    const ssize_t n = ::recv(fd, buffer,
+                             std::min(sizeof(buffer),
+                                      header_end + body_len - out.size()),
+                             0);
+    if (n <= 0) break;
+    out.append(buffer, static_cast<size_t>(n));
+  }
+  return out;
+}
+
+TEST(HttpServerTest, DispatchExactAndPrefixRoutes) {
+  HttpServer server(HttpServerOptions{});
+  server.Handle("/exact", [](const HttpRequest&) {
+    return HttpResponse::Text(200, "exact\n");
+  });
+  server.HandlePrefix("/api/", [](const HttpRequest& request) {
+    return HttpResponse::Text(200, "prefix:" + request.path);
+  });
+
+  HttpRequest request;
+  request.method = "GET";
+  request.path = "/exact";
+  EXPECT_EQ(server.Dispatch(request).body, "exact\n");
+  request.path = "/api/v1/thing";
+  EXPECT_EQ(server.Dispatch(request).body, "prefix:/api/v1/thing");
+  request.path = "/nope";
+  const HttpResponse missing = server.Dispatch(request);
+  EXPECT_EQ(missing.code, 404);
+  EXPECT_EQ(missing.body, "no such endpoint: /nope\n");
+}
+
+TEST(HttpServerTest, LongestPrefixWins) {
+  HttpServer server(HttpServerOptions{});
+  server.HandlePrefix("/a/", [](const HttpRequest&) {
+    return HttpResponse::Text(200, "short");
+  });
+  server.HandlePrefix("/a/b/", [](const HttpRequest&) {
+    return HttpResponse::Text(200, "long");
+  });
+  HttpRequest request;
+  request.path = "/a/b/c";
+  EXPECT_EQ(server.Dispatch(request).body, "long");
+  request.path = "/a/x";
+  EXPECT_EQ(server.Dispatch(request).body, "short");
+}
+
+TEST(HttpServerTest, QueryParamAndHeaderAccessors) {
+  HttpRequest request;
+  request.query = "format=json&x=1";
+  request.headers = {{"content-type", "text/plain"}, {"x-test", "yes"}};
+  EXPECT_EQ(request.QueryParam("format"), "json");
+  EXPECT_EQ(request.QueryParam("x"), "1");
+  EXPECT_EQ(request.QueryParam("missing"), "");
+  EXPECT_EQ(request.Header("x-test"), "yes");
+  EXPECT_EQ(request.Header("nope"), "");
+}
+
+TEST(HttpServerTest, ServesRequestsWithBodiesOverSocket) {
+  HttpServerOptions options;
+  options.num_workers = 2;
+  HttpServer server(options);
+  server.Handle("/echo", [](const HttpRequest& request) {
+    return HttpResponse::Text(200, request.method + ":" + request.body);
+  });
+  ASSERT_TRUE(server.Start().ok());
+  ASSERT_GT(server.port(), 0);
+
+  const int fd = Connect(server.port());
+  SendAll(fd,
+          "POST /echo HTTP/1.0\r\nContent-Length: 5\r\n\r\nhello");
+  const std::string response = RecvUntilClose(fd);
+  ::close(fd);
+  EXPECT_NE(response.find("HTTP/1.0 200"), std::string::npos);
+  EXPECT_NE(response.find("POST:hello"), std::string::npos);
+  server.Stop();
+}
+
+TEST(HttpServerTest, KeepAliveServesTwoRequestsOnOneConnection) {
+  HttpServer server(HttpServerOptions{});
+  std::atomic<int> hits{0};
+  server.Handle("/count", [&hits](const HttpRequest&) {
+    return HttpResponse::Text(200, std::to_string(++hits));
+  });
+  ASSERT_TRUE(server.Start().ok());
+
+  const int fd = Connect(server.port());
+  SendAll(fd, "GET /count HTTP/1.1\r\nHost: x\r\n\r\n");
+  const std::string first = RecvOneResponse(fd);
+  EXPECT_NE(first.find("HTTP/1.1 200"), std::string::npos);
+  EXPECT_NE(first.find("\r\n\r\n1"), std::string::npos);
+  // Same connection, second request.
+  SendAll(fd, "GET /count HTTP/1.1\r\nHost: x\r\nConnection: close\r\n\r\n");
+  const std::string second = RecvUntilClose(fd);
+  EXPECT_NE(second.find("\r\n\r\n2"), std::string::npos);
+  ::close(fd);
+  server.Stop();
+  EXPECT_EQ(hits.load(), 2);
+}
+
+TEST(HttpServerTest, RejectsOversizedBody) {
+  HttpServerOptions options;
+  options.max_body_bytes = 8;
+  HttpServer server(options);
+  server.Handle("/echo", [](const HttpRequest& request) {
+    return HttpResponse::Text(200, request.body);
+  });
+  ASSERT_TRUE(server.Start().ok());
+  const int fd = Connect(server.port());
+  SendAll(fd,
+          "POST /echo HTTP/1.0\r\nContent-Length: 100\r\n\r\n"
+          "0123456789012345678901234567890123456789"
+          "012345678901234567890123456789012345678901234567890123456789");
+  const std::string response = RecvUntilClose(fd);
+  ::close(fd);
+  EXPECT_NE(response.find("413"), std::string::npos);
+  server.Stop();
+}
+
+TEST(HttpServerTest, MalformedRequestLineGets400) {
+  HttpServer server(HttpServerOptions{});
+  ASSERT_TRUE(server.Start().ok());
+  const int fd = Connect(server.port());
+  SendAll(fd, "NOT-HTTP\r\n\r\n");
+  const std::string response = RecvUntilClose(fd);
+  ::close(fd);
+  EXPECT_NE(response.find("400"), std::string::npos);
+  server.Stop();
+}
+
+TEST(HttpServerTest, ConcurrentClientsAreAllServed) {
+  HttpServerOptions options;
+  options.num_workers = 4;
+  HttpServer server(options);
+  std::atomic<int> served{0};
+  server.Handle("/work", [&served](const HttpRequest&) {
+    ++served;
+    return HttpResponse::Text(200, "ok");
+  });
+  ASSERT_TRUE(server.Start().ok());
+
+  constexpr int kThreads = 16;
+  constexpr int kRequestsPerThread = 8;
+  std::vector<std::thread> threads;
+  std::atomic<int> ok_responses{0};
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, port = server.port()] {
+      for (int i = 0; i < kRequestsPerThread; ++i) {
+        const int fd = Connect(port);
+        SendAll(fd, "GET /work HTTP/1.0\r\n\r\n");
+        const std::string response = RecvUntilClose(fd);
+        ::close(fd);
+        if (response.find(" 200 ") != std::string::npos) ++ok_responses;
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  server.Stop();
+  EXPECT_EQ(ok_responses.load(), kThreads * kRequestsPerThread);
+  EXPECT_EQ(served.load(), kThreads * kRequestsPerThread);
+}
+
+TEST(HttpServerTest, StopIsIdempotentAndServerIsRestartable) {
+  HttpServer server(HttpServerOptions{});
+  server.Handle("/ping", [](const HttpRequest&) {
+    return HttpResponse::Text(200, "pong");
+  });
+  ASSERT_TRUE(server.Start().ok());
+  EXPECT_FALSE(server.Start().ok());  // double-start is rejected
+  server.Stop();
+  server.Stop();
+  ASSERT_TRUE(server.Start().ok());
+  const int fd = Connect(server.port());
+  SendAll(fd, "GET /ping HTTP/1.0\r\n\r\n");
+  const std::string response = RecvUntilClose(fd);
+  ::close(fd);
+  EXPECT_NE(response.find("pong"), std::string::npos);
+  server.Stop();
+}
+
+}  // namespace
+}  // namespace ordlog

@@ -1,0 +1,343 @@
+// Tests for per-tenant durable storage: snapshot round-trips, crash
+// recovery (snapshot + WAL replay) compared differentially against a
+// never-crashed KB, epoch rotation, and torn-tail tolerance.
+
+#include "server/storage.h"
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "kb/knowledge_base.h"
+#include "kb/mutation.h"
+#include "server/wal.h"
+
+namespace ordlog {
+namespace {
+
+namespace fs = std::filesystem;
+
+class StorageTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    char tmpl[] = "/tmp/ordlog_storage_test_XXXXXX";
+    ASSERT_NE(::mkdtemp(tmpl), nullptr);
+    dir_ = tmpl;
+  }
+
+  void TearDown() override {
+    std::error_code ec;
+    fs::remove_all(dir_, ec);
+  }
+
+  TenantStorageOptions Options(size_t snapshot_every = 0) const {
+    TenantStorageOptions options;
+    options.dir = dir_ + "/tenant";
+    options.snapshot_every = snapshot_every;
+    return options;
+  }
+
+  // Logs `ops` through `storage` and applies them to `kb` the way the
+  // live server does: encode once, LogRecord, then ForEachOpGroup.
+  void LogAndApply(TenantStorage& storage, KnowledgeBase& kb,
+                   const ServerMutation& ops) {
+    ASSERT_TRUE(storage.LogRecord(EncodeOps(ops)).ok());
+    ASSERT_TRUE(ForEachOpGroup(
+                    ops,
+                    [&kb](const ServerOp& op) {
+                      if (op.kind == ServerOp::Kind::kAddModule) {
+                        (void)kb.AddModule(op.module);
+                      } else {
+                        (void)kb.AddIsa(op.module, op.text);
+                      }
+                      return Status::Ok();
+                    },
+                    [&kb](const Mutation& mutation) {
+                      (void)kb.Apply(mutation);
+                      return Status::Ok();
+                    })
+                    .ok());
+  }
+
+  // Asserts the two KBs are observationally identical: same revision,
+  // same modules, same rules, same parents, same derivable facts.
+  void ExpectSameKb(KnowledgeBase& a, KnowledgeBase& b) {
+    EXPECT_EQ(a.revision(), b.revision());
+    const std::vector<std::string> modules = a.ListModules();
+    EXPECT_EQ(modules, b.ListModules());
+    for (const std::string& module : modules) {
+      StatusOr<std::vector<std::string>> rules_a = a.ModuleRules(module);
+      StatusOr<std::vector<std::string>> rules_b = b.ModuleRules(module);
+      ASSERT_TRUE(rules_a.ok() && rules_b.ok());
+      EXPECT_EQ(*rules_a, *rules_b) << "rules of " << module;
+      StatusOr<std::vector<std::string>> parents_a = a.Parents(module);
+      StatusOr<std::vector<std::string>> parents_b = b.Parents(module);
+      ASSERT_TRUE(parents_a.ok() && parents_b.ok());
+      EXPECT_EQ(*parents_a, *parents_b) << "parents of " << module;
+      StatusOr<std::vector<std::string>> facts_a = a.DerivableFacts(module);
+      StatusOr<std::vector<std::string>> facts_b = b.DerivableFacts(module);
+      ASSERT_TRUE(facts_a.ok() && facts_b.ok());
+      EXPECT_EQ(*facts_a, *facts_b) << "facts of " << module;
+    }
+  }
+
+  std::string dir_;
+};
+
+TEST_F(StorageTest, SnapshotRoundTripsOrderedKb) {
+  KnowledgeBase kb;
+  ASSERT_TRUE(kb.AddModule("animals").ok());
+  ASSERT_TRUE(kb.AddRuleText("animals", "fly(X) :- bird(X).").ok());
+  ASSERT_TRUE(kb.AddRuleText("animals", "bird(X) :- penguin(X).").ok());
+  ASSERT_TRUE(kb.AddModule("antarctic").ok());
+  ASSERT_TRUE(kb.AddIsa("antarctic", "animals").ok());
+  ASSERT_TRUE(kb.AddRuleText("antarctic", "-fly(X) :- penguin(X).").ok());
+  ASSERT_TRUE(kb.AddRuleText("antarctic", "penguin(pingu).").ok());
+
+  std::stringstream stream;
+  ASSERT_TRUE(WriteKbSnapshot(kb, stream).ok());
+  KnowledgeBase loaded;
+  ASSERT_TRUE(LoadKbSnapshot(stream, loaded).ok());
+
+  EXPECT_EQ(loaded.ListModules(), kb.ListModules());
+  // Overruling must survive the round trip: -fly(pingu) in antarctic.
+  StatusOr<TruthValue> fly = loaded.Query("antarctic", "fly(pingu)");
+  ASSERT_TRUE(fly.ok());
+  EXPECT_EQ(*fly, TruthValue::kFalse);
+  StatusOr<TruthValue> general = loaded.Query("animals", "fly(pingu)");
+  ASSERT_TRUE(general.ok());
+  EXPECT_EQ(*general, TruthValue::kUndefined);
+}
+
+TEST_F(StorageTest, LoadRejectsDamagedSnapshots) {
+  KnowledgeBase kb;
+  {
+    std::stringstream stream;
+    stream << "WRONGMAG\nend\n";
+    EXPECT_FALSE(LoadKbSnapshot(stream, kb).ok());
+  }
+  {
+    // Truncated: no `end` terminator.
+    std::stringstream stream;
+    stream << "OLPSNAP1\nmodule m\n";
+    KnowledgeBase fresh;
+    EXPECT_FALSE(LoadKbSnapshot(stream, fresh).ok());
+  }
+  {
+    std::stringstream stream;
+    stream << "OLPSNAP1\nfrobnicate m\nend\n";
+    KnowledgeBase fresh;
+    EXPECT_FALSE(LoadKbSnapshot(stream, fresh).ok());
+  }
+}
+
+TEST_F(StorageTest, OpenOnEmptyDirStartsEpochZero) {
+  TenantStorage storage;
+  KnowledgeBase kb;
+  RecoveryInfo info;
+  ASSERT_TRUE(storage.Open(Options(), kb, &info).ok());
+  EXPECT_EQ(info.epoch, 0u);
+  EXPECT_FALSE(info.loaded_snapshot);
+  EXPECT_EQ(info.wal_records, 0u);
+  EXPECT_TRUE(info.wal_clean);
+  EXPECT_EQ(kb.revision(), 0u);
+  EXPECT_TRUE(fs::exists(dir_ + "/tenant/wal-0"));
+}
+
+TEST_F(StorageTest, RecoveryMatchesNeverCrashedKbExactly) {
+  // Drive one KB through storage (logging every batch), "crash" by
+  // dropping everything, recover into a fresh KB, and diff against a
+  // twin KB that applied the same batches directly and never crashed.
+  KnowledgeBase live;
+  KnowledgeBase twin;
+  {
+    TenantStorage storage;
+    RecoveryInfo info;
+    ASSERT_TRUE(storage.Open(Options(), live, &info).ok());
+
+    const std::vector<ServerMutation> batches = {
+        {{ServerOp::Kind::kAddModule, "animals", ""}},
+        {{ServerOp::Kind::kAddRule, "animals", "fly(X) :- bird(X)."},
+         {ServerOp::Kind::kAddFact, "animals", "bird(tweety)"}},
+        {{ServerOp::Kind::kAddModule, "antarctic", ""},
+         {ServerOp::Kind::kAddIsa, "antarctic", "animals"},
+         {ServerOp::Kind::kAddRule, "antarctic", "-fly(X) :- penguin(X)."},
+         {ServerOp::Kind::kAddFact, "antarctic", "penguin(pingu)"}},
+        // A batch whose middle op fails semantically (unknown module):
+        // partial application must be reproduced by recovery, because the
+        // record was logged before the failure surfaced.
+        {{ServerOp::Kind::kAddFact, "animals", "bird(robin)"},
+         {ServerOp::Kind::kAddFact, "nosuchmodule", "p(a)"}},
+        {{ServerOp::Kind::kRetractFact, "animals", "bird(tweety)"}},
+    };
+    for (const ServerMutation& ops : batches) {
+      LogAndApply(storage, live, ops);
+      // The twin applies the identical groups without storage.
+      ASSERT_TRUE(ForEachOpGroup(
+                      ops,
+                      [&twin](const ServerOp& op) {
+                        if (op.kind == ServerOp::Kind::kAddModule) {
+                          (void)twin.AddModule(op.module);
+                        } else {
+                          (void)twin.AddIsa(op.module, op.text);
+                        }
+                        return Status::Ok();
+                      },
+                      [&twin](const Mutation& mutation) {
+                        (void)twin.Apply(mutation);
+                        return Status::Ok();
+                      })
+                      .ok());
+    }
+    storage.Close();  // simulate a crash: no snapshot, WAL only
+  }
+
+  TenantStorage recovered_storage;
+  KnowledgeBase recovered;
+  RecoveryInfo info;
+  ASSERT_TRUE(recovered_storage.Open(Options(), recovered, &info).ok());
+  EXPECT_TRUE(info.wal_clean);
+  EXPECT_EQ(info.wal_records, 5u);
+  ExpectSameKb(recovered, live);
+  ExpectSameKb(recovered, twin);
+}
+
+TEST_F(StorageTest, RotationKeepsOnlyNewestEpochAndRecoversFromIt) {
+  KnowledgeBase live;
+  {
+    TenantStorage storage;
+    RecoveryInfo info;
+    ASSERT_TRUE(storage.Open(Options(), live, &info).ok());
+    LogAndApply(storage, live,
+                {{ServerOp::Kind::kAddModule, "m", ""},
+                 {ServerOp::Kind::kAddFact, "m", "p(a)"}});
+    ASSERT_TRUE(storage.Snapshot(live).ok());
+    EXPECT_EQ(storage.epoch(), 1u);
+    EXPECT_EQ(storage.wal_records(), 0u);
+    // Old epoch's files are gone; new pair exists.
+    EXPECT_FALSE(fs::exists(dir_ + "/tenant/wal-0"));
+    EXPECT_TRUE(fs::exists(dir_ + "/tenant/snapshot-1"));
+    EXPECT_TRUE(fs::exists(dir_ + "/tenant/wal-1"));
+    // Post-rotation mutations land in the new WAL.
+    LogAndApply(storage, live, {{ServerOp::Kind::kAddFact, "m", "p(b)"}});
+    storage.Close();
+  }
+
+  TenantStorage storage;
+  KnowledgeBase recovered;
+  RecoveryInfo info;
+  ASSERT_TRUE(storage.Open(Options(), recovered, &info).ok());
+  EXPECT_EQ(info.epoch, 1u);
+  EXPECT_TRUE(info.loaded_snapshot);
+  EXPECT_EQ(info.wal_records, 1u);
+  StatusOr<std::vector<std::string>> facts = recovered.DerivableFacts("m");
+  ASSERT_TRUE(facts.ok());
+  EXPECT_EQ(facts->size(), 2u);  // p(a) from the snapshot, p(b) from the WAL
+}
+
+TEST_F(StorageTest, AutomaticRotationAfterThreshold) {
+  TenantStorage storage;
+  KnowledgeBase kb;
+  RecoveryInfo info;
+  ASSERT_TRUE(storage.Open(Options(/*snapshot_every=*/3), kb, &info).ok());
+  LogAndApply(storage, kb, {{ServerOp::Kind::kAddModule, "m", ""}});
+  for (int i = 0; i < 2; ++i) {
+    LogAndApply(storage, kb,
+                {{ServerOp::Kind::kAddFact, "m",
+                  "p(c" + std::to_string(i) + ")"}});
+    ASSERT_TRUE(storage.MaybeSnapshot(kb).ok());
+  }
+  // Third record crossed the threshold: rotated to epoch 1.
+  EXPECT_EQ(storage.epoch(), 1u);
+  EXPECT_EQ(storage.wal_records(), 0u);
+}
+
+TEST_F(StorageTest, TornWalTailIsTruncatedAndRecoveryProceeds) {
+  KnowledgeBase live;
+  {
+    TenantStorage storage;
+    RecoveryInfo info;
+    ASSERT_TRUE(storage.Open(Options(), live, &info).ok());
+    LogAndApply(storage, live,
+                {{ServerOp::Kind::kAddModule, "m", ""},
+                 {ServerOp::Kind::kAddFact, "m", "p(a)"}});
+    LogAndApply(storage, live, {{ServerOp::Kind::kAddFact, "m", "p(b)"}});
+    storage.Close();
+  }
+  // Tear the final record: chop 3 bytes off the WAL, as a kill -9 between
+  // write() and completion would.
+  const std::string wal_path = dir_ + "/tenant/wal-0";
+  const uintmax_t size = fs::file_size(wal_path);
+  fs::resize_file(wal_path, size - 3);
+
+  TenantStorage storage;
+  KnowledgeBase recovered;
+  RecoveryInfo info;
+  ASSERT_TRUE(storage.Open(Options(), recovered, &info).ok());
+  EXPECT_FALSE(info.wal_clean);
+  EXPECT_EQ(info.wal_records, 1u);  // only the first record survived
+  StatusOr<std::vector<std::string>> facts = recovered.DerivableFacts("m");
+  ASSERT_TRUE(facts.ok());
+  const std::vector<std::string> want = {"p(a)"};
+  EXPECT_EQ(*facts, want);
+
+  // The torn suffix was truncated away: appending works and a third open
+  // sees a clean log.
+  LogAndApply(storage, recovered, {{ServerOp::Kind::kAddFact, "m", "p(c)"}});
+  storage.Close();
+  TenantStorage third;
+  KnowledgeBase again;
+  ASSERT_TRUE(third.Open(Options(), again, &info).ok());
+  EXPECT_TRUE(info.wal_clean);
+  EXPECT_EQ(info.wal_records, 2u);
+}
+
+TEST_F(StorageTest, UnloadableNewestSnapshotFallsBackToOlderEpoch) {
+  // Simulate a crash mid-rotation: snapshot-1 exists but is torn, and
+  // epoch 0's files are still present. Recovery must fall back to
+  // epoch 0 and ignore the bad snapshot.
+  KnowledgeBase live;
+  {
+    TenantStorage storage;
+    RecoveryInfo info;
+    ASSERT_TRUE(storage.Open(Options(), live, &info).ok());
+    LogAndApply(storage, live,
+                {{ServerOp::Kind::kAddModule, "m", ""},
+                 {ServerOp::Kind::kAddFact, "m", "p(a)"}});
+    storage.Close();
+  }
+  {
+    std::ofstream torn(dir_ + "/tenant/snapshot-1", std::ios::trunc);
+    torn << "OLPSNAP1\nmodule m\n";  // no `end`: unloadable
+  }
+
+  TenantStorage storage;
+  KnowledgeBase recovered;
+  RecoveryInfo info;
+  ASSERT_TRUE(storage.Open(Options(), recovered, &info).ok());
+  EXPECT_EQ(info.epoch, 0u);
+  EXPECT_FALSE(info.loaded_snapshot);
+  EXPECT_EQ(info.wal_records, 1u);
+  StatusOr<std::vector<std::string>> facts = recovered.DerivableFacts("m");
+  ASSERT_TRUE(facts.ok());
+  EXPECT_EQ(facts->size(), 1u);
+  // The stale snapshot-1 was cleaned up (epoch 0 is current).
+  EXPECT_FALSE(fs::exists(dir_ + "/tenant/snapshot-1"));
+}
+
+TEST_F(StorageTest, DestroyRemovesTenantDirectory) {
+  TenantStorage storage;
+  KnowledgeBase kb;
+  RecoveryInfo info;
+  ASSERT_TRUE(storage.Open(Options(), kb, &info).ok());
+  ASSERT_TRUE(fs::exists(dir_ + "/tenant"));
+  ASSERT_TRUE(storage.Destroy().ok());
+  EXPECT_FALSE(fs::exists(dir_ + "/tenant"));
+}
+
+}  // namespace
+}  // namespace ordlog

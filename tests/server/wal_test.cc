@@ -1,0 +1,382 @@
+// Tests for the write-ahead log layer: CRC32, the ServerOp codec, the
+// grouping contract shared by the live mutate path and recovery, and
+// Replay's handling of torn tails and corrupted records.
+
+#include "server/wal.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "kb/mutation.h"
+
+namespace ordlog {
+namespace {
+
+class WalTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    char tmpl[] = "/tmp/ordlog_wal_test_XXXXXX";
+    ASSERT_NE(::mkdtemp(tmpl), nullptr);
+    dir_ = tmpl;
+  }
+
+  void TearDown() override {
+    std::error_code ec;
+    std::filesystem::remove_all(dir_, ec);
+  }
+
+  std::string Path(const std::string& name) const { return dir_ + "/" + name; }
+
+  std::string ReadFile(const std::string& path) const {
+    std::ifstream in(path, std::ios::binary);
+    return std::string(std::istreambuf_iterator<char>(in), {});
+  }
+
+  void WriteFile(const std::string& path, const std::string& data) const {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out << data;
+  }
+
+  std::string dir_;
+};
+
+TEST_F(WalTest, Crc32KnownAnswer) {
+  // The standard CRC-32 check value.
+  EXPECT_EQ(Crc32("123456789"), 0xCBF43926u);
+  EXPECT_EQ(Crc32(""), 0u);
+  EXPECT_NE(Crc32("a"), Crc32("b"));
+}
+
+TEST_F(WalTest, CodecRoundTripsAllOpKinds) {
+  ServerMutation ops;
+  ops.push_back({ServerOp::Kind::kAddModule, "animals", ""});
+  ops.push_back({ServerOp::Kind::kAddIsa, "birds", "animals"});
+  ops.push_back({ServerOp::Kind::kAddRule, "animals", "fly(X) :- bird(X)."});
+  ops.push_back({ServerOp::Kind::kAddFact, "animals", "bird(tweety)"});
+  ops.push_back({ServerOp::Kind::kRetractFact, "animals", "bird(tweety)"});
+
+  const std::string payload = EncodeOps(ops);
+  StatusOr<ServerMutation> decoded = DecodeOps(payload);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().message();
+  ASSERT_EQ(decoded->size(), ops.size());
+  for (size_t i = 0; i < ops.size(); ++i) {
+    EXPECT_EQ((*decoded)[i].kind, ops[i].kind) << "op " << i;
+    EXPECT_EQ((*decoded)[i].module, ops[i].module) << "op " << i;
+    EXPECT_EQ((*decoded)[i].text, ops[i].text) << "op " << i;
+  }
+}
+
+TEST_F(WalTest, CodecRoundTripsEmptyBatchAndEmbeddedNulBytes) {
+  EXPECT_TRUE(DecodeOps(EncodeOps({})).ok());
+  ServerMutation ops;
+  ops.push_back({ServerOp::Kind::kAddFact, std::string("a\0b", 3),
+                 std::string("x\0y", 3)});
+  StatusOr<ServerMutation> decoded = DecodeOps(EncodeOps(ops));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ((*decoded)[0].module, ops[0].module);
+  EXPECT_EQ((*decoded)[0].text, ops[0].text);
+}
+
+TEST_F(WalTest, DecodeRejectsDamagedPayloads) {
+  ServerMutation ops;
+  ops.push_back({ServerOp::Kind::kAddFact, "m", "p(a)"});
+  const std::string payload = EncodeOps(ops);
+
+  // Truncation at every prefix length must be rejected, never crash.
+  for (size_t len = 0; len < payload.size(); ++len) {
+    EXPECT_FALSE(DecodeOps(payload.substr(0, len)).ok()) << "len=" << len;
+  }
+  // Trailing junk after a well-formed batch.
+  EXPECT_FALSE(DecodeOps(payload + "x").ok());
+  // Unknown op kind.
+  std::string bad_kind = payload;
+  bad_kind[4] = 0x7f;
+  EXPECT_FALSE(DecodeOps(bad_kind).ok());
+}
+
+TEST_F(WalTest, ForEachOpGroupBatchesContiguousFactRuns) {
+  ServerMutation ops;
+  ops.push_back({ServerOp::Kind::kAddModule, "m", ""});
+  ops.push_back({ServerOp::Kind::kAddFact, "m", "p(a)"});
+  ops.push_back({ServerOp::Kind::kAddFact, "m", "p(b)"});
+  ops.push_back({ServerOp::Kind::kAddIsa, "m", "base"});
+  ops.push_back({ServerOp::Kind::kAddRule, "m", "q(X) :- p(X)."});
+
+  std::vector<std::string> trace;
+  const Status status = ForEachOpGroup(
+      ops,
+      [&trace](const ServerOp& op) {
+        trace.push_back(op.kind == ServerOp::Kind::kAddModule ? "module"
+                                                              : "isa");
+        return Status::Ok();
+      },
+      [&trace](const Mutation& mutation) {
+        trace.push_back("batch:" + std::to_string(mutation.ops().size()));
+        return Status::Ok();
+      });
+  ASSERT_TRUE(status.ok());
+  // module, then [p(a), p(b)] as ONE batch, then isa, then [rule] alone.
+  const std::vector<std::string> want = {"module", "batch:2", "isa",
+                                         "batch:1"};
+  EXPECT_EQ(trace, want);
+}
+
+TEST_F(WalTest, ForEachOpGroupStopsAtFirstError) {
+  ServerMutation ops;
+  ops.push_back({ServerOp::Kind::kAddFact, "m", "p(a)"});
+  ops.push_back({ServerOp::Kind::kAddModule, "m", ""});
+  ops.push_back({ServerOp::Kind::kAddFact, "m", "p(b)"});
+  int batches = 0;
+  const Status status = ForEachOpGroup(
+      ops,
+      [](const ServerOp&) { return InternalError("admin boom"); },
+      [&batches](const Mutation&) {
+        ++batches;
+        return Status::Ok();
+      });
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(batches, 1);  // the run before the failing admin op flushed
+}
+
+TEST_F(WalTest, AppendReplayRoundTrip) {
+  const std::string path = Path("wal");
+  WriteAheadLog wal;
+  ASSERT_TRUE(wal.Open(path).ok());
+  ASSERT_TRUE(wal.Append("alpha").ok());
+  ASSERT_TRUE(wal.Append("").ok());
+  ASSERT_TRUE(wal.Append("gamma gamma").ok());
+  ASSERT_TRUE(wal.Sync().ok());
+  wal.Close();
+
+  std::vector<std::string> payloads;
+  WalReplayResult result;
+  ASSERT_TRUE(WriteAheadLog::Replay(
+                  path,
+                  [&payloads](std::string_view payload) {
+                    payloads.emplace_back(payload);
+                    return Status::Ok();
+                  },
+                  &result)
+                  .ok());
+  EXPECT_TRUE(result.clean);
+  EXPECT_EQ(result.records, 3u);
+  const std::vector<std::string> want = {"alpha", "", "gamma gamma"};
+  EXPECT_EQ(payloads, want);
+}
+
+TEST_F(WalTest, ReplayOfMissingFileIsEmptyAndClean) {
+  WalReplayResult result;
+  ASSERT_TRUE(WriteAheadLog::Replay(
+                  Path("absent"), [](std::string_view) { return Status::Ok(); },
+                  &result)
+                  .ok());
+  EXPECT_TRUE(result.clean);
+  EXPECT_EQ(result.records, 0u);
+}
+
+TEST_F(WalTest, ReplayTruncatesTornTailAtEveryOffset) {
+  // Build a clean 2-record log, then chop it at every length between
+  // "after record 1" and "full file": replay must keep record 1, flag the
+  // log dirty, and report valid_bytes at record 1's end.
+  const std::string path = Path("wal");
+  {
+    WriteAheadLog wal;
+    ASSERT_TRUE(wal.Open(path).ok());
+    ASSERT_TRUE(wal.Append("first-record").ok());
+    ASSERT_TRUE(wal.Sync().ok());
+  }
+  const std::string after_first = ReadFile(path);
+  {
+    WriteAheadLog wal;
+    ASSERT_TRUE(wal.Open(path).ok());
+    ASSERT_TRUE(wal.Append("second-record").ok());
+    ASSERT_TRUE(wal.Sync().ok());
+  }
+  const std::string full = ReadFile(path);
+  ASSERT_GT(full.size(), after_first.size());
+
+  // Chopping exactly at record 1's boundary yields a CLEAN one-record log.
+  {
+    const std::string boundary = Path("boundary");
+    WriteFile(boundary, full.substr(0, after_first.size()));
+    WalReplayResult result;
+    size_t records = 0;
+    ASSERT_TRUE(WriteAheadLog::Replay(
+                    boundary,
+                    [&records](std::string_view) {
+                      ++records;
+                      return Status::Ok();
+                    },
+                    &result)
+                    .ok());
+    EXPECT_TRUE(result.clean);
+    EXPECT_EQ(records, 1u);
+  }
+
+  for (size_t len = after_first.size() + 1; len < full.size(); ++len) {
+    const std::string torn = Path("torn");
+    WriteFile(torn, full.substr(0, len));
+    std::vector<std::string> payloads;
+    WalReplayResult result;
+    ASSERT_TRUE(WriteAheadLog::Replay(
+                    torn,
+                    [&payloads](std::string_view payload) {
+                      payloads.emplace_back(payload);
+                      return Status::Ok();
+                    },
+                    &result)
+                    .ok())
+        << "len=" << len;
+    ASSERT_EQ(payloads.size(), 1u) << "len=" << len;
+    EXPECT_EQ(payloads[0], "first-record");
+    EXPECT_FALSE(result.clean) << "len=" << len;
+    EXPECT_EQ(result.valid_bytes, after_first.size()) << "len=" << len;
+
+    // TruncateTo + re-append must produce a clean log again.
+    ASSERT_TRUE(WriteAheadLog::TruncateTo(torn, result.valid_bytes).ok());
+    WriteAheadLog wal;
+    ASSERT_TRUE(wal.Open(torn).ok());
+    ASSERT_TRUE(wal.Append("replacement").ok());
+    ASSERT_TRUE(wal.Sync().ok());
+    wal.Close();
+    payloads.clear();
+    ASSERT_TRUE(WriteAheadLog::Replay(
+                    torn,
+                    [&payloads](std::string_view payload) {
+                      payloads.emplace_back(payload);
+                      return Status::Ok();
+                    },
+                    &result)
+                    .ok());
+    EXPECT_TRUE(result.clean) << "len=" << len;
+    const std::vector<std::string> want = {"first-record", "replacement"};
+    EXPECT_EQ(payloads, want) << "len=" << len;
+  }
+}
+
+TEST_F(WalTest, ReplayStopsAtCrcMismatchMidLog) {
+  const std::string path = Path("wal");
+  size_t first_end = 0;
+  {
+    WriteAheadLog wal;
+    ASSERT_TRUE(wal.Open(path).ok());
+    ASSERT_TRUE(wal.Append("keep-me").ok());
+    ASSERT_TRUE(wal.Sync().ok());
+    first_end = ReadFile(path).size();
+    ASSERT_TRUE(wal.Append("corrupt-me").ok());
+    ASSERT_TRUE(wal.Append("unreachable").ok());
+    ASSERT_TRUE(wal.Sync().ok());
+  }
+  // Flip one payload byte of the middle record (after its 8-byte header).
+  std::string bytes = ReadFile(path);
+  bytes[first_end + WriteAheadLog::kHeaderLen] ^= 0x01;
+  WriteFile(path, bytes);
+
+  std::vector<std::string> payloads;
+  WalReplayResult result;
+  ASSERT_TRUE(WriteAheadLog::Replay(
+                  path,
+                  [&payloads](std::string_view payload) {
+                    payloads.emplace_back(payload);
+                    return Status::Ok();
+                  },
+                  &result)
+                  .ok());
+  // Everything from the damaged record on is dropped, even the intact
+  // third record: a CRC break means the log can't be trusted past it.
+  ASSERT_EQ(payloads.size(), 1u);
+  EXPECT_EQ(payloads[0], "keep-me");
+  EXPECT_FALSE(result.clean);
+  EXPECT_EQ(result.valid_bytes, first_end);
+}
+
+TEST_F(WalTest, ReplayRejectsBadMagicAndInsanePayloadLength) {
+  const std::string bad_magic = Path("bad_magic");
+  WriteFile(bad_magic, "NOTAWAL!some bytes");
+  WalReplayResult result;
+  ASSERT_TRUE(WriteAheadLog::Replay(
+                  bad_magic, [](std::string_view) { return Status::Ok(); },
+                  &result)
+                  .ok());
+  EXPECT_FALSE(result.clean);
+  EXPECT_EQ(result.records, 0u);
+  EXPECT_EQ(result.valid_bytes, 0u);
+
+  // A header announcing a payload beyond kMaxPayloadLen is corruption,
+  // not an allocation request.
+  const std::string huge = Path("huge");
+  std::string bytes(WriteAheadLog::kMagic, WriteAheadLog::kMagicLen);
+  const uint32_t len = WriteAheadLog::kMaxPayloadLen + 1;
+  bytes.append(reinterpret_cast<const char*>(&len), 4);
+  bytes.append(4, '\0');
+  WriteFile(huge, bytes);
+  size_t records = 0;
+  ASSERT_TRUE(WriteAheadLog::Replay(
+                  huge,
+                  [&records](std::string_view) {
+                    ++records;
+                    return Status::Ok();
+                  },
+                  &result)
+                  .ok());
+  EXPECT_EQ(records, 0u);
+  EXPECT_FALSE(result.clean);
+  EXPECT_EQ(result.valid_bytes, WriteAheadLog::kMagicLen);
+}
+
+TEST_F(WalTest, ApplyErrorAbortsReplay) {
+  const std::string path = Path("wal");
+  {
+    WriteAheadLog wal;
+    ASSERT_TRUE(wal.Open(path).ok());
+    ASSERT_TRUE(wal.Append("one").ok());
+    ASSERT_TRUE(wal.Append("two").ok());
+    ASSERT_TRUE(wal.Sync().ok());
+  }
+  WalReplayResult result;
+  const Status status = WriteAheadLog::Replay(
+      path,
+      [](std::string_view payload) -> Status {
+        if (payload == "two") return InvalidArgumentError("decode failure");
+        return Status::Ok();
+      },
+      &result);
+  EXPECT_FALSE(status.ok());
+}
+
+TEST_F(WalTest, OpenExistingLogAppendsAfterPriorRecords) {
+  const std::string path = Path("wal");
+  {
+    WriteAheadLog wal;
+    ASSERT_TRUE(wal.Open(path).ok());
+    ASSERT_TRUE(wal.Append("old").ok());
+    ASSERT_TRUE(wal.Sync().ok());
+  }
+  {
+    WriteAheadLog wal;
+    ASSERT_TRUE(wal.Open(path).ok());
+    ASSERT_TRUE(wal.Append("new").ok());
+    ASSERT_TRUE(wal.Sync().ok());
+  }
+  std::vector<std::string> payloads;
+  WalReplayResult result;
+  ASSERT_TRUE(WriteAheadLog::Replay(
+                  path,
+                  [&payloads](std::string_view payload) {
+                    payloads.emplace_back(payload);
+                    return Status::Ok();
+                  },
+                  &result)
+                  .ok());
+  const std::vector<std::string> want = {"old", "new"};
+  EXPECT_EQ(payloads, want);
+  EXPECT_TRUE(result.clean);
+}
+
+}  // namespace
+}  // namespace ordlog

@@ -1,0 +1,109 @@
+// kbserver: the multi-tenant ordered-logic KB service (docs/SERVER.md).
+//
+//   kbserver --data-dir=/var/lib/ordlog --port=7341
+//
+// Serves the /v1/ wire protocol plus the statsz surface on one loopback
+// port. Runs until SIGINT/SIGTERM (or --serve-seconds for scripted runs).
+
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+
+#include "server/kb_server.h"
+
+namespace {
+
+volatile std::sig_atomic_t g_stop = 0;
+
+void HandleSignal(int) { g_stop = 1; }
+
+bool ParseFlag(const char* arg, const char* name, std::string* value) {
+  const size_t name_len = std::strlen(name);
+  if (std::strncmp(arg, name, name_len) != 0 || arg[name_len] != '=') {
+    return false;
+  }
+  *value = arg + name_len + 1;
+  return true;
+}
+
+int Usage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s [--port=N] [--data-dir=PATH] [--workers=N]\n"
+      "          [--tenant-max-inflight=N] [--global-max-inflight=N]\n"
+      "          [--snapshot-every=N] [--default-deadline-ms=N]\n"
+      "          [--slow-query-threshold-us=N] [--serve-seconds=N]\n"
+      "\n"
+      "Serves the ordlog KB wire protocol (docs/SERVER.md) on 127.0.0.1.\n"
+      "--port=0 (default) picks an ephemeral port, printed on stdout.\n"
+      "Without --data-dir tenants are in-memory only (no WAL).\n",
+      argv0);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ordlog::KbServerOptions options;
+  long serve_seconds = -1;
+  long slow_query_threshold_us = -1;
+
+  for (int i = 1; i < argc; ++i) {
+    std::string value;
+    if (ParseFlag(argv[i], "--port", &value)) {
+      options.port = std::atoi(value.c_str());
+    } else if (ParseFlag(argv[i], "--data-dir", &value)) {
+      options.registry.data_dir = value;
+    } else if (ParseFlag(argv[i], "--workers", &value)) {
+      options.num_workers = static_cast<size_t>(std::atol(value.c_str()));
+    } else if (ParseFlag(argv[i], "--tenant-max-inflight", &value)) {
+      options.admission.tenant_max_inflight =
+          static_cast<size_t>(std::atol(value.c_str()));
+    } else if (ParseFlag(argv[i], "--global-max-inflight", &value)) {
+      options.admission.global_max_inflight =
+          static_cast<size_t>(std::atol(value.c_str()));
+    } else if (ParseFlag(argv[i], "--snapshot-every", &value)) {
+      options.registry.snapshot_every =
+          static_cast<size_t>(std::atol(value.c_str()));
+    } else if (ParseFlag(argv[i], "--default-deadline-ms", &value)) {
+      options.registry.default_deadline =
+          std::chrono::milliseconds(std::atol(value.c_str()));
+    } else if (ParseFlag(argv[i], "--slow-query-threshold-us", &value)) {
+      slow_query_threshold_us = std::atol(value.c_str());
+    } else if (ParseFlag(argv[i], "--serve-seconds", &value)) {
+      serve_seconds = std::atol(value.c_str());
+    } else {
+      return Usage(argv[0]);
+    }
+  }
+  if (slow_query_threshold_us >= 0) {
+    options.registry.slow_query_threshold =
+        std::chrono::microseconds(slow_query_threshold_us);
+  }
+
+  ordlog::KbServer server(std::move(options));
+  const ordlog::Status started = server.Start();
+  if (!started.ok()) {
+    std::fprintf(stderr, "kbserver: %s\n", started.ToString().c_str());
+    return 1;
+  }
+  std::printf("kbserver listening on 127.0.0.1:%d\n", server.port());
+  std::fflush(stdout);
+
+  std::signal(SIGINT, HandleSignal);
+  std::signal(SIGTERM, HandleSignal);
+
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(serve_seconds);
+  while (g_stop == 0) {
+    if (serve_seconds >= 0 && std::chrono::steady_clock::now() >= deadline) {
+      break;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  server.Stop();
+  return 0;
+}
